@@ -1,0 +1,14 @@
+"""Ablation (DESIGN.md Section 5): formula canonicalization.
+
+With virtual nodes buried deep inside fragments, the literal ``compFm``
+of Fig. 3(b) duplicates sub-formulas at every ancestor level while the
+canonicalizing constructors keep each vector entry at O(card(F_j))
+variables -- this benchmark measures the resulting traffic gap.
+"""
+
+from repro.bench.experiments import ablation_algebra
+from conftest import regenerate_and_check
+
+
+def test_ablation_algebra(benchmark, config):
+    regenerate_and_check(benchmark, ablation_algebra, "ablation-algebra", config)

@@ -1,0 +1,14 @@
+"""Figure 4 (measured): the algorithm summary table.
+
+The paper's Fig. 4 is analytic; this benchmark measures its patterns on
+a fixed workload (FT2 chain, two sites holding two fragments each):
+per-site visit counts, total computation (node x |QList| ops) and
+communication bytes per algorithm.
+"""
+
+from repro.bench.experiments import fig4_validation
+from conftest import regenerate_and_check
+
+
+def test_fig04_table(benchmark, config):
+    regenerate_and_check(benchmark, fig4_validation, "fig4", config)

@@ -1,0 +1,14 @@
+"""Figure 7: ParBoX vs NaiveCentralized (Experiment 1).
+
+FT1 star, constant cumulative data, 1..10 machines, |QList| = 8.
+Expected shape: ParBoX strictly below NaiveCentralized from 2 machines
+on and decreasing with parallelism; NaiveCentralized dominated by data
+shipping, which flattens as per-fragment increments shrink.
+"""
+
+from repro.bench.experiments import fig7_parbox_vs_central
+from conftest import regenerate_and_check
+
+
+def test_fig07_series(benchmark, config):
+    regenerate_and_check(benchmark, fig7_parbox_vs_central, "fig7", config)

@@ -1,0 +1,13 @@
+"""Figure 8: ParBoX scalability in query size (Experiment 1).
+
+Same FT1 sweep with |QList| in {2, 8, 15, 23}.  Expected shape: runtime
+ordered by query size (roughly linear in |QList|), parallel gains
+consistent across sizes.
+"""
+
+from repro.bench.experiments import fig8_query_size
+from conftest import regenerate_and_check
+
+
+def test_fig08_series(benchmark, config):
+    regenerate_and_check(benchmark, fig8_query_size, "fig8", config)

@@ -1,0 +1,14 @@
+"""Figure 9: qF0 on the FT2 chain (Experiment 2).
+
+Query satisfied at the root fragment: ParBoX, FullDistParBoX and
+LazyParBoX coincide in elapsed time; Lazy evaluates only the
+coordinator and depth 1 ("only 2 machines evaluate qF0"), saving total
+computation.
+"""
+
+from repro.bench.experiments import fig9_qf0
+from conftest import regenerate_and_check
+
+
+def test_fig09_series(benchmark, config):
+    regenerate_and_check(benchmark, fig9_qf0, "fig9", config)

@@ -1,0 +1,13 @@
+"""Figure 10: qFn on the FT2 chain (Experiment 2).
+
+Query satisfied at the deepest fragment: ParBoX and FullDistParBoX stay
+parallel and flat; LazyParBoX degrades with depth (its per-depth steps
+serialize) and ends up evaluating every fragment anyway.
+"""
+
+from repro.bench.experiments import fig10_qfn
+from conftest import regenerate_and_check
+
+
+def test_fig10_series(benchmark, config):
+    regenerate_and_check(benchmark, fig10_qfn, "fig10", config)

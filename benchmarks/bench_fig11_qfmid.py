@@ -1,0 +1,14 @@
+"""Figure 11: qF(n/2) on the FT2 chain (Experiment 2).
+
+Query satisfied mid-chain: LazyParBoX oscillates/converges to a small
+multiple of ParBoX's elapsed time while saving a large share of the
+total computation -- the paper's "trade evaluation time for reduced
+site load".
+"""
+
+from repro.bench.experiments import fig11_qfmid
+from conftest import regenerate_and_check
+
+
+def test_fig11_series(benchmark, config):
+    regenerate_and_check(benchmark, fig11_qfmid, "fig11", config)

@@ -1,0 +1,13 @@
+"""Figure 12: scalability in data size (Experiment 3).
+
+FT3 bushy topology with the paper's per-fragment growth ratios, total
+data sweeping 45 -> 160 scaled MB, |QList| in {2, 8, 15, 23}.
+Expected shape: runtime linear in data size for every query size.
+"""
+
+from repro.bench.experiments import fig12_data_scale
+from conftest import regenerate_and_check
+
+
+def test_fig12_series(benchmark, config):
+    regenerate_and_check(benchmark, fig12_data_scale, "fig12", config)

@@ -1,0 +1,14 @@
+"""Figure 13: fragments-per-site invariance (Experiment 4).
+
+One site, constant cumulative data split into 1..10 fragments.
+Expected shape: flat evaluation time -- ParBoX depends on the cumulative
+size assigned to a site, not on its fragment count -- with a single
+visit throughout.
+"""
+
+from repro.bench.experiments import fig13_frags_per_site
+from conftest import regenerate_and_check
+
+
+def test_fig13_series(benchmark, config):
+    regenerate_and_check(benchmark, fig13_frags_per_site, "fig13", config)

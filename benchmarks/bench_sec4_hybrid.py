@@ -1,0 +1,14 @@
+"""Section 4 (added experiment): the Hybrid ParBoX crossover.
+
+Sweeps fragmentation granularity of one document up to the pathological
+one-fragment-per-node decomposition.  Expected shape: ParBoX's traffic
+wins while card(F) < |T|/|q|, NaiveCentralized wins beyond, and Hybrid
+switches strategies to track the minimum.
+"""
+
+from repro.bench.experiments import sec4_hybrid_crossover
+from conftest import regenerate_and_check
+
+
+def test_sec4_hybrid_crossover(benchmark, config):
+    regenerate_and_check(benchmark, sec4_hybrid_crossover, "sec4-hybrid", config)

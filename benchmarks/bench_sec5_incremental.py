@@ -1,0 +1,13 @@
+"""Section 5 (added experiment): incremental view maintenance bounds.
+
+After an update inside one fragment, maintenance must visit only that
+fragment's site with traffic independent of |T| and of the update size,
+while from-scratch re-evaluation grows with the data.
+"""
+
+from repro.bench.experiments import sec5_incremental
+from conftest import regenerate_and_check
+
+
+def test_sec5_incremental(benchmark, config):
+    regenerate_and_check(benchmark, sec5_incremental, "sec5-incremental", config)

@@ -1,0 +1,42 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_fig*.py`` file regenerates one figure/table of the paper:
+the whole sweep runs once under ``benchmark.pedantic`` (so
+pytest-benchmark reports the figure-regeneration time), the series is
+printed (visible with ``-s`` or on failure), and the figure's *shape
+checks* -- the qualitative claims of the paper -- are asserted.
+
+Scale control: set ``REPRO_BENCH_QUICK=1`` for a miniature run (shape
+checks are then skipped; tiny fragments are latency-dominated and some
+trends disappear below the noise floor).
+"""
+
+import os
+
+import pytest
+
+from repro.bench.experiments import BenchConfig
+from repro.bench.shape_checks import CHECKS
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def config() -> BenchConfig:
+    """The benchmark scale (default: the EXPERIMENTS.md scale)."""
+    return BenchConfig.quick() if QUICK else BenchConfig.default()
+
+
+def regenerate_and_check(benchmark, runner, experiment_id, config):
+    """Run one experiment under the benchmark timer and assert its shape."""
+    result = benchmark.pedantic(lambda: runner(config), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    if QUICK:
+        return result
+    checks = CHECKS[experiment_id](result)
+    for claim, passed in checks.items():
+        print(f"  [{'PASS' if passed else 'FAIL'}] {claim}")
+    failed = [claim for claim, passed in checks.items() if not passed]
+    assert not failed, f"{experiment_id} shape claims failed: {failed}"
+    return result

@@ -1,0 +1,56 @@
+"""repro -- ParBoX: partial evaluation for distributed Boolean XPath.
+
+A full reproduction of *Buneman, Cong, Fan, Kementsietsidis: "Using
+Partial Evaluation in Distributed Query Evaluation", VLDB 2006*.
+
+Quickstart::
+
+    from repro import compile_query, Cluster, ParBoXEngine
+    from repro.fragments import fragment_balanced
+    from repro.xmltree import parse_xml
+
+    tree = parse_xml(open("doc.xml").read())
+    decomposition = fragment_balanced(tree, target_fragments=4)
+    cluster = Cluster.one_site_per_fragment(decomposition)
+    query = compile_query('[//stock[code = "GOOG" and sell = "376"]]')
+    result = ParBoXEngine(cluster).evaluate(query)
+    print(result.answer, result.metrics.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every figure.
+"""
+
+from repro.xpath import compile_query, parse_query, QList
+from repro.distsim import Cluster, NetworkModel
+from repro.distsim.metrics import EvalResult, Metrics
+from repro.core import (
+    ParBoXEngine,
+    HybridParBoXEngine,
+    FullDistParBoXEngine,
+    LazyParBoXEngine,
+    NaiveCentralizedEngine,
+    NaiveDistributedEngine,
+    evaluate_tree,
+    ALL_ENGINES,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compile_query",
+    "parse_query",
+    "QList",
+    "Cluster",
+    "NetworkModel",
+    "EvalResult",
+    "Metrics",
+    "ParBoXEngine",
+    "HybridParBoXEngine",
+    "FullDistParBoXEngine",
+    "LazyParBoXEngine",
+    "NaiveCentralizedEngine",
+    "NaiveDistributedEngine",
+    "evaluate_tree",
+    "ALL_ENGINES",
+    "__version__",
+]

@@ -1,0 +1,50 @@
+"""Experiment harness: regenerate every figure of the paper's Section 6.
+
+* :mod:`repro.bench.reporting` -- result containers and text rendering;
+* :mod:`repro.bench.experiments` -- one function per paper artifact
+  (``fig7`` ... ``fig13``, the Fig. 4 validation table, and the added
+  Section 4/5 experiments);
+* :mod:`repro.bench.shape_checks` -- machine-checkable versions of the
+  qualitative claims each figure makes (who wins, monotonicity,
+  crossovers), used by EXPERIMENTS.md and the benchmark suite.
+
+Run everything from the command line::
+
+    python -m repro.bench            # full scale (a few minutes)
+    python -m repro.bench --quick    # reduced scale (tens of seconds)
+"""
+
+from repro.bench.reporting import ExperimentResult, render_results
+from repro.bench.experiments import (
+    BenchConfig,
+    fig4_validation,
+    fig7_parbox_vs_central,
+    fig8_query_size,
+    fig9_qf0,
+    fig10_qfn,
+    fig11_qfmid,
+    fig12_data_scale,
+    fig13_frags_per_site,
+    sec4_hybrid_crossover,
+    sec5_incremental,
+    ablation_algebra,
+    ALL_EXPERIMENTS,
+)
+
+__all__ = [
+    "BenchConfig",
+    "ExperimentResult",
+    "render_results",
+    "fig4_validation",
+    "fig7_parbox_vs_central",
+    "fig8_query_size",
+    "fig9_qf0",
+    "fig10_qfn",
+    "fig11_qfmid",
+    "fig12_data_scale",
+    "fig13_frags_per_site",
+    "sec4_hybrid_crossover",
+    "sec5_incremental",
+    "ablation_algebra",
+    "ALL_EXPERIMENTS",
+]

@@ -1,0 +1,50 @@
+"""Command-line experiment runner.
+
+Regenerates every figure/table of the paper and evaluates the shape
+checks::
+
+    python -m repro.bench             # default scale
+    python -m repro.bench --quick     # miniature scale
+    python -m repro.bench fig7 fig11  # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS, BenchConfig
+from repro.bench.shape_checks import CHECKS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--quick", action="store_true", help="miniature scale")
+    parser.add_argument("--no-checks", action="store_true", help="skip shape checks")
+    args = parser.parse_args(argv)
+
+    config = BenchConfig.quick() if args.quick else BenchConfig.default()
+    wanted = set(args.experiments) if args.experiments else None
+    failures = 0
+    for experiment_id, runner in ALL_EXPERIMENTS:
+        if wanted is not None and experiment_id not in wanted:
+            continue
+        started = time.perf_counter()
+        result = runner(config)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"(regenerated in {elapsed:.1f}s)")
+        if not args.no_checks and experiment_id in CHECKS:
+            checks = CHECKS[experiment_id](result)
+            for claim, passed in checks.items():
+                marker = "PASS" if passed else "FAIL"
+                print(f"  [{marker}] {claim}")
+                failures += 0 if passed else 1
+        print()
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,488 @@
+"""The experiments of Section 6, one function per paper artifact.
+
+Every function takes a :class:`BenchConfig` controlling scale.  The
+``default()`` configuration reproduces the paper's sweeps at a reduced
+data scale (documents are sized in scaled MB -- see
+:mod:`repro.workloads.xmark`); ``quick()`` shrinks them further for the
+test suite.  The network model's bandwidth is calibrated so that the
+compute/communication balance of the 2006 testbed is preserved at the
+reduced data scale (see EXPERIMENTS.md "Calibration").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.bench.reporting import ExperimentResult
+from repro.boolexpr.compose import PaperAlgebra
+from repro.core import (
+    FullDistParBoXEngine,
+    HybridParBoXEngine,
+    LazyParBoXEngine,
+    NaiveCentralizedEngine,
+    NaiveDistributedEngine,
+    ParBoXEngine,
+)
+from repro.distsim import Cluster, NetworkModel
+from repro.fragments import fragment_balanced, fragment_per_node
+from repro.views import MaterializedView
+from repro.workloads.queries import QUERY_SIZES, query_of_size, seal_query
+from repro.workloads.topologies import bushy_ft3, chain_ft2, co_located, star_ft1
+from repro.workloads.xmark import generate_xmark_site
+from repro.xmltree import XMLNode
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Scale knobs shared by all experiments."""
+
+    #: Nodes per scaled MB (the document scale).
+    nodes_per_mb: int = 160
+    #: The "50 MB" constant of Experiments 1, 2 and 4.
+    total_mb: float = 50.0
+    #: Iterations of the fragment-count sweeps (paper: 10).
+    iterations: int = 10
+    #: Network: bandwidth reduced in proportion to the document scale so
+    #: shipping costs keep their 2006 weight relative to computation.
+    network: NetworkModel = NetworkModel(
+        latency_seconds=0.0005, bandwidth_bytes_per_second=4_000_000
+    )
+    #: Runs per data point; the best run is reported ("averaged over
+    #: multiple runs" in the paper; min is the standard noise filter).
+    repeats: int = 3
+    seed: int = 2006
+
+    @classmethod
+    def default(cls) -> "BenchConfig":
+        """The EXPERIMENTS.md scale."""
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "BenchConfig":
+        """A miniature scale for CI and the test suite."""
+        return cls(nodes_per_mb=24, total_mb=10.0, iterations=4)
+
+    def with_network(self, cluster: Cluster) -> Cluster:
+        """Swap the cluster's network model for the configured one."""
+        cluster.network = self.network
+        return cluster
+
+    def timed(self, engine, qlist):
+        """Evaluate ``repeats`` times; return the best-elapsed result."""
+        best = None
+        for _ in range(max(1, self.repeats)):
+            candidate = engine.evaluate(qlist)
+            if best is None or candidate.elapsed_seconds < best.elapsed_seconds:
+                best = candidate
+        return best
+
+
+# ---------------------------------------------------------------------------
+# Experiment 1 -- Figures 7 and 8 (FT1 star, constant data, 1..N sites)
+# ---------------------------------------------------------------------------
+
+
+def fig7_parbox_vs_central(config: Optional[BenchConfig] = None) -> ExperimentResult:
+    """Fig. 7: ParBoX vs NaiveCentralized, |QList| = 8."""
+    config = config or BenchConfig.default()
+    qlist = query_of_size(8)
+    result = ExperimentResult(
+        "fig7",
+        "ParBoX vs NaiveCentralized (FT1, constant data, |QList|=8)",
+        "machines",
+        ["parbox_s", "central_s", "central_shipped_bytes", "parbox_bytes"],
+    )
+    for iteration in range(1, config.iterations + 1):
+        cluster = config.with_network(
+            star_ft1(iteration, config.total_mb, seed=config.seed, nodes_per_mb=config.nodes_per_mb)
+        )
+        parbox = config.timed(ParBoXEngine(cluster), qlist)
+        central = config.timed(NaiveCentralizedEngine(cluster), qlist)
+        result.add_row(
+            iteration,
+            parbox_s=parbox.elapsed_seconds,
+            central_s=central.elapsed_seconds,
+            central_shipped_bytes=central.details["shipped_bytes"],
+            parbox_bytes=parbox.metrics.bytes_total,
+        )
+    return result
+
+
+def fig8_query_size(config: Optional[BenchConfig] = None) -> ExperimentResult:
+    """Fig. 8: ParBoX runtime for |QList| in {2, 8, 15, 23}."""
+    config = config or BenchConfig.default()
+    result = ExperimentResult(
+        "fig8",
+        "ParBoX scalability in query size (FT1, constant data)",
+        "machines",
+        [f"qlist_{size}_s" for size in QUERY_SIZES],
+    )
+    for iteration in range(1, config.iterations + 1):
+        cluster = config.with_network(
+            star_ft1(iteration, config.total_mb, seed=config.seed, nodes_per_mb=config.nodes_per_mb)
+        )
+        values = {}
+        for size in QUERY_SIZES:
+            run = config.timed(ParBoXEngine(cluster), query_of_size(size))
+            values[f"qlist_{size}_s"] = run.elapsed_seconds
+        result.add_row(iteration, **values)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Experiment 2 -- Figures 9, 10, 11 (FT2 chain, targeted queries)
+# ---------------------------------------------------------------------------
+
+
+def _exp2(config: BenchConfig, target_of: Callable[[int], str], result: ExperimentResult):
+    for iteration in range(1, config.iterations + 1):
+        cluster = config.with_network(
+            chain_ft2(iteration, config.total_mb, seed=config.seed, nodes_per_mb=config.nodes_per_mb)
+        )
+        qlist = seal_query(target_of(iteration))
+        parbox = config.timed(ParBoXEngine(cluster), qlist)
+        fulldist = config.timed(FullDistParBoXEngine(cluster), qlist)
+        lazy = config.timed(LazyParBoXEngine(cluster), qlist)
+        result.add_row(
+            iteration,
+            parbox_s=parbox.elapsed_seconds,
+            fdparbox_s=fulldist.elapsed_seconds,
+            lzparbox_s=lazy.elapsed_seconds,
+            lazy_fragments=lazy.details["fragments_evaluated"],
+            lazy_ops=lazy.metrics.qlist_ops,
+            parbox_ops=parbox.metrics.qlist_ops,
+        )
+    return result
+
+
+def fig9_qf0(config: Optional[BenchConfig] = None) -> ExperimentResult:
+    """Fig. 9: query satisfied at the root fragment F0."""
+    config = config or BenchConfig.default()
+    result = ExperimentResult(
+        "fig9",
+        "qF0 on FT2 chain: ParBoX vs FullDist vs Lazy",
+        "machines",
+        ["parbox_s", "fdparbox_s", "lzparbox_s", "lazy_fragments", "lazy_ops", "parbox_ops"],
+    )
+    return _exp2(config, lambda n: "F0", result)
+
+
+def fig10_qfn(config: Optional[BenchConfig] = None) -> ExperimentResult:
+    """Fig. 10: query satisfied at the deepest fragment Fn."""
+    config = config or BenchConfig.default()
+    result = ExperimentResult(
+        "fig10",
+        "qFn on FT2 chain: ParBoX vs FullDist vs Lazy",
+        "machines",
+        ["parbox_s", "fdparbox_s", "lzparbox_s", "lazy_fragments", "lazy_ops", "parbox_ops"],
+    )
+    return _exp2(config, lambda n: f"F{n - 1}", result)
+
+
+def fig11_qfmid(config: Optional[BenchConfig] = None) -> ExperimentResult:
+    """Fig. 11: query satisfied mid-chain (F ceil(n/2))."""
+    config = config or BenchConfig.default()
+    result = ExperimentResult(
+        "fig11",
+        "qF(n/2) on FT2 chain: ParBoX vs FullDist vs Lazy",
+        "machines",
+        ["parbox_s", "fdparbox_s", "lzparbox_s", "lazy_fragments", "lazy_ops", "parbox_ops"],
+    )
+    return _exp2(config, lambda n: f"F{(n + 1) // 2 if n > 1 else 0}", result)
+
+
+# ---------------------------------------------------------------------------
+# Experiment 3 -- Figure 12 (FT3 bushy, growing data)
+# ---------------------------------------------------------------------------
+
+
+def fig12_data_scale(config: Optional[BenchConfig] = None) -> ExperimentResult:
+    """Fig. 12: ParBoX runtime vs total data size, 4 query sizes."""
+    config = config or BenchConfig.default()
+    result = ExperimentResult(
+        "fig12",
+        "ParBoX scalability in data size (FT3)",
+        "total_scaled_mb",
+        ["tree_nodes"] + [f"qlist_{size}_s" for size in QUERY_SIZES],
+    )
+    steps = min(config.iterations, 10)
+    for iteration in range(steps):
+        ft3_iteration = round(iteration * 9 / max(steps - 1, 1))
+        cluster = config.with_network(
+            bushy_ft3(ft3_iteration, seed=config.seed, nodes_per_mb=config.nodes_per_mb)
+        )
+        values: dict = {"tree_nodes": cluster.total_size()}
+        for size in QUERY_SIZES:
+            run = config.timed(ParBoXEngine(cluster), query_of_size(size))
+            values[f"qlist_{size}_s"] = run.elapsed_seconds
+        result.add_row(round(45 + 115 * ft3_iteration / 9.0, 1), **values)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Experiment 4 -- Figure 13 (fragments per site)
+# ---------------------------------------------------------------------------
+
+
+def fig13_frags_per_site(config: Optional[BenchConfig] = None) -> ExperimentResult:
+    """Fig. 13: one site, constant data, 1..N co-located fragments."""
+    config = config or BenchConfig.default()
+    qlist = query_of_size(8)
+    result = ExperimentResult(
+        "fig13",
+        "ParBoX with varying fragments per site (constant cumulative data)",
+        "fragments",
+        ["parbox_s", "visits", "nodes"],
+    )
+    for iteration in range(1, config.iterations + 1):
+        cluster = config.with_network(
+            co_located(iteration, config.total_mb, seed=config.seed, nodes_per_mb=config.nodes_per_mb)
+        )
+        run = config.timed(ParBoXEngine(cluster), qlist)
+        result.add_row(
+            iteration,
+            parbox_s=run.elapsed_seconds,
+            visits=run.metrics.max_visits_per_site(),
+            nodes=run.metrics.nodes_processed,
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 -- measured validation of the complexity summary table
+# ---------------------------------------------------------------------------
+
+
+def fig4_validation(config: Optional[BenchConfig] = None) -> ExperimentResult:
+    """Fig. 4 (measured): visits / computation / communication per algorithm.
+
+    Workload: the FT2 chain with two fragments co-located per site, so
+    the per-fragment vs per-site visit distinction shows.
+    """
+    config = config or BenchConfig.default()
+    cluster = config.with_network(
+        chain_ft2(6, config.total_mb / 2, seed=config.seed, nodes_per_mb=config.nodes_per_mb)
+    )
+    # Co-locate pairs: F1 with F2, F3 with F4 (S2 and S4 then hold 2 each).
+    cluster.move_fragment("F2", cluster.site_of("F1"))
+    cluster.move_fragment("F4", cluster.site_of("F3"))
+    qlist = query_of_size(8)
+
+    result = ExperimentResult(
+        "fig4",
+        "Measured algorithm summary (FT2 chain, 2 fragments/site on 2 sites)",
+        "algorithm",
+        ["max_visits_per_site", "qlist_ops", "bytes_total", "elapsed_s"],
+    )
+    engines = [
+        NaiveCentralizedEngine(cluster),
+        NaiveDistributedEngine(cluster),
+        ParBoXEngine(cluster),
+        HybridParBoXEngine(cluster),
+        FullDistParBoXEngine(cluster),
+        LazyParBoXEngine(cluster),
+    ]
+    for engine in engines:
+        run = engine.evaluate(qlist)
+        result.add_row(
+            engine.name,
+            max_visits_per_site=run.metrics.max_visits_per_site(),
+            qlist_ops=run.metrics.qlist_ops,
+            bytes_total=run.metrics.bytes_total,
+            elapsed_s=run.elapsed_seconds,
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Section 4 -- Hybrid ParBoX crossover (added experiment)
+# ---------------------------------------------------------------------------
+
+
+def sec4_hybrid_crossover(config: Optional[BenchConfig] = None) -> ExperimentResult:
+    """Communication of ParBoX vs NaiveCentralized vs Hybrid as card(F) grows.
+
+    Sweeps fragmentation granularity over one fixed document up to the
+    pathological one-fragment-per-node decomposition; Hybrid must track
+    the cheaper of the two around the |T|/|q| tipping point.
+    """
+    config = config or BenchConfig.default()
+    tree = generate_xmark_site(
+        config.total_mb / 10, seed=config.seed, nodes_per_mb=config.nodes_per_mb
+    )
+    qlist = query_of_size(8)
+    size = tree.size()
+    counts = sorted({2, 4, size // 16, size // 8, size // 4, size // 2, size} - {0, 1})
+    result = ExperimentResult(
+        "sec4-hybrid",
+        f"Hybrid crossover (|T|={size}, |QList|=8, tipping at card(F)={size // 8})",
+        "card_F",
+        ["parbox_bytes", "central_bytes", "hybrid_bytes", "hybrid_strategy"],
+    )
+    for count in counts:
+        if count == size:
+            ftree = fragment_per_node(tree)
+        else:
+            ftree = fragment_balanced(tree, count)
+        cluster = config.with_network(Cluster.one_site_per_fragment(ftree))
+        parbox = ParBoXEngine(cluster).evaluate(qlist)
+        central = NaiveCentralizedEngine(cluster).evaluate(qlist)
+        hybrid = HybridParBoXEngine(cluster).evaluate(qlist)
+        result.add_row(
+            ftree.card(),
+            parbox_bytes=parbox.metrics.bytes_total,
+            central_bytes=central.metrics.bytes_total,
+            hybrid_bytes=hybrid.metrics.bytes_total,
+            hybrid_strategy=hybrid.details["strategy"],
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Section 5 -- incremental maintenance bounds (added experiment)
+# ---------------------------------------------------------------------------
+
+
+def sec5_incremental(config: Optional[BenchConfig] = None) -> ExperimentResult:
+    """Maintenance cost vs re-evaluation as the data grows.
+
+    The paper claims maintenance traffic depends on neither |T| nor the
+    update size; re-evaluation (ParBoX) computation grows linearly.
+    """
+    config = config or BenchConfig.default()
+    qlist = query_of_size(8)
+    result = ExperimentResult(
+        "sec5-incremental",
+        "Incremental maintenance vs ParBoX re-evaluation",
+        "total_scaled_mb",
+        [
+            "maint_bytes",
+            "maint_nodes",
+            "scratch_nodes",
+            "maint_sites",
+            "scratch_sites",
+        ],
+    )
+    steps = min(config.iterations, 5)
+    for step in range(steps):
+        scale = config.total_mb * (1 + step) / steps
+        cluster = config.with_network(
+            star_ft1(5, scale, seed=config.seed, nodes_per_mb=config.nodes_per_mb)
+        )
+        view = MaterializedView.create(cluster, qlist)
+        target = cluster.fragment("F3")
+        target.root.add_child(XMLNode("note", text="update"))
+        report = view.refresh_fragment("F3")
+        scratch = ParBoXEngine(cluster).evaluate(qlist)
+        result.add_row(
+            round(scale, 1),
+            maint_bytes=report.traffic_bytes,
+            maint_nodes=report.nodes_recomputed,
+            scratch_nodes=scratch.metrics.nodes_processed,
+            maint_sites=len(report.sites_visited),
+            scratch_sites=len(scratch.metrics.visits),
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ablation -- formula canonicalization (DESIGN.md Section 5)
+# ---------------------------------------------------------------------------
+
+
+def _deep_virtual_chain(fragments: int, depth: int) -> Cluster:
+    """A chain of fragments whose virtual leaf sits ``depth`` levels deep.
+
+    When the virtual node is buried, its variables are re-composed once
+    per ancestor level (the DV update of Fig. 3(b) line 17), so a
+    non-canonicalizing composition duplicates sub-formulas at every
+    level -- the workload where canonicalization earns the paper's
+    ``O(card(F_j))`` entry-size bound.
+    """
+    from repro.fragments import Fragment, FragmentedTree, Placement
+
+    store: dict[str, Fragment] = {}
+    for index in range(fragments):
+        root = XMLNode("wrap")
+        node = root
+        for _ in range(depth - 1):
+            node = node.add_child(XMLNode("wrap"))
+        if index + 1 < fragments:
+            # Intermediate fragments carry no local match: their values
+            # stay residual formulas, which is what the two algebras
+            # treat differently.
+            node.add_child(XMLNode.virtual(f"F{index + 1}"))
+        else:
+            node.add_child(XMLNode("b", text="leaf"))
+        store[f"F{index}"] = Fragment(f"F{index}", root)
+    tree = FragmentedTree(store, "F0")
+    placement = Placement({fid: f"S{i}" for i, fid in enumerate(store)})
+    return Cluster(tree, placement)
+
+
+def ablation_algebra(config: Optional[BenchConfig] = None) -> ExperimentResult:
+    """Reply traffic: canonicalizing vs paper-literal composition.
+
+    Uses deep-buried virtual nodes and a nested-descendant query, the
+    regime where the literal ``compFm`` duplicates sub-formulas at each
+    level above a virtual node.  (On the FT1/FT2 topologies, whose
+    virtual nodes sit directly under fragment roots, the two algebras
+    coincide -- noted in EXPERIMENTS.md.)
+    """
+    config = config or BenchConfig.default()
+    from repro.xpath import compile_query
+
+    qlist = compile_query("[//wrap[//b and //wrap[//b]]]")
+    result = ExperimentResult(
+        "ablation-algebra",
+        "Formula canonicalization ablation (deep virtual nodes)",
+        "virtual_depth",
+        ["canonical_bytes", "paper_bytes", "blowup_x", "canonical_s", "paper_s"],
+    )
+    for depth in (2, 4, 8, 16, 24):
+        cluster = config.with_network(_deep_virtual_chain(4, depth))
+        canonical = ParBoXEngine(cluster).evaluate(qlist)
+        paper = ParBoXEngine(cluster, algebra=PaperAlgebra()).evaluate(qlist)
+        assert canonical.answer == paper.answer
+        result.add_row(
+            depth,
+            canonical_bytes=canonical.metrics.bytes_total,
+            paper_bytes=paper.metrics.bytes_total,
+            blowup_x=round(paper.metrics.bytes_total / canonical.metrics.bytes_total, 2),
+            canonical_s=canonical.elapsed_seconds,
+            paper_s=paper.elapsed_seconds,
+        )
+    return result
+
+
+#: (id, function) pairs in presentation order.
+ALL_EXPERIMENTS: list[tuple[str, Callable[[Optional[BenchConfig]], ExperimentResult]]] = [
+    ("fig4", fig4_validation),
+    ("fig7", fig7_parbox_vs_central),
+    ("fig8", fig8_query_size),
+    ("fig9", fig9_qf0),
+    ("fig10", fig10_qfn),
+    ("fig11", fig11_qfmid),
+    ("fig12", fig12_data_scale),
+    ("fig13", fig13_frags_per_site),
+    ("sec4-hybrid", sec4_hybrid_crossover),
+    ("sec5-incremental", sec5_incremental),
+    ("ablation-algebra", ablation_algebra),
+]
+
+__all__ = [
+    "BenchConfig",
+    "fig4_validation",
+    "fig7_parbox_vs_central",
+    "fig8_query_size",
+    "fig9_qf0",
+    "fig10_qfn",
+    "fig11_qfmid",
+    "fig12_data_scale",
+    "fig13_frags_per_site",
+    "sec4_hybrid_crossover",
+    "sec5_incremental",
+    "ablation_algebra",
+    "ALL_EXPERIMENTS",
+]

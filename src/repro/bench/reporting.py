@@ -1,0 +1,76 @@
+"""Result containers and plain-text rendering for the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Union
+
+Cell = Union[int, float, str, bool]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated figure/table: labelled columns over an x sweep."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    columns: list[str]
+    rows: list[tuple[Cell, dict[str, Cell]]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, x: Cell, **values: Cell) -> None:
+        """Append one sweep point."""
+        self.rows.append((x, values))
+
+    def column(self, name: str) -> list[Cell]:
+        """All values of one column, in sweep order."""
+        return [values[name] for _, values in self.rows]
+
+    def xs(self) -> list[Cell]:
+        """The sweep axis."""
+        return [x for x, _ in self.rows]
+
+    def note(self, text: str) -> None:
+        """Attach a free-text observation."""
+        self.notes.append(text)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Aligned text table, EXPERIMENTS.md-ready."""
+        header = [self.x_label] + self.columns
+        body = [
+            [_format(x)] + [_format(values.get(col, "")) for col in self.columns]
+            for x, values in self.rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in body]
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _format(value: Cell) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_results(results: Iterable[ExperimentResult]) -> str:
+    """Render several experiments separated by blank lines."""
+    return "\n\n".join(result.render() for result in results)
+
+
+__all__ = ["ExperimentResult", "render_results"]

@@ -1,0 +1,142 @@
+"""Formula composition: the paper's ``compFm`` and the two algebras.
+
+``Procedure compFm`` (paper Fig. 3(b)) composes two partial results
+``f1 op f2`` where each side may be a plain truth value or a residual
+formula.  The paper's pseudocode folds constants (cases c0-c2) and
+otherwise builds a syntactic connective (case c3).
+
+The repository generalizes this into a *composition algebra* so the
+ablation study (DESIGN.md Section 5) can compare:
+
+* :class:`PaperAlgebra` -- a faithful transcription of ``compFm``:
+  constant folding only, binary connectives, no other simplification;
+* :class:`CanonicalAlgebra` -- the canonicalizing smart constructors of
+  :mod:`repro.boolexpr.formula` (flattening, dedup, absorption), which
+  keep formula size within the paper's ``O(card(F_j))`` bound with a
+  small constant.
+
+Both produce semantically identical results; they differ only in the
+syntactic size of the residual formulas (i.e. network traffic).
+"""
+
+from __future__ import annotations
+
+from repro.boolexpr.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Formula,
+    Not,
+    Or,
+    make_and,
+    make_not,
+    make_or,
+)
+
+#: Operator tokens accepted by :func:`comp_fm`, matching the paper.
+AND, OR, NEG = "AND", "OR", "NEG"
+
+
+class FormulaAlgebra:
+    """Strategy interface for composing partial results."""
+
+    #: Human-readable name used in benchmark output.
+    name = "abstract"
+
+    def and_(self, f1: Formula, f2: Formula) -> Formula:
+        raise NotImplementedError
+
+    def or_(self, f1: Formula, f2: Formula) -> Formula:
+        raise NotImplementedError
+
+    def not_(self, f1: Formula) -> Formula:
+        raise NotImplementedError
+
+    def compose(self, f1: Formula, f2: Formula | None, op: str) -> Formula:
+        """Dispatch on the operator token, mirroring ``compFm``'s interface."""
+        if op == NEG:
+            return self.not_(f1)
+        if f2 is None:
+            raise ValueError(f"binary operator {op} needs two operands")
+        if op == AND:
+            return self.and_(f1, f2)
+        if op == OR:
+            return self.or_(f1, f2)
+        raise ValueError(f"unknown operator {op!r}")
+
+
+class CanonicalAlgebra(FormulaAlgebra):
+    """Composition through the canonicalizing smart constructors (default)."""
+
+    name = "canonical"
+
+    def and_(self, f1: Formula, f2: Formula) -> Formula:
+        return make_and(f1, f2)
+
+    def or_(self, f1: Formula, f2: Formula) -> Formula:
+        return make_or(f1, f2)
+
+    def not_(self, f1: Formula) -> Formula:
+        return make_not(f1)
+
+
+class PaperAlgebra(FormulaAlgebra):
+    """Literal transcription of ``compFm``: constant folding only.
+
+    Case analysis follows Fig. 3(b): ``isFormula(f)`` is true when ``f``
+    contains variables.  When both operands are residual formulas a plain
+    binary connective is built -- no flattening, no deduplication.  This
+    is the ablation baseline showing why canonicalization matters for the
+    traffic bound.
+    """
+
+    name = "paper"
+
+    @staticmethod
+    def _is_formula(f: Formula) -> bool:
+        return not isinstance(f, Const)
+
+    def and_(self, f1: Formula, f2: Formula) -> Formula:
+        if not self._is_formula(f1):  # cases c0 / c1
+            return f2 if f1 is TRUE else FALSE
+        if not self._is_formula(f2):  # case c2
+            return f1 if f2 is TRUE else FALSE
+        return And((f1, f2))  # case c3
+
+    def or_(self, f1: Formula, f2: Formula) -> Formula:
+        if not self._is_formula(f1):
+            return TRUE if f1 is TRUE else f2
+        if not self._is_formula(f2):
+            return TRUE if f2 is TRUE else f1
+        return Or((f1, f2))
+
+    def not_(self, f1: Formula) -> Formula:
+        if not self._is_formula(f1):
+            return FALSE if f1 is TRUE else TRUE
+        return Not(f1)
+
+
+#: The algebra used unless a caller opts into the ablation baseline.
+DEFAULT_ALGEBRA = CanonicalAlgebra()
+
+
+def comp_fm(f1: Formula, f2: Formula | None, op: str, algebra: FormulaAlgebra | None = None) -> Formula:
+    """The paper's ``compFm(f1, f2, op)``.
+
+    ``op`` is one of ``"AND"``, ``"OR"``, ``"NEG"`` (for ``NEG`` pass
+    ``f2=None``, matching the paper's ``compFm(Vv(qj), NULL, NEG)``).
+    """
+    return (algebra or DEFAULT_ALGEBRA).compose(f1, f2, op)
+
+
+__all__ = [
+    "AND",
+    "OR",
+    "NEG",
+    "comp_fm",
+    "FormulaAlgebra",
+    "CanonicalAlgebra",
+    "PaperAlgebra",
+    "DEFAULT_ALGEBRA",
+]

@@ -1,0 +1,208 @@
+"""Systems of Boolean equations and their solution.
+
+The third stage of ParBoX (paper, "Composition of partial answers")
+receives, for each fragment, vectors whose entries are formulas over the
+variables of its sub-fragments.  Together these form a *linear system of
+Boolean equations*: every variable is defined by exactly one formula, and
+the dependency relation between fragments is a tree -- hence acyclic --
+so the system can be solved by a single bottom-up pass (Example 3.3
+walks through the unification ``dx8 -> 1``, ``dy8 -> dx8``, ``dz8 -> 0``).
+
+:class:`BooleanEquationSystem` implements the general solver.  It does
+not assume tree structure; any acyclic definition set is solved by
+memoized depth-first evaluation, and genuine cycles raise
+:class:`CyclicDefinitionError`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.boolexpr.formula import Formula, Var
+
+
+class CyclicDefinitionError(ValueError):
+    """The definitions contain a dependency cycle (impossible for trees)."""
+
+    def __init__(self, cycle: list[Var]) -> None:
+        super().__init__("cyclic variable definitions: " + " -> ".join(map(repr, cycle)))
+        self.cycle = cycle
+
+
+class UnboundVariableError(KeyError):
+    """A formula references a variable with no definition."""
+
+    def __init__(self, var: Var) -> None:
+        super().__init__(f"no definition for variable {var!r}")
+        self.var = var
+
+
+class BooleanEquationSystem:
+    """A set of definitions ``var := formula`` plus a solver.
+
+    >>> from repro.boolexpr import Var, TRUE, make_or
+    >>> sys_ = BooleanEquationSystem()
+    >>> a, b = Var("F1", "V", 0), Var("F2", "V", 0)
+    >>> sys_.define(a, make_or(b, TRUE))
+    >>> sys_.define(b, TRUE)
+    >>> sys_.value_of(a)
+    True
+    """
+
+    def __init__(self) -> None:
+        self._definitions: dict[Var, Formula] = {}
+        self._solution: dict[Var, bool] = {}
+        self._partial: dict[Var, bool | None] = {}
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def define(self, var: Var, formula: Formula) -> None:
+        """Add ``var := formula``; redefining a variable is an error."""
+        if var in self._definitions:
+            raise ValueError(f"variable {var!r} is already defined")
+        self._definitions[var] = formula
+        self._solution.clear()
+        self._partial.clear()
+
+    def define_many(self, pairs: Iterable[tuple[Var, Formula]]) -> None:
+        """Add several definitions at once."""
+        for var, formula in pairs:
+            self.define(var, formula)
+
+    def is_defined(self, var: Var) -> bool:
+        """True when the system carries a definition for ``var``."""
+        return var in self._definitions
+
+    def definition_of(self, var: Var) -> Formula:
+        """The defining formula of ``var``."""
+        try:
+            return self._definitions[var]
+        except KeyError:
+            raise UnboundVariableError(var) from None
+
+    def __len__(self) -> int:
+        return len(self._definitions)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def value_of(self, var: Var) -> bool:
+        """The truth value of ``var`` under the (unique) solution."""
+        if var in self._solution:
+            return self._solution[var]
+        self._solve_from(var)
+        return self._solution[var]
+
+    def evaluate(self, formula: Formula) -> bool:
+        """Truth value of an arbitrary formula over defined variables."""
+        env = {var: self.value_of(var) for var in formula.variables()}
+        return formula.evaluate(env)
+
+    def partial_value_of(self, var: Var) -> bool | None:
+        """Kleene (three-valued) value of ``var`` given *partial* definitions.
+
+        Undefined variables evaluate to "unknown" (``None``); unknowns
+        propagate through connectives except where the known operands
+        force the result (``x OR 1 == 1`` even with ``x`` unknown).
+        LazyParBoX uses this to stop descending the source tree as soon
+        as the answers gathered so far determine the query result
+        (paper, Section 4 "Lazy computation").
+        """
+        if var in self._partial:
+            return self._partial[var]
+        if var not in self._definitions:
+            self._partial[var] = None
+            return None
+        stack: list[tuple[Var, bool]] = [(var, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if expanded:
+                definition = self._definitions[current]
+                env = {v: self._partial.get(v) for v in definition.variables()}
+                self._partial[current] = _kleene(definition, env)
+                continue
+            if current in self._partial:
+                continue
+            if current not in self._definitions:
+                self._partial[current] = None
+                continue
+            stack.append((current, True))
+            for dependency in self._definitions[current].variables():
+                if dependency not in self._partial:
+                    stack.append((dependency, False))
+        return self._partial[var]
+
+    def try_evaluate(self, formula: Formula) -> bool | None:
+        """Kleene value of an arbitrary formula; ``None`` when undetermined."""
+        env = {var: self.partial_value_of(var) for var in formula.variables()}
+        return _kleene(formula, env)
+
+    def _solve_from(self, root: Var) -> None:
+        """Iterative memoized DFS with cycle detection."""
+        stack: list[tuple[Var, bool]] = [(root, False)]
+        in_progress: set[Var] = set()
+        path: list[Var] = []
+        while stack:
+            var, expanded = stack.pop()
+            if expanded:
+                in_progress.discard(var)
+                path.pop()
+                definition = self._definitions[var]
+                env = {v: self._solution[v] for v in definition.variables()}
+                self._solution[var] = definition.evaluate(env)
+                continue
+            if var in self._solution:
+                continue
+            if var in in_progress:
+                start = path.index(var)
+                raise CyclicDefinitionError(path[start:] + [var])
+            if var not in self._definitions:
+                raise UnboundVariableError(var)
+            in_progress.add(var)
+            path.append(var)
+            stack.append((var, True))
+            for dependency in self._definitions[var].variables():
+                if dependency not in self._solution:
+                    stack.append((dependency, False))
+
+    def solve_all(self) -> Mapping[Var, bool]:
+        """Solve every defined variable and return the full assignment."""
+        for var in list(self._definitions):
+            self.value_of(var)
+        return dict(self._solution)
+
+
+def _kleene(formula: Formula, env: Mapping[Var, bool | None]) -> bool | None:
+    """Three-valued evaluation: ``None`` stands for "unknown"."""
+    from repro.boolexpr.formula import And, Const, Not, Or
+
+    if isinstance(formula, Const):
+        return formula.value
+    if isinstance(formula, Var):
+        return env.get(formula)
+    if isinstance(formula, Not):
+        value = _kleene(formula.child, env)
+        return None if value is None else not value
+    if isinstance(formula, And):
+        saw_unknown = False
+        for child in formula.children:
+            value = _kleene(child, env)
+            if value is False:
+                return False
+            if value is None:
+                saw_unknown = True
+        return None if saw_unknown else True
+    if isinstance(formula, Or):
+        saw_unknown = False
+        for child in formula.children:
+            value = _kleene(child, env)
+            if value is True:
+                return True
+            if value is None:
+                saw_unknown = True
+        return None if saw_unknown else False
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+__all__ = ["BooleanEquationSystem", "CyclicDefinitionError", "UnboundVariableError"]

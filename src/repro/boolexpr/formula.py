@@ -1,0 +1,400 @@
+"""Immutable Boolean formulas with canonicalizing constructors.
+
+A formula is one of:
+
+* :class:`Const` -- the singletons :data:`TRUE` / :data:`FALSE`;
+* :class:`Var` -- a free variable ``(owner, kind, index)``.  In the
+  paper's notation, the variables introduced for virtual node ``F2`` and
+  sub-query ``q8`` are ``x8`` (``kind='V'``), ``cx8`` (``'CV'``) and
+  ``dx8`` (``'DV'``); here they are ``Var('F2', 'V', 8)`` etc.;
+* :class:`Not` / :class:`And` / :class:`Or` -- connectives.  ``And`` and
+  ``Or`` are n-ary.
+
+Use the smart constructors :func:`make_and`, :func:`make_or` and
+:func:`make_not` (or the convenience operators ``&``, ``|``, ``~``):
+they flatten nested connectives, fold constants, deduplicate operands,
+absorb complementary literals and order operands canonically, so that
+equal Boolean functions built the same way compare equal and -- more
+importantly for the paper's bounds -- formula size stays proportional to
+the number of distinct variables, i.e. ``O(card(F_j))`` per vector entry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional, Union
+
+Obj = Union[bool, list]  # the JSON-able wire representation
+
+
+class Formula:
+    """Base class of all formulas.  Instances are immutable and hashable."""
+
+    __slots__ = ("_key", "_hash", "_size")
+
+    # -- canonical ordering -------------------------------------------------
+    def sort_key(self) -> tuple:
+        """A total order on formulas used to canonicalize operand tuples."""
+        key = getattr(self, "_key", None)
+        if key is None:
+            key = self._compute_key()
+            self._key = key
+        return key
+
+    def _compute_key(self) -> tuple:
+        raise NotImplementedError
+
+    # -- measurements --------------------------------------------------------
+    def size(self) -> int:
+        """Number of nodes in the formula tree (wire-size unit)."""
+        raise NotImplementedError
+
+    def variables(self) -> frozenset["Var"]:
+        """The set of free variables."""
+        raise NotImplementedError
+
+    def is_ground(self) -> bool:
+        """True when the formula contains no variables."""
+        return not self.variables()
+
+    # -- evaluation / substitution -------------------------------------------
+    def evaluate(self, env: Mapping["Var", bool]) -> bool:
+        """Evaluate under a total assignment; raises ``KeyError`` on gaps."""
+        raise NotImplementedError
+
+    def substitute(self, env: Mapping["Var", "Formula"]) -> "Formula":
+        """Replace variables by formulas, re-canonicalizing on the way up."""
+        raise NotImplementedError
+
+    # -- wire format -----------------------------------------------------------
+    def to_obj(self) -> Obj:
+        """JSON-able representation (see :func:`formula_from_obj`)."""
+        raise NotImplementedError
+
+    # -- operators --------------------------------------------------------------
+    def __and__(self, other: "Formula") -> "Formula":
+        return make_and(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return make_or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return make_not(self)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Formula):
+            return NotImplemented
+        return self.sort_key() == other.sort_key()
+
+    def __hash__(self) -> int:
+        if getattr(self, "_hash", None) is None:
+            self._hash = hash(self.sort_key())
+        return self._hash
+
+
+class Const(Formula):
+    """A Boolean constant; use the singletons :data:`TRUE` / :data:`FALSE`."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool) -> None:
+        self.value = value
+        self._hash = None
+
+    def _compute_key(self) -> tuple:
+        return (0, self.value)
+
+    def size(self) -> int:
+        return 1
+
+    def variables(self) -> frozenset["Var"]:
+        return frozenset()
+
+    def evaluate(self, env: Mapping["Var", bool]) -> bool:
+        return self.value
+
+    def substitute(self, env: Mapping["Var", "Formula"]) -> "Formula":
+        return self
+
+    def to_obj(self) -> Obj:
+        return self.value
+
+    def __repr__(self) -> str:
+        return "1" if self.value else "0"
+
+
+#: The true constant.
+TRUE = Const(True)
+#: The false constant.
+FALSE = Const(False)
+
+
+class Var(Formula):
+    """A free variable identified by ``(owner, kind, index)``.
+
+    ``owner`` names the virtual node / fragment that introduced the
+    variable, ``kind`` is one of ``'V'``, ``'CV'``, ``'DV'`` (which of the
+    three result vectors it refers to) and ``index`` is the position in
+    ``QList(q)``.
+    """
+
+    __slots__ = ("owner", "kind", "index")
+
+    _PREFIX = {"V": "", "CV": "c", "DV": "d"}
+
+    def __init__(self, owner: str, kind: str, index: int) -> None:
+        if kind not in ("V", "CV", "DV"):
+            raise ValueError(f"unknown vector kind {kind!r}")
+        self.owner = owner
+        self.kind = kind
+        self.index = index
+        self._hash = None
+
+    def _compute_key(self) -> tuple:
+        return (1, self.owner, self.kind, self.index)
+
+    def size(self) -> int:
+        return 1
+
+    def variables(self) -> frozenset["Var"]:
+        return frozenset((self,))
+
+    def evaluate(self, env: Mapping["Var", bool]) -> bool:
+        return env[self]
+
+    def substitute(self, env: Mapping["Var", "Formula"]) -> "Formula":
+        return env.get(self, self)
+
+    def to_obj(self) -> Obj:
+        return ["var", self.owner, self.kind, self.index]
+
+    def __repr__(self) -> str:
+        # Matches the paper's naming: x8 / cx8 / dx8 for fragment F2, q8.
+        return f"{self._PREFIX[self.kind]}{self.owner}.{self.index}"
+
+
+class Not(Formula):
+    """Negation.  Build through :func:`make_not`."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Formula) -> None:
+        self.child = child
+        self._hash = None
+
+    def _compute_key(self) -> tuple:
+        return (2, self.child.sort_key())
+
+    def size(self) -> int:
+        return 1 + self.child.size()
+
+    def variables(self) -> frozenset["Var"]:
+        return self.child.variables()
+
+    def evaluate(self, env: Mapping["Var", bool]) -> bool:
+        return not self.child.evaluate(env)
+
+    def substitute(self, env: Mapping["Var", "Formula"]) -> "Formula":
+        return make_not(self.child.substitute(env))
+
+    def to_obj(self) -> Obj:
+        return ["not", self.child.to_obj()]
+
+    def __repr__(self) -> str:
+        return f"~{self.child!r}"
+
+
+class _NAry(Formula):
+    """Shared implementation of the two n-ary connectives."""
+
+    __slots__ = ("children",)
+    _TAG = ""
+    _RANK = -1
+    _JOIN = ""
+
+    def __init__(self, children: tuple[Formula, ...]) -> None:
+        if len(children) < 2:
+            raise ValueError(f"{type(self).__name__} needs at least two operands")
+        self.children = children
+        self._hash = None
+
+    def _compute_key(self) -> tuple:
+        return (self._RANK, tuple(child.sort_key() for child in self.children))
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def variables(self) -> frozenset["Var"]:
+        out: frozenset[Var] = frozenset()
+        for child in self.children:
+            out = out | child.variables()
+        return out
+
+    def to_obj(self) -> Obj:
+        return [self._TAG, [child.to_obj() for child in self.children]]
+
+    def __repr__(self) -> str:
+        return "(" + self._JOIN.join(repr(child) for child in self.children) + ")"
+
+
+class And(_NAry):
+    """Conjunction.  Build through :func:`make_and`."""
+
+    __slots__ = ()
+    _TAG = "and"
+    _RANK = 3
+    _JOIN = " & "
+
+    def evaluate(self, env: Mapping["Var", bool]) -> bool:
+        return all(child.evaluate(env) for child in self.children)
+
+    def substitute(self, env: Mapping["Var", "Formula"]) -> "Formula":
+        return make_and(*(child.substitute(env) for child in self.children))
+
+
+class Or(_NAry):
+    """Disjunction.  Build through :func:`make_or`."""
+
+    __slots__ = ()
+    _TAG = "or"
+    _RANK = 4
+    _JOIN = " | "
+
+    def evaluate(self, env: Mapping["Var", bool]) -> bool:
+        return any(child.evaluate(env) for child in self.children)
+
+    def substitute(self, env: Mapping["Var", "Formula"]) -> "Formula":
+        return make_or(*(child.substitute(env) for child in self.children))
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors
+# ---------------------------------------------------------------------------
+
+def make_not(formula: Formula) -> Formula:
+    """Canonical negation: folds constants and double negation."""
+    if formula is TRUE:
+        return FALSE
+    if formula is FALSE:
+        return TRUE
+    if isinstance(formula, Const):  # non-singleton constants, defensively
+        return FALSE if formula.value else TRUE
+    if isinstance(formula, Not):
+        return formula.child
+    return Not(formula)
+
+
+def _canonical_operands(
+    operands: Iterable[Formula],
+    flatten_type: type,
+    identity: Const,
+    absorbing: Const,
+) -> Optional[list[Formula]]:
+    """Flatten/dedup/fold operands; None signals the absorbing constant."""
+    seen: dict[tuple, Formula] = {}
+    stack = list(operands)
+    stack.reverse()
+    while stack:
+        operand = stack.pop()
+        if isinstance(operand, Const):
+            if operand.value == absorbing.value:
+                return None
+            continue  # identity element: drop
+        if isinstance(operand, flatten_type):
+            stack.extend(reversed(operand.children))
+            continue
+        seen.setdefault(operand.sort_key(), operand)
+    # Complement absorption: x op ~x == absorbing.
+    for key, operand in seen.items():
+        complement = make_not(operand)
+        if complement.sort_key() in seen:
+            return None
+    return sorted(seen.values(), key=Formula.sort_key)
+
+
+def make_and(*operands: Formula) -> Formula:
+    """Canonical conjunction of any number of operands (0 -> TRUE)."""
+    flat = _canonical_operands(operands, And, identity=TRUE, absorbing=FALSE)
+    if flat is None:
+        return FALSE
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def make_or(*operands: Formula) -> Formula:
+    """Canonical disjunction of any number of operands (0 -> FALSE)."""
+    flat = _canonical_operands(operands, Or, identity=FALSE, absorbing=TRUE)
+    if flat is None:
+        return TRUE
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def const(value: bool) -> Const:
+    """The singleton constant for ``value``."""
+    return TRUE if value else FALSE
+
+
+# ---------------------------------------------------------------------------
+# Wire format
+# ---------------------------------------------------------------------------
+
+def formula_from_obj(obj: Obj) -> Formula:
+    """Inverse of :meth:`Formula.to_obj`.
+
+    The wire format is JSON-able: ``True``/``False`` for constants,
+    ``["var", owner, kind, index]``, ``["not", f]``,
+    ``["and"|"or", [f, ...]]``.
+    """
+    if isinstance(obj, bool):
+        return const(obj)
+    if not isinstance(obj, list) or not obj:
+        raise ValueError(f"malformed formula object: {obj!r}")
+    tag = obj[0]
+    if tag == "var":
+        _, owner, kind, index = obj
+        return Var(owner, kind, index)
+    if tag == "not":
+        return make_not(formula_from_obj(obj[1]))
+    if tag == "and":
+        return make_and(*(formula_from_obj(child) for child in obj[1]))
+    if tag == "or":
+        return make_or(*(formula_from_obj(child) for child in obj[1]))
+    raise ValueError(f"unknown formula tag {tag!r}")
+
+
+def iter_subformulas(formula: Formula) -> Iterator[Formula]:
+    """Yield every node of the formula tree (pre-order)."""
+    stack = [formula]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, Not):
+            stack.append(current.child)
+        elif isinstance(current, _NAry):
+            stack.extend(current.children)
+
+
+__all__ = [
+    "Formula",
+    "Const",
+    "Var",
+    "Not",
+    "And",
+    "Or",
+    "TRUE",
+    "FALSE",
+    "const",
+    "make_not",
+    "make_and",
+    "make_or",
+    "formula_from_obj",
+    "iter_subformulas",
+]

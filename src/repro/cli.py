@@ -1,0 +1,213 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    repro explain '<query>'
+        Show the surface AST, the β-normal form and the compiled QList.
+
+    repro query <file.xml> '<query>' [--fragments N] [--engine NAME]
+                 [--sites N] [--trace] [--all-engines]
+        Fragment the document, place the fragments on simulated sites
+        and evaluate the Boolean query; prints the answer and the cost
+        ledger (visits / messages / bytes / simulated elapsed).
+
+    repro select <file.xml> '<path-query>' [--fragments N] [--limit K]
+        The Section 8 extension: print the selected nodes.
+
+    repro fragment <file.xml> --fragments N [--out DIR]
+        Cut a document and write each fragment (with virtual-node
+        placeholders) as XML, plus a source-tree summary.
+
+Invoke as ``python -m repro`` or via small wrappers around
+:func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.core import ENGINE_REGISTRY, SelectionEngine
+from repro.distsim import Cluster
+from repro.distsim.trace import Trace
+from repro.fragments import Placement, fragment_balanced
+from repro.xmltree import parse_xml, serialize
+from repro.xpath import build_qlist, normalize, parse_query
+from repro.xpath.unparse import unparse_bool, unparse_normalized
+
+
+def _load_tree(path: str):
+    text = Path(path).read_text()
+    return parse_xml(text)
+
+
+def _build_cluster(tree, fragments: int, sites: Optional[int]) -> Cluster:
+    decomposition = fragment_balanced(tree, fragments)
+    if sites is None or sites >= decomposition.card():
+        return Cluster.one_site_per_fragment(decomposition)
+    assignment = {}
+    for index, fragment_id in enumerate(decomposition.iter_depth_first()):
+        assignment[fragment_id] = f"S{index % sites}"
+    return Cluster(decomposition, Placement(assignment))
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    expr = parse_query(args.query)
+    normalized = normalize(expr)
+    qlist = build_qlist(normalized, source=args.query)
+    print("surface     :", unparse_bool(expr))
+    print("normal form :", unparse_normalized(normalized))
+    print(f"QList (|q| = {len(qlist)}):")
+    print(qlist.pretty())
+    print(f"broadcast size: {qlist.wire_bytes()} bytes")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    tree = _load_tree(args.file)
+    cluster = _build_cluster(tree, args.fragments, args.sites)
+    qlist = build_qlist(normalize(parse_query(args.query)), source=args.query)
+    engine_names = list(ENGINE_REGISTRY) if args.all_engines else [args.engine]
+    # Deduplicate aliases while keeping order.
+    seen_classes = []
+    for name in engine_names:
+        engine_cls = ENGINE_REGISTRY.get(name.lower())
+        if engine_cls is None:
+            print(f"unknown engine {name!r}; choose from {sorted(set(ENGINE_REGISTRY))}")
+            return 2
+        if engine_cls not in seen_classes:
+            seen_classes.append(engine_cls)
+
+    print(
+        f"document: {cluster.total_size()} nodes, {cluster.card()} fragments, "
+        f"{len(cluster.sites())} sites; |QList| = {len(qlist)}"
+    )
+    for engine_cls in seen_classes:
+        trace = Trace() if args.trace else None
+        engine = engine_cls(cluster, trace=trace)
+        result = engine.evaluate(qlist)
+        summary = result.metrics.summary()
+        print(
+            f"{engine_cls.name:18s} answer={result.answer}  "
+            f"visits(max)={summary['max_visits_per_site']}  "
+            f"msgs={summary['messages']}  bytes={summary['bytes_total']}  "
+            f"elapsed={summary['elapsed_seconds'] * 1000:.2f}ms"
+        )
+        if trace is not None:
+            print(trace.render())
+    return 0
+
+
+def cmd_select(args: argparse.Namespace) -> int:
+    tree = _load_tree(args.file)
+    cluster = _build_cluster(tree, args.fragments, args.sites)
+    qlist = build_qlist(normalize(parse_query(args.query)), source=args.query)
+    selection = SelectionEngine(cluster).select(qlist)
+    print(
+        f"{len(selection.paths)} node(s) selected; "
+        f"max visits/site = {selection.result.metrics.max_visits_per_site()}"
+    )
+    limit = args.limit if args.limit > 0 else len(selection.paths)
+    root = tree.root
+    for path in selection.paths[:limit]:
+        node = root
+        for index in path:
+            node = node.children[index]
+        text = f" {node.text!r}" if node.text else ""
+        print(f"  /{'/'.join(map(str, path)) or '.'} -> <{node.label}>{text}")
+    if limit < len(selection.paths):
+        print(f"  ... {len(selection.paths) - limit} more")
+    return 0
+
+
+def cmd_fragment(args: argparse.Namespace) -> int:
+    tree = _load_tree(args.file)
+    decomposition = fragment_balanced(tree, args.fragments)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "root_fragment": decomposition.root_fragment_id,
+        "fragments": {},
+    }
+    for fragment_id, fragment in decomposition.fragments.items():
+        path = out_dir / f"{fragment_id}.xml"
+        path.write_text(serialize(fragment.root, indent=2))
+        manifest["fragments"][fragment_id] = {
+            "file": path.name,
+            "size": fragment.size(),
+            "sub_fragments": fragment.sub_fragment_ids(),
+        }
+    (out_dir / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    print(
+        f"wrote {decomposition.card()} fragments "
+        f"({decomposition.total_size()} nodes) to {out_dir}/"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ParBoX: distributed Boolean XPath via partial evaluation"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    explain = sub.add_parser("explain", help="show normal form and QList of a query")
+    explain.add_argument("query")
+    explain.set_defaults(func=cmd_explain)
+
+    query = sub.add_parser("query", help="evaluate a Boolean query over an XML file")
+    query.add_argument("file")
+    query.add_argument("query")
+    query.add_argument("--fragments", type=int, default=4)
+    query.add_argument("--sites", type=int, default=None)
+    query.add_argument("--engine", default="parbox")
+    query.add_argument("--all-engines", action="store_true")
+    query.add_argument("--trace", action="store_true")
+    query.set_defaults(func=cmd_query)
+
+    select = sub.add_parser("select", help="select matching nodes (Section 8 extension)")
+    select.add_argument("file")
+    select.add_argument("query")
+    select.add_argument("--fragments", type=int, default=4)
+    select.add_argument("--sites", type=int, default=None)
+    select.add_argument("--limit", type=int, default=20)
+    select.set_defaults(func=cmd_select)
+
+    fragment = sub.add_parser("fragment", help="cut a document into fragment files")
+    fragment.add_argument("file")
+    fragment.add_argument("--fragments", type=int, default=4)
+    fragment.add_argument("--out", default="fragments_out")
+    fragment.set_defaults(func=cmd_fragment)
+
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""``Procedure bottomUp`` (paper, Fig. 3(b)): per-fragment partial evaluation.
+
+One post-order traversal of a fragment computes, for every node ``v``,
+the vectors ``V_v`` / ``CV_v`` / ``DV_v`` over the sub-query list:
+
+* lines 1-5: children are evaluated first; their ``V`` values are
+  OR-accumulated into ``CV_v`` and their ``DV`` values into ``DV_v``;
+* lines 6-16: each sub-query's value at ``v`` is computed by case
+  analysis on its normal form (see :mod:`repro.xpath.qlist`);
+* line 17: ``DV_v[i] := V_v[i] OR DV_v[i]``.
+
+**Virtual nodes** are where partial evaluation happens: a virtual leaf
+referencing fragment ``F_k`` contributes the *free variables*
+``Var(F_k, 'V', i)`` / ``Var(F_k, 'DV', i)`` instead of concrete values,
+decoupling this fragment's evaluation from its sub-fragments' (paper:
+"we propose a technique to decouple the dependencies between partial
+evaluation processes ... by introducing Boolean variables").
+
+The traversal is iterative (explicit post-order), so arbitrarily deep
+fragments do not hit the Python recursion limit, and keeps only the
+frontier of child vectors alive, matching the paper's observation that
+two triplets (plus one per virtual node) suffice.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.boolexpr.compose import DEFAULT_ALGEBRA, FormulaAlgebra
+from repro.boolexpr.formula import FALSE, TRUE, Var
+from repro.core.vectors import VectorTriplet
+from repro.fragments.fragment import Fragment
+from repro.xpath.qlist import (
+    OP_AND,
+    OP_CHILD,
+    OP_DESC,
+    OP_EPSILON,
+    OP_LABEL_IS,
+    OP_NOT,
+    OP_OR,
+    OP_SELF_QUAL,
+    OP_SELF_SEQ,
+    OP_TEXT_IS,
+    QList,
+)
+
+# Compact opcodes for the inner loop.
+_EPS, _LABEL, _TEXT, _CHILD, _DESC, _SELFQ, _SELFSEQ, _AND, _OR, _NOT = range(10)
+
+_OPCODE = {
+    OP_EPSILON: _EPS,
+    OP_LABEL_IS: _LABEL,
+    OP_TEXT_IS: _TEXT,
+    OP_CHILD: _CHILD,
+    OP_DESC: _DESC,
+    OP_SELF_QUAL: _SELFQ,
+    OP_SELF_SEQ: _SELFSEQ,
+    OP_AND: _AND,
+    OP_OR: _OR,
+    OP_NOT: _NOT,
+}
+
+
+@dataclass(frozen=True)
+class BottomUpStats:
+    """Deterministic and timing costs of one fragment evaluation."""
+
+    nodes_visited: int
+    qlist_ops: int
+    wall_seconds: float
+
+
+def compile_entries(qlist: QList) -> list[tuple[int, int, int, Optional[str]]]:
+    """Lower QList entries to ``(opcode, arg0, arg1, payload)`` tuples."""
+    compiled: list[tuple[int, int, int, Optional[str]]] = []
+    for entry in qlist:
+        arg0 = entry.args[0] if len(entry.args) > 0 else -1
+        arg1 = entry.args[1] if len(entry.args) > 1 else -1
+        compiled.append((_OPCODE[entry.op], arg0, arg1, entry.value))
+    return compiled
+
+
+def bottom_up(
+    fragment: Fragment,
+    qlist: QList,
+    algebra: Optional[FormulaAlgebra] = None,
+) -> tuple[VectorTriplet, BottomUpStats]:
+    """Partially evaluate ``qlist`` over one fragment.
+
+    Returns the fragment's :class:`VectorTriplet` (formulas over the
+    variables of its virtual nodes) and the evaluation costs.
+    """
+    algebra = algebra or DEFAULT_ALGEBRA
+    or_ = algebra.or_
+    and_ = algebra.and_
+    not_ = algebra.not_
+    entries = compile_entries(qlist)
+    n = len(entries)
+
+    started = time.perf_counter()
+    nodes_visited = 0
+    # node_id -> (V, DV) of completed subtrees not yet folded into a parent.
+    store: dict[int, tuple[list, list]] = {}
+    root = fragment.root
+    root_cv: Optional[list] = None
+
+    for node in root.iter_postorder():
+        if node.is_virtual:
+            owner = node.fragment_ref
+            assert owner is not None
+            v_vec = [Var(owner, "V", i) for i in range(n)]
+            dv_vec = [Var(owner, "DV", i) for i in range(n)]
+            store[node.node_id] = (v_vec, dv_vec)
+            continue
+
+        nodes_visited += 1
+        cv = [FALSE] * n
+        dv = [FALSE] * n
+        for child in node.children:  # lines 1-5: fold children
+            child_v, child_dv = store.pop(child.node_id)
+            for i in range(n):
+                value = child_v[i]
+                if value is not FALSE:
+                    current = cv[i]
+                    cv[i] = value if current is FALSE else or_(current, value)
+                value = child_dv[i]
+                if value is not FALSE:
+                    current = dv[i]
+                    dv[i] = value if current is FALSE else or_(current, value)
+
+        v = [FALSE] * n
+        label = node.label
+        text = node.text
+        for i in range(n):  # lines 6-17: case analysis per sub-query
+            opcode, arg0, arg1, payload = entries[i]
+            if opcode == _SELFQ:
+                value = v[arg0]
+            elif opcode == _CHILD:
+                value = cv[arg0]
+            elif opcode == _DESC:
+                value = dv[arg0]
+            elif opcode == _LABEL:
+                value = TRUE if label == payload else FALSE
+            elif opcode == _TEXT:
+                value = TRUE if text == payload else FALSE
+            elif opcode == _AND or opcode == _SELFSEQ:
+                value = and_(v[arg0], v[arg1])
+            elif opcode == _OR:
+                value = or_(v[arg0], v[arg1])
+            elif opcode == _NOT:
+                value = not_(v[arg0])
+            else:  # _EPS
+                value = TRUE
+            v[i] = value
+            if value is not FALSE:  # line 17: DV := V or DV
+                current = dv[i]
+                dv[i] = value if current is FALSE else or_(value, current)
+        store[node.node_id] = (v, dv)
+        if node is root:
+            root_cv = cv
+
+    root_v, root_dv = store.pop(root.node_id)
+    assert root_cv is not None and not store
+    triplet = VectorTriplet(fragment.fragment_id, root_v, root_cv, root_dv)
+    stats = BottomUpStats(
+        nodes_visited=nodes_visited,
+        qlist_ops=nodes_visited * n,
+        wall_seconds=time.perf_counter() - started,
+    )
+    return triplet, stats
+
+
+__all__ = ["bottom_up", "BottomUpStats", "compile_entries"]

@@ -1,0 +1,104 @@
+"""The optimal centralized evaluator (the paper's [10, 18] stand-in).
+
+A single post-order traversal of a whole (unfragmented) tree computes
+the query in ``O(|T| |q|)`` time with plain Booleans -- no formula
+machinery.  It serves three roles:
+
+* the computation stage of the NaiveCentralized baseline;
+* the correctness *oracle* for every distributed engine in the tests;
+* the reference point for the paper's "total computation is comparable
+  to the best-known centralized algorithm" claim.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.bottom_up import compile_entries
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+from repro.xpath.qlist import QList
+
+_EPS, _LABEL, _TEXT, _CHILD, _DESC, _SELFQ, _SELFSEQ, _AND, _OR, _NOT = range(10)
+
+
+@dataclass(frozen=True)
+class CentralizedStats:
+    """Costs of one centralized evaluation."""
+
+    nodes_visited: int
+    qlist_ops: int
+    wall_seconds: float
+
+
+def evaluate_node(root: XMLNode, qlist: QList) -> tuple[bool, CentralizedStats]:
+    """Evaluate ``qlist`` at ``root`` over the subtree below it.
+
+    The subtree must be whole: virtual nodes are rejected, because a
+    centralized evaluator has no variables to give them.
+    """
+    entries = compile_entries(qlist)
+    n = len(entries)
+    answer_index = qlist.answer_index
+
+    started = time.perf_counter()
+    nodes_visited = 0
+    store: dict[int, tuple[list, list]] = {}
+
+    for node in root.iter_postorder():
+        if node.is_virtual:
+            raise ValueError("centralized evaluation requires an unfragmented tree")
+        nodes_visited += 1
+        cv = [False] * n
+        dv = [False] * n
+        for child in node.children:
+            child_v, child_dv = store.pop(child.node_id)
+            for i in range(n):
+                if child_v[i]:
+                    cv[i] = True
+                if child_dv[i]:
+                    dv[i] = True
+        v = [False] * n
+        label = node.label
+        text = node.text
+        for i in range(n):
+            opcode, arg0, arg1, payload = entries[i]
+            if opcode == _SELFQ:
+                value = v[arg0]
+            elif opcode == _CHILD:
+                value = cv[arg0]
+            elif opcode == _DESC:
+                value = dv[arg0]
+            elif opcode == _LABEL:
+                value = label == payload
+            elif opcode == _TEXT:
+                value = text == payload
+            elif opcode == _AND or opcode == _SELFSEQ:
+                value = v[arg0] and v[arg1]
+            elif opcode == _OR:
+                value = v[arg0] or v[arg1]
+            elif opcode == _NOT:
+                value = not v[arg0]
+            else:  # _EPS
+                value = True
+            v[i] = value
+            if value:
+                dv[i] = True
+        store[node.node_id] = (v, dv)
+
+    root_v, _ = store.pop(root.node_id)
+    stats = CentralizedStats(
+        nodes_visited=nodes_visited,
+        qlist_ops=nodes_visited * n,
+        wall_seconds=time.perf_counter() - started,
+    )
+    return root_v[answer_index], stats
+
+
+def evaluate_tree(tree: XMLTree, qlist: QList) -> tuple[bool, CentralizedStats]:
+    """Evaluate a Boolean query at the root of a whole document."""
+    return evaluate_node(tree.root, qlist)
+
+
+__all__ = ["evaluate_tree", "evaluate_node", "CentralizedStats"]

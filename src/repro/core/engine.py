@@ -1,0 +1,68 @@
+"""Common engine interface.
+
+Every algorithm of Sections 3-4 is an :class:`Engine`: construct it once
+over a :class:`~repro.distsim.cluster.Cluster`, then call
+:meth:`Engine.evaluate` per query.  Engines share the composition
+algebra knob (canonical vs paper-literal formula composition, used by
+the ablation benchmarks) and the message-kind vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.boolexpr.compose import DEFAULT_ALGEBRA, FormulaAlgebra
+from repro.distsim.cluster import Cluster
+from repro.distsim.metrics import EvalResult
+from repro.distsim.runtime import Run
+from repro.distsim.trace import Trace
+from repro.xpath.qlist import QList
+
+# Message kinds (traffic is reported per kind in the ablation tables).
+MSG_QUERY = "query"  # coordinator -> site: the QList broadcast
+MSG_TRIPLET = "triplet"  # site -> coordinator: (V, CV, DV) with variables
+MSG_GROUND_TRIPLET = "ground-triplet"  # variable-free triplet (FullDist, NaiveDist)
+MSG_FRAGMENT_DATA = "fragment-data"  # serialized XML (NaiveCentralized only)
+MSG_CONTROL = "control"  # small control/handoff messages
+
+#: Nominal size of a control message in bytes.
+CONTROL_BYTES = 64
+
+
+class Engine:
+    """Base class: holds the cluster and the formula-composition algebra."""
+
+    #: Engine name used in experiment tables.
+    name = "abstract"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        algebra: Optional[FormulaAlgebra] = None,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.algebra = algebra or DEFAULT_ALGEBRA
+        self.trace = trace
+
+    def evaluate(self, qlist: QList) -> EvalResult:
+        """Evaluate a compiled query; subclasses implement the algorithm."""
+        raise NotImplementedError
+
+    def _new_run(self) -> Run:
+        return Run(self.cluster, trace=self.trace)
+
+    def _result(self, answer: bool, run: Run, elapsed_seconds: float, **details) -> EvalResult:
+        run.finish(elapsed_seconds)
+        return EvalResult(answer=answer, engine=self.name, metrics=run.metrics, details=details)
+
+
+__all__ = [
+    "Engine",
+    "MSG_QUERY",
+    "MSG_TRIPLET",
+    "MSG_GROUND_TRIPLET",
+    "MSG_FRAGMENT_DATA",
+    "MSG_CONTROL",
+    "CONTROL_BYTES",
+]

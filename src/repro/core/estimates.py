@@ -1,0 +1,218 @@
+"""Analytic cost estimates: Fig. 4 as executable formulas.
+
+The paper's Fig. 4 summarizes each algorithm's visits, computation and
+communication asymptotically.  This module turns those rows into
+*predictions* computable from catalog metadata alone (the source tree,
+per-fragment sizes and the query size) -- no evaluation required:
+
+* visit counts are exact;
+* computation is exact in ``node x |QList|`` operations (the unit the
+  measured :class:`~repro.distsim.metrics.Metrics` reports);
+* communication is an upper bound in *formula-term* units (each vector
+  entry carries at most ``1 + 3·card(F_j)`` terms after
+  canonicalization: a constant plus the V/DV variables of each virtual
+  node, each possibly negated).
+
+``tests/test_estimates.py`` checks every prediction against measured
+runs, which is precisely the "performance guarantees" claim of the
+paper made mechanical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distsim.cluster import Cluster
+from repro.xpath.qlist import QList
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted costs of one evaluation."""
+
+    algorithm: str
+    max_visits_per_site: int
+    total_visits: int
+    total_ops: int
+    parallel_ops: int
+    communication_terms: int
+
+    def as_dict(self) -> dict:
+        """Flat dict for table rendering."""
+        return {
+            "algorithm": self.algorithm,
+            "max_visits_per_site": self.max_visits_per_site,
+            "total_visits": self.total_visits,
+            "total_ops": self.total_ops,
+            "parallel_ops": self.parallel_ops,
+            "communication_terms": self.communication_terms,
+        }
+
+
+def _sizes(cluster: Cluster) -> dict[str, int]:
+    return {fid: f.size() for fid, f in cluster.fragmented_tree.fragments.items()}
+
+
+def _max_site_load(cluster: Cluster) -> int:
+    """max_Si |F_Si|: the largest cumulative fragment size at one site."""
+    source_tree = cluster.source_tree()
+    sizes = _sizes(cluster)
+    return max(
+        sum(sizes[fid] for fid in source_tree.fragments_of(site_id))
+        for site_id in source_tree.sites()
+    )
+
+
+def _triplet_terms(cluster: Cluster, qlist: QList, fragment_id: str) -> int:
+    """Worst-case terms in one fragment's triplet: 3|q|(1 + 3 card(F_j))."""
+    card_j = len(cluster.fragmented_tree.fragments[fragment_id].sub_fragment_ids())
+    return 3 * len(qlist) * (1 + 3 * card_j)
+
+
+def estimate_parbox(cluster: Cluster, qlist: QList) -> CostEstimate:
+    """ParBoX row of Fig. 4.
+
+    Visits: 1 per site.  Total computation: |q||T| plus the equation
+    system of size O(|q| card(F)).  Parallel computation: the largest
+    per-site load.  Communication: query broadcast + one triplet per
+    non-coordinator fragment.
+    """
+    source_tree = cluster.source_tree()
+    sites = source_tree.sites()
+    n = len(qlist)
+    total_ops = n * cluster.total_size()
+    parallel_ops = n * _max_site_load(cluster)
+    coordinator = source_tree.coordinator_site
+    communication = sum(
+        n + _triplet_terms(cluster, qlist, fid)
+        for fid in source_tree.fragment_ids()
+        if source_tree.site_of(fid) != coordinator
+    )
+    return CostEstimate(
+        algorithm="ParBoX",
+        max_visits_per_site=1,
+        total_visits=len(sites),
+        total_ops=total_ops,
+        parallel_ops=parallel_ops,
+        communication_terms=communication,
+    )
+
+
+def estimate_naive_centralized(cluster: Cluster, qlist: QList) -> CostEstimate:
+    """NaiveCentralized row: ships O(|T|) data, computes centrally."""
+    source_tree = cluster.source_tree()
+    coordinator = source_tree.coordinator_site
+    remote_sites = [s for s in source_tree.sites() if s != coordinator]
+    sizes = _sizes(cluster)
+    shipped_nodes = sum(
+        sizes[fid]
+        for fid in source_tree.fragment_ids()
+        if source_tree.site_of(fid) != coordinator
+    )
+    total_ops = len(qlist) * cluster.total_size()
+    return CostEstimate(
+        algorithm="NaiveCentralized",
+        max_visits_per_site=1 if remote_sites else 0,
+        total_visits=len(remote_sites),
+        total_ops=total_ops,
+        parallel_ops=total_ops,  # no parallelism: everything at the coordinator
+        communication_terms=shipped_nodes,
+    )
+
+
+def estimate_naive_distributed(cluster: Cluster, qlist: QList) -> CostEstimate:
+    """NaiveDistributed row: card(F_Si) visits, sequential computation."""
+    source_tree = cluster.source_tree()
+    per_site = {
+        site_id: len(source_tree.fragments_of(site_id)) for site_id in source_tree.sites()
+    }
+    n = len(qlist)
+    total_ops = n * cluster.total_size()
+    coordinator = source_tree.coordinator_site
+    communication = 0
+    for fid in source_tree.fragment_ids():
+        parent = source_tree.parent_of(fid)
+        caller = source_tree.site_of(parent) if parent else coordinator
+        if source_tree.site_of(fid) != caller:
+            communication += n + 3 * n  # query/control down, ground triplet up
+    return CostEstimate(
+        algorithm="NaiveDistributed",
+        max_visits_per_site=max(per_site.values()),
+        total_visits=sum(per_site.values()),
+        total_ops=total_ops,
+        parallel_ops=total_ops,  # fully sequential
+        communication_terms=communication,
+    )
+
+
+def estimate_lazy_worst_case(cluster: Cluster, qlist: QList) -> CostEstimate:
+    """LazyParBoX row, worst case (descends the full source tree).
+
+    Parallel cost: per the paper, only fragments at the same depth run
+    in parallel, so the bound is the sum over depths of the largest
+    fragment at that depth -- O(|q| card(F) max|F_i|) in Fig. 4.
+    """
+    source_tree = cluster.source_tree()
+    sizes = _sizes(cluster)
+    n = len(qlist)
+    per_site_visits: dict[str, int] = {}
+    parallel_nodes = 0
+    depth = 0
+    while True:
+        fragment_ids = source_tree.fragments_at_depth(depth)
+        if not fragment_ids:
+            break
+        # Step 0 covers depths 0 and 1 together.
+        for fid in fragment_ids:
+            site = source_tree.site_of(fid)
+            per_site_visits[site] = per_site_visits.get(site, 0) + 1
+        parallel_nodes += max(sizes[fid] for fid in fragment_ids)
+        depth += 1
+    coordinator = source_tree.coordinator_site
+    communication = sum(
+        n + _triplet_terms(cluster, qlist, fid)
+        for fid in source_tree.fragment_ids()
+        if source_tree.site_of(fid) != coordinator
+    )
+    return CostEstimate(
+        algorithm="LazyParBoX",
+        max_visits_per_site=max(per_site_visits.values()),
+        total_visits=sum(per_site_visits.values()),
+        total_ops=n * cluster.total_size(),
+        parallel_ops=n * parallel_nodes,
+        communication_terms=communication,
+    )
+
+
+def estimate_maintenance(cluster: Cluster, qlist: QList, fragment_id: str) -> CostEstimate:
+    """Section 5 bounds for refreshing one fragment's triplet."""
+    n = len(qlist)
+    size = cluster.fragmented_tree.fragments[fragment_id].size()
+    ops = n * size
+    return CostEstimate(
+        algorithm="maintenance",
+        max_visits_per_site=1,
+        total_visits=1,
+        total_ops=ops,
+        parallel_ops=ops,
+        communication_terms=_triplet_terms(cluster, qlist, fragment_id),
+    )
+
+
+#: All estimators keyed like the engines they predict.
+ESTIMATORS = {
+    "ParBoX": estimate_parbox,
+    "NaiveCentralized": estimate_naive_centralized,
+    "NaiveDistributed": estimate_naive_distributed,
+    "LazyParBoX": estimate_lazy_worst_case,
+}
+
+__all__ = [
+    "CostEstimate",
+    "estimate_parbox",
+    "estimate_naive_centralized",
+    "estimate_naive_distributed",
+    "estimate_lazy_worst_case",
+    "estimate_maintenance",
+    "ESTIMATORS",
+]

@@ -1,0 +1,85 @@
+"""``Procedure evalST``: composing partial answers (paper, Section 3.1).
+
+The triplets collected from all fragments form a linear system of
+Boolean equations -- each variable ``Var(F_k, kind, i)`` is defined by
+the corresponding entry of ``F_k``'s triplet, whose formula in turn may
+reference ``F_k``'s sub-fragments.  Because the fragment dependency
+relation is a tree, the system is acyclic and one bottom-up pass over
+the source tree solves it; the query answer is ``V_Froot[last]``
+(Example 3.3 walks through the unification).
+
+The implementation delegates to
+:class:`~repro.boolexpr.equations.BooleanEquationSystem`, whose memoized
+evaluation *is* that bottom-up pass (children are forced before their
+parents by the dependency order).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.boolexpr.equations import BooleanEquationSystem
+from repro.boolexpr.formula import Var
+from repro.core.vectors import VectorTriplet
+from repro.fragments.source_tree import SourceTree
+from repro.xpath.qlist import QList
+
+
+def build_equation_system(triplets: Mapping[str, VectorTriplet]) -> BooleanEquationSystem:
+    """Turn a set of triplets into the Boolean equation system.
+
+    Defines ``Var(F, 'V', i) := V_F[i]`` (and CV/DV likewise) for every
+    fragment ``F`` present.  Partial sets are allowed -- LazyParBoX adds
+    triplets one source-tree depth at a time.
+    """
+    system = BooleanEquationSystem()
+    for triplet in triplets.values():
+        for index in range(len(triplet)):
+            system.define(Var(triplet.fragment_id, "V", index), triplet.v[index])
+            system.define(Var(triplet.fragment_id, "CV", index), triplet.cv[index])
+            system.define(Var(triplet.fragment_id, "DV", index), triplet.dv[index])
+    return system
+
+
+def answer_variable(source_tree: SourceTree, qlist: QList) -> Var:
+    """The variable whose value is the query answer: ``V_Froot[last]``."""
+    return Var(source_tree.root_fragment_id, "V", qlist.answer_index)
+
+
+def eval_st(
+    triplets: Mapping[str, VectorTriplet],
+    source_tree: SourceTree,
+    qlist: QList,
+) -> bool:
+    """Solve the equation system and return the query answer."""
+    missing = [fid for fid in source_tree.fragment_ids() if fid not in triplets]
+    if missing:
+        raise ValueError(f"evalST needs a triplet for every fragment; missing {missing}")
+    system = build_equation_system(triplets)
+    return system.value_of(answer_variable(source_tree, qlist))
+
+
+def resolve_triplet(
+    triplet: VectorTriplet,
+    children: Mapping[str, VectorTriplet],
+) -> VectorTriplet:
+    """Substitute *ground* child triplets into a parent's triplet.
+
+    Used by FullDistParBoX (``evalDistrST``) and NaiveDistributed, where
+    a site resolves its fragment's formulas locally before passing a
+    variable-free triplet upward ("no variables appear in the resulting
+    triplet of vectors").
+    """
+    env = {}
+    for child in children.values():
+        if not child.is_ground():
+            raise ValueError(f"child triplet {child.fragment_id} is not ground")
+        env.update(child.binding_env())
+    resolved = triplet.substitute(env)
+    if not resolved.is_ground():
+        unresolved = sorted({var.owner for var in resolved.variables()})
+        raise ValueError(f"triplet {triplet.fragment_id} still references {unresolved}")
+    return resolved
+
+
+__all__ = ["eval_st", "build_equation_system", "answer_variable", "resolve_triplet"]

@@ -1,0 +1,66 @@
+"""Hybrid ParBoX (paper, Section 4).
+
+In the pathological regime where almost every node is its own fragment,
+``card(F)`` approaches ``|T|`` and ParBoX's ``O(|q| card(F))`` traffic
+exceeds NaiveCentralized's ``O(|T|)``.  Hybrid ParBoX compares
+``card(F)`` against the tipping point ``|T| / |q|``:
+
+* ``card(F) < |T| / |q|``  ->  run ParBoX (the common case);
+* otherwise               ->  fall back to NaiveCentralized.
+
+``|T|`` and ``card(F)`` come from the coordinator's catalog (the source
+tree and the per-fragment size statistics sites report when fragments
+are placed) -- no extra round-trip is needed to decide.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.boolexpr.compose import FormulaAlgebra
+from repro.core.engine import Engine
+from repro.core.naive_centralized import NaiveCentralizedEngine
+from repro.core.parbox import ParBoXEngine
+from repro.distsim.cluster import Cluster
+from repro.distsim.metrics import EvalResult
+from repro.distsim.trace import Trace
+from repro.xpath.qlist import QList
+
+
+class HybridParBoXEngine(Engine):
+    """Switches between ParBoX and NaiveCentralized at the tipping point."""
+
+    name = "HybridParBoX"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        algebra: Optional[FormulaAlgebra] = None,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        super().__init__(cluster, algebra, trace)
+        self._parbox = ParBoXEngine(cluster, algebra, trace)
+        self._central = NaiveCentralizedEngine(cluster, algebra, trace)
+
+    def choose_strategy(self, qlist: QList) -> str:
+        """The switching rule: ``card(F) < |T|/|q|`` favours ParBoX."""
+        card = self.cluster.card()
+        tree_size = self.cluster.total_size()
+        query_size = len(qlist)
+        return "parbox" if card < tree_size / query_size else "centralized"
+
+    def evaluate(self, qlist: QList) -> EvalResult:
+        strategy = self.choose_strategy(qlist)
+        delegate = self._parbox if strategy == "parbox" else self._central
+        inner = delegate.evaluate(qlist)
+        details = dict(inner.details)
+        details["strategy"] = strategy
+        return EvalResult(
+            answer=inner.answer,
+            engine=self.name,
+            metrics=inner.metrics,
+            details=details,
+        )
+
+
+__all__ = ["HybridParBoXEngine"]

@@ -1,0 +1,118 @@
+"""Algorithm LazyParBoX (paper, Section 4).
+
+Eager ParBoX evaluates every fragment even when shallow fragments
+already determine the answer.  LazyParBoX instead walks the source tree
+by increasing depth: at step *i* it requests evaluation only of the
+fragments at depth *i*, merges the new triplets into the growing
+Boolean equation system and stops as soon as the answer resolves
+(three-valued/Kleene evaluation: unknown sub-fragment variables may be
+irrelevant, e.g. ``x OR true``).
+
+Costs (paper Fig. 4): sites may be visited once per fragment (across
+steps); only fragments at the same depth evaluate in parallel, so the
+elapsed time is the *sum over visited depths* of the per-depth maxima --
+roughly 3x ParBoX when the satisfying fragment sits mid-tree
+(Experiment 2, Fig. 11), in exchange for evaluating fewer fragments
+(lower total site load).
+"""
+
+from __future__ import annotations
+
+from repro.boolexpr.formula import Var
+from repro.core.bottom_up import bottom_up
+from repro.core.engine import CONTROL_BYTES, MSG_CONTROL, MSG_QUERY, MSG_TRIPLET, Engine
+from repro.core.eval_st import answer_variable, build_equation_system
+from repro.core.vectors import VectorTriplet
+from repro.distsim.metrics import EvalResult
+from repro.xpath.qlist import QList
+
+
+class LazyParBoXEngine(Engine):
+    """Depth-by-depth evaluation with early termination."""
+
+    name = "LazyParBoX"
+
+    def evaluate(self, qlist: QList) -> EvalResult:
+        run = self._new_run()
+        source_tree = self.cluster.source_tree()
+        coordinator = source_tree.coordinator_site
+        query_bytes = qlist.wire_bytes()
+        target = answer_variable(source_tree, qlist)
+
+        triplets: dict[str, VectorTriplet] = {}
+        queried_sites: set[str] = set()
+        elapsed = 0.0
+        answer: bool | None = None
+        steps_evaluated = 0
+
+        # The paper's first step covers the coordinator AND depth 1
+        # ("LazyParBoX initially evaluates a query only in the
+        # coordinator and in the fragments of depth 1"); every later
+        # step descends one more depth.
+        depth_batches = [[0, 1]] + [[d] for d in range(2, source_tree.max_depth() + 1)]
+        for batch in depth_batches:
+            fragment_ids = [
+                fid for depth in batch for fid in source_tree.fragments_at_depth(depth)
+            ]
+            if not fragment_ids:
+                continue
+            steps_evaluated += 1
+
+            # All fragments at this depth evaluate in parallel (one
+            # request per site per step; the query itself is sent only on
+            # the first contact with a site).
+            by_site: dict[str, list[str]] = {}
+            for fragment_id in fragment_ids:
+                by_site.setdefault(source_tree.site_of(fragment_id), []).append(fragment_id)
+
+            step_times: list[float] = []
+            for site_id, site_fragments in by_site.items():
+                run.visit(site_id)
+                if site_id in queried_sites:
+                    request_seconds = run.message(coordinator, site_id, CONTROL_BYTES, MSG_CONTROL)
+                else:
+                    request_seconds = run.message(coordinator, site_id, query_bytes, MSG_QUERY)
+                    queried_sites.add(site_id)
+                compute_seconds = 0.0
+                reply_bytes = 0
+                for fragment_id in site_fragments:
+                    fragment = self.cluster.fragment(fragment_id)
+                    (pair, seconds) = run.compute(
+                        site_id, lambda f=fragment: bottom_up(f, qlist, self.algebra)
+                    )
+                    triplet, stats = pair
+                    run.add_ops(stats.nodes_visited, stats.qlist_ops)
+                    triplets[fragment_id] = triplet
+                    compute_seconds += seconds
+                    reply_bytes += triplet.wire_bytes()
+                reply_seconds = run.message(site_id, coordinator, reply_bytes, MSG_TRIPLET)
+                step_times.append(request_seconds + compute_seconds + reply_seconds)
+            elapsed += max(step_times)
+
+            # Try to resolve with what we have so far.
+            (verdict, combine_seconds) = run.compute(
+                coordinator, lambda: _try_answer(triplets, target)
+            )
+            elapsed += combine_seconds
+            if verdict is not None:
+                answer = verdict
+                break
+
+        if answer is None:  # all depths evaluated; the system must resolve now
+            raise RuntimeError("LazyParBoX failed to resolve after all depths")
+        return self._result(
+            answer,
+            run,
+            elapsed,
+            fragments_evaluated=len(triplets),
+            steps_evaluated=steps_evaluated,
+        )
+
+
+def _try_answer(triplets: dict[str, VectorTriplet], target: Var) -> bool | None:
+    """Kleene-evaluate the answer variable against the partial system."""
+    system = build_equation_system(triplets)
+    return system.partial_value_of(target)
+
+
+__all__ = ["LazyParBoXEngine"]

@@ -1,0 +1,65 @@
+"""The NaiveCentralized baseline (paper, Section 3).
+
+Collect all fragments at the coordinating site, reassemble the
+document, run the optimal centralized algorithm.  Computation is
+``O(|q||T|)`` -- as good as it gets -- but communication is ``O(|T|)``:
+every remote fragment is shipped in full, every time a query runs.
+
+Cost model: remote sites are contacted once (in parallel) and stream
+their serialized fragments to the coordinator; the coordinator's
+ingress link is the bottleneck, so the shipping phase takes
+``latency + total_bytes / bandwidth``.  Reassembly (stitching) and the
+centralized evaluation are timed as real coordinator-local work.
+"""
+
+from __future__ import annotations
+
+from repro.core.centralized import evaluate_tree
+from repro.core.engine import CONTROL_BYTES, MSG_CONTROL, MSG_FRAGMENT_DATA, Engine
+from repro.distsim.metrics import EvalResult
+from repro.xpath.qlist import QList
+
+
+class NaiveCentralizedEngine(Engine):
+    """Ship the data to the query."""
+
+    name = "NaiveCentralized"
+
+    def evaluate(self, qlist: QList) -> EvalResult:
+        run = self._new_run()
+        source_tree = self.cluster.source_tree()
+        coordinator = source_tree.coordinator_site
+
+        # Contact every remote site once; it replies with its fragments.
+        total_bytes = 0
+        request_seconds = 0.0
+        remote_sites = [s for s in source_tree.sites() if s != coordinator]
+        for site_id in remote_sites:
+            run.visit(site_id)
+            request_seconds = max(
+                request_seconds, run.message(coordinator, site_id, CONTROL_BYTES, MSG_CONTROL)
+            )
+            site_bytes = sum(
+                self.cluster.fragment(fid).wire_bytes()
+                for fid in source_tree.fragments_of(site_id)
+            )
+            run.message(site_id, coordinator, site_bytes, MSG_FRAGMENT_DATA)
+            total_bytes += site_bytes
+        # The concurrent shipments share the coordinator's ingress link,
+        # which bounds the shipping phase (per-message times discarded).
+        shipping_seconds = self.cluster.network.ingress_seconds(
+            total_bytes, len(remote_sites)
+        )
+
+        # Local phase: stitch the document together, then evaluate it.
+        (tree, stitch_seconds) = run.compute(coordinator, self.cluster.fragmented_tree.stitch)
+        ((answer, stats), eval_seconds) = run.compute(
+            coordinator, lambda: evaluate_tree(tree, qlist)
+        )
+        run.add_ops(stats.nodes_visited, stats.qlist_ops)
+
+        elapsed = request_seconds + shipping_seconds + stitch_seconds + eval_seconds
+        return self._result(answer, run, elapsed, shipped_bytes=total_bytes)
+
+
+__all__ = ["NaiveCentralizedEngine"]

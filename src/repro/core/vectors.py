@@ -1,0 +1,155 @@
+"""The ``(V, CV, DV)`` vector triplet -- a fragment's partial answer.
+
+For a fragment ``F_j`` and query list ``qL`` of length *n*, partial
+evaluation returns three vectors of Boolean formulas (paper, Fig. 3(b)):
+
+* ``V[i]``  -- value of sub-query ``qL[i]`` at the **root** of ``F_j``;
+* ``CV[i]`` -- true iff some *child* of the root satisfies ``qL[i]``;
+* ``DV[i]`` -- true iff the root or some *descendant* satisfies ``qL[i]``.
+
+Entries are formulas over the variables of ``F_j``'s virtual nodes
+(``Var(F_k, kind, i)``); a triplet with no sub-fragments is ground.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping
+
+from repro.boolexpr.formula import Formula, Var, const, formula_from_obj
+
+
+class VectorTriplet:
+    """The partial answer of one fragment (immutable value object)."""
+
+    __slots__ = ("fragment_id", "v", "cv", "dv")
+
+    def __init__(
+        self,
+        fragment_id: str,
+        v: Iterable[Formula],
+        cv: Iterable[Formula],
+        dv: Iterable[Formula],
+    ) -> None:
+        self.fragment_id = fragment_id
+        self.v = tuple(v)
+        self.cv = tuple(cv)
+        self.dv = tuple(dv)
+        if not (len(self.v) == len(self.cv) == len(self.dv)):
+            raise ValueError("V, CV, DV must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.v)
+
+    # ------------------------------------------------------------------
+    # Variables / groundness
+    # ------------------------------------------------------------------
+    def variables(self) -> frozenset[Var]:
+        """All free variables across the three vectors."""
+        out: frozenset[Var] = frozenset()
+        for vector in (self.v, self.cv, self.dv):
+            for formula in vector:
+                out = out | formula.variables()
+        return out
+
+    def referenced_fragments(self) -> frozenset[str]:
+        """Ids of the sub-fragments whose variables appear."""
+        return frozenset(var.owner for var in self.variables())
+
+    def is_ground(self) -> bool:
+        """True when no variables remain (leaf fragments, resolved triplets)."""
+        return not self.variables()
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def substitute(self, env: Mapping[Var, Formula]) -> "VectorTriplet":
+        """Replace variables, yielding a new (possibly ground) triplet."""
+        return VectorTriplet(
+            self.fragment_id,
+            (formula.substitute(env) for formula in self.v),
+            (formula.substitute(env) for formula in self.cv),
+            (formula.substitute(env) for formula in self.dv),
+        )
+
+    def binding_env(self) -> dict[Var, Formula]:
+        """The variable bindings this triplet *provides* to its parent.
+
+        For every index ``i``, maps ``Var(F_j, 'V', i) -> V[i]`` and
+        likewise for CV/DV.  Used when resolving a parent's triplet from
+        its children's (NaiveDistributed, FullDistParBoX, evalST).
+        """
+        env: dict[Var, Formula] = {}
+        for index in range(len(self.v)):
+            env[Var(self.fragment_id, "V", index)] = self.v[index]
+            env[Var(self.fragment_id, "CV", index)] = self.cv[index]
+            env[Var(self.fragment_id, "DV", index)] = self.dv[index]
+        return env
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def to_obj(self) -> dict:
+        """JSON-able representation (what a site sends the coordinator)."""
+        return {
+            "fragment": self.fragment_id,
+            "v": [formula.to_obj() for formula in self.v],
+            "cv": [formula.to_obj() for formula in self.cv],
+            "dv": [formula.to_obj() for formula in self.dv],
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "VectorTriplet":
+        """Inverse of :meth:`to_obj`."""
+        return cls(
+            obj["fragment"],
+            (formula_from_obj(item) for item in obj["v"]),
+            (formula_from_obj(item) for item in obj["cv"]),
+            (formula_from_obj(item) for item in obj["dv"]),
+        )
+
+    def wire_bytes(self) -> int:
+        """Byte size of the compact JSON serialization (traffic unit)."""
+        return len(json.dumps(self.to_obj(), separators=(",", ":")).encode())
+
+    def formula_size(self) -> int:
+        """Total formula nodes across the vectors (size-bound checks)."""
+        return sum(f.size() for vec in (self.v, self.cv, self.dv) for f in vec)
+
+    # ------------------------------------------------------------------
+    # Equality (incremental maintenance compares old/new triplets)
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorTriplet):
+            return NotImplemented
+        return (
+            self.fragment_id == other.fragment_id
+            and self.v == other.v
+            and self.cv == other.cv
+            and self.dv == other.dv
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.fragment_id, self.v, self.cv, self.dv))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ground = "ground" if self.is_ground() else f"vars={len(self.variables())}"
+        return f"<VectorTriplet {self.fragment_id} n={len(self)} {ground}>"
+
+
+def ground_triplet_from_bools(
+    fragment_id: str,
+    v: Iterable[bool],
+    cv: Iterable[bool],
+    dv: Iterable[bool],
+) -> VectorTriplet:
+    """Build a ground triplet from plain Booleans (centralized evaluator)."""
+    return VectorTriplet(
+        fragment_id,
+        (const(x) for x in v),
+        (const(x) for x in cv),
+        (const(x) for x in dv),
+    )
+
+
+__all__ = ["VectorTriplet", "ground_triplet_from_bools"]

@@ -1,0 +1,29 @@
+"""Distributed-system substrate.
+
+The paper's experiments ran on 10 Linux machines on a LAN.  This package
+replaces that testbed with an *accounted simulation*:
+
+* site-local computation **really executes** (the actual ``bottomUp``
+  code runs for every fragment) and is wall-clock timed;
+* message costs follow a parameterized LAN model
+  (:class:`NetworkModel`: latency + bytes/bandwidth, zero for intra-site
+  transfers);
+* every engine builds its simulated elapsed time from these ingredients
+  according to its own concurrency structure (parallel = max over
+  branches, sequential = sum), via a :class:`Run` ledger that also
+  tracks the paper's three cost metrics -- per-site **visits**, total
+  **communication** bytes and total **computation** (node x |QList|
+  operations).  A thread-pool backend offers truly concurrent stage-2
+  execution for comparison.
+
+:class:`Cluster` owns the fragmented tree, the placement and the site
+stores, and exposes the structural update operations of Section 5.
+"""
+
+from repro.distsim.network import NetworkModel
+from repro.distsim.metrics import Metrics
+from repro.distsim.site import Site
+from repro.distsim.cluster import Cluster
+from repro.distsim.runtime import Run
+
+__all__ = ["NetworkModel", "Metrics", "Site", "Cluster", "Run"]

@@ -1,0 +1,170 @@
+"""The cluster: fragmented tree + placement + sites + network.
+
+``Cluster`` is the top-level handle a user builds once and runs many
+queries against.  It owns the decomposition (a
+:class:`~repro.fragments.fragment.FragmentedTree`), the placement
+function ``h`` and the per-site stores, and re-derives the source tree
+on demand (cached until the fragmentation or placement changes).
+
+The structural update operations of Section 5 (`split_fragment`,
+`merge_fragment`, `move_fragment`) mutate the cluster in place and
+invalidate the cached source tree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.distsim.network import NetworkModel
+from repro.distsim.site import Site
+from repro.fragments.fragment import Fragment, FragmentedTree
+from repro.fragments.fragmenter import merge_fragment, split_fragment
+from repro.fragments.source_tree import Placement, SourceTree
+from repro.xmltree.node import XMLNode
+
+
+class Cluster:
+    """A set of sites storing the fragments of one document."""
+
+    def __init__(
+        self,
+        fragmented_tree: FragmentedTree,
+        placement: Placement,
+        network: Optional[NetworkModel] = None,
+    ) -> None:
+        self.fragmented_tree = fragmented_tree
+        self.placement = placement
+        self.network = network or NetworkModel()
+        self._sites: dict[str, Site] = {}
+        self._source_tree: Optional[SourceTree] = None
+        for fragment_id, fragment in fragmented_tree.fragments.items():
+            site_id = placement.site_of(fragment_id)
+            self._site(site_id).add_fragment(fragment)
+
+    def _site(self, site_id: str) -> Site:
+        site = self._sites.get(site_id)
+        if site is None:
+            site = Site(site_id)
+            self._sites[site_id] = site
+        return site
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_site(cls, fragmented_tree: FragmentedTree, site_id: str = "S0") -> "Cluster":
+        """All fragments on one site (Experiment 4's setting)."""
+        placement = Placement({fid: site_id for fid in fragmented_tree.fragments})
+        return cls(fragmented_tree, placement)
+
+    @classmethod
+    def one_site_per_fragment(
+        cls, fragmented_tree: FragmentedTree, site_prefix: str = "S"
+    ) -> "Cluster":
+        """Fragment ``Fi`` on site ``S<i>`` (Experiments 1-3's setting)."""
+        assignment = {}
+        for index, fragment_id in enumerate(fragmented_tree.iter_depth_first()):
+            assignment[fragment_id] = f"{site_prefix}{index}"
+        return cls(fragmented_tree, Placement(assignment))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def source_tree(self) -> SourceTree:
+        """The source tree ``S_T`` (cached until a structural change)."""
+        if self._source_tree is None:
+            self._source_tree = SourceTree.from_fragmented_tree(
+                self.fragmented_tree, self.placement
+            )
+        return self._source_tree
+
+    def site(self, site_id: str) -> Site:
+        """The site object for ``site_id``."""
+        return self._sites[site_id]
+
+    def sites(self) -> list[Site]:
+        """All sites."""
+        return list(self._sites.values())
+
+    def site_of(self, fragment_id: str) -> str:
+        """Site id storing ``fragment_id``."""
+        return self.placement.site_of(fragment_id)
+
+    def fragment(self, fragment_id: str) -> Fragment:
+        """Fragment by id."""
+        return self.fragmented_tree.fragments[fragment_id]
+
+    @property
+    def coordinator_site(self) -> str:
+        """The site holding the root fragment."""
+        return self.site_of(self.fragmented_tree.root_fragment_id)
+
+    def total_size(self) -> int:
+        """|T|: total non-virtual nodes across all fragments.
+
+        In a real deployment this comes from catalog statistics the
+        sites report; Hybrid ParBoX needs it for its switching rule.
+        """
+        return self.fragmented_tree.total_size()
+
+    def card(self) -> int:
+        """card(F): the number of fragments."""
+        return self.fragmented_tree.card()
+
+    # ------------------------------------------------------------------
+    # Structural updates (Section 5)
+    # ------------------------------------------------------------------
+    def split_fragment(
+        self,
+        fragment_id: str,
+        node: XMLNode,
+        new_fragment_id: Optional[str] = None,
+        target_site: Optional[str] = None,
+    ) -> str:
+        """``splitFragments(v)`` + assignment of the new fragment.
+
+        The new fragment stays on the same site unless ``target_site``
+        moves it (as Example 5.1 moves F4 to the fresh site S3).
+        """
+        new_id = split_fragment(self.fragmented_tree, fragment_id, node, new_fragment_id)
+        origin_site = self.site_of(fragment_id)
+        destination = target_site or origin_site
+        self.placement.assign(new_id, destination)
+        self._site(destination).add_fragment(self.fragment(new_id))
+        self._source_tree = None
+        return new_id
+
+    def merge_fragment(self, fragment_id: str, virtual_node: XMLNode) -> Optional[str]:
+        """``mergeFragments(v)``: absorb a sub-fragment back.
+
+        The absorbed fragment's data moves to ``fragment_id``'s site.
+        Returns the absorbed id, or None when ``virtual_node`` is not
+        virtual (the paper's no-op case).
+        """
+        absorbed_id = merge_fragment(self.fragmented_tree, fragment_id, virtual_node)
+        if absorbed_id is None:
+            return None
+        absorbed_site = self.site_of(absorbed_id)
+        self._sites[absorbed_site].remove_fragment(absorbed_id)
+        self.placement.remove(absorbed_id)
+        self._source_tree = None
+        return absorbed_id
+
+    def move_fragment(self, fragment_id: str, target_site: str) -> None:
+        """Re-assign a fragment to another site."""
+        origin = self.site_of(fragment_id)
+        if origin == target_site:
+            return
+        fragment = self._sites[origin].remove_fragment(fragment_id)
+        self.placement.assign(fragment_id, target_site)
+        self._site(target_site).add_fragment(fragment)
+        self._source_tree = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Cluster sites={len(self._sites)} fragments={self.card()} "
+            f"|T|={self.total_size()}>"
+        )
+
+
+__all__ = ["Cluster"]

@@ -1,0 +1,77 @@
+"""Cost ledger for one query evaluation.
+
+Collects the three cost dimensions of the paper's Fig. 4 plus timing:
+
+* **visits** -- how many times each site was contacted;
+* **communication** -- message count and bytes, split by message kind;
+* **computation** -- nodes processed and ``node x |QList|`` operations,
+  together with the wall-clock seconds the (real) site computations took;
+* **elapsed_seconds** -- the engine's simulated parallel time.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Metrics:
+    """Mutable cost counters filled in by a :class:`~repro.distsim.runtime.Run`."""
+
+    visits: Counter = field(default_factory=Counter)
+    messages: int = 0
+    bytes_total: int = 0
+    bytes_by_kind: Counter = field(default_factory=Counter)
+    nodes_processed: int = 0
+    qlist_ops: int = 0
+    compute_seconds_total: float = 0.0
+    elapsed_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Derived quantities used by the experiment tables
+    # ------------------------------------------------------------------
+    def total_visits(self) -> int:
+        """Sum of visits over all sites."""
+        return sum(self.visits.values())
+
+    def max_visits_per_site(self) -> int:
+        """The paper's "number of times each site is visited" (worst site)."""
+        return max(self.visits.values()) if self.visits else 0
+
+    def communication_bytes(self) -> int:
+        """Total bytes sent over the (inter-site) network."""
+        return self.bytes_total
+
+    def summary(self) -> dict:
+        """A flat dict for table rendering."""
+        return {
+            "sites_contacted": len(self.visits),
+            "total_visits": self.total_visits(),
+            "max_visits_per_site": self.max_visits_per_site(),
+            "messages": self.messages,
+            "bytes_total": self.bytes_total,
+            "nodes_processed": self.nodes_processed,
+            "qlist_ops": self.qlist_ops,
+            "compute_seconds_total": self.compute_seconds_total,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Outcome of one engine run: the Boolean answer plus its costs."""
+
+    answer: bool
+    engine: str
+    metrics: Metrics
+    details: dict = field(default_factory=dict)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Simulated parallel elapsed time of the evaluation."""
+        return self.metrics.elapsed_seconds
+
+
+__all__ = ["Metrics", "EvalResult"]

@@ -1,0 +1,49 @@
+"""The LAN cost model.
+
+Message cost = latency + size / bandwidth, with intra-site messages free
+(they never touch the wire).  Defaults model the paper's testbed-era
+local network: 100 Mbit/s switched Ethernet with 0.5 ms one-way latency.
+The model is deliberately simple -- the experiments compare *algorithm
+structures* (how many messages, how many bytes, what runs in parallel),
+not network micro-behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: 100 Mbit/s in bytes per second.
+DEFAULT_BANDWIDTH = 12_500_000.0
+#: One-way LAN latency in seconds.
+DEFAULT_LATENCY = 0.0005
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth parameters for inter-site transfers."""
+
+    latency_seconds: float = DEFAULT_LATENCY
+    bandwidth_bytes_per_second: float = DEFAULT_BANDWIDTH
+
+    def transfer_seconds(self, nbytes: int, same_site: bool = False) -> float:
+        """Simulated one-way transfer time for a message of ``nbytes``."""
+        if same_site:
+            return 0.0
+        if nbytes < 0:
+            raise ValueError("message size cannot be negative")
+        return self.latency_seconds + nbytes / self.bandwidth_bytes_per_second
+
+    def ingress_seconds(self, total_bytes: int, senders: int) -> float:
+        """Time for one site to *receive* ``total_bytes`` from ``senders`` sites.
+
+        Models the receiver's access link as the bottleneck (transfers
+        share the coordinator's ingress bandwidth), which is what makes
+        NaiveCentralized's shipping phase grow with the total shipped
+        volume rather than the largest single fragment.
+        """
+        if senders <= 0 or total_bytes <= 0:
+            return 0.0
+        return self.latency_seconds + total_bytes / self.bandwidth_bytes_per_second
+
+
+__all__ = ["NetworkModel", "DEFAULT_BANDWIDTH", "DEFAULT_LATENCY"]

@@ -1,0 +1,102 @@
+"""The :class:`Run` ledger: cost attribution for one evaluation.
+
+Engines drive a ``Run`` through four primitives:
+
+* :meth:`Run.visit` -- record a coordinator/engine-initiated contact to
+  a site (the paper's visit count);
+* :meth:`Run.message` -- record an inter-site message and get back its
+  simulated transfer time (0 for intra-site);
+* :meth:`Run.compute` -- execute a site-local thunk, wall-clock time it,
+  attribute the seconds and return ``(result, seconds)``;
+* :meth:`Run.add_ops` -- record deterministic operation counts
+  (nodes processed, ``node x |QList|`` ops).
+
+The engine then composes those ingredients into a simulated elapsed
+time (max over parallel branches, sum over sequential steps) and stores
+it with :meth:`Run.finish`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, TypeVar
+
+from repro.distsim.cluster import Cluster
+from repro.distsim.metrics import Metrics
+from repro.distsim.trace import Trace
+
+T = TypeVar("T")
+
+
+class Run:
+    """Cost ledger bound to a cluster for the duration of one evaluation.
+
+    Pass a :class:`~repro.distsim.trace.Trace` to additionally record
+    the full event timeline (visits, messages, computations in order).
+    """
+
+    def __init__(self, cluster: Cluster, trace: Optional[Trace] = None) -> None:
+        self.cluster = cluster
+        self.metrics = Metrics()
+        self.trace = trace
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def visit(self, site_id: str) -> None:
+        """Count one visit to ``site_id``."""
+        self.metrics.visits[site_id] += 1
+        if self.trace is not None:
+            self.trace.record_visit(site_id)
+
+    def message(self, src_site: str, dst_site: str, nbytes: int, kind: str) -> float:
+        """Record a message; returns its simulated transfer seconds.
+
+        Intra-site messages cost nothing and are not counted as network
+        traffic (they never leave the machine).
+        """
+        same = src_site == dst_site
+        if not same:
+            self.metrics.messages += 1
+            self.metrics.bytes_total += nbytes
+            self.metrics.bytes_by_kind[kind] += nbytes
+        if self.trace is not None:
+            self.trace.record_message(src_site, dst_site, kind, nbytes)
+        return self.cluster.network.transfer_seconds(nbytes, same_site=same)
+
+    def ingress(self, dst_site: str, total_bytes: int, senders: int, kind: str) -> float:
+        """Record a many-to-one shipment bounded by the receiver's link."""
+        self.metrics.messages += senders
+        self.metrics.bytes_total += total_bytes
+        self.metrics.bytes_by_kind[kind] += total_bytes
+        return self.cluster.network.ingress_seconds(total_bytes, senders)
+
+    def compute(self, site_id: str, thunk: Callable[[], T]) -> tuple[T, float]:
+        """Execute ``thunk`` as site-local work; returns (result, seconds)."""
+        started = time.perf_counter()
+        result = thunk()
+        seconds = time.perf_counter() - started
+        self.metrics.compute_seconds_total += seconds
+        if self.trace is not None:
+            self.trace.record_compute(site_id, seconds, getattr(thunk, "__name__", ""))
+        return result, seconds
+
+    def add_ops(self, nodes: int, ops: int) -> None:
+        """Record deterministic computation counters."""
+        self.metrics.nodes_processed += nodes
+        self.metrics.qlist_ops += ops
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def finish(self, elapsed_seconds: float) -> Metrics:
+        """Set the simulated elapsed time and freeze the run."""
+        if self._finished:
+            raise RuntimeError("run already finished")
+        self.metrics.elapsed_seconds = elapsed_seconds
+        self._finished = True
+        return self.metrics
+
+
+__all__ = ["Run"]

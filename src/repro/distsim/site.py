@@ -1,0 +1,58 @@
+"""A site: a named store of fragments.
+
+Sites are deliberately passive containers -- algorithm-specific work
+(partial evaluation, selection passes, maintenance recomputation) is
+expressed in the engines and *attributed* to a site through the
+:class:`~repro.distsim.runtime.Run` ledger.  This keeps every engine's
+distribution structure explicit and auditable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.fragments.fragment import Fragment
+
+
+class Site:
+    """A named site holding zero or more fragments (insertion-ordered)."""
+
+    def __init__(self, site_id: str) -> None:
+        self.site_id = site_id
+        self._fragments: dict[str, Fragment] = {}
+
+    def add_fragment(self, fragment: Fragment) -> None:
+        """Store a fragment; ids must be unique per site."""
+        if fragment.fragment_id in self._fragments:
+            raise ValueError(f"fragment {fragment.fragment_id!r} already at {self.site_id}")
+        self._fragments[fragment.fragment_id] = fragment
+
+    def remove_fragment(self, fragment_id: str) -> Fragment:
+        """Remove and return a fragment."""
+        return self._fragments.pop(fragment_id)
+
+    def fragment(self, fragment_id: str) -> Fragment:
+        """Look up a local fragment."""
+        return self._fragments[fragment_id]
+
+    def has_fragment(self, fragment_id: str) -> bool:
+        """True when the fragment is stored here."""
+        return fragment_id in self._fragments
+
+    def fragment_ids(self) -> list[str]:
+        """Local fragment ids (``card(F_Si)`` many)."""
+        return list(self._fragments)
+
+    def iter_fragments(self) -> Iterator[Fragment]:
+        """Iterate local fragments."""
+        return iter(self._fragments.values())
+
+    def data_size(self) -> int:
+        """Sum of local fragment sizes (the paper's ``|F_Si|``)."""
+        return sum(fragment.size() for fragment in self._fragments.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Site {self.site_id} fragments={self.fragment_ids()}>"
+
+
+__all__ = ["Site"]

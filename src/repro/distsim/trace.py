@@ -1,0 +1,96 @@
+"""Event tracing for evaluations.
+
+Attach a :class:`Trace` to a :class:`~repro.distsim.runtime.Run` to
+record the exact sequence of visits, messages and site computations --
+the observable protocol of an algorithm.  Tests use traces to assert
+protocol-level properties ("the query was broadcast before any triplet
+came back", "no message carries fragment data"); the CLI's ``--trace``
+renders them as a timeline for humans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded step of an evaluation."""
+
+    sequence: int
+    kind: str  # 'visit' | 'message' | 'compute'
+    site: str  # visited/computing site, or the sender for messages
+    peer: Optional[str] = None  # message recipient
+    detail: str = ""  # message kind, or a compute label
+    amount: float = 0.0  # bytes for messages, seconds for compute
+
+    def render(self) -> str:
+        """One timeline line."""
+        if self.kind == "visit":
+            return f"[{self.sequence:03d}] visit    {self.site}"
+        if self.kind == "message":
+            return (
+                f"[{self.sequence:03d}] message  {self.site} -> {self.peer}  "
+                f"{self.detail} ({int(self.amount)} B)"
+            )
+        return f"[{self.sequence:03d}] compute  {self.site}  {self.detail} ({self.amount * 1000:.2f} ms)"
+
+
+class Trace:
+    """An append-only event log for one evaluation."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    # ------------------------------------------------------------------
+    # Recording (called by Run)
+    # ------------------------------------------------------------------
+    def record_visit(self, site: str) -> None:
+        self._append("visit", site)
+
+    def record_message(self, src: str, dst: str, kind: str, nbytes: int) -> None:
+        self._append("message", src, peer=dst, detail=kind, amount=float(nbytes))
+
+    def record_compute(self, site: str, seconds: float, label: str = "") -> None:
+        self._append("compute", site, detail=label, amount=seconds)
+
+    def _append(self, kind: str, site: str, **kw) -> None:
+        self._events.append(TraceEvent(sequence=len(self._events), kind=kind, site=site, **kw))
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def events(self, kind: Optional[str] = None) -> list[TraceEvent]:
+        """All events, optionally filtered by kind."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def messages_between(self, src: str, dst: str) -> list[TraceEvent]:
+        """Messages from ``src`` to ``dst``, in order."""
+        return [
+            event
+            for event in self._events
+            if event.kind == "message" and event.site == src and event.peer == dst
+        ]
+
+    def first_index(self, predicate) -> Optional[int]:
+        """Sequence number of the first event satisfying ``predicate``."""
+        for event in self._events:
+            if predicate(event):
+                return event.sequence
+        return None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def render(self) -> str:
+        """The full timeline, one event per line."""
+        return "\n".join(event.render() for event in self._events)
+
+
+__all__ = ["Trace", "TraceEvent"]

@@ -1,0 +1,41 @@
+"""Tree fragmentation (paper, Section 2.1).
+
+An XML tree is decomposed into disjoint subtrees, the *fragments*; each
+occurrence of a sub-fragment in its parent fragment is replaced by a
+*virtual node*.  This package provides:
+
+* :class:`Fragment` -- one fragment (a subtree with virtual leaves);
+* :class:`FragmentedTree` -- the whole decomposition: a fragment store
+  plus the parent/child relation (the *fragment tree* of Fig. 2(b)),
+  with ``stitch()`` to reassemble the original document;
+* :class:`SourceTree` -- the fragment tree relabelled by the placement
+  function ``h`` (which site stores which fragment); the only structure
+  the evaluation algorithms need;
+* fragmenters -- :func:`fragment_at` (cut at chosen nodes) and
+  :func:`fragment_balanced` (size-driven automatic cuts), plus
+  :func:`split_fragment` / :func:`merge_fragment` used by the Section 5
+  update operations.
+"""
+
+from repro.fragments.fragment import Fragment, FragmentedTree, FragmentationError
+from repro.fragments.source_tree import Placement, SourceTree
+from repro.fragments.fragmenter import (
+    fragment_at,
+    fragment_balanced,
+    fragment_per_node,
+    split_fragment,
+    merge_fragment,
+)
+
+__all__ = [
+    "Fragment",
+    "FragmentedTree",
+    "FragmentationError",
+    "Placement",
+    "SourceTree",
+    "fragment_at",
+    "fragment_balanced",
+    "fragment_per_node",
+    "split_fragment",
+    "merge_fragment",
+]

@@ -1,0 +1,196 @@
+"""Fragments and fragmented trees.
+
+The decomposition model follows the paper exactly: fragments are
+disjoint subtrees of the original document; where a sub-fragment was cut
+out, the parent fragment keeps a **virtual node** whose ``fragment_ref``
+names it.  No constraint is placed on nesting depth, fragment sizes or
+the number of fragments ("our fragmentation setting is the most generic
+possible").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.xmltree.node import XMLNode
+from repro.xmltree.serializer import estimated_wire_bytes
+from repro.xmltree.tree import XMLTree
+
+
+class FragmentationError(ValueError):
+    """Raised for inconsistent fragment structures."""
+
+
+class Fragment:
+    """One fragment: an id plus a subtree whose leaves may be virtual."""
+
+    def __init__(self, fragment_id: str, root: XMLNode) -> None:
+        if root.is_virtual:
+            raise FragmentationError("a fragment root cannot be virtual")
+        self.fragment_id = fragment_id
+        self.root = root
+        self._version_cache: Optional[tuple[int, int]] = None  # (size, bytes)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def virtual_nodes(self) -> list[XMLNode]:
+        """The virtual leaves, in document order."""
+        return [node for node in self.root.iter_subtree() if node.is_virtual]
+
+    def sub_fragment_ids(self) -> list[str]:
+        """Ids of direct sub-fragments, in document order.
+
+        This is the paper's ``F_j`` (the sub-fragments of fragment
+        ``F_j``); ``len(...)`` is ``card(F_j)``.
+        """
+        return [node.fragment_ref for node in self.virtual_nodes() if node.fragment_ref]
+
+    def node_by_id(self, node_id: int) -> XMLNode:
+        """Find a node of this fragment by id (linear scan)."""
+        for node in self.root.iter_subtree():
+            if node.node_id == node_id:
+                return node
+        raise KeyError(f"node {node_id} not in fragment {self.fragment_id}")
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        """Number of non-virtual nodes (the paper's |F_j|)."""
+        return self.root.subtree_size()
+
+    def wire_bytes(self) -> int:
+        """Byte cost of shipping this fragment over the network."""
+        return estimated_wire_bytes(self.root)
+
+    def deep_copy(self) -> "Fragment":
+        """Independent copy (fresh node ids)."""
+        return Fragment(self.fragment_id, self.root.deep_copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Fragment {self.fragment_id} size={self.size()} subs={self.sub_fragment_ids()}>"
+
+
+class FragmentedTree:
+    """A complete decomposition: fragment store + fragment-tree shape.
+
+    Invariants checked at construction and after every mutation:
+
+    * exactly one root fragment;
+    * every virtual node references an existing fragment;
+    * every non-root fragment is referenced by exactly one virtual node;
+    * the reference relation is acyclic (a tree).
+    """
+
+    def __init__(self, fragments: dict[str, Fragment], root_fragment_id: str) -> None:
+        self.fragments = dict(fragments)
+        self.root_fragment_id = root_fragment_id
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.root_fragment_id not in self.fragments:
+            raise FragmentationError(f"missing root fragment {self.root_fragment_id!r}")
+        referenced: dict[str, str] = {}
+        for fragment in self.fragments.values():
+            for sub_id in fragment.sub_fragment_ids():
+                if sub_id not in self.fragments:
+                    raise FragmentationError(
+                        f"fragment {fragment.fragment_id} references unknown {sub_id!r}"
+                    )
+                if sub_id in referenced:
+                    raise FragmentationError(f"fragment {sub_id!r} referenced twice")
+                if sub_id == self.root_fragment_id:
+                    raise FragmentationError("the root fragment cannot be referenced")
+                referenced[sub_id] = fragment.fragment_id
+        for fragment_id in self.fragments:
+            if fragment_id != self.root_fragment_id and fragment_id not in referenced:
+                raise FragmentationError(f"fragment {fragment_id!r} is unreachable")
+        self._parents = referenced
+
+    # ------------------------------------------------------------------
+    # Fragment-tree relations (Fig. 2(b), left)
+    # ------------------------------------------------------------------
+    def parent_of(self, fragment_id: str) -> Optional[str]:
+        """Parent fragment id, or None for the root fragment."""
+        if fragment_id == self.root_fragment_id:
+            return None
+        return self._parents[fragment_id]
+
+    def children_of(self, fragment_id: str) -> list[str]:
+        """Direct sub-fragment ids in document order."""
+        return self.fragments[fragment_id].sub_fragment_ids()
+
+    def depth_of(self, fragment_id: str) -> int:
+        """Distance (in fragment-tree edges) from the root fragment."""
+        depth = 0
+        current: Optional[str] = fragment_id
+        while True:
+            current = self.parent_of(current)  # type: ignore[arg-type]
+            if current is None:
+                return depth
+            depth += 1
+
+    def iter_depth_first(self) -> Iterator[str]:
+        """Fragment ids in pre-order over the fragment tree."""
+        stack = [self.root_fragment_id]
+        while stack:
+            fragment_id = stack.pop()
+            yield fragment_id
+            stack.extend(reversed(self.children_of(fragment_id)))
+
+    def fragments_at_depth(self, depth: int) -> list[str]:
+        """All fragment ids at the given fragment-tree depth."""
+        return [fid for fid in self.iter_depth_first() if self.depth_of(fid) == depth]
+
+    def max_depth(self) -> int:
+        """Depth of the deepest fragment."""
+        return max(self.depth_of(fid) for fid in self.fragments)
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def card(self) -> int:
+        """``card(F)``: the number of fragments."""
+        return len(self.fragments)
+
+    def total_size(self) -> int:
+        """Total number of non-virtual nodes across fragments (|T|)."""
+        return sum(fragment.size() for fragment in self.fragments.values())
+
+    # ------------------------------------------------------------------
+    # Reassembly
+    # ------------------------------------------------------------------
+    def stitch(self) -> XMLTree:
+        """Reassemble the original document (on copies; non-destructive)."""
+        root_copy = self._stitch_fragment(self.root_fragment_id)
+        return XMLTree(root_copy)
+
+    def _stitch_fragment(self, fragment_id: str) -> XMLNode:
+        copy = self.fragments[fragment_id].root.deep_copy()
+        # Replace virtual leaves by stitched sub-fragments.
+        for node in list(copy.iter_subtree()):
+            if node.is_virtual and node.fragment_ref:
+                node.replace_with(self._stitch_fragment(node.fragment_ref))
+        return copy
+
+    def deep_copy(self) -> "FragmentedTree":
+        """Independent copy of the whole decomposition."""
+        copies = {fid: fragment.deep_copy() for fid, fragment in self.fragments.items()}
+        return FragmentedTree(copies, self.root_fragment_id)
+
+    def revalidate(self) -> None:
+        """Re-check invariants after in-place mutation (split/merge)."""
+        self._validate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FragmentedTree card={self.card()} size={self.total_size()} "
+            f"root={self.root_fragment_id}>"
+        )
+
+
+__all__ = ["Fragment", "FragmentedTree", "FragmentationError"]

@@ -1,0 +1,231 @@
+"""Fragmenters: turning a document into a :class:`FragmentedTree`.
+
+Three entry points:
+
+* :func:`fragment_at` -- cut at explicitly chosen nodes (the generic
+  primitive; every other strategy reduces to it);
+* :func:`fragment_balanced` -- automatic size-driven cuts producing
+  roughly equal-sized fragments;
+* :func:`fragment_per_node` -- the pathological one-fragment-per-node
+  decomposition used by the Hybrid ParBoX analysis (Section 4).
+
+Plus the two structural update operations of Section 5:
+
+* :func:`split_fragment`  -- the paper's ``splitFragments(v)``;
+* :func:`merge_fragment`  -- the paper's ``mergeFragments(v)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional, Sequence
+
+from repro.fragments.fragment import Fragment, FragmentationError, FragmentedTree
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+
+_fragment_counter = itertools.count(1)
+
+
+def _fresh_id(existing: Iterable[str]) -> str:
+    """A fragment id not clashing with ``existing`` (``F1``, ``F2``, ...)."""
+    taken = set(existing)
+    while True:
+        candidate = f"F{next(_fragment_counter)}"
+        if candidate not in taken:
+            return candidate
+
+
+def fragment_at(
+    tree: XMLTree,
+    cut_nodes: Sequence[XMLNode],
+    root_id: str = "F0",
+    ids: Optional[Sequence[str]] = None,
+    copy: bool = True,
+) -> FragmentedTree:
+    """Cut the document at ``cut_nodes``.
+
+    Each cut node becomes the root of a new fragment; its position in the
+    remaining tree is taken by a virtual node.  Cut nodes may be nested
+    (a cut inside another cut fragments the fragment itself, as the paper
+    allows -- "fragment F1 is itself fragmented").
+
+    ``ids`` optionally names the new fragments (paired with ``cut_nodes``
+    in order); by default fresh ``F<i>`` ids are generated.  With
+    ``copy=True`` (default) the input tree is left untouched.
+    """
+    if copy:
+        id_map: dict[int, XMLNode] = {}
+        root_copy = _copy_with_map(tree.root, id_map)
+        tree = XMLTree(root_copy)
+        cut_nodes = [id_map[node.node_id] for node in cut_nodes]
+
+    if ids is not None and len(ids) != len(cut_nodes):
+        raise ValueError("ids and cut_nodes must have the same length")
+    for node in cut_nodes:
+        if node is tree.root:
+            raise FragmentationError("cannot cut at the root")
+        if node.is_virtual:
+            raise FragmentationError("cannot cut at a virtual node")
+
+    fragments: dict[str, Fragment] = {}
+    used_ids = {root_id}
+    # Cut bottom-up (deepest first) so nested cuts see their inner virtual
+    # nodes already in place.
+    ordered = sorted(
+        zip(cut_nodes, ids or [None] * len(cut_nodes)),
+        key=lambda pair: pair[0].depth(),
+        reverse=True,
+    )
+    for node, maybe_id in ordered:
+        fragment_id = maybe_id or _fresh_id(used_ids)
+        if fragment_id in used_ids:
+            raise FragmentationError(f"duplicate fragment id {fragment_id!r}")
+        used_ids.add(fragment_id)
+        node.replace_with(XMLNode.virtual(fragment_id))
+        fragments[fragment_id] = Fragment(fragment_id, node)
+    fragments[root_id] = Fragment(root_id, tree.root)
+    tree.touch()
+    return FragmentedTree(fragments, root_id)
+
+
+def _copy_with_map(node: XMLNode, id_map: dict[int, XMLNode]) -> XMLNode:
+    """Deep copy remembering old-id -> new-node, so cuts can be re-aimed."""
+    copy = XMLNode(node.label, text=node.text, fragment_ref=node.fragment_ref)
+    id_map[node.node_id] = copy
+    for child in node.children:
+        copy.add_child(_copy_with_map(child, id_map))
+    return copy
+
+
+def fragment_balanced(
+    tree: XMLTree,
+    target_fragments: int,
+    root_id: str = "F0",
+    copy: bool = True,
+) -> FragmentedTree:
+    """Cut into roughly ``target_fragments`` similar-sized fragments.
+
+    Strategy: repeatedly cut the subtree whose size is closest to
+    ``|T| / target_fragments`` among candidates that do not leave the
+    remaining root fragment empty.  Deterministic.
+    """
+    if target_fragments < 1:
+        raise ValueError("target_fragments must be >= 1")
+    if target_fragments == 1:
+        working = tree.deep_copy() if copy else tree
+        return FragmentedTree({root_id: Fragment(root_id, working.root)}, root_id)
+
+    working = tree.deep_copy() if copy else tree
+    goal = max(1, tree.size() // target_fragments)
+    cuts: list[XMLNode] = []
+    cut_roots: set[int] = set()
+    for _ in range(target_fragments - 1):
+        best: Optional[XMLNode] = None
+        best_score: Optional[int] = None
+        for node in working.root.iter_subtree():
+            if node is working.root or node.is_virtual:
+                continue
+            if node.node_id in cut_roots or _has_cut_ancestor(node, cut_roots):
+                continue
+            score = abs(node.subtree_size() - goal)
+            if best_score is None or score < best_score:
+                best, best_score = node, score
+        if best is None:
+            break
+        cuts.append(best)
+        cut_roots.add(best.node_id)
+    return fragment_at(working, cuts, root_id=root_id, copy=False)
+
+
+def _has_cut_ancestor(node: XMLNode, cut_roots: set[int]) -> bool:
+    return any(ancestor.node_id in cut_roots for ancestor in node.iter_ancestors())
+
+
+def fragment_per_node(tree: XMLTree, root_id: str = "F0", copy: bool = True) -> FragmentedTree:
+    """The pathological decomposition: every non-root node is a fragment.
+
+    Gives ``card(F) = |T|``, the regime in which NaiveCentralized beats
+    ParBoX on communication and Hybrid ParBoX must switch strategies.
+    """
+    working = tree.deep_copy() if copy else tree
+    cuts = [node for node in working.root.iter_subtree() if node is not working.root]
+    # fragment_at cuts deepest-first, so nested cuts are safe.
+    return fragment_at(working, cuts, root_id=root_id, copy=False)
+
+
+# ---------------------------------------------------------------------------
+# Section 5 structural updates
+# ---------------------------------------------------------------------------
+
+
+def split_fragment(
+    tree: FragmentedTree,
+    fragment_id: str,
+    node: XMLNode,
+    new_fragment_id: Optional[str] = None,
+) -> str:
+    """The paper's ``splitFragments(v)``.
+
+    Creates a new fragment rooted at ``node`` (a node of ``fragment_id``)
+    and replaces the subtree by a virtual node.  Returns the new
+    fragment's id.  The caller is responsible for assigning the new
+    fragment to a site (Example 5.1 assigns F4 to a new site S3).
+    """
+    fragment = tree.fragments[fragment_id]
+    if node is fragment.root:
+        raise FragmentationError("cannot split a fragment at its own root")
+    if node.is_virtual:
+        raise FragmentationError("cannot split at a virtual node")
+    owner = _owning_root(node)
+    if owner is not fragment.root:
+        raise FragmentationError(f"node {node.node_id} is not in fragment {fragment_id}")
+    new_id = new_fragment_id or _fresh_id(tree.fragments)
+    if new_id in tree.fragments:
+        raise FragmentationError(f"duplicate fragment id {new_id!r}")
+    node.replace_with(XMLNode.virtual(new_id))
+    tree.fragments[new_id] = Fragment(new_id, node)
+    tree.revalidate()
+    return new_id
+
+
+def merge_fragment(tree: FragmentedTree, fragment_id: str, virtual_node: XMLNode) -> Optional[str]:
+    """The paper's ``mergeFragments(v)``.
+
+    Merges the sub-fragment referenced by ``virtual_node`` (a virtual
+    node of fragment ``fragment_id``) back into it.  Following the paper,
+    "if v is not virtual, no action is taken" -- returns None in that
+    case, else the id of the absorbed fragment.  The absorbed fragment's
+    own virtual leaves (its sub-fragments) are preserved: they become
+    sub-fragments of ``fragment_id``.
+    """
+    if not virtual_node.is_virtual:
+        return None
+    fragment = tree.fragments[fragment_id]
+    if _owning_root(virtual_node) is not fragment.root:
+        raise FragmentationError(
+            f"virtual node {virtual_node.node_id} is not in fragment {fragment_id}"
+        )
+    absorbed_id = virtual_node.fragment_ref
+    assert absorbed_id is not None
+    absorbed = tree.fragments.pop(absorbed_id)
+    virtual_node.replace_with(absorbed.root)
+    tree.revalidate()
+    return absorbed_id
+
+
+def _owning_root(node: XMLNode) -> XMLNode:
+    """The root of the (fragment) tree containing ``node``."""
+    current = node
+    while current.parent is not None:
+        current = current.parent
+    return current
+
+
+__all__ = [
+    "fragment_at",
+    "fragment_balanced",
+    "fragment_per_node",
+    "split_fragment",
+    "merge_fragment",
+]

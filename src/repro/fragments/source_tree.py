@@ -1,0 +1,177 @@
+"""Placement and the source tree (paper, Section 2.1 / Fig. 2(b)).
+
+The *placement* is the paper's mapping function ``h`` assigning each
+fragment to a site.  The *source tree* ``S_T`` is the fragment tree
+relabelled by ``h``; it is **the only structure the evaluation and
+maintenance algorithms require** -- they never inspect fragment contents
+beyond what the sites report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.fragments.fragment import FragmentedTree
+
+
+class Placement:
+    """The assignment ``h: fragment id -> site id``."""
+
+    def __init__(self, assignment: dict[str, str]) -> None:
+        self._assignment = dict(assignment)
+
+    def site_of(self, fragment_id: str) -> str:
+        """The site storing ``fragment_id``."""
+        return self._assignment[fragment_id]
+
+    def assign(self, fragment_id: str, site_id: str) -> None:
+        """Add or move a fragment's assignment."""
+        self._assignment[fragment_id] = site_id
+
+    def remove(self, fragment_id: str) -> None:
+        """Forget a fragment (after a merge)."""
+        del self._assignment[fragment_id]
+
+    def fragments_of(self, site_id: str) -> list[str]:
+        """All fragments stored at ``site_id`` (insertion order)."""
+        return [fid for fid, sid in self._assignment.items() if sid == site_id]
+
+    def sites(self) -> list[str]:
+        """Distinct site ids, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for site_id in self._assignment.values():
+            seen.setdefault(site_id)
+        return list(seen)
+
+    def items(self) -> Iterator[tuple[str, str]]:
+        """Iterate ``(fragment_id, site_id)`` pairs."""
+        return iter(self._assignment.items())
+
+    def copy(self) -> "Placement":
+        """Independent copy."""
+        return Placement(self._assignment)
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Placement {self._assignment!r}>"
+
+
+class SourceTree:
+    """The source tree ``S_T``: fragment-tree shape + site labels.
+
+    A snapshot structure: build it from a :class:`FragmentedTree` and a
+    :class:`Placement` with :meth:`from_fragmented_tree`, or rebuild it
+    after fragmentation changes (split/merge).  It deliberately stores
+    only ids and the parent relation -- the metadata a coordinator would
+    realistically hold.
+    """
+
+    def __init__(
+        self,
+        root_fragment_id: str,
+        parents: dict[str, Optional[str]],
+        children: dict[str, list[str]],
+        site_by_fragment: dict[str, str],
+    ) -> None:
+        self.root_fragment_id = root_fragment_id
+        self._parents = dict(parents)
+        self._children = {fid: list(subs) for fid, subs in children.items()}
+        self._site_by_fragment = dict(site_by_fragment)
+
+    @classmethod
+    def from_fragmented_tree(cls, tree: FragmentedTree, placement: Placement) -> "SourceTree":
+        """Induce the source tree from a decomposition and its placement."""
+        parents: dict[str, Optional[str]] = {}
+        children: dict[str, list[str]] = {}
+        site_by_fragment: dict[str, str] = {}
+        for fragment_id in tree.fragments:
+            parents[fragment_id] = tree.parent_of(fragment_id)
+            children[fragment_id] = tree.children_of(fragment_id)
+            site_by_fragment[fragment_id] = placement.site_of(fragment_id)
+        return cls(tree.root_fragment_id, parents, children, site_by_fragment)
+
+    # ------------------------------------------------------------------
+    # Sites
+    # ------------------------------------------------------------------
+    def sites(self) -> list[str]:
+        """Distinct sites appearing in the source tree."""
+        seen: dict[str, None] = {}
+        for fragment_id in self.iter_fragments_preorder():
+            seen.setdefault(self._site_by_fragment[fragment_id])
+        return list(seen)
+
+    def site_of(self, fragment_id: str) -> str:
+        """The site storing the given fragment."""
+        return self._site_by_fragment[fragment_id]
+
+    def fragments_of(self, site_id: str) -> list[str]:
+        """Fragments stored at a site, in pre-order (``card(F_Si)`` many)."""
+        return [
+            fragment_id
+            for fragment_id in self.iter_fragments_preorder()
+            if self._site_by_fragment[fragment_id] == site_id
+        ]
+
+    @property
+    def coordinator_site(self) -> str:
+        """The site holding the root fragment (default coordinator)."""
+        return self._site_by_fragment[self.root_fragment_id]
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    def fragment_ids(self) -> list[str]:
+        """All fragment ids, pre-order."""
+        return list(self.iter_fragments_preorder())
+
+    def iter_fragments_preorder(self) -> Iterator[str]:
+        """Pre-order traversal of the fragment-tree shape."""
+        stack = [self.root_fragment_id]
+        while stack:
+            fragment_id = stack.pop()
+            yield fragment_id
+            stack.extend(reversed(self._children[fragment_id]))
+
+    def parent_of(self, fragment_id: str) -> Optional[str]:
+        """Parent fragment id (None for the root fragment)."""
+        return self._parents[fragment_id]
+
+    def children_of(self, fragment_id: str) -> list[str]:
+        """Direct sub-fragment ids."""
+        return list(self._children[fragment_id])
+
+    def depth_of(self, fragment_id: str) -> int:
+        """Fragment-tree depth (root fragment = 0)."""
+        depth = 0
+        current = self._parents[fragment_id]
+        while current is not None:
+            depth += 1
+            current = self._parents[current]
+        return depth
+
+    def fragments_at_depth(self, depth: int) -> list[str]:
+        """Fragments at the given depth, pre-order."""
+        return [fid for fid in self.iter_fragments_preorder() if self.depth_of(fid) == depth]
+
+    def max_depth(self) -> int:
+        """Depth of the deepest fragment."""
+        return max(self.depth_of(fid) for fid in self.fragment_ids())
+
+    def card(self) -> int:
+        """``card(F)``: the number of fragments."""
+        return len(self._parents)
+
+    def wire_bytes(self) -> int:
+        """Approximate size of shipping the source tree to a site."""
+        total = 0
+        for fragment_id in self.iter_fragments_preorder():
+            total += len(fragment_id) + len(self._site_by_fragment[fragment_id]) + 8
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SourceTree card={self.card()} sites={len(self.sites())}>"
+
+
+__all__ = ["Placement", "SourceTree"]

@@ -1,0 +1,21 @@
+"""Incremental maintenance of Boolean XPath views (paper, Section 5).
+
+A materialized view ``M(q, T)`` caches ``(S_T, ans)`` -- the source tree
+and the query answer -- augmented (as the paper's algorithm outline
+requires) with the per-fragment ``(V, CV, DV)`` triplets.  Under the four
+update operations (``insNode``, ``delNode``, ``splitFragments``,
+``mergeFragments``) maintenance is localized: only the updated
+fragment's site recomputes, only its triplet crosses the network, and
+``evalST`` re-runs at the view site only when the triplet actually
+changed.
+"""
+
+from repro.views.materialized import MaterializedView, MaintenanceReport
+from repro.views.registry import SubscriptionRegistry, RegistryReport
+
+__all__ = [
+    "MaterializedView",
+    "MaintenanceReport",
+    "SubscriptionRegistry",
+    "RegistryReport",
+]

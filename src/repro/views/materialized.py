@@ -1,0 +1,267 @@
+"""The materialized view and its incremental maintenance algorithm.
+
+Lifecycle (paper, Section 5):
+
+* :meth:`MaterializedView.create` runs ParBoX once and caches the state
+  ``(S_T, ans)`` plus every fragment's triplet;
+* **content updates** -- after a batch of ``insNode`` / ``delNode`` on
+  one fragment, call :meth:`refresh_fragment`: only that fragment's site
+  re-runs ``bottomUp``; the new triplet is shipped to the view site and,
+  *only if it differs from the cached one*, ``evalST`` recomputes
+  ``ans``.  Communication is ``O(|q| card(F_j))`` -- independent of both
+  ``|T|`` and the update size;
+* **structural updates** -- :meth:`apply_split` / :meth:`apply_merge`
+  wrap the cluster's ``splitFragments`` / ``mergeFragments``; ``ans``
+  provably cannot change, but the source tree and the affected triplets
+  are refreshed (two new triplets cross the network on a split, one on
+  a merge).
+
+Every maintenance call returns a :class:`MaintenanceReport` so tests and
+benchmarks can check the locality and traffic bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.boolexpr.compose import FormulaAlgebra
+from repro.core.bottom_up import bottom_up
+from repro.core.engine import MSG_TRIPLET
+from repro.core.eval_st import answer_variable, build_equation_system
+from repro.core.parbox import ParBoXEngine
+from repro.core.vectors import VectorTriplet
+from repro.distsim.cluster import Cluster
+from repro.distsim.runtime import Run
+from repro.xmltree.node import XMLNode
+from repro.xpath.qlist import QList
+
+
+@dataclass(frozen=True)
+class MaintenanceReport:
+    """What one maintenance step cost, and whether the answer moved."""
+
+    operation: str
+    fragment_id: str
+    answer: bool
+    answer_changed: bool
+    triplet_changed: bool
+    sites_visited: tuple[str, ...]
+    traffic_bytes: int
+    nodes_recomputed: int
+
+    def is_localized(self) -> bool:
+        """True when at most one (data) site participated."""
+        return len(self.sites_visited) <= 1
+
+
+class MaterializedView:
+    """A cached Boolean XPath view over a fragmented, distributed tree."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        qlist: QList,
+        view_site: Optional[str] = None,
+        algebra: Optional[FormulaAlgebra] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.qlist = qlist
+        self.algebra = algebra
+        self.view_site = view_site or cluster.coordinator_site
+        self.triplets: dict[str, VectorTriplet] = {}
+        self.ans: bool = False
+        self._created = False
+
+    # ------------------------------------------------------------------
+    # Creation
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        cluster: Cluster,
+        qlist: QList,
+        view_site: Optional[str] = None,
+        algebra: Optional[FormulaAlgebra] = None,
+    ) -> "MaterializedView":
+        """Materialize the view by running ParBoX once."""
+        view = cls(cluster, qlist, view_site=view_site, algebra=algebra)
+        view._initial_evaluation()
+        return view
+
+    def _initial_evaluation(self) -> None:
+        # One ParBoX pass: every fragment's triplet is computed and cached.
+        source_tree = self.cluster.source_tree()
+        for fragment_id in source_tree.fragment_ids():
+            triplet, _ = bottom_up(self.cluster.fragment(fragment_id), self.qlist, self.algebra)
+            self.triplets[fragment_id] = triplet
+        self.ans = self._solve()
+        self._created = True
+
+    def _solve(self) -> bool:
+        system = build_equation_system(self.triplets)
+        return system.value_of(answer_variable(self.cluster.source_tree(), self.qlist))
+
+    # ------------------------------------------------------------------
+    # Content updates (insNode / delNode batches)
+    # ------------------------------------------------------------------
+    def refresh_fragment(self, fragment_id: str) -> MaintenanceReport:
+        """Incrementally maintain after updates inside one fragment.
+
+        Only the site storing ``fragment_id`` is visited; it re-runs
+        ``bottomUp`` on that fragment alone and ships the new triplet to
+        the view site.  If the triplet is identical to the cached one,
+        maintenance stops without touching ``ans``.
+        """
+        run = Run(self.cluster)
+        site_id = self.cluster.site_of(fragment_id)
+        run.visit(site_id)
+        fragment = self.cluster.fragment(fragment_id)
+        (pair, _seconds) = run.compute(
+            site_id, lambda: bottom_up(fragment, self.qlist, self.algebra)
+        )
+        new_triplet, stats = pair
+        run.add_ops(stats.nodes_visited, stats.qlist_ops)
+        run.message(site_id, self.view_site, new_triplet.wire_bytes(), MSG_TRIPLET)
+
+        old_triplet = self.triplets[fragment_id]
+        triplet_changed = new_triplet != old_triplet
+        old_answer = self.ans
+        if triplet_changed:
+            self.triplets[fragment_id] = new_triplet
+            self.ans = self._solve()
+        run.finish(0.0)
+        return MaintenanceReport(
+            operation="refresh",
+            fragment_id=fragment_id,
+            answer=self.ans,
+            answer_changed=self.ans != old_answer,
+            triplet_changed=triplet_changed,
+            sites_visited=tuple(run.metrics.visits),
+            traffic_bytes=run.metrics.bytes_total,
+            nodes_recomputed=stats.nodes_visited,
+        )
+
+    def insert_node(
+        self,
+        fragment_id: str,
+        parent: XMLNode,
+        label: str,
+        text: Optional[str] = None,
+    ) -> MaintenanceReport:
+        """``insNode(A, v)`` inside a fragment, then incremental refresh."""
+        node = XMLNode(label, text=text)
+        parent.add_child(node)
+        return self.refresh_fragment(fragment_id)
+
+    def delete_node(self, fragment_id: str, node: XMLNode) -> MaintenanceReport:
+        """``delNode(v)`` inside a fragment, then incremental refresh."""
+        fragment = self.cluster.fragment(fragment_id)
+        if node is fragment.root:
+            raise ValueError("cannot delete a fragment's root")
+        node.detach()
+        return self.refresh_fragment(fragment_id)
+
+    # ------------------------------------------------------------------
+    # Structural updates (splitFragments / mergeFragments)
+    # ------------------------------------------------------------------
+    def apply_split(
+        self,
+        fragment_id: str,
+        node: XMLNode,
+        new_fragment_id: Optional[str] = None,
+        target_site: Optional[str] = None,
+    ) -> MaintenanceReport:
+        """``splitFragments(v)``: update state without touching ``ans``.
+
+        The split site recomputes and ships **two** triplets (revised
+        ``F_j`` and new ``F_k``); the answer provably does not change --
+        asserted here as a safety net.
+        """
+        run = Run(self.cluster)
+        origin_site = self.cluster.site_of(fragment_id)
+        new_id = self.cluster.split_fragment(fragment_id, node, new_fragment_id, target_site)
+        run.visit(origin_site)
+
+        nodes = 0
+        for fid in (fragment_id, new_id):
+            (pair, _seconds) = run.compute(
+                origin_site,
+                lambda f=self.cluster.fragment(fid): bottom_up(f, self.qlist, self.algebra),
+            )
+            triplet, stats = pair
+            run.add_ops(stats.nodes_visited, stats.qlist_ops)
+            nodes += stats.nodes_visited
+            self.triplets[fid] = triplet
+            run.message(origin_site, self.view_site, triplet.wire_bytes(), MSG_TRIPLET)
+
+        old_answer = self.ans
+        self.ans = self._solve()
+        assert self.ans == old_answer, "splitFragments must not change the view answer"
+        run.finish(0.0)
+        return MaintenanceReport(
+            operation="split",
+            fragment_id=fragment_id,
+            answer=self.ans,
+            answer_changed=False,
+            triplet_changed=True,
+            sites_visited=tuple(run.metrics.visits),
+            traffic_bytes=run.metrics.bytes_total,
+            nodes_recomputed=nodes,
+        )
+
+    def apply_merge(self, fragment_id: str, virtual_node: XMLNode) -> MaintenanceReport:
+        """``mergeFragments(v)``: absorb a sub-fragment; ``ans`` unchanged."""
+        run = Run(self.cluster)
+        absorbed = self.cluster.merge_fragment(fragment_id, virtual_node)
+        if absorbed is None:  # the paper's no-op case
+            run.finish(0.0)
+            return MaintenanceReport(
+                operation="merge-noop",
+                fragment_id=fragment_id,
+                answer=self.ans,
+                answer_changed=False,
+                triplet_changed=False,
+                sites_visited=(),
+                traffic_bytes=0,
+                nodes_recomputed=0,
+            )
+        self.triplets.pop(absorbed, None)
+        site_id = self.cluster.site_of(fragment_id)
+        run.visit(site_id)
+        (pair, _seconds) = run.compute(
+            site_id,
+            lambda: bottom_up(self.cluster.fragment(fragment_id), self.qlist, self.algebra),
+        )
+        triplet, stats = pair
+        run.add_ops(stats.nodes_visited, stats.qlist_ops)
+        self.triplets[fragment_id] = triplet
+        run.message(site_id, self.view_site, triplet.wire_bytes(), MSG_TRIPLET)
+
+        old_answer = self.ans
+        self.ans = self._solve()
+        assert self.ans == old_answer, "mergeFragments must not change the view answer"
+        run.finish(0.0)
+        return MaintenanceReport(
+            operation="merge",
+            fragment_id=fragment_id,
+            answer=self.ans,
+            answer_changed=False,
+            triplet_changed=True,
+            sites_visited=tuple(run.metrics.visits),
+            traffic_bytes=run.metrics.bytes_total,
+            nodes_recomputed=stats.nodes_visited,
+        )
+
+    # ------------------------------------------------------------------
+    # Oracles
+    # ------------------------------------------------------------------
+    def recompute_from_scratch(self) -> bool:
+        """Full ParBoX re-evaluation (the expensive alternative)."""
+        return ParBoXEngine(self.cluster, self.algebra).evaluate(self.qlist).answer
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MaterializedView ans={self.ans} fragments={len(self.triplets)}>"
+
+
+__all__ = ["MaterializedView", "MaintenanceReport"]

@@ -1,0 +1,49 @@
+"""Workloads: documents, fragmentations and queries for the experiments.
+
+* :mod:`repro.workloads.portfolio` -- the paper's running example (the
+  stock portfolio of Fig. 1(b) with the fragmentation of Fig. 2);
+* :mod:`repro.workloads.xmark` -- a deterministic XMark-like auction
+  document generator (the paper's data source), sized in *scaled MB*;
+* :mod:`repro.workloads.queries` -- query factories: the four
+  ``|QList| in {2, 8, 15, 23}`` sizes of Experiments 1-3 and the
+  fragment-targeted ``qFk`` queries of Experiment 2;
+* :mod:`repro.workloads.topologies` -- the fragment-tree shapes of
+  Fig. 6 (star FT1, chain FT2, bushy FT3) realized over XMark data.
+"""
+
+from repro.workloads.portfolio import (
+    build_portfolio_tree,
+    build_portfolio_cluster,
+    PORTFOLIO_QUERIES,
+)
+from repro.workloads.xmark import generate_xmark_site, NODES_PER_SCALED_MB
+from repro.workloads.queries import (
+    query_of_size,
+    QUERY_SIZES,
+    seal_query,
+    random_query,
+)
+from repro.workloads.topologies import (
+    star_ft1,
+    chain_ft2,
+    bushy_ft3,
+    co_located,
+    FT3_SHAPE,
+)
+
+__all__ = [
+    "build_portfolio_tree",
+    "build_portfolio_cluster",
+    "PORTFOLIO_QUERIES",
+    "generate_xmark_site",
+    "NODES_PER_SCALED_MB",
+    "query_of_size",
+    "QUERY_SIZES",
+    "seal_query",
+    "random_query",
+    "star_ft1",
+    "chain_ft2",
+    "bushy_ft3",
+    "co_located",
+    "FT3_SHAPE",
+]

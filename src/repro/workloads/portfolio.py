@@ -1,0 +1,159 @@
+"""The paper's running example: the stock portfolio of Fig. 1(b).
+
+The document: a person trades stocks through two brokers in two
+(overlapping) markets; per stock, the code, the price paid (``buy``)
+and the current selling price (``sell``).
+
+``build_portfolio_cluster`` reproduces the fragmentation of Fig. 2:
+
+* **F0** (root) -- the portfolio plus the Bache/NYSE subtree; stored on
+  the owner's desktop ``S0``;
+* **F1** -- the Merill Lynch broker (which "requires that all trade data
+  are accessed through its own servers"), on ``S1``; F1 is itself
+  fragmented:
+* **F2** -- the NASDAQ-held GOOG position inside F1, on the NASDAQ
+  server ``S2``;
+* **F3** -- the Bache/NASDAQ market data, also on ``S2`` ("fragments F2
+  and F3 are both stored in its own servers").
+"""
+
+from __future__ import annotations
+
+from repro.distsim.cluster import Cluster
+from repro.fragments.fragment import Fragment, FragmentedTree
+from repro.fragments.source_tree import Placement
+from repro.xmltree.builder import element
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+
+#: Queries from the paper's prose, ready to compile.
+PORTFOLIO_QUERIES = {
+    # Section 1: "whether the GOOG stock reaches a selling price of $376".
+    "goog_sell_376": '[//stock[code = "GOOG" and sell = "376"]]',
+    # Section 2.2's example query.
+    "goog_not_yhoo": (
+        '[//broker[//stock/code/text() = "GOOG" and '
+        'not(//stock/code/text() = "YHOO")]]'
+    ),
+    # Example 2.1's query.
+    "yhoo": '[//stock[code/text() = "YHOO"]]',
+    # Section 4's lazy-evaluation example.
+    "merill": '[/portofolio/broker/name = "Merill Lynch"]',
+}
+
+
+def _stock(code: str, buy: str, sell: str) -> XMLNode:
+    return element(
+        "stock",
+        element("code", text=code),
+        element("buy", text=buy),
+        element("sell", text=sell),
+    )
+
+
+def build_portfolio_tree() -> XMLTree:
+    """The whole (unfragmented) portfolio document."""
+    root = element(
+        "portofolio",  # the paper's spelling, kept for query fidelity
+        element(
+            "broker",
+            element("name", text="Bache"),
+            element(
+                "market",
+                element("name", text="NYSE"),
+                _stock("IBM", "80", "78"),
+                _stock("HPQ", "30", "33"),
+            ),
+        ),
+        element(
+            "broker",
+            element("name", text="Merill Lynch"),
+            element(
+                "market",
+                element("name", text="NASDAQ"),
+                _stock("AAPL", "71", "65"),
+                _stock("GOOG", "370", "372"),
+            ),
+        ),
+        element(
+            "broker",
+            element("name", text="Bache"),
+            element(
+                "market",
+                element("name", text="NASDAQ"),
+                _stock("YHOO", "33", "35"),
+                _stock("GOOG", "374", "373"),
+            ),
+        ),
+    )
+    return XMLTree(root)
+
+
+def build_portfolio_fragments() -> FragmentedTree:
+    """The fragmentation of Fig. 2: F0 -> {F1 -> F2, F3}."""
+    # F2: the GOOG position held at NASDAQ inside the Merill Lynch data.
+    f2_root = _stock("GOOG", "370", "372")
+
+    # F1: the Merill Lynch broker; its GOOG stock is the virtual F2.
+    f1_root = element(
+        "broker",
+        element("name", text="Merill Lynch"),
+        element(
+            "market",
+            element("name", text="NASDAQ"),
+            _stock("AAPL", "71", "65"),
+            XMLNode.virtual("F2"),
+        ),
+    )
+
+    # F3: the Bache-visible NASDAQ market data.
+    f3_root = element(
+        "market",
+        element("name", text="NASDAQ"),
+        _stock("YHOO", "33", "35"),
+        _stock("GOOG", "374", "373"),
+    )
+
+    # F0: the root fragment -- portfolio, the local Bache/NYSE data, and
+    # virtual nodes for F1 and F3.
+    f0_root = element(
+        "portofolio",
+        element(
+            "broker",
+            element("name", text="Bache"),
+            element(
+                "market",
+                element("name", text="NYSE"),
+                _stock("IBM", "80", "78"),
+                _stock("HPQ", "30", "33"),
+            ),
+        ),
+        XMLNode.virtual("F1"),
+        element(
+            "broker",
+            element("name", text="Bache"),
+            XMLNode.virtual("F3"),
+        ),
+    )
+
+    fragments = {
+        "F0": Fragment("F0", f0_root),
+        "F1": Fragment("F1", f1_root),
+        "F2": Fragment("F2", f2_root),
+        "F3": Fragment("F3", f3_root),
+    }
+    return FragmentedTree(fragments, "F0")
+
+
+def build_portfolio_cluster() -> Cluster:
+    """Fragments placed as in Fig. 2(b): F0@S0, F1@S1, F2@S2, F3@S2."""
+    placement = Placement({"F0": "S0", "F1": "S1", "F2": "S2", "F3": "S2"})
+    return Cluster(build_portfolio_fragments(), placement)
+
+
+__all__ = [
+    "PORTFOLIO_QUERIES",
+    "build_portfolio_tree",
+    "build_portfolio_fragments",
+    "build_portfolio_cluster",
+]

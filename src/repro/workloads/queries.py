@@ -1,0 +1,133 @@
+"""Query workloads.
+
+Experiments 1 and 3 sweep the query size ``|QList(q)| in {2, 8, 15, 23}``
+(paper Figs. 8 and 12).  :func:`query_of_size` returns hand-crafted XBL
+queries over the XMark vocabulary whose *compiled* sizes hit those
+targets exactly -- each factory call re-verifies the size, so a change
+to the normalizer or the QList compiler cannot silently shift the
+experimental parameters.
+
+Experiment 2 needs queries satisfied by one specific fragment
+(``qF0``, ``qFn``, ``qF(n/2)``); the topology factories plant a unique
+``seal`` marker per fragment and :func:`seal_query` targets it.
+
+:func:`random_query` generates seeded random XBL queries for the
+property-based tests (not for the benchmarks).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xpath import compile_query
+from repro.xpath.qlist import QList
+
+#: The query sizes used by the paper's Experiments 1 and 3.
+QUERY_SIZES = (2, 8, 15, 23)
+
+# Queries tuned so that |QList| is exactly the dict key.  Verified at
+# every use by query_of_size().
+_SIZED_QUERIES = {
+    # [*]: "the root has a child".  |QList| = 2 (eps, child).
+    2: "[*]",
+    # Persons having a profile, anywhere.  |QList| = 8.
+    8: "[//person[profile]]",
+    # A bid with increase 7 exists, and some category is defined.
+    # |QList| = 15.
+    15: '[//bidder[increase/text() = "7"] and //category]',
+    # No auction has a bid increase of 7, yet some profile mentions an
+    # education.  |QList| = 23.
+    23: (
+        '[not(//open_auction[bidder/increase/text() = "7"]) and '
+        "//profile[education]]"
+    ),
+}
+
+
+def query_of_size(size: int) -> QList:
+    """Compile the canonical benchmark query with ``|QList| == size``."""
+    try:
+        text = _SIZED_QUERIES[size]
+    except KeyError:
+        raise ValueError(f"no canonical query of size {size}; have {sorted(_SIZED_QUERIES)}")
+    qlist = compile_query(text)
+    if len(qlist) != size:
+        raise AssertionError(
+            f"query {text!r} compiled to |QList|={len(qlist)}, expected {size}"
+        )
+    return qlist
+
+
+def seal_query(fragment_id: str) -> QList:
+    """A query satisfied exactly by the fragment carrying the given seal.
+
+    The topology factories add ``<seal>seal-<fid></seal>`` under each
+    fragment's root, so ``[//seal/text() = "seal-Fk"]`` is true on the
+    whole tree iff fragment ``Fk`` participates -- and resolvable by
+    LazyParBoX only once it has descended to ``Fk``'s depth.
+    """
+    return compile_query(f'[//seal/text() = "seal-{fragment_id}"]')
+
+
+# ---------------------------------------------------------------------------
+# Random queries for property-based testing
+# ---------------------------------------------------------------------------
+
+_LABEL_POOL = (
+    "site", "regions", "item", "name", "person", "profile", "education",
+    "open_auction", "bidder", "increase", "city", "category", "seal", "a", "b",
+)
+_TEXT_POOL = ("lagos", "college", "7", "category-1", "gold", "x")
+
+
+def random_query(
+    rng: random.Random,
+    max_depth: int = 3,
+    labels: tuple[str, ...] = _LABEL_POOL,
+    texts: tuple[str, ...] = _TEXT_POOL,
+) -> str:
+    """A random textual XBL query (seeded; used by the oracle tests)."""
+    return f"[{_random_bool(rng, max_depth, labels, texts)}]"
+
+
+def _random_bool(rng: random.Random, depth: int, labels, texts) -> str:
+    choices = ["path", "texteq"]
+    if depth > 0:
+        choices += ["and", "or", "not"]
+    kind = rng.choice(choices)
+    if kind == "and":
+        return (
+            f"({_random_bool(rng, depth - 1, labels, texts)} and "
+            f"{_random_bool(rng, depth - 1, labels, texts)})"
+        )
+    if kind == "or":
+        return (
+            f"({_random_bool(rng, depth - 1, labels, texts)} or "
+            f"{_random_bool(rng, depth - 1, labels, texts)})"
+        )
+    if kind == "not":
+        return f"not({_random_bool(rng, depth - 1, labels, texts)})"
+    path = _random_path(rng, depth, labels, texts)
+    if kind == "texteq":
+        return f'{path}/text() = "{rng.choice(texts)}"'
+    return path
+
+
+def _random_path(rng: random.Random, depth: int, labels, texts) -> str:
+    length = rng.randint(1, 3)
+    pieces: list[str] = []
+    for index in range(length):
+        if index == 0:
+            sep = rng.choice(["", "", "//", "/"])
+        else:
+            sep = rng.choice(["/", "//"])
+        step = rng.choice(["label", "label", "label", "star"])
+        name = rng.choice(labels) if step == "label" else "*"
+        qualifier = ""
+        if depth > 0 and rng.random() < 0.3:
+            qualifier = f"[{_random_bool(rng, depth - 1, labels, texts)}]"
+        pieces.append(f"{sep}{name}{qualifier}")
+    return "".join(pieces)
+
+
+__all__ = ["QUERY_SIZES", "query_of_size", "seal_query", "random_query"]

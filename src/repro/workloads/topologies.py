@@ -1,0 +1,168 @@
+"""The fragment-tree topologies of the experiments (paper, Fig. 6).
+
+* **FT1** (:func:`star_ft1`) -- F0 with F1..Fn-1 as direct
+  sub-fragments; Experiment 1's shape.
+* **FT2** (:func:`chain_ft2`) -- a chain F0 <- F1 <- ... <- Fn ("in a
+  temporal database each fragment can represent an XMark site at a point
+  in time"); Experiment 2's shape.
+* **FT3** (:func:`bushy_ft3`) -- the natural bushy tree of Experiment 3,
+  8 fragments with the paper's per-fragment size ratios.
+* :func:`co_located` -- Experiment 4: all fragments on one site.
+
+Every fragment is an XMark-like "site" document; a virtual node for each
+sub-fragment is attached under the fragment root, and each fragment
+carries a unique ``<seal>seal-<fid></seal>`` marker so Experiment 2's
+targeted queries (:func:`repro.workloads.queries.seal_query`) can be
+aimed at any fragment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.distsim.cluster import Cluster
+from repro.fragments.fragment import Fragment, FragmentedTree
+from repro.fragments.source_tree import Placement
+from repro.workloads.xmark import generate_xmark_site
+from repro.xmltree.node import XMLNode
+
+
+def _xmark_fragment(
+    fragment_id: str,
+    scaled_mb: float,
+    seed: int,
+    site_index: int,
+    sub_fragments: Sequence[str] = (),
+    nodes_per_mb: Optional[int] = None,
+) -> Fragment:
+    """One XMark site as a fragment, with seal marker and virtual leaves."""
+    tree = generate_xmark_site(scaled_mb, seed=seed, site_index=site_index, nodes_per_mb=nodes_per_mb)
+    root = tree.root
+    root.add_child(XMLNode("seal", text=f"seal-{fragment_id}"))
+    for sub_id in sub_fragments:
+        root.add_child(XMLNode.virtual(sub_id))
+    return Fragment(fragment_id, root)
+
+
+def star_ft1(
+    n_fragments: int,
+    total_mb: float,
+    seed: int = 0,
+    nodes_per_mb: Optional[int] = None,
+    one_site_each: bool = True,
+) -> Cluster:
+    """FT1: F0 with F1..F{n-1} as direct children, equal sizes.
+
+    With ``one_site_each`` (Experiments 1-3's placement) fragment ``Fi``
+    goes to site ``Si``; otherwise everything lands on ``S0``
+    (Experiment 4's placement).
+    """
+    if n_fragments < 1:
+        raise ValueError("need at least one fragment")
+    per_fragment = total_mb / n_fragments
+    ids = [f"F{i}" for i in range(n_fragments)]
+    fragments = {
+        "F0": _xmark_fragment("F0", per_fragment, seed, 0, sub_fragments=ids[1:], nodes_per_mb=nodes_per_mb)
+    }
+    for index, fragment_id in enumerate(ids[1:], start=1):
+        fragments[fragment_id] = _xmark_fragment(
+            fragment_id, per_fragment, seed, index, nodes_per_mb=nodes_per_mb
+        )
+    tree = FragmentedTree(fragments, "F0")
+    if one_site_each:
+        placement = Placement({fid: f"S{i}" for i, fid in enumerate(ids)})
+    else:
+        placement = Placement({fid: "S0" for fid in ids})
+    return Cluster(tree, placement)
+
+
+def chain_ft2(
+    n_fragments: int,
+    total_mb: float,
+    seed: int = 0,
+    nodes_per_mb: Optional[int] = None,
+) -> Cluster:
+    """FT2: the chain F0 <- F1 <- ... <- F{n-1}, equal sizes, one site each."""
+    if n_fragments < 1:
+        raise ValueError("need at least one fragment")
+    per_fragment = total_mb / n_fragments
+    ids = [f"F{i}" for i in range(n_fragments)]
+    fragments: dict[str, Fragment] = {}
+    for index, fragment_id in enumerate(ids):
+        subs = [ids[index + 1]] if index + 1 < n_fragments else []
+        fragments[fragment_id] = _xmark_fragment(
+            fragment_id, per_fragment, seed, index, sub_fragments=subs, nodes_per_mb=nodes_per_mb
+        )
+    tree = FragmentedTree(fragments, "F0")
+    placement = Placement({fid: f"S{i}" for i, fid in enumerate(ids)})
+    return Cluster(tree, placement)
+
+
+#: FT3's shape: fragment id -> direct sub-fragments.
+FT3_SHAPE: dict[str, tuple[str, ...]] = {
+    "F0": ("F1", "F2", "F3"),
+    "F1": ("F4", "F5"),
+    "F2": ("F6",),
+    "F3": ("F7",),
+    "F4": (),
+    "F5": (),
+    "F6": (),
+    "F7": (),
+}
+
+
+def ft3_sizes(iteration: int) -> dict[str, float]:
+    """Per-fragment scaled-MB sizes for Experiment 3's iteration 0..9.
+
+    Follows the paper's ranges: F0 fixed at ~10 MB; F1 grows 10->50 MB in
+    5 MB steps; F2 grows 3.5->15 MB in ~1.28 MB steps; F7 grows
+    0.7->3.7 MB; the remaining fragments share the rest so the totals
+    sweep ~45->160 MB.
+    """
+    if not 0 <= iteration <= 9:
+        raise ValueError("iteration must be in 0..9")
+    step = iteration / 9.0
+    sizes = {
+        "F0": 10.0,
+        "F1": 10.0 + 40.0 * step,
+        "F2": 3.5 + 11.5 * step,
+        "F7": 0.7 + 3.0 * step,
+    }
+    totals = 45.0 + 115.0 * step
+    rest = totals - sum(sizes.values())
+    for fragment_id in ("F3", "F4", "F5", "F6"):
+        sizes[fragment_id] = rest / 4.0
+    return sizes
+
+
+def bushy_ft3(
+    iteration: int,
+    seed: int = 0,
+    nodes_per_mb: Optional[int] = None,
+) -> Cluster:
+    """FT3 at the given Experiment 3 iteration, one fragment per site."""
+    sizes = ft3_sizes(iteration)
+    fragments: dict[str, Fragment] = {}
+    for index, (fragment_id, subs) in enumerate(FT3_SHAPE.items()):
+        fragments[fragment_id] = _xmark_fragment(
+            fragment_id, sizes[fragment_id], seed, index,
+            sub_fragments=subs, nodes_per_mb=nodes_per_mb,
+        )
+    tree = FragmentedTree(fragments, "F0")
+    placement = Placement({fid: f"S{i}" for i, fid in enumerate(FT3_SHAPE)})
+    return Cluster(tree, placement)
+
+
+def co_located(
+    n_fragments: int,
+    total_mb: float,
+    seed: int = 0,
+    nodes_per_mb: Optional[int] = None,
+) -> Cluster:
+    """Experiment 4: FT1 shape with every fragment on the single site S0."""
+    return star_ft1(
+        n_fragments, total_mb, seed=seed, nodes_per_mb=nodes_per_mb, one_site_each=False
+    )
+
+
+__all__ = ["star_ft1", "chain_ft2", "bushy_ft3", "co_located", "FT3_SHAPE", "ft3_sizes"]

@@ -1,0 +1,212 @@
+"""A deterministic XMark-like document generator.
+
+The paper's experiments generate "multiple XMark sites" and assign
+(fragments of) them to machines.  The original XMark generator emits
+real megabytes of auction-site XML; here documents are sized in **scaled
+megabytes**: one scaled MB corresponds to :data:`NODES_PER_SCALED_MB`
+element nodes (configurable; override with the ``REPRO_NODES_PER_MB``
+environment variable).  All sweeps in the experiments vary *relative*
+sizes, so the scale constant cancels out of every comparison.
+
+The element vocabulary follows XMark's auction schema: ``site`` with
+``regions`` (items per continent), ``categories``, ``people`` (persons
+with profiles) and ``open_auctions`` / ``closed_auctions`` (with
+bidders, prices, annotations).  Generation is fully deterministic given
+the seed.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Optional
+
+from repro.xmltree.builder import TreeBuilder
+from repro.xmltree.tree import XMLTree
+
+#: Element nodes per scaled megabyte (the size unit of all experiments).
+NODES_PER_SCALED_MB = int(os.environ.get("REPRO_NODES_PER_MB", "160"))
+
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+_WORDS = (
+    "gold", "silver", "vintage", "rare", "mint", "boxed", "antique", "signed",
+    "original", "limited", "classic", "restored", "sealed", "graded", "promo",
+)
+_CITIES = ("lagos", "osaka", "perth", "bergen", "dallas", "quito", "seoul", "turin")
+_COUNTRIES = ("nigeria", "japan", "australia", "norway", "usa", "ecuador", "korea", "italy")
+
+
+class _Emitter:
+    """Tracks the node budget while records are appended."""
+
+    def __init__(self, builder: TreeBuilder, budget: int) -> None:
+        self.builder = builder
+        self.remaining = budget
+
+    def spend(self, nodes: int) -> None:
+        self.remaining -= nodes
+
+
+def generate_xmark_site(
+    scaled_mb: float,
+    seed: int = 0,
+    site_index: int = 0,
+    nodes_per_mb: Optional[int] = None,
+) -> XMLTree:
+    """Generate one XMark-like ``site`` document of ``scaled_mb`` scaled MB.
+
+    ``site_index`` diversifies text content between the multiple "XMark
+    sites" an experiment generates (matching the paper's setup).
+    """
+    per_mb = nodes_per_mb or NODES_PER_SCALED_MB
+    budget = max(10, int(scaled_mb * per_mb))
+    rng = random.Random((seed << 16) ^ site_index)
+
+    builder = TreeBuilder("site")
+    emitter = _Emitter(builder, budget)
+    emitter.spend(1)  # the root
+
+    # Fixed small sections first, then fill with the three record kinds
+    # in XMark-ish proportions: items 40%, people 25%, auctions 35%.
+    _emit_categories(emitter, rng)
+    section_budget = emitter.remaining
+    _emit_regions(emitter, rng, int(section_budget * 0.40))
+    _emit_people(emitter, rng, int(section_budget * 0.25))
+    _emit_auctions(emitter, rng, emitter.remaining)
+    return builder.build()
+
+
+def _words(rng: random.Random, count: int) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(count))
+
+
+def _emit_categories(emitter: _Emitter, rng: random.Random) -> None:
+    builder = emitter.builder
+    builder.open("categories")
+    emitter.spend(1)
+    for index in range(4):
+        builder.open("category")
+        builder.leaf("name", f"category-{index}")
+        builder.leaf("description", _words(rng, 3))
+        builder.close()
+        emitter.spend(3)
+    builder.close()
+
+
+def _emit_regions(emitter: _Emitter, rng: random.Random, budget: int) -> None:
+    builder = emitter.builder
+    builder.open("regions")
+    emitter.spend(1)
+    for name in _REGIONS:
+        builder.open(name)
+        builder.close()
+    emitter.spend(len(_REGIONS))
+    # Fill the region elements round-robin by appending items directly.
+    regions = builder.current.children
+    index = 0
+    while budget >= 12:
+        region = regions[index % len(regions)]
+        item_nodes = _item_node_count()
+        _append_item(region, rng, index)
+        emitter.spend(item_nodes)
+        budget -= item_nodes
+        index += 1
+    builder.close()
+
+
+def _item_node_count() -> int:
+    return 12  # item + 11 leaves/subnodes, kept in sync with _append_item
+
+
+def _append_item(region, rng: random.Random, index: int) -> None:
+    from repro.xmltree.node import XMLNode
+
+    item = XMLNode("item")
+    item.add_child(XMLNode("location", text=rng.choice(_COUNTRIES)))
+    item.add_child(XMLNode("quantity", text=str(rng.randint(1, 9))))
+    item.add_child(XMLNode("name", text=f"item-{index}-{_words(rng, 1)}"))
+    item.add_child(XMLNode("payment", text="creditcard"))
+    description = XMLNode("description")
+    description.add_child(XMLNode("text", text=_words(rng, 4)))
+    item.add_child(description)
+    item.add_child(XMLNode("shipping", text="worldwide"))
+    item.add_child(XMLNode("incategory", text=f"category-{rng.randint(0, 3)}"))
+    mailbox = XMLNode("mailbox")
+    mail = XMLNode("mail")
+    mail.add_child(XMLNode("from", text=f"user{rng.randint(0, 999)}"))
+    mailbox.add_child(mail)
+    item.add_child(mailbox)
+    region.add_child(item)
+
+
+def _person_node_count() -> int:
+    return 11  # person + 10 descendants, kept in sync with _emit_people
+
+
+def _emit_people(emitter: _Emitter, rng: random.Random, budget: int) -> None:
+    builder = emitter.builder
+    builder.open("people")
+    emitter.spend(1)
+    index = 0
+    while budget >= _person_node_count():
+        builder.open("person")
+        builder.leaf("name", f"person-{index}")
+        builder.leaf("emailaddress", f"person{index}@example.net")
+        builder.open("address")
+        builder.leaf("city", rng.choice(_CITIES))
+        builder.leaf("country", rng.choice(_COUNTRIES))
+        builder.close()
+        builder.open("profile")
+        builder.leaf("interest", f"category-{rng.randint(0, 3)}")
+        builder.leaf("education", rng.choice(("high-school", "college", "graduate")))
+        builder.leaf("age", str(rng.randint(18, 80)))
+        builder.close()
+        builder.leaf("creditcard", f"{rng.randint(1000, 9999)}-{rng.randint(1000, 9999)}")
+        builder.close()
+        emitter.spend(_person_node_count())
+        budget -= _person_node_count()
+        index += 1
+    builder.close()
+
+
+def _auction_node_count(bidders: int) -> int:
+    return 7 + 3 * bidders  # kept in sync with _emit_auctions
+
+
+def _emit_auctions(emitter: _Emitter, rng: random.Random, budget: int) -> None:
+    builder = emitter.builder
+    builder.open("open_auctions")
+    emitter.spend(1)
+    index = 0
+    while True:
+        bidders = rng.randint(1, 3)
+        cost = _auction_node_count(bidders)
+        if budget < cost:
+            break
+        builder.open("open_auction")
+        builder.leaf("initial", str(rng.randint(1, 200)))
+        for bid in range(bidders):
+            builder.open("bidder")
+            builder.leaf("date", f"2006-0{rng.randint(1, 9)}-1{rng.randint(0, 9)}")
+            # The first bid of every document is a deterministic
+            # increase of 7, so the |QList| = 15 and 23 benchmark
+            # queries have data-independent answers (true/false resp.).
+            if index == 0 and bid == 0:
+                builder.leaf("increase", "7")
+            else:
+                builder.leaf("increase", str(rng.randint(10, 50)))
+            builder.close()
+        builder.leaf("current", str(rng.randint(200, 900)))
+        builder.leaf("itemref", f"item-{rng.randint(0, 500)}")
+        builder.leaf("seller", f"person-{rng.randint(0, 200)}")
+        builder.open("annotation")
+        builder.leaf("description", _words(rng, 2))
+        builder.close()
+        builder.close()
+        emitter.spend(cost)
+        budget -= cost
+        index += 1
+    builder.close()
+
+
+__all__ = ["generate_xmark_site", "NODES_PER_SCALED_MB"]

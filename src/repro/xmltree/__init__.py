@@ -1,0 +1,37 @@
+"""XML tree substrate.
+
+The paper's algorithms operate on ordered, labelled trees in which some
+leaves are *virtual nodes* -- placeholders standing for sub-fragments that
+live on other sites (Section 2.1 of the paper).  No stock XML library
+models virtual nodes, so this package provides the tree model used by the
+whole repository:
+
+* :class:`~repro.xmltree.node.XMLNode` -- a mutable ordered tree node with
+  a label, optional text content, and an optional ``fragment_ref`` marking
+  it as virtual;
+* :class:`~repro.xmltree.tree.XMLTree` -- a document wrapper offering node
+  lookup by stable id, size accounting and structural equality;
+* :func:`~repro.xmltree.parser.parse_xml` /
+  :func:`~repro.xmltree.serializer.serialize` -- a small, dependency-free
+  XML reader/writer (virtual nodes round-trip as ``<frag:ref id="..."/>``);
+* :class:`~repro.xmltree.builder.TreeBuilder` -- a fluent builder used by
+  tests and examples.
+"""
+
+from repro.xmltree.node import XMLNode, VIRTUAL_LABEL_PREFIX
+from repro.xmltree.tree import XMLTree
+from repro.xmltree.parser import parse_xml, XMLParseError
+from repro.xmltree.serializer import serialize, estimated_wire_bytes
+from repro.xmltree.builder import TreeBuilder, element
+
+__all__ = [
+    "XMLNode",
+    "XMLTree",
+    "TreeBuilder",
+    "element",
+    "parse_xml",
+    "serialize",
+    "estimated_wire_bytes",
+    "XMLParseError",
+    "VIRTUAL_LABEL_PREFIX",
+]

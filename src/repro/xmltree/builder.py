@@ -1,0 +1,106 @@
+"""Fluent tree construction for tests, examples and workload generators.
+
+Two styles are offered:
+
+* :func:`element` -- a nested-call DSL::
+
+      tree = XMLTree(element("portfolio",
+          element("broker",
+              element("name", text="Bache"))))
+
+* :class:`TreeBuilder` -- an imperative builder with ``open``/``close``
+  used by generators that emit large documents in a streaming fashion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+
+
+def element(
+    label: str,
+    *children: Union[XMLNode, str],
+    text: Optional[str] = None,
+) -> XMLNode:
+    """Build an :class:`XMLNode` from nested calls.
+
+    String positional arguments are shorthand for text content (at most
+    one may be given, and not together with ``text=``).
+    """
+    node_children: list[XMLNode] = []
+    for child in children:
+        if isinstance(child, str):
+            if text is not None:
+                raise ValueError("multiple text values for one element")
+            text = child
+        else:
+            node_children.append(child)
+    return XMLNode(label, text=text, children=node_children)
+
+
+class TreeBuilder:
+    """Imperative builder: ``open(label)`` ... ``close()`` with auto-nesting.
+
+    >>> b = TreeBuilder("site")
+    >>> b.open("regions"); b.leaf("africa"); b.close()
+    >>> tree = b.build()
+    >>> [c.label for c in tree.root.children]
+    ['regions']
+    """
+
+    def __init__(self, root_label: str, text: Optional[str] = None) -> None:
+        self._root = XMLNode(root_label, text=text)
+        self._stack: list[XMLNode] = [self._root]
+        self._built = False
+
+    @property
+    def current(self) -> XMLNode:
+        """The innermost open element."""
+        return self._stack[-1]
+
+    def open(self, label: str, text: Optional[str] = None) -> XMLNode:
+        """Open a nested element; it stays current until :meth:`close`."""
+        self._check_open()
+        node = XMLNode(label, text=text)
+        self.current.add_child(node)
+        self._stack.append(node)
+        return node
+
+    def leaf(self, label: str, text: Optional[str] = None) -> XMLNode:
+        """Add a childless element under the current element."""
+        self._check_open()
+        node = XMLNode(label, text=text)
+        self.current.add_child(node)
+        return node
+
+    def virtual_leaf(self, fragment_id: str) -> XMLNode:
+        """Add a virtual node referencing ``fragment_id``."""
+        self._check_open()
+        node = XMLNode.virtual(fragment_id)
+        self.current.add_child(node)
+        return node
+
+    def close(self) -> None:
+        """Close the innermost open element."""
+        self._check_open()
+        if len(self._stack) == 1:
+            raise ValueError("close() without a matching open()")
+        self._stack.pop()
+
+    def build(self) -> XMLTree:
+        """Finish and return the document; the builder cannot be reused."""
+        self._check_open()
+        if len(self._stack) != 1:
+            raise ValueError(f"{len(self._stack) - 1} element(s) left open")
+        self._built = True
+        return XMLTree(self._root)
+
+    def _check_open(self) -> None:
+        if self._built:
+            raise ValueError("builder already consumed by build()")
+
+
+__all__ = ["element", "TreeBuilder"]

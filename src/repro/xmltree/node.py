@@ -1,0 +1,220 @@
+"""The ordered-tree node used everywhere in the repository.
+
+A node carries a *label* (the XML element tag), optional *text* content,
+and an ordered list of children.  A node may instead be **virtual**: a leaf
+that stands for a whole sub-fragment stored elsewhere (paper, Section 2.1).
+Virtual nodes carry the id of the fragment they reference in
+``fragment_ref`` and are ignored by size accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterator, Optional
+
+#: Labels of virtual nodes are rendered as ``@<fragment-id>`` for debugging.
+VIRTUAL_LABEL_PREFIX = "@"
+
+_node_ids = itertools.count(1)
+
+
+class XMLNode:
+    """A mutable, ordered, labelled tree node.
+
+    Parameters
+    ----------
+    label:
+        Element tag, e.g. ``"broker"``.
+    text:
+        Optional text content of the element (the paper's model attaches
+        the text value directly to the element so that ``text() = 'str'``
+        is a test on the node itself; see Example 2.1).
+    children:
+        Optional initial children; each is re-parented to this node.
+    fragment_ref:
+        When not ``None`` the node is *virtual* and references the
+        fragment with that id.  Virtual nodes must be leaves.
+    """
+
+    __slots__ = ("label", "text", "children", "parent", "node_id", "fragment_ref")
+
+    def __init__(
+        self,
+        label: str,
+        text: Optional[str] = None,
+        children: Optional[list["XMLNode"]] = None,
+        fragment_ref: Optional[str] = None,
+    ) -> None:
+        if fragment_ref is not None and children:
+            raise ValueError("virtual nodes must be leaves")
+        self.label = label
+        self.text = text
+        self.children: list[XMLNode] = []
+        self.parent: Optional[XMLNode] = None
+        self.node_id: int = next(_node_ids)
+        self.fragment_ref = fragment_ref
+        for child in children or []:
+            self.add_child(child)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def virtual(cls, fragment_id: str) -> "XMLNode":
+        """Create a virtual leaf referencing ``fragment_id``."""
+        return cls(VIRTUAL_LABEL_PREFIX + fragment_id, fragment_ref=fragment_id)
+
+    @property
+    def is_virtual(self) -> bool:
+        """True when this node is a placeholder for a remote sub-fragment."""
+        return self.fragment_ref is not None
+
+    # ------------------------------------------------------------------
+    # Structure mutation
+    # ------------------------------------------------------------------
+    def add_child(self, child: "XMLNode", index: Optional[int] = None) -> "XMLNode":
+        """Attach ``child`` (and its subtree) under this node.
+
+        Returns the child to allow chaining.  Raises if ``child`` already
+        has a parent or if this node is virtual.
+        """
+        if self.is_virtual:
+            raise ValueError("cannot attach children to a virtual node")
+        if child.parent is not None:
+            raise ValueError("node already has a parent; detach() it first")
+        if child is self or self._is_descendant_of(child):
+            raise ValueError("cannot attach a node under itself")
+        if index is None:
+            self.children.append(child)
+        else:
+            self.children.insert(index, child)
+        child.parent = self
+        return child
+
+    def detach(self) -> "XMLNode":
+        """Remove this node (with its subtree) from its parent.
+
+        Returns ``self``; a node without a parent is returned unchanged.
+        """
+        if self.parent is not None:
+            self.parent.children.remove(self)
+            self.parent = None
+        return self
+
+    def replace_with(self, other: "XMLNode") -> "XMLNode":
+        """Substitute ``other`` for this node in the parent's child list.
+
+        The subtree rooted here is detached and returned.  Used by the
+        fragmenters to swap a subtree for a virtual node and vice versa.
+        """
+        parent = self.parent
+        if parent is None:
+            raise ValueError("cannot replace the root in place")
+        index = parent.children.index(self)
+        self.detach()
+        parent.add_child(other, index=index)
+        return self
+
+    def _is_descendant_of(self, other: "XMLNode") -> bool:
+        node = self.parent
+        while node is not None:
+            if node is other:
+                return True
+            node = node.parent
+        return False
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def iter_subtree(self) -> Iterator["XMLNode"]:
+        """Yield the subtree rooted here in document (pre-) order.
+
+        Virtual nodes are yielded but never descended into (they are
+        leaves by construction).
+        """
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_postorder(self) -> Iterator["XMLNode"]:
+        """Yield the subtree rooted here in post-order (children first)."""
+        stack: list[tuple[XMLNode, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+            else:
+                stack.append((node, True))
+                stack.extend((child, False) for child in reversed(node.children))
+
+    def iter_ancestors(self) -> Iterator["XMLNode"]:
+        """Yield the chain of ancestors, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def find_first(self, predicate: Callable[["XMLNode"], bool]) -> Optional["XMLNode"]:
+        """First node in document order satisfying ``predicate``, or None."""
+        for node in self.iter_subtree():
+            if predicate(node):
+                return node
+        return None
+
+    def find_all(self, predicate: Callable[["XMLNode"], bool]) -> list["XMLNode"]:
+        """All nodes in document order satisfying ``predicate``."""
+        return [node for node in self.iter_subtree() if predicate(node)]
+
+    def find_by_label(self, label: str) -> list["XMLNode"]:
+        """All non-virtual descendants-or-self with the given label."""
+        return self.find_all(lambda n: not n.is_virtual and n.label == label)
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def subtree_size(self) -> int:
+        """Number of non-virtual nodes in the subtree (the paper's |F|)."""
+        return sum(1 for node in self.iter_subtree() if not node.is_virtual)
+
+    def depth(self) -> int:
+        """Edges between this node and the root of its tree."""
+        return sum(1 for _ in self.iter_ancestors())
+
+    def height(self) -> int:
+        """Longest downward path (in edges) from this node to a leaf."""
+        heights: dict[int, int] = {}
+        for node in self.iter_postorder():
+            heights[node.node_id] = 1 + max(
+                (heights[child.node_id] for child in node.children), default=-1
+            )
+        return heights[self.node_id]
+
+    # ------------------------------------------------------------------
+    # Structural comparison / copying
+    # ------------------------------------------------------------------
+    def structurally_equal(self, other: "XMLNode") -> bool:
+        """Label/text/child-order equality, ignoring node ids and parents."""
+        if (
+            self.label != other.label
+            or self.text != other.text
+            or self.fragment_ref != other.fragment_ref
+            or len(self.children) != len(other.children)
+        ):
+            return False
+        return all(
+            mine.structurally_equal(theirs)
+            for mine, theirs in zip(self.children, other.children)
+        )
+
+    def deep_copy(self) -> "XMLNode":
+        """Copy the subtree; the copy receives fresh node ids."""
+        copy = XMLNode(self.label, text=self.text, fragment_ref=self.fragment_ref)
+        for child in self.children:
+            copy.add_child(child.deep_copy())
+        return copy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "virtual " if self.is_virtual else ""
+        return f"<{kind}XMLNode #{self.node_id} {self.label!r} children={len(self.children)}>"

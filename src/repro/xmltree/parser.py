@@ -1,0 +1,228 @@
+"""A small, dependency-free XML reader.
+
+The repository cannot rely on ``lxml`` (not available offline) and the
+paper's trees contain *virtual nodes* which stock parsers cannot express,
+so we ship our own recursive-descent parser.  It understands the subset of
+XML the workloads emit:
+
+* elements with attributes (attributes are parsed and kept, but the XBL
+  query language does not address them),
+* text content (entity references ``&amp; &lt; &gt; &quot; &apos;``),
+* comments, processing instructions and an optional XML declaration
+  (all skipped),
+* the repository's virtual-node encoding ``<frag:ref id="F2"/>``.
+
+Mixed content is simplified to the paper's model: the concatenated text of
+an element's direct character data becomes the element's ``text`` value.
+"""
+
+from __future__ import annotations
+
+
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+
+#: Element name used to round-trip virtual nodes through text form.
+VIRTUAL_ELEMENT = "frag:ref"
+
+_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+
+
+class XMLParseError(ValueError):
+    """Raised on malformed input; carries the byte offset of the error."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class _Cursor:
+    """Character cursor with the few scanning primitives the grammar needs."""
+
+    __slots__ = ("text", "pos")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def skip_whitespace(self) -> None:
+        while not self.eof() and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise XMLParseError(f"expected {token!r}", self.pos)
+        self.pos += len(token)
+
+    def scan_until(self, token: str) -> str:
+        end = self.text.find(token, self.pos)
+        if end < 0:
+            raise XMLParseError(f"unterminated construct, missing {token!r}", self.pos)
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(token)
+        return chunk
+
+
+def parse_xml(text: str) -> XMLTree:
+    """Parse ``text`` into an :class:`~repro.xmltree.tree.XMLTree`."""
+    cursor = _Cursor(text)
+    _skip_misc(cursor)
+    root = _parse_element(cursor)
+    _skip_misc(cursor)
+    if not cursor.eof():
+        raise XMLParseError("trailing content after document element", cursor.pos)
+    return XMLTree(root)
+
+
+def _skip_misc(cursor: _Cursor) -> None:
+    """Skip whitespace, comments, PIs and the XML declaration."""
+    while True:
+        cursor.skip_whitespace()
+        if cursor.startswith("<!--"):
+            cursor.advance(4)
+            cursor.scan_until("-->")
+        elif cursor.startswith("<?"):
+            cursor.advance(2)
+            cursor.scan_until("?>")
+        else:
+            return
+
+
+def _parse_name(cursor: _Cursor) -> str:
+    start = cursor.pos
+    while not cursor.eof():
+        ch = cursor.peek()
+        if ch.isalnum() or ch in "_-.:":
+            cursor.advance()
+        else:
+            break
+    if cursor.pos == start:
+        raise XMLParseError("expected a name", cursor.pos)
+    return cursor.text[start : cursor.pos]
+
+
+def _parse_attributes(cursor: _Cursor) -> dict[str, str]:
+    attributes: dict[str, str] = {}
+    while True:
+        cursor.skip_whitespace()
+        ch = cursor.peek()
+        if ch in (">", "/", ""):
+            return attributes
+        name = _parse_name(cursor)
+        cursor.skip_whitespace()
+        cursor.expect("=")
+        cursor.skip_whitespace()
+        quote = cursor.peek()
+        if quote not in ("'", '"'):
+            raise XMLParseError("attribute value must be quoted", cursor.pos)
+        cursor.advance()
+        raw = cursor.scan_until(quote)
+        attributes[name] = _decode_entities(raw, cursor.pos)
+
+
+def _parse_element(cursor: _Cursor) -> XMLNode:
+    cursor.expect("<")
+    label = _parse_name(cursor)
+    attributes = _parse_attributes(cursor)
+    cursor.skip_whitespace()
+
+    if label == VIRTUAL_ELEMENT:
+        fragment_id = attributes.get("id")
+        if not fragment_id:
+            raise XMLParseError("virtual node missing id attribute", cursor.pos)
+        if cursor.startswith("/>"):
+            cursor.advance(2)
+            return XMLNode.virtual(fragment_id)
+        raise XMLParseError("virtual nodes must be self-closing", cursor.pos)
+
+    if cursor.startswith("/>"):
+        cursor.advance(2)
+        return XMLNode(label)
+    cursor.expect(">")
+
+    node = XMLNode(label)
+    text_pieces: list[str] = []
+    while True:
+        if cursor.startswith("</"):
+            cursor.advance(2)
+            closing = _parse_name(cursor)
+            if closing != label:
+                raise XMLParseError(
+                    f"mismatched closing tag {closing!r} for {label!r}", cursor.pos
+                )
+            cursor.skip_whitespace()
+            cursor.expect(">")
+            break
+        if cursor.startswith("<!--"):
+            cursor.advance(4)
+            cursor.scan_until("-->")
+        elif cursor.startswith("<![CDATA["):
+            cursor.advance(9)
+            text_pieces.append(cursor.scan_until("]]>"))
+        elif cursor.startswith("<?"):
+            cursor.advance(2)
+            cursor.scan_until("?>")
+        elif cursor.peek() == "<":
+            node.add_child(_parse_element(cursor))
+        elif cursor.eof():
+            raise XMLParseError(f"unterminated element {label!r}", cursor.pos)
+        else:
+            start = cursor.pos
+            while not cursor.eof() and cursor.peek() != "<":
+                cursor.advance()
+            text_pieces.append(_decode_entities(cursor.text[start : cursor.pos], start))
+
+    text = "".join(text_pieces).strip()
+    node.text = text if text else None
+    return node
+
+
+def _decode_entities(raw: str, position: int) -> str:
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    index = 0
+    while index < len(raw):
+        ch = raw[index]
+        if ch != "&":
+            out.append(ch)
+            index += 1
+            continue
+        end = raw.find(";", index)
+        if end < 0:
+            raise XMLParseError("unterminated entity reference", position)
+        name = raw[index + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
+        elif name in _ENTITIES:
+            out.append(_ENTITIES[name])
+        else:
+            raise XMLParseError(f"unknown entity &{name};", position)
+        index = end + 1
+    return "".join(out)
+
+
+def parse_fragment_root(text: str) -> XMLNode:
+    """Parse a single element (without requiring a full document)."""
+    cursor = _Cursor(text)
+    _skip_misc(cursor)
+    node = _parse_element(cursor)
+    return node
+
+
+__all__ = ["parse_xml", "parse_fragment_root", "XMLParseError", "VIRTUAL_ELEMENT"]

@@ -1,0 +1,134 @@
+"""Document wrapper over :class:`~repro.xmltree.node.XMLNode`.
+
+``XMLTree`` adds what the raw node graph lacks: lookup of nodes by stable
+id (needed by the update operations of Section 5), cached size accounting,
+and a mutation *version* counter so caches are invalidated when the tree
+changes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.xmltree.node import XMLNode
+
+
+class XMLTree:
+    """A rooted XML document.
+
+    All mutations of the tree should go through :meth:`insert_node`,
+    :meth:`delete_node` or :meth:`touch` so the internal caches stay
+    coherent.  Reads never mutate.
+    """
+
+    def __init__(self, root: XMLNode) -> None:
+        if root.parent is not None:
+            raise ValueError("tree root must not have a parent")
+        self.root = root
+        self._version = 0
+        self._index_version = -1
+        self._index: dict[int, XMLNode] = {}
+        self._size_version = -1
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every mutation."""
+        return self._version
+
+    def touch(self) -> None:
+        """Record that the tree was mutated out-of-band.
+
+        Callers that mutate nodes directly (e.g. the fragmenters, which
+        splice virtual nodes in and out) must call this to invalidate the
+        id index and size caches.
+        """
+        self._version += 1
+
+    def _ensure_index(self) -> None:
+        if self._index_version != self._version:
+            self._index = {node.node_id: node for node in self.root.iter_subtree()}
+            self._index_version = self._version
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def node_by_id(self, node_id: int) -> XMLNode:
+        """Return the node with ``node_id``; raise ``KeyError`` if absent."""
+        self._ensure_index()
+        return self._index[node_id]
+
+    def contains_node(self, node: XMLNode) -> bool:
+        """True when ``node`` currently belongs to this tree."""
+        self._ensure_index()
+        return self._index.get(node.node_id) is node
+
+    def iter_nodes(self) -> Iterator[XMLNode]:
+        """All nodes in document order (virtual nodes included)."""
+        return self.root.iter_subtree()
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        """Number of non-virtual nodes (the paper's |T|); cached."""
+        if self._size_version != self._version:
+            self._size = self.root.subtree_size()
+            self._size_version = self._version
+        return self._size
+
+    def height(self) -> int:
+        """Height of the tree in edges."""
+        return self.root.height()
+
+    # ------------------------------------------------------------------
+    # Mutation (Section 5 primitive operations operate via these)
+    # ------------------------------------------------------------------
+    def insert_node(
+        self,
+        label: str,
+        parent: XMLNode,
+        text: Optional[str] = None,
+        index: Optional[int] = None,
+    ) -> XMLNode:
+        """Insert a fresh node labelled ``label`` as a child of ``parent``.
+
+        This is the paper's ``insNode(A, v)``: it returns the newly
+        inserted node.
+        """
+        if not self.contains_node(parent):
+            raise ValueError("parent does not belong to this tree")
+        node = XMLNode(label, text=text)
+        parent.add_child(node, index=index)
+        self.touch()
+        return node
+
+    def delete_node(self, node: XMLNode) -> XMLNode:
+        """Delete ``node`` (with its subtree); the paper's ``delNode(v)``.
+
+        Deleting the root is rejected -- a document always has a root.
+        """
+        if node is self.root:
+            raise ValueError("cannot delete the root of a tree")
+        if not self.contains_node(node):
+            raise ValueError("node does not belong to this tree")
+        node.detach()
+        self.touch()
+        return node
+
+    # ------------------------------------------------------------------
+    # Comparison / copying
+    # ------------------------------------------------------------------
+    def structurally_equal(self, other: "XMLTree") -> bool:
+        """Label/text/order equality of the two documents."""
+        return self.root.structurally_equal(other.root)
+
+    def deep_copy(self) -> "XMLTree":
+        """An independent copy of the document (fresh node ids)."""
+        return XMLTree(self.root.deep_copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<XMLTree root={self.root.label!r} size={self.size()}>"

@@ -1,0 +1,130 @@
+"""Boolean XPath (the paper's ``XBL`` fragment).
+
+The class of queries (paper, Section 2.2)::
+
+    q := p | p/text() = str | label() = A | not q | q and q | q or q
+    p := . | A | * | p//p | p/p | p[q]
+
+This package provides the full front-end pipeline:
+
+* :mod:`repro.xpath.ast` -- the surface abstract syntax;
+* :mod:`repro.xpath.parser` -- a tokenizer + recursive-descent parser for
+  the textual form (both ASCII ``and/or/not`` and the paper's
+  ``∧ ∨ ¬`` are accepted);
+* :mod:`repro.xpath.normalize` -- rewriting into the β-normal form
+  ``β1/…/βn`` with ``βi ∈ {ε, *, //, ε[q']}`` (Section 2.2);
+* :mod:`repro.xpath.qlist` -- compilation of a normalized query into
+  ``QList(q)``, the topologically-ordered list of sub-queries that the
+  distributed evaluator interprets.
+
+The convenience entry point :func:`compile_query` runs the whole
+pipeline: text -> AST -> normal form -> ``QList``.
+"""
+
+from repro.xpath.ast import (
+    BAnd,
+    BLabelEq,
+    BNot,
+    BOr,
+    BPath,
+    BTextEq,
+    BoolExpr,
+    Path,
+    Segment,
+    AXIS_CHILD,
+    AXIS_DESC,
+    AXIS_SELF,
+    TEST_LABEL,
+    TEST_SELF,
+    TEST_WILDCARD,
+)
+from repro.xpath.parser import parse_query, QueryParseError
+from repro.xpath.normalize import (
+    NAnd,
+    NBool,
+    NDescendant,
+    NExists,
+    NLabelIs,
+    NNot,
+    NOr,
+    NSelf,
+    NTextIs,
+    NWildcard,
+    normalize,
+)
+from repro.xpath.qlist import (
+    QList,
+    QEntry,
+    build_qlist,
+    OP_AND,
+    OP_CHILD,
+    OP_DESC,
+    OP_EPSILON,
+    OP_LABEL_IS,
+    OP_NOT,
+    OP_OR,
+    OP_SELF_QUAL,
+    OP_SELF_SEQ,
+    OP_TEXT_IS,
+)
+from repro.xpath.unparse import unparse_bool, unparse_normalized
+from repro.xpath.denotational import eval_bool, eval_path, selected_nodes
+
+
+def compile_query(text: str) -> QList:
+    """Parse, normalize and compile a textual XBL query into a ``QList``."""
+    return build_qlist(normalize(parse_query(text)))
+
+
+__all__ = [
+    "compile_query",
+    "parse_query",
+    "QueryParseError",
+    "normalize",
+    "build_qlist",
+    "QList",
+    "QEntry",
+    "unparse_bool",
+    "unparse_normalized",
+    "eval_bool",
+    "eval_path",
+    "selected_nodes",
+    # AST
+    "BoolExpr",
+    "BAnd",
+    "BOr",
+    "BNot",
+    "BPath",
+    "BTextEq",
+    "BLabelEq",
+    "Path",
+    "Segment",
+    "AXIS_CHILD",
+    "AXIS_DESC",
+    "AXIS_SELF",
+    "TEST_LABEL",
+    "TEST_SELF",
+    "TEST_WILDCARD",
+    # normal form
+    "NBool",
+    "NAnd",
+    "NOr",
+    "NNot",
+    "NExists",
+    "NLabelIs",
+    "NTextIs",
+    "NSelf",
+    "NWildcard",
+    "NDescendant",
+    # qlist ops
+    "OP_EPSILON",
+    "OP_LABEL_IS",
+    "OP_TEXT_IS",
+    "OP_CHILD",
+    "OP_DESC",
+    "OP_SELF_QUAL",
+    "OP_SELF_SEQ",
+    "OP_AND",
+    "OP_OR",
+    "OP_NOT",
+]

@@ -1,0 +1,144 @@
+"""A denotational (set-based) reference semantics for XBL.
+
+This evaluator interprets the *surface* AST directly -- no
+normalization, no QList, no V/CV/DV vectors -- by computing node sets
+for paths exactly as Section 2.2 defines ``val(q, v)``:
+
+* a path denotes the set of nodes reachable from the context node;
+* ``p/text() = str`` holds iff some reached node carries that text;
+* ``label() = A`` tests the context node; connectives are Boolean.
+
+Because it shares **no code** with the production pipeline
+(normalize -> QList -> bottomUp/evalST), it serves as an independent
+second oracle: `tests/test_denotational.py` checks that the two
+semantics agree on random trees and queries, which would expose any
+systematic bug in the normalization rules themselves.
+
+Only whole (unfragmented) trees are supported -- this is a specification,
+not an engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.xmltree.node import XMLNode
+from repro.xpath.ast import (
+    AXIS_DESC,
+    AXIS_SELF,
+    TEST_LABEL,
+    TEST_SELF,
+    BAnd,
+    BLabelEq,
+    BNot,
+    BOr,
+    BPath,
+    BTextEq,
+    BoolExpr,
+    Path,
+    Segment,
+)
+
+
+def _check_whole(node: XMLNode) -> None:
+    if node.is_virtual:
+        raise ValueError("the denotational semantics is defined on whole trees only")
+
+
+def _descendants_or_self(node: XMLNode) -> Iterable[XMLNode]:
+    return node.iter_subtree()
+
+
+def eval_path(path: Path, context: XMLNode) -> list[XMLNode]:
+    """The node set denoted by ``path`` at ``context`` (document order).
+
+    Mirrors the committed interpretation of the surface syntax:
+    ``child::A`` moves to children; ``//`` is descendant-or-self
+    followed by the next segment's own move; absolute heads (axis
+    ``self``) and ``.`` segments do not move.
+    """
+    _check_whole(context)
+    current: list[XMLNode] = [context]
+    for segment in path.segments:
+        current = _apply_segment(segment, current)
+        if not current:
+            break
+    return current
+
+
+def _apply_segment(segment: Segment, nodes: list[XMLNode]) -> list[XMLNode]:
+    # Axis part 1: '//' expands to descendants-or-self first.
+    if segment.axis == AXIS_DESC:
+        expanded: list[XMLNode] = []
+        seen: set[int] = set()
+        for node in nodes:
+            for descendant in _descendants_or_self(node):
+                if descendant.node_id not in seen and not descendant.is_virtual:
+                    seen.add(descendant.node_id)
+                    expanded.append(descendant)
+        nodes = expanded
+
+    # Axis part 2: the move.  Self tests and absolute heads stay put;
+    # anything else steps to children.
+    if segment.test == TEST_SELF or segment.axis == AXIS_SELF:
+        candidates = nodes
+    else:
+        candidates = []
+        seen = set()
+        for node in nodes:
+            for child in node.children:
+                if child.node_id not in seen and not child.is_virtual:
+                    seen.add(child.node_id)
+                    candidates.append(child)
+
+    # Node test.
+    if segment.test == TEST_LABEL:
+        candidates = [node for node in candidates if node.label == segment.label]
+
+    # Qualifiers filter the candidates.
+    for qualifier in segment.qualifiers:
+        candidates = [node for node in candidates if eval_bool(qualifier, node)]
+    return candidates
+
+
+def eval_bool(expr: BoolExpr, context: XMLNode) -> bool:
+    """``val(q, v)``: the truth of a Boolean expression at a node."""
+    _check_whole(context)
+    if isinstance(expr, BAnd):
+        return eval_bool(expr.left, context) and eval_bool(expr.right, context)
+    if isinstance(expr, BOr):
+        return eval_bool(expr.left, context) or eval_bool(expr.right, context)
+    if isinstance(expr, BNot):
+        return not eval_bool(expr.operand, context)
+    if isinstance(expr, BLabelEq):
+        return context.label == expr.label
+    if isinstance(expr, BPath):
+        return bool(eval_path(expr.path, context))
+    if isinstance(expr, BTextEq):
+        return any(node.text == expr.value for node in eval_path(expr.path, context))
+    raise TypeError(f"not a BoolExpr: {expr!r}")
+
+
+def selected_nodes(expr: BoolExpr, root: XMLNode) -> list[XMLNode]:
+    """Node-set semantics of a selection query (path or union of paths)."""
+    if isinstance(expr, BPath):
+        return eval_path(expr.path, root)
+    if isinstance(expr, BOr):
+        left = selected_nodes(expr.left, root)
+        right = selected_nodes(expr.right, root)
+        seen = {node.node_id for node in left}
+        return left + [node for node in right if node.node_id not in seen]
+    raise ValueError("selection queries must be a path or a union of paths")
+
+
+def node_index_path(node: XMLNode) -> tuple[int, ...]:
+    """Child-index path from the tree root (the selection wire format)."""
+    indices: list[int] = []
+    current = node
+    while current.parent is not None:
+        indices.append(current.parent.children.index(current))
+        current = current.parent
+    return tuple(reversed(indices))
+
+
+__all__ = ["eval_bool", "eval_path", "selected_nodes", "node_index_path"]

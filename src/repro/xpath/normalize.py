@@ -1,0 +1,210 @@
+"""Rewriting XBL queries into the paper's normal form (Section 2.2).
+
+Every path is rewritten to ``β1/…/βn`` with ``βi`` one of ``ε``, ``*``,
+``//`` or ``ε[q']``, by the rules::
+
+    normalize(ε) = ε                 (same for *, // and label() = A)
+    normalize(A) = */ε[label() = A]
+    normalize(p1/p2) = normalize(p1)/normalize(p2)
+    normalize(p[q']) = normalize(p)/ε[normalize(q')]
+    normalize(q1 ∧ q2) = normalize(q1) ∧ normalize(q2)   (same for ∨, ¬)
+    normalize(p/text() = 'str') = normalize(p)[text() = 'str']
+    ε[q1]/…/ε[qn] = ε[q1 ∧ … ∧ qn]    (merge adjacent ε steps)
+
+The normalized representation here is a step tuple whose elements are
+:class:`NWildcard` (``*``), :class:`NDescendant` (``//``) and
+:class:`NSelf` (``ε[q']``; a bare ``ε`` never survives normalization
+except as the empty step tuple).  A normalized Boolean expression is an
+:data:`NBool` tree whose path atoms are :class:`NExists`.
+
+Fidelity note: Example 2.1 of the paper prints ``//stock`` as
+``//ε[label()=stock]``, silently dropping the ``*`` that the rule
+``normalize(A) = */ε[label()=A]`` produces.  We follow the *rules* (which
+give standard XPath child semantics for ``p1//p2``); the discrepancy is
+observable only when a query can match the context node itself and is
+discussed in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.xpath.ast import (
+    AXIS_DESC,
+    AXIS_SELF,
+    TEST_LABEL,
+    TEST_SELF,
+    BAnd,
+    BLabelEq,
+    BNot,
+    BOr,
+    BPath,
+    BTextEq,
+    BoolExpr,
+    Path,
+)
+
+
+# ---------------------------------------------------------------------------
+# Normalized Boolean expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NLabelIs:
+    """``label() = A`` on the context node."""
+
+    label: str
+
+
+@dataclass(frozen=True)
+class NTextIs:
+    """``text() = 'str'`` on the context node."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class NAnd:
+    """Binary conjunction (the paper keeps connectives binary)."""
+
+    left: "NBool"
+    right: "NBool"
+
+
+@dataclass(frozen=True)
+class NOr:
+    """Binary disjunction."""
+
+    left: "NBool"
+    right: "NBool"
+
+
+@dataclass(frozen=True)
+class NNot:
+    """Negation."""
+
+    operand: "NBool"
+
+
+@dataclass(frozen=True)
+class NExists:
+    """Existence of a node reachable via the normalized steps."""
+
+    steps: tuple["NStep", ...]
+
+
+NBool = Union[NLabelIs, NTextIs, NAnd, NOr, NNot, NExists]
+
+
+# ---------------------------------------------------------------------------
+# Normalized path steps
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NSelf:
+    """``ε[q']`` -- stay on the current node, requiring ``q'``."""
+
+    qualifier: NBool
+
+
+@dataclass(frozen=True)
+class NWildcard:
+    """``*`` -- move to some child."""
+
+
+@dataclass(frozen=True)
+class NDescendant:
+    """``//`` -- move to some descendant-or-self node."""
+
+
+NStep = Union[NSelf, NWildcard, NDescendant]
+
+
+# ---------------------------------------------------------------------------
+# Normalization
+# ---------------------------------------------------------------------------
+
+
+def normalize(expr: BoolExpr) -> NBool:
+    """Normalize a surface Boolean expression."""
+    if isinstance(expr, BAnd):
+        return NAnd(normalize(expr.left), normalize(expr.right))
+    if isinstance(expr, BOr):
+        return NOr(normalize(expr.left), normalize(expr.right))
+    if isinstance(expr, BNot):
+        return NNot(normalize(expr.operand))
+    if isinstance(expr, BLabelEq):
+        return NLabelIs(expr.label)
+    if isinstance(expr, BPath):
+        return NExists(normalize_path(expr.path))
+    if isinstance(expr, BTextEq):
+        steps = normalize_path(expr.path)
+        return NExists(_append_self(steps, NTextIs(expr.value)))
+    raise TypeError(f"not a BoolExpr: {expr!r}")
+
+
+def normalize_path(path: Path) -> tuple[NStep, ...]:
+    """Normalize a surface path into a step tuple."""
+    steps: list[NStep] = []
+    for segment in path.segments:
+        if segment.axis == AXIS_DESC:
+            steps.append(NDescendant())
+        # The move: a child step for label/wildcard tests reached via the
+        # child axis (and for the step after //); none for self tests or
+        # for the head of an absolute path (axis 'self').
+        if segment.test != TEST_SELF and segment.axis != AXIS_SELF:
+            steps.append(NWildcard())
+        qualifier = _segment_qualifier(segment)
+        if qualifier is not None:
+            _merge_or_append(steps, NSelf(qualifier))
+    return tuple(steps)
+
+
+def _segment_qualifier(segment) -> Optional[NBool]:
+    """Conjunction of the label test (if any) and the [..] qualifiers."""
+    parts: list[NBool] = []
+    if segment.test == TEST_LABEL:
+        parts.append(NLabelIs(segment.label))
+    parts.extend(normalize(qual) for qual in segment.qualifiers)
+    if not parts:
+        return None
+    out = parts[0]
+    for part in parts[1:]:
+        out = NAnd(out, part)
+    return out
+
+
+def _merge_or_append(steps: list[NStep], step: NSelf) -> None:
+    """Apply the ε-merging rule: ε[q1]/ε[q2] -> ε[q1 ∧ q2]."""
+    if steps and isinstance(steps[-1], NSelf):
+        previous = steps.pop()
+        steps.append(NSelf(NAnd(previous.qualifier, step.qualifier)))
+    else:
+        steps.append(step)
+
+
+def _append_self(steps: tuple[NStep, ...], qualifier: NBool) -> tuple[NStep, ...]:
+    """Append ``ε[qualifier]`` to a step tuple, merging if possible."""
+    out = list(steps)
+    _merge_or_append(out, NSelf(qualifier))
+    return tuple(out)
+
+
+__all__ = [
+    "normalize",
+    "normalize_path",
+    "NBool",
+    "NStep",
+    "NLabelIs",
+    "NTextIs",
+    "NAnd",
+    "NOr",
+    "NNot",
+    "NExists",
+    "NSelf",
+    "NWildcard",
+    "NDescendant",
+]

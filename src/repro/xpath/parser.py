@@ -1,0 +1,285 @@
+"""Tokenizer and recursive-descent parser for textual XBL queries.
+
+Accepted syntax (paper, Section 2.2, plus common ASCII spellings)::
+
+    [//broker[//stock/code/text() = "goog" and not(//stock/code/text() = "yhoo")]]
+    [/portofolio/broker/name = "Merill Lynch"]      # = sugar for /text() =
+    [//A ∧ //B]                                     # paper's connective glyphs
+    [label() = stock]
+
+* outer brackets are optional;
+* ``and``/``&&``/``∧``, ``or``/``||``/``∨``, ``not``/``!``/``¬`` are
+  interchangeable;
+* ``.`` is the empty path ε (self), ``*`` the wildcard;
+* absolute paths (leading ``/``) address the root element itself;
+* ``text()`` may only terminate a path and must be compared to a string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.xpath.ast import (
+    AXIS_CHILD,
+    AXIS_DESC,
+    AXIS_SELF,
+    TEST_LABEL,
+    TEST_SELF,
+    TEST_WILDCARD,
+    BAnd,
+    BLabelEq,
+    BNot,
+    BOr,
+    BPath,
+    BTextEq,
+    BoolExpr,
+    Path,
+    Segment,
+)
+
+
+class QueryParseError(ValueError):
+    """Raised on syntactically invalid queries."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_PUNCT = ("//", "&&", "||", "/", "*", "[", "]", "(", ")", "=", ".", "!")
+_GLYPHS = {"∧": "&&", "∨": "||", "¬": "!"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'name' | 'string' | punctuation literal
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        ch = text[index]
+        if ch.isspace():
+            index += 1
+            continue
+        if ch in _GLYPHS:
+            tokens.append(_Token(_GLYPHS[ch], _GLYPHS[ch], index))
+            index += 1
+            continue
+        matched = False
+        for punct in _PUNCT:
+            if text.startswith(punct, index):
+                tokens.append(_Token(punct, punct, index))
+                index += len(punct)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in ("'", '"'):
+            end = text.find(ch, index + 1)
+            if end < 0:
+                raise QueryParseError("unterminated string literal", index)
+            tokens.append(_Token("string", text[index + 1 : end], index))
+            index = end + 1
+            continue
+        if ch.isalnum() or ch == "_":
+            start = index
+            while index < length and (text[index].isalnum() or text[index] in "_-"):
+                index += 1
+            tokens.append(_Token("name", text[start:index], start))
+            continue
+        raise QueryParseError(f"unexpected character {ch!r}", index)
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], source_length: int) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._source_length = source_length
+
+    # -- token helpers ------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Optional[_Token]:
+        index = self._pos + offset
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QueryParseError("unexpected end of query", self._source_length)
+        self._pos += 1
+        return token
+
+    def _accept(self, kind: str) -> Optional[_Token]:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self._pos += 1
+            return token
+        return None
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            where = token.position if token else self._source_length
+            found = token.kind if token else "end of query"
+            raise QueryParseError(f"expected {kind!r}, found {found}", where)
+        self._pos += 1
+        return token
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "name" and token.value == word
+
+    # -- grammar -------------------------------------------------------------
+    def parse(self) -> BoolExpr:
+        if self._accept("["):
+            expr = self.bool_expr()
+            self._expect("]")
+        else:
+            expr = self.bool_expr()
+        trailing = self._peek()
+        if trailing is not None:
+            raise QueryParseError("trailing input after query", trailing.position)
+        return expr
+
+    def bool_expr(self) -> BoolExpr:
+        return self._or_expr()
+
+    def _or_expr(self) -> BoolExpr:
+        left = self._and_expr()
+        while self._accept("||") or (self._at_keyword("or") and self._next()):
+            left = BOr(left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> BoolExpr:
+        left = self._not_expr()
+        while self._accept("&&") or (self._at_keyword("and") and self._next()):
+            left = BAnd(left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> BoolExpr:
+        if self._accept("!") or (self._at_keyword("not") and self._next()):
+            return BNot(self._not_expr())
+        return self._primary()
+
+    def _primary(self) -> BoolExpr:
+        if self._accept("("):
+            expr = self.bool_expr()
+            self._expect(")")
+            return expr
+        if self._is_function_call("label"):
+            self._consume_function("label")
+            self._expect("=")
+            token = self._next()
+            if token.kind not in ("name", "string"):
+                raise QueryParseError("label() must be compared to a name", token.position)
+            return BLabelEq(token.value)
+        return self._path_atom()
+
+    def _is_function_call(self, name: str) -> bool:
+        first, second, third = self._peek(), self._peek(1), self._peek(2)
+        return (
+            first is not None
+            and first.kind == "name"
+            and first.value == name
+            and second is not None
+            and second.kind == "("
+            and third is not None
+            and third.kind == ")"
+        )
+
+    def _consume_function(self, name: str) -> None:
+        self._next()  # name
+        self._next()  # (
+        self._next()  # )
+
+    def _path_atom(self) -> BoolExpr:
+        path, text_axis = self._path()
+        if text_axis is not None:
+            # An explicit text() tail: comparison is mandatory.
+            self._expect("=")
+            value = self._string_value()
+            if text_axis == AXIS_DESC:
+                path = Path(path.segments + (Segment(AXIS_DESC, TEST_SELF),))
+            return BTextEq(path, value)
+        if self._accept("="):
+            # Sugar: p = "str"  ==  p/text() = "str".
+            return BTextEq(path, self._string_value())
+        return BPath(path)
+
+    def _string_value(self) -> str:
+        token = self._next()
+        if token.kind not in ("string", "name"):
+            raise QueryParseError("expected a comparison value", token.position)
+        return token.value
+
+    def _path(self) -> tuple[Path, Optional[str]]:
+        """Parse a path; returns (path, axis-of-text()-tail or None)."""
+        if self._accept("//"):
+            head_axis = AXIS_DESC
+        elif self._accept("/"):
+            head_axis = AXIS_SELF
+        else:
+            head_axis = AXIS_CHILD
+
+        segments: list[Segment] = []
+        axis = head_axis
+        while True:
+            if self._is_function_call("text"):
+                self._consume_function("text")
+                if not segments and axis == AXIS_CHILD and head_axis == AXIS_CHILD:
+                    # Bare ``text() = str`` tests the context node itself.
+                    return Path(()), AXIS_SELF_TEXT
+                return Path(tuple(segments)), axis
+            segments.append(self._segment(axis))
+            if self._accept("//"):
+                axis = AXIS_DESC
+            elif self._accept("/"):
+                axis = AXIS_CHILD
+            else:
+                return Path(tuple(segments)), None
+
+    def _segment(self, axis: str) -> Segment:
+        token = self._next()
+        if token.kind == ".":
+            test, label = TEST_SELF, None
+        elif token.kind == "*":
+            test, label = TEST_WILDCARD, None
+        elif token.kind == "name":
+            test, label = TEST_LABEL, token.value
+        else:
+            raise QueryParseError(f"expected a path step, found {token.kind!r}", token.position)
+        qualifiers: list[BoolExpr] = []
+        while self._accept("["):
+            qualifiers.append(self.bool_expr())
+            self._expect("]")
+        return Segment(axis, test, label, tuple(qualifiers))
+
+
+#: Sentinel axis marking a bare ``text() = str`` (test on the context node).
+AXIS_SELF_TEXT = "self-text"
+
+
+def parse_query(text: str) -> BoolExpr:
+    """Parse a textual XBL query into its surface AST."""
+    if not text or not text.strip():
+        raise QueryParseError("empty query", 0)
+    parser = _Parser(_tokenize(text), len(text))
+    return parser.parse()
+
+
+__all__ = ["parse_query", "QueryParseError"]

@@ -1,0 +1,114 @@
+"""Rendering queries back to text (debugging, reporting, round-trips).
+
+``unparse_bool`` renders the surface AST; ``unparse_normalized`` renders
+the β-normal form in the paper's notation (``ε[//ε[label() = stock ∧
+*/ε[...]]]``), which is what DESIGN.md and the tests quote.
+"""
+
+from __future__ import annotations
+
+from repro.xpath.ast import (
+    AXIS_DESC,
+    AXIS_SELF,
+    TEST_LABEL,
+    TEST_SELF,
+    BAnd,
+    BLabelEq,
+    BNot,
+    BOr,
+    BPath,
+    BTextEq,
+    BoolExpr,
+    Path,
+)
+from repro.xpath.normalize import (
+    NAnd,
+    NBool,
+    NDescendant,
+    NExists,
+    NLabelIs,
+    NNot,
+    NOr,
+    NSelf,
+    NStep,
+    NTextIs,
+    NWildcard,
+)
+
+
+def unparse_bool(expr: BoolExpr, top_level: bool = True) -> str:
+    """Render a surface AST back to query text."""
+    text = _bool_text(expr)
+    return f"[{text}]" if top_level else text
+
+
+def _bool_text(expr: BoolExpr) -> str:
+    if isinstance(expr, BAnd):
+        return f"({_bool_text(expr.left)} and {_bool_text(expr.right)})"
+    if isinstance(expr, BOr):
+        return f"({_bool_text(expr.left)} or {_bool_text(expr.right)})"
+    if isinstance(expr, BNot):
+        return f"not({_bool_text(expr.operand)})"
+    if isinstance(expr, BLabelEq):
+        return f"label() = {expr.label}"
+    if isinstance(expr, BPath):
+        return _path_text(expr.path) or "."
+    if isinstance(expr, BTextEq):
+        path = _path_text(expr.path)
+        lead = f"{path}/" if path else ""
+        return f'{lead}text() = "{expr.value}"'
+    raise TypeError(f"not a BoolExpr: {expr!r}")
+
+
+def _path_text(path: Path) -> str:
+    pieces: list[str] = []
+    for index, segment in enumerate(path.segments):
+        if segment.axis == AXIS_DESC:
+            pieces.append("//")
+        elif segment.axis == AXIS_SELF:
+            pieces.append("/")
+        elif index > 0:
+            pieces.append("/")
+        if segment.test == TEST_LABEL:
+            pieces.append(segment.label or "")
+        elif segment.test == TEST_SELF:
+            pieces.append(".")
+        else:
+            pieces.append("*")
+        for qualifier in segment.qualifiers:
+            pieces.append(f"[{_bool_text(qualifier)}]")
+    return "".join(pieces)
+
+
+def unparse_normalized(expr: NBool) -> str:
+    """Render a normalized query in the paper's ε/*-step notation."""
+    if isinstance(expr, NAnd):
+        return f"{unparse_normalized(expr.left)} ∧ {unparse_normalized(expr.right)}"
+    if isinstance(expr, NOr):
+        return f"{unparse_normalized(expr.left)} ∨ {unparse_normalized(expr.right)}"
+    if isinstance(expr, NNot):
+        return f"¬({unparse_normalized(expr.operand)})"
+    if isinstance(expr, NLabelIs):
+        return f"label() = {expr.label}"
+    if isinstance(expr, NTextIs):
+        return f'text() = "{expr.value}"'
+    if isinstance(expr, NExists):
+        return _steps_text(expr.steps)
+    raise TypeError(f"not a normalized expression: {expr!r}")
+
+
+def _steps_text(steps: tuple[NStep, ...]) -> str:
+    if not steps:
+        return "ε"
+    pieces: list[str] = []
+    for step in steps:
+        if isinstance(step, NSelf):
+            pieces.append(f"ε[{unparse_normalized(step.qualifier)}]")
+        elif isinstance(step, NWildcard):
+            pieces.append("*")
+        elif isinstance(step, NDescendant):
+            pieces.append("//")
+    return "/".join(pieces)
+
+
+__all__ = ["unparse_bool", "unparse_normalized"]

@@ -1,0 +1,130 @@
+"""Tests for the experiment harness (reporting, experiments, checks)."""
+
+import pytest
+
+from repro.bench import BenchConfig, ExperimentResult, render_results
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    ablation_algebra,
+    fig4_validation,
+    fig13_frags_per_site,
+    sec5_incremental,
+)
+from repro.bench.shape_checks import CHECKS
+
+
+@pytest.fixture(scope="module")
+def quick():
+    return BenchConfig.quick()
+
+
+class TestReporting:
+    def test_add_and_read_rows(self):
+        result = ExperimentResult("x", "t", "n", ["a", "b"])
+        result.add_row(1, a=0.5, b=2)
+        result.add_row(2, a=0.25, b=4)
+        assert result.xs() == [1, 2]
+        assert result.column("a") == [0.5, 0.25]
+        assert result.column("b") == [2, 4]
+
+    def test_render_contains_everything(self):
+        result = ExperimentResult("fig0", "demo table", "n", ["a"])
+        result.add_row(1, a=0.5)
+        result.note("a note")
+        text = result.render()
+        assert "fig0" in text and "demo table" in text
+        assert "0.5000" in text
+        assert "note: a note" in text
+
+    def test_render_formats(self):
+        result = ExperimentResult("x", "t", "n", ["f", "i", "s", "b"])
+        result.add_row(0, f=1.23456, i=42, s="label", b=True)
+        text = result.render()
+        assert "1.2346" in text and "42" in text and "label" in text and "yes" in text
+
+    def test_render_results_joins(self):
+        one = ExperimentResult("a", "t", "n", ["c"])
+        two = ExperimentResult("b", "t", "n", ["c"])
+        assert "== a" in render_results([one, two])
+        assert "== b" in render_results([one, two])
+
+
+class TestConfig:
+    def test_quick_smaller_than_default(self):
+        assert BenchConfig.quick().nodes_per_mb < BenchConfig.default().nodes_per_mb
+        assert BenchConfig.quick().iterations < BenchConfig.default().iterations
+
+    def test_timed_returns_best(self, quick):
+        from repro.core import ParBoXEngine
+        from repro.workloads.queries import query_of_size
+        from repro.workloads.topologies import star_ft1
+
+        cluster = quick.with_network(star_ft1(2, 1.0, seed=80, nodes_per_mb=20))
+        result = quick.timed(ParBoXEngine(cluster), query_of_size(8))
+        assert result.answer in (True, False)
+        assert result.elapsed_seconds > 0
+
+    def test_with_network_swaps_model(self, quick):
+        from repro.workloads.topologies import star_ft1
+
+        cluster = star_ft1(2, 1.0, seed=81, nodes_per_mb=20)
+        quick.with_network(cluster)
+        assert cluster.network is quick.network
+
+
+class TestExperimentsQuickScale:
+    """Every experiment must produce a well-formed result quickly."""
+
+    @pytest.mark.parametrize(
+        "experiment_id,runner", ALL_EXPERIMENTS, ids=[e[0] for e in ALL_EXPERIMENTS]
+    )
+    def test_runs_and_fills_all_columns(self, experiment_id, runner, quick):
+        result = runner(quick)
+        assert result.experiment_id == experiment_id
+        assert result.rows, "experiments must produce rows"
+        for _, values in result.rows:
+            for column in result.columns:
+                assert column in values, (experiment_id, column)
+
+    def test_every_experiment_has_a_shape_check(self):
+        for experiment_id, _ in ALL_EXPERIMENTS:
+            assert experiment_id in CHECKS
+
+
+class TestShapeClaimsRobustAtQuickScale:
+    """A few structural claims hold even at miniature scale."""
+
+    def test_fig4_visit_patterns(self, quick):
+        result = fig4_validation(quick)
+        rows = {x: values for x, values in result.rows}
+        assert rows["ParBoX"]["max_visits_per_site"] == 1
+        assert rows["NaiveDistributed"]["max_visits_per_site"] == 2
+
+    def test_fig13_visits_flat(self, quick):
+        result = fig13_frags_per_site(quick)
+        assert all(v == 1 for v in result.column("visits"))
+
+    def test_sec5_traffic_constant(self, quick):
+        result = sec5_incremental(quick)
+        maint = result.column("maint_bytes")
+        assert max(maint) <= min(maint) * 1.5 + 64
+
+    def test_ablation_blowup_visible(self, quick):
+        result = ablation_algebra(quick)
+        assert result.column("paper_bytes")[-1] > result.column("canonical_bytes")[-1]
+
+
+class TestCliRunner:
+    def test_main_quick_subset(self, capsys):
+        from repro.bench.__main__ import main
+
+        code = main(["--quick", "--no-checks", "fig13"])
+        out = capsys.readouterr().out
+        assert "fig13" in out
+        assert code == 0
+
+    def test_unknown_experiment_is_noop(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--quick", "nonexistent"]) == 0
+        assert "==" not in capsys.readouterr().out

@@ -1,0 +1,120 @@
+"""Unit tests for compFm and the two composition algebras."""
+
+import itertools
+
+import pytest
+
+from repro.boolexpr import (
+    FALSE,
+    TRUE,
+    CanonicalAlgebra,
+    PaperAlgebra,
+    Var,
+    comp_fm,
+)
+from repro.boolexpr.compose import AND, NEG, OR
+
+
+@pytest.fixture
+def x():
+    return Var("F1", "V", 0)
+
+
+@pytest.fixture
+def y():
+    return Var("F2", "V", 0)
+
+
+class TestCompFmConstantCases:
+    """Fig. 3(b) case c0: both operands are plain truth values."""
+
+    @pytest.mark.parametrize("a", [TRUE, FALSE])
+    @pytest.mark.parametrize("b", [TRUE, FALSE])
+    def test_and_or_truth_tables(self, a, b):
+        assert comp_fm(a, b, AND).evaluate({}) == (a.value and b.value)
+        assert comp_fm(a, b, OR).evaluate({}) == (a.value or b.value)
+
+    @pytest.mark.parametrize("a", [TRUE, FALSE])
+    def test_neg(self, a):
+        assert comp_fm(a, None, NEG).evaluate({}) == (not a.value)
+
+
+class TestCompFmMixedCases:
+    """Cases c1/c2: one truth value, one residual formula."""
+
+    def test_true_and_formula(self, x):
+        assert comp_fm(TRUE, x, AND) is x
+        assert comp_fm(x, TRUE, AND) is x
+
+    def test_false_and_formula(self, x):
+        assert comp_fm(FALSE, x, AND) is FALSE
+        assert comp_fm(x, FALSE, AND) is FALSE
+
+    def test_true_or_formula(self, x):
+        assert comp_fm(TRUE, x, OR) is TRUE
+        assert comp_fm(x, TRUE, OR) is TRUE
+
+    def test_false_or_formula(self, x):
+        assert comp_fm(FALSE, x, OR) is x
+        assert comp_fm(x, FALSE, OR) is x
+
+
+class TestCompFmFormulaCase:
+    """Case c3: both residual -- a connective is built."""
+
+    def test_and(self, x, y):
+        formula = comp_fm(x, y, AND)
+        assert formula.variables() == {x, y}
+        assert formula.evaluate({x: True, y: True}) is True
+        assert formula.evaluate({x: True, y: False}) is False
+
+    def test_neg(self, x):
+        assert comp_fm(x, None, NEG).evaluate({x: True}) is False
+
+    def test_binary_op_requires_second_operand(self, x):
+        with pytest.raises(ValueError):
+            comp_fm(x, None, AND)
+
+    def test_unknown_operator_rejected(self, x, y):
+        with pytest.raises(ValueError):
+            comp_fm(x, y, "XOR")
+
+
+class TestAlgebrasAgreeSemantically:
+    """Canonical and paper-literal composition define the same functions."""
+
+    def test_random_compositions(self, x, y):
+        canonical = CanonicalAlgebra()
+        paper = PaperAlgebra()
+        operands = [TRUE, FALSE, x, y]
+        for a, b in itertools.product(operands, repeat=2):
+            for op in (AND, OR):
+                lhs = canonical.compose(a, b, op)
+                rhs = paper.compose(a, b, op)
+                for vx in (False, True):
+                    for vy in (False, True):
+                        env = {x: vx, y: vy}
+                        assert lhs.evaluate(env) == rhs.evaluate(env), (a, b, op, env)
+
+    def test_paper_algebra_builds_binary_nodes(self, x, y):
+        paper = PaperAlgebra()
+        formula = paper.and_(paper.and_(x, y), x)
+        # No flattening, no dedup: strictly binary, duplicates kept.
+        assert formula.size() == 5
+
+    def test_canonical_algebra_dedups(self, x, y):
+        canonical = CanonicalAlgebra()
+        formula = canonical.and_(canonical.and_(x, y), x)
+        assert formula.size() == 3
+
+    def test_paper_algebra_keeps_duplicate_or_chain(self, x):
+        paper = PaperAlgebra()
+        formula = x
+        for _ in range(10):
+            formula = paper.or_(formula, x)
+        assert formula.size() == 21  # grows linearly without dedup
+        canonical = CanonicalAlgebra()
+        formula2 = x
+        for _ in range(10):
+            formula2 = canonical.or_(formula2, x)
+        assert formula2 is x

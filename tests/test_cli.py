@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.portfolio import build_portfolio_tree
+from repro.xmltree import parse_xml, serialize
+
+
+@pytest.fixture
+def portfolio_file(tmp_path):
+    path = tmp_path / "portfolio.xml"
+    path.write_text(serialize(build_portfolio_tree(), indent=2))
+    return str(path)
+
+
+class TestExplain:
+    def test_shows_pipeline(self, capsys):
+        assert main(["explain", '[//stock[code = "GOOG"]]']) == 0
+        out = capsys.readouterr().out
+        assert "normal form" in out
+        assert "QList (|q| = 10)" in out
+        assert "label() = stock" in out
+
+    def test_bad_query_is_reported(self, capsys):
+        assert main(["explain", "[broken"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_default_engine(self, portfolio_file, capsys):
+        code = main(["query", portfolio_file, '[//code = "GOOG"]'])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ParBoX" in out and "answer=True" in out
+
+    def test_false_answer(self, portfolio_file, capsys):
+        main(["query", portfolio_file, '[//code = "MSFT"]'])
+        assert "answer=False" in capsys.readouterr().out
+
+    def test_all_engines_agree(self, portfolio_file, capsys):
+        main(["query", portfolio_file, "[//stock]", "--all-engines"])
+        out = capsys.readouterr().out
+        assert out.count("answer=True") == 6
+
+    def test_engine_choice(self, portfolio_file, capsys):
+        main(["query", portfolio_file, "[//stock]", "--engine", "lazy"])
+        assert "LazyParBoX" in capsys.readouterr().out
+
+    def test_unknown_engine(self, portfolio_file, capsys):
+        assert main(["query", portfolio_file, "[//stock]", "--engine", "warp"]) == 2
+
+    def test_sites_option_groups_fragments(self, portfolio_file, capsys):
+        main(["query", portfolio_file, "[//stock]", "--fragments", "6", "--sites", "2"])
+        assert "2 sites" in capsys.readouterr().out
+
+    def test_trace_output(self, portfolio_file, capsys):
+        main(["query", portfolio_file, "[//stock]", "--trace"])
+        out = capsys.readouterr().out
+        assert "visit" in out and "message" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["query", "/nonexistent.xml", "[//a]"]) == 2
+
+
+class TestSelect:
+    def test_selects_nodes(self, portfolio_file, capsys):
+        assert main(["select", portfolio_file, "[//stock/code]"]) == 0
+        out = capsys.readouterr().out
+        assert "6 node(s) selected" in out
+        assert "'GOOG'" in out
+
+    def test_limit(self, portfolio_file, capsys):
+        main(["select", portfolio_file, "[//stock/code]", "--limit", "2"])
+        out = capsys.readouterr().out
+        assert "... 4 more" in out
+
+    def test_non_path_query_rejected(self, portfolio_file, capsys):
+        assert main(["select", portfolio_file, "[//a and //b]"]) == 2
+
+
+class TestFragment:
+    def test_writes_fragments_and_manifest(self, portfolio_file, tmp_path, capsys):
+        out_dir = tmp_path / "frags"
+        assert (
+            main(["fragment", portfolio_file, "--fragments", "3", "--out", str(out_dir)])
+            == 0
+        )
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert manifest["root_fragment"] == "F0"
+        assert len(manifest["fragments"]) == 3
+        # Every fragment file must parse back.
+        for info in manifest["fragments"].values():
+            parse_xml((out_dir / info["file"]).read_text())
+
+    def test_fragments_reference_each_other(self, portfolio_file, tmp_path):
+        out_dir = tmp_path / "frags"
+        main(["fragment", portfolio_file, "--fragments", "4", "--out", str(out_dir)])
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        referenced = set()
+        for info in manifest["fragments"].values():
+            referenced.update(info["sub_fragments"])
+        assert referenced == set(manifest["fragments"]) - {"F0"}

@@ -1,0 +1,142 @@
+"""Cross-oracle agreement: denotational semantics vs the QList pipeline.
+
+The denotational evaluator interprets the surface AST directly; the
+production pipeline normalizes, compiles to QList and runs the vector
+evaluator.  Agreement over random trees and queries validates the
+normalization rules themselves -- the one component a single shared
+oracle could never check.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import evaluate_tree, select_centralized
+from repro.workloads.portfolio import PORTFOLIO_QUERIES, build_portfolio_tree
+from repro.workloads.queries import random_query
+from repro.xpath import compile_query, parse_query
+from repro.xpath.denotational import (
+    eval_bool,
+    eval_path,
+    node_index_path,
+    selected_nodes,
+)
+from tests.test_properties import LABELS, build_random_tree, valid_random_query
+
+
+class TestHandCases:
+    @pytest.fixture
+    def tree(self):
+        return build_portfolio_tree()
+
+    @pytest.mark.parametrize(
+        "query,expected",
+        [
+            ("[//stock]", True),
+            ("[stock]", False),
+            ("[broker/market/stock]", True),
+            ('[//code/text() = "IBM"]', True),
+            ('[//code = "MSFT"]', False),
+            ("[label() = portofolio]", True),
+            ("[not //zzz]", True),
+            ("[//broker[market[stock]]]", True),
+            ("[.]", True),
+        ],
+    )
+    def test_truth(self, tree, query, expected):
+        assert eval_bool(parse_query(query), tree.root) is expected
+
+    def test_paper_queries(self, tree):
+        expected = {
+            "goog_sell_376": False,
+            "goog_not_yhoo": True,
+            "yhoo": True,
+            "merill": True,
+        }
+        for name, text in PORTFOLIO_QUERIES.items():
+            assert eval_bool(parse_query(text), tree.root) == expected[name], name
+
+    def test_path_node_sets(self, tree):
+        expr = parse_query("[//stock]")
+        stocks = eval_path(expr.path, tree.root)
+        assert len(stocks) == 6
+        assert all(node.label == "stock" for node in stocks)
+
+    def test_document_order(self, tree):
+        expr = parse_query("[//code]")
+        codes = [node.text for node in eval_path(expr.path, tree.root)]
+        assert codes == ["IBM", "HPQ", "AAPL", "GOOG", "YHOO", "GOOG"]
+
+    def test_virtual_nodes_rejected(self):
+        from repro.xmltree import XMLNode, element
+
+        root = element("a")
+        root.add_child(XMLNode.virtual("F1"))
+        assert eval_bool(parse_query("[//b]"), root) is False  # skipped, not crashed
+        with pytest.raises(ValueError):
+            eval_bool(parse_query("[.]"), root.children[0])
+
+
+class TestCrossOracleAgreement:
+    @settings(max_examples=120, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_boolean_agreement(self, seed):
+        rng = random.Random(seed)
+        tree = build_random_tree(rng)
+        text = valid_random_query(rng)
+        expr = parse_query(text)
+        qlist = compile_query(text)
+        pipeline, _ = evaluate_tree(tree, qlist)
+        denotational = eval_bool(expr, tree.root)
+        assert pipeline == denotational, text
+
+    @settings(max_examples=80, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_selection_agreement(self, seed):
+        rng = random.Random(seed)
+        tree = build_random_tree(rng)
+        depth = rng.randint(1, 3)
+        pieces = []
+        for index in range(depth):
+            sep = rng.choice(["/", "//"]) if index else rng.choice(["", "//"])
+            pieces.append(sep + rng.choice(LABELS + ("*",)))
+        text = "[" + "".join(pieces) + "]"
+        expr = parse_query(text)
+        qlist = compile_query(text)
+        pipeline_paths = select_centralized(tree, qlist)
+        denotational_paths = tuple(
+            sorted(node_index_path(node) for node in selected_nodes(expr, tree.root))
+        )
+        assert pipeline_paths == denotational_paths, text
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_union_selection_agreement(self, seed):
+        rng = random.Random(seed)
+        tree = build_random_tree(rng)
+        a, b = rng.choice(LABELS), rng.choice(LABELS)
+        text = f"[//{a} or {b}/*]"
+        expr = parse_query(text)
+        qlist = compile_query(text)
+        pipeline_paths = select_centralized(tree, qlist)
+        denotational_paths = tuple(
+            sorted(node_index_path(node) for node in selected_nodes(expr, tree.root))
+        )
+        assert pipeline_paths == denotational_paths, text
+
+
+class TestSelectedNodesValidation:
+    def test_non_path_rejected(self):
+        tree = build_portfolio_tree()
+        with pytest.raises(ValueError):
+            selected_nodes(parse_query("[not //a]"), tree.root)
+
+    def test_union_dedup(self):
+        tree = build_portfolio_tree()
+        expr = parse_query("[//stock or //stock]")
+        assert len(selected_nodes(expr, tree.root)) == 6
+
+    def test_node_index_path_of_root(self):
+        tree = build_portfolio_tree()
+        assert node_index_path(tree.root) == ()

@@ -1,0 +1,165 @@
+"""Unit tests for the distributed-simulation substrate."""
+
+import pytest
+
+from repro.distsim import Cluster, NetworkModel, Run, Site
+from repro.fragments import Fragment, FragmentedTree, Placement
+from repro.xmltree import XMLNode, element
+
+
+def two_fragment_tree():
+    f0 = element("r", element("a"))
+    f0.add_child(XMLNode.virtual("F1"))
+    return FragmentedTree(
+        {"F0": Fragment("F0", f0), "F1": Fragment("F1", element("x", element("y")))},
+        "F0",
+    )
+
+
+class TestNetworkModel:
+    def test_transfer_time_formula(self):
+        model = NetworkModel(latency_seconds=0.001, bandwidth_bytes_per_second=1000)
+        assert model.transfer_seconds(500) == pytest.approx(0.001 + 0.5)
+
+    def test_same_site_is_free(self):
+        model = NetworkModel()
+        assert model.transfer_seconds(10**9, same_site=True) == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_seconds(-1)
+
+    def test_ingress(self):
+        model = NetworkModel(latency_seconds=0.001, bandwidth_bytes_per_second=1000)
+        assert model.ingress_seconds(2000, senders=4) == pytest.approx(0.001 + 2.0)
+        assert model.ingress_seconds(0, senders=0) == 0.0
+
+
+class TestSite:
+    def test_fragment_store(self):
+        site = Site("S0")
+        fragment = Fragment("F0", element("a", element("b")))
+        site.add_fragment(fragment)
+        assert site.has_fragment("F0")
+        assert site.fragment("F0") is fragment
+        assert site.fragment_ids() == ["F0"]
+        assert site.data_size() == 2
+
+    def test_duplicate_rejected(self):
+        site = Site("S0")
+        site.add_fragment(Fragment("F0", element("a")))
+        with pytest.raises(ValueError):
+            site.add_fragment(Fragment("F0", element("b")))
+
+    def test_remove(self):
+        site = Site("S0")
+        site.add_fragment(Fragment("F0", element("a")))
+        site.remove_fragment("F0")
+        assert not site.has_fragment("F0")
+
+
+class TestCluster:
+    def test_construction_places_fragments(self):
+        cluster = Cluster(two_fragment_tree(), Placement({"F0": "S0", "F1": "S1"}))
+        assert cluster.site("S0").has_fragment("F0")
+        assert cluster.site("S1").has_fragment("F1")
+        assert cluster.coordinator_site == "S0"
+        assert cluster.total_size() == 4
+        assert cluster.card() == 2
+
+    def test_single_site_constructor(self):
+        cluster = Cluster.single_site(two_fragment_tree())
+        assert len(cluster.sites()) == 1
+        assert cluster.site("S0").fragment_ids() == ["F0", "F1"]
+
+    def test_one_site_per_fragment_constructor(self):
+        cluster = Cluster.one_site_per_fragment(two_fragment_tree())
+        assert cluster.site_of("F0") == "S0"
+        assert cluster.site_of("F1") == "S1"
+
+    def test_source_tree_cached_and_invalidated(self):
+        cluster = Cluster(two_fragment_tree(), Placement({"F0": "S0", "F1": "S1"}))
+        first = cluster.source_tree()
+        assert cluster.source_tree() is first
+        cluster.move_fragment("F1", "S0")
+        assert cluster.source_tree() is not first
+        assert cluster.source_tree().site_of("F1") == "S0"
+
+    def test_move_fragment(self):
+        cluster = Cluster(two_fragment_tree(), Placement({"F0": "S0", "F1": "S1"}))
+        cluster.move_fragment("F1", "S0")
+        assert cluster.site("S0").has_fragment("F1")
+        assert not cluster.site("S1").has_fragment("F1")
+
+    def test_split_fragment_updates_placement(self):
+        cluster = Cluster(two_fragment_tree(), Placement({"F0": "S0", "F1": "S1"}))
+        node = cluster.fragment("F0").root.children[0]
+        new_id = cluster.split_fragment("F0", node, "F9", target_site="S1")
+        assert new_id == "F9"
+        assert cluster.site_of("F9") == "S1"
+        assert cluster.source_tree().parent_of("F9") == "F0"
+
+    def test_merge_fragment_updates_placement(self):
+        cluster = Cluster(two_fragment_tree(), Placement({"F0": "S0", "F1": "S1"}))
+        virtual = cluster.fragment("F0").virtual_nodes()[0]
+        absorbed = cluster.merge_fragment("F0", virtual)
+        assert absorbed == "F1"
+        assert cluster.card() == 1
+        assert not cluster.site("S1").has_fragment("F1")
+
+
+class TestRun:
+    @pytest.fixture
+    def cluster(self):
+        return Cluster(two_fragment_tree(), Placement({"F0": "S0", "F1": "S1"}))
+
+    def test_visits(self, cluster):
+        run = Run(cluster)
+        run.visit("S0")
+        run.visit("S1")
+        run.visit("S1")
+        assert run.metrics.visits["S1"] == 2
+        assert run.metrics.total_visits() == 3
+        assert run.metrics.max_visits_per_site() == 2
+
+    def test_messages_and_bytes(self, cluster):
+        run = Run(cluster)
+        seconds = run.message("S0", "S1", 1000, "query")
+        assert seconds > 0
+        assert run.metrics.messages == 1
+        assert run.metrics.bytes_total == 1000
+        assert run.metrics.bytes_by_kind["query"] == 1000
+
+    def test_intra_site_message_free_and_untracked(self, cluster):
+        run = Run(cluster)
+        assert run.message("S0", "S0", 1000, "query") == 0.0
+        assert run.metrics.messages == 0
+        assert run.metrics.bytes_total == 0
+
+    def test_compute_times_and_attributes(self, cluster):
+        run = Run(cluster)
+        result, seconds = run.compute("S0", lambda: sum(range(1000)))
+        assert result == 499500
+        assert seconds >= 0
+        assert run.metrics.compute_seconds_total == seconds
+
+    def test_add_ops(self, cluster):
+        run = Run(cluster)
+        run.add_ops(10, 80)
+        assert run.metrics.nodes_processed == 10
+        assert run.metrics.qlist_ops == 80
+
+    def test_finish_freezes(self, cluster):
+        run = Run(cluster)
+        run.finish(1.5)
+        assert run.metrics.elapsed_seconds == 1.5
+        with pytest.raises(RuntimeError):
+            run.finish(2.0)
+
+    def test_metrics_summary_keys(self, cluster):
+        run = Run(cluster)
+        run.visit("S0")
+        run.finish(0.0)
+        summary = run.metrics.summary()
+        assert summary["sites_contacted"] == 1
+        assert "bytes_total" in summary and "qlist_ops" in summary

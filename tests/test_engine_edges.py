@@ -1,0 +1,102 @@
+"""Edge cases shared across engines."""
+
+import pytest
+
+from repro.core import ALL_ENGINES, ENGINE_REGISTRY, ParBoXEngine
+from repro.distsim import Cluster
+from repro.fragments import Fragment, FragmentedTree, Placement
+from repro.workloads.portfolio import build_portfolio_cluster
+from repro.xmltree import XMLNode, element
+from repro.xpath import compile_query
+
+
+def single_node_cluster() -> Cluster:
+    tree = FragmentedTree({"F0": Fragment("F0", element("only"))}, "F0")
+    return Cluster(tree, Placement({"F0": "S0"}))
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES, ids=lambda c: c.name)
+class TestDegenerateClusters:
+    def test_single_node_document(self, engine_cls):
+        cluster = single_node_cluster()
+        assert engine_cls(cluster).evaluate(compile_query("[label() = only]")).answer
+        assert not engine_cls(cluster).evaluate(compile_query("[*]")).answer
+
+    def test_epsilon_query(self, engine_cls):
+        cluster = single_node_cluster()
+        assert engine_cls(cluster).evaluate(compile_query("[.]")).answer is True
+
+    def test_no_network_traffic_on_one_site(self, engine_cls):
+        cluster = single_node_cluster()
+        result = engine_cls(cluster).evaluate(compile_query("[//a]"))
+        assert result.metrics.bytes_total == 0
+        assert result.metrics.messages == 0
+
+    def test_star_of_empty_ish_fragments(self, engine_cls):
+        # Fragments of a single node each, all leaves of the root.
+        root = element("r")
+        fragments = {"F0": Fragment("F0", root)}
+        for index in range(1, 5):
+            root.add_child(XMLNode.virtual(f"F{index}"))
+            fragments[f"F{index}"] = Fragment(f"F{index}", element("leaf"))
+        cluster = Cluster.one_site_per_fragment(FragmentedTree(fragments, "F0"))
+        result = engine_cls(cluster).evaluate(compile_query("[leaf]"))
+        assert result.answer is True
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES, ids=lambda c: c.name)
+class TestDeterminism:
+    def test_repeated_evaluation_stable(self, engine_cls):
+        cluster = build_portfolio_cluster()
+        qlist = compile_query('[//code = "GOOG"]')
+        engine = engine_cls(cluster)
+        first = engine.evaluate(qlist)
+        second = engine.evaluate(qlist)
+        assert first.answer == second.answer
+        assert first.metrics.bytes_total == second.metrics.bytes_total
+        assert dict(first.metrics.visits) == dict(second.metrics.visits)
+
+    def test_engine_reuse_across_queries(self, engine_cls):
+        cluster = build_portfolio_cluster()
+        engine = engine_cls(cluster)
+        assert engine.evaluate(compile_query("[//stock]")).answer is True
+        assert engine.evaluate(compile_query("[//zzz]")).answer is False
+
+
+class TestRegistryLookup:
+    def test_aliases_resolve(self):
+        assert ENGINE_REGISTRY["parbox"] is ParBoXEngine
+        assert ENGINE_REGISTRY["parbox"] is ENGINE_REGISTRY["ParBoX".lower()]
+        for alias in ("hybrid", "fulldist", "lazy", "central", "distributed"):
+            assert alias in ENGINE_REGISTRY
+
+    def test_every_engine_named(self):
+        names = {engine.name for engine in ALL_ENGINES}
+        assert len(names) == len(ALL_ENGINES)
+
+
+class TestBaseEngine:
+    def test_abstract_evaluate(self):
+        from repro.core.engine import Engine
+
+        cluster = single_node_cluster()
+        with pytest.raises(NotImplementedError):
+            Engine(cluster).evaluate(compile_query("[//a]"))
+
+    def test_result_carries_engine_name(self):
+        cluster = single_node_cluster()
+        for engine_cls in ALL_ENGINES:
+            result = engine_cls(cluster).evaluate(compile_query("[//a]"))
+            assert result.engine == engine_cls.name
+
+
+class TestWideFlatDocuments:
+    def test_thousands_of_siblings(self):
+        root = element("r")
+        for index in range(3000):
+            root.add_child(XMLNode("leaf", text=str(index)))
+        root.add_child(XMLNode("needle", text="x"))
+        tree = FragmentedTree({"F0": Fragment("F0", root)}, "F0")
+        cluster = Cluster(tree, Placement({"F0": "S0"}))
+        assert ParBoXEngine(cluster).evaluate(compile_query("[//needle]")).answer
+        assert ParBoXEngine(cluster).evaluate(compile_query('[leaf = "2999"]')).answer

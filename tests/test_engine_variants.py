@@ -1,0 +1,168 @@
+"""Behavioural tests for the Section 3-4 baselines and variants."""
+
+import pytest
+
+from repro.core import (
+    FullDistParBoXEngine,
+    HybridParBoXEngine,
+    LazyParBoXEngine,
+    NaiveCentralizedEngine,
+    NaiveDistributedEngine,
+    ParBoXEngine,
+)
+from repro.core.engine import MSG_FRAGMENT_DATA, MSG_GROUND_TRIPLET, MSG_TRIPLET
+from repro.distsim import Cluster
+from repro.fragments import fragment_per_node
+from repro.workloads.portfolio import build_portfolio_cluster, build_portfolio_tree
+from repro.workloads.queries import query_of_size, seal_query
+from repro.workloads.topologies import chain_ft2, star_ft1
+from repro.xpath import compile_query
+
+
+class TestNaiveCentralized:
+    def test_ships_all_remote_data(self):
+        cluster = star_ft1(4, 2.0, seed=20)
+        result = NaiveCentralizedEngine(cluster).evaluate(query_of_size(8))
+        expected = sum(
+            cluster.fragment(fid).wire_bytes()
+            for fid in cluster.fragmented_tree.fragments
+            if cluster.site_of(fid) != cluster.coordinator_site
+        )
+        assert result.details["shipped_bytes"] == expected
+        assert result.metrics.bytes_by_kind[MSG_FRAGMENT_DATA] == expected
+
+    def test_traffic_scales_with_tree_size(self):
+        qlist = query_of_size(8)
+        small = NaiveCentralizedEngine(star_ft1(4, 1.0, seed=21)).evaluate(qlist)
+        large = NaiveCentralizedEngine(star_ft1(4, 4.0, seed=21)).evaluate(qlist)
+        assert large.metrics.bytes_total > 2 * small.metrics.bytes_total
+
+    def test_one_visit_per_remote_site(self):
+        cluster = build_portfolio_cluster()
+        result = NaiveCentralizedEngine(cluster).evaluate(compile_query("[//stock]"))
+        assert dict(result.metrics.visits) == {"S1": 1, "S2": 1}
+
+    def test_single_site_no_shipping(self):
+        cluster = Cluster.single_site(star_ft1(3, 1.0, seed=22).fragmented_tree)
+        result = NaiveCentralizedEngine(cluster).evaluate(query_of_size(8))
+        assert result.metrics.bytes_total == 0
+
+
+class TestNaiveDistributed:
+    def test_visits_once_per_fragment(self):
+        # S2 holds two fragments -> visited twice (the paper's complaint).
+        cluster = build_portfolio_cluster()
+        result = NaiveDistributedEngine(cluster).evaluate(compile_query("[//stock]"))
+        assert result.metrics.visits["S2"] == 2
+        assert result.metrics.visits["S0"] == 1
+        assert result.metrics.visits["S1"] == 1
+
+    def test_sequential_elapsed_is_sum(self):
+        cluster = star_ft1(5, 5.0, seed=23)
+        parallel = ParBoXEngine(cluster).evaluate(query_of_size(8))
+        sequential = NaiveDistributedEngine(cluster).evaluate(query_of_size(8))
+        assert sequential.elapsed_seconds > parallel.elapsed_seconds
+
+    def test_no_data_shipping(self):
+        cluster = star_ft1(4, 2.0, seed=24)
+        result = NaiveDistributedEngine(cluster).evaluate(query_of_size(8))
+        assert MSG_FRAGMENT_DATA not in result.metrics.bytes_by_kind
+
+
+class TestFullDist:
+    def test_no_variables_cross_the_network(self):
+        cluster = chain_ft2(5, 2.5, seed=25)
+        result = FullDistParBoXEngine(cluster).evaluate(seal_query("F4"))
+        # Only ground triplets in stage 3; no variable-carrying replies.
+        assert MSG_TRIPLET not in result.metrics.bytes_by_kind
+        assert result.metrics.bytes_by_kind[MSG_GROUND_TRIPLET] > 0
+
+    def test_reply_traffic_not_above_parbox(self):
+        # "FullDistParBoX still results in at most half the traffic of
+        # ParBoX" (reply side; requests also carry the source tree).
+        cluster = chain_ft2(8, 4.0, seed=26)
+        qlist = seal_query("F7")
+        parbox = ParBoXEngine(cluster).evaluate(qlist)
+        fulldist = FullDistParBoXEngine(cluster).evaluate(qlist)
+        assert (
+            fulldist.metrics.bytes_by_kind[MSG_GROUND_TRIPLET]
+            <= parbox.metrics.bytes_by_kind[MSG_TRIPLET]
+        )
+
+    def test_elapsed_close_to_parbox_on_chain(self):
+        # Figs. 9-10: ParBoX and FullDistParBoX nearly coincide.
+        cluster = chain_ft2(6, 6.0, seed=27)
+        qlist = seal_query("F5")
+        parbox = ParBoXEngine(cluster).evaluate(qlist)
+        fulldist = FullDistParBoXEngine(cluster).evaluate(qlist)
+        assert fulldist.elapsed_seconds < parbox.elapsed_seconds * 3
+
+
+class TestLazy:
+    def test_stops_at_satisfying_depth(self):
+        # "in LazyParBoX only 2 machines evaluate qF0 while all the
+        # other machines are idle" -- the first step covers the
+        # coordinator and depth 1, then the answer resolves.
+        cluster = chain_ft2(8, 4.0, seed=28)
+        result = LazyParBoXEngine(cluster).evaluate(seal_query("F0"))
+        assert result.answer is True
+        assert result.details["steps_evaluated"] == 1
+        assert result.details["fragments_evaluated"] == 2
+
+    def test_descends_to_target(self):
+        cluster = chain_ft2(8, 4.0, seed=28)
+        result = LazyParBoXEngine(cluster).evaluate(seal_query("F5"))
+        assert result.answer is True
+        assert result.details["fragments_evaluated"] == 6  # F0..F5 resolve it
+
+    def test_negative_answer_evaluates_everything(self):
+        cluster = chain_ft2(6, 3.0, seed=29)
+        result = LazyParBoXEngine(cluster).evaluate(seal_query("NOWHERE"))
+        assert result.answer is False
+        assert result.details["fragments_evaluated"] == 6
+
+    def test_saves_computation_vs_parbox(self):
+        cluster = chain_ft2(8, 4.0, seed=30)
+        qlist = seal_query("F0")
+        lazy = LazyParBoXEngine(cluster).evaluate(qlist)
+        eager = ParBoXEngine(cluster).evaluate(qlist)
+        assert lazy.metrics.qlist_ops < eager.metrics.qlist_ops
+
+    def test_sequential_depths_cost_elapsed_time(self):
+        # Fig. 10: when the satisfying fragment is deepest, Lazy's
+        # elapsed exceeds ParBoX's (sequential tail).
+        cluster = chain_ft2(8, 8.0, seed=31)
+        qlist = seal_query("F7")
+        lazy = LazyParBoXEngine(cluster).evaluate(qlist)
+        eager = ParBoXEngine(cluster).evaluate(qlist)
+        assert lazy.elapsed_seconds > eager.elapsed_seconds
+
+
+class TestHybrid:
+    def test_normal_regime_uses_parbox(self):
+        cluster = star_ft1(4, 4.0, seed=32)
+        engine = HybridParBoXEngine(cluster)
+        qlist = query_of_size(8)
+        assert engine.choose_strategy(qlist) == "parbox"
+        result = engine.evaluate(qlist)
+        assert result.details["strategy"] == "parbox"
+        assert MSG_FRAGMENT_DATA not in result.metrics.bytes_by_kind
+
+    def test_pathological_regime_falls_back(self):
+        tree = build_portfolio_tree()
+        cluster = Cluster.one_site_per_fragment(fragment_per_node(tree))
+        engine = HybridParBoXEngine(cluster)
+        qlist = compile_query("[//stock]")
+        # card(F) = |T| >= |T|/|q|: switch to centralized.
+        assert engine.choose_strategy(qlist) == "centralized"
+        result = engine.evaluate(qlist)
+        assert result.details["strategy"] == "centralized"
+        assert result.answer is True
+
+    def test_tipping_point_rule(self):
+        cluster = star_ft1(4, 2.0, seed=33)
+        engine = HybridParBoXEngine(cluster)
+        qlist = query_of_size(8)
+        card, size = cluster.card(), cluster.total_size()
+        expected = "parbox" if card < size / len(qlist) else "centralized"
+        assert engine.choose_strategy(qlist) == expected

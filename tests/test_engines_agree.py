@@ -1,0 +1,114 @@
+"""Integration: every distributed engine agrees with the centralized oracle.
+
+The grid crosses documents x fragmentations x queries; the oracle is the
+optimal centralized evaluator run on the stitched (whole) document.
+"""
+
+import pytest
+
+from repro.core import ALL_ENGINES, evaluate_tree
+from repro.distsim import Cluster
+from repro.fragments import fragment_at, fragment_balanced, fragment_per_node
+from repro.workloads.portfolio import PORTFOLIO_QUERIES, build_portfolio_cluster, build_portfolio_tree
+from repro.workloads.queries import QUERY_SIZES, query_of_size, seal_query
+from repro.workloads.topologies import bushy_ft3, chain_ft2, co_located, star_ft1
+from repro.xpath import compile_query
+
+QUERIES = [
+    "[//stock]",
+    '[//stock[code = "GOOG" and sell = "376"]]',
+    '[//broker[//stock/code/text() = "GOOG" and not(//stock/code/text() = "YHOO")]]',
+    '[//stock[code/text() = "YHOO"]]',
+    '[/portofolio/broker/name = "Merill Lynch"]',
+    "[not //market]",
+    "[label() = portofolio and //sell]",
+    "[broker/market/stock or //zzz]",
+    "[//zzz]",
+    "[*]",
+]
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES, ids=lambda c: c.name)
+@pytest.mark.parametrize("query", QUERIES)
+class TestPortfolioGrid:
+    def test_agrees_with_oracle(self, engine_cls, query):
+        cluster = build_portfolio_cluster()
+        qlist = compile_query(query)
+        oracle, _ = evaluate_tree(build_portfolio_tree(), qlist)
+        result = engine_cls(cluster).evaluate(qlist)
+        assert result.answer == oracle
+        assert result.engine == engine_cls.name
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES, ids=lambda c: c.name)
+class TestFragmentationShapes:
+    """One document, many decompositions: answers must be invariant."""
+
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return build_portfolio_tree()
+
+    @pytest.fixture(scope="class")
+    def qlists(self):
+        return [compile_query(q) for q in PORTFOLIO_QUERIES.values()]
+
+    def _check(self, engine_cls, ftree, tree, qlists):
+        cluster = Cluster.one_site_per_fragment(ftree)
+        for qlist in qlists:
+            oracle, _ = evaluate_tree(tree, qlist)
+            assert engine_cls(cluster).evaluate(qlist).answer == oracle
+
+    def test_single_fragment(self, engine_cls, tree, qlists):
+        self._check(engine_cls, fragment_balanced(tree, 1), tree, qlists)
+
+    def test_balanced_fragments(self, engine_cls, tree, qlists):
+        for count in (2, 4, 6):
+            self._check(engine_cls, fragment_balanced(tree, count), tree, qlists)
+
+    def test_per_node_fragmentation(self, engine_cls, tree, qlists):
+        self._check(engine_cls, fragment_per_node(tree), tree, qlists)
+
+    def test_deep_nested_cuts(self, engine_cls, tree, qlists):
+        # Cut each market, and a stock inside one of them (nested).
+        markets = tree.root.find_by_label("market")
+        stock = markets[1].find_by_label("stock")[0]
+        ftree = fragment_at(tree, markets + [stock])
+        self._check(engine_cls, ftree, tree, qlists)
+
+    def test_everything_on_one_site(self, engine_cls, tree, qlists):
+        ftree = fragment_balanced(tree, 4)
+        cluster = Cluster.single_site(ftree)
+        for qlist in qlists:
+            oracle, _ = evaluate_tree(tree, qlist)
+            assert engine_cls(cluster).evaluate(qlist).answer == oracle
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES, ids=lambda c: c.name)
+class TestXMarkTopologies:
+    """The benchmark topologies at miniature scale."""
+
+    def test_star(self, engine_cls):
+        cluster = star_ft1(4, 2.0, seed=11)
+        qlist = query_of_size(8)
+        oracle, _ = evaluate_tree(cluster.fragmented_tree.stitch(), qlist)
+        assert engine_cls(cluster).evaluate(qlist).answer == oracle
+
+    def test_chain_with_seal_queries(self, engine_cls):
+        cluster = chain_ft2(5, 2.5, seed=12)
+        for target in ("F0", "F2", "F4"):
+            qlist = seal_query(target)
+            assert engine_cls(cluster).evaluate(qlist).answer is True
+        assert engine_cls(cluster).evaluate(seal_query("F9")).answer is False
+
+    def test_bushy(self, engine_cls):
+        cluster = bushy_ft3(0, seed=13, nodes_per_mb=12)
+        for size in QUERY_SIZES:
+            qlist = query_of_size(size)
+            oracle, _ = evaluate_tree(cluster.fragmented_tree.stitch(), qlist)
+            assert engine_cls(cluster).evaluate(qlist).answer == oracle
+
+    def test_co_located(self, engine_cls):
+        cluster = co_located(3, 1.5, seed=14)
+        qlist = query_of_size(8)
+        oracle, _ = evaluate_tree(cluster.fragmented_tree.stitch(), qlist)
+        assert engine_cls(cluster).evaluate(qlist).answer == oracle

@@ -1,0 +1,110 @@
+"""A long-running federation scenario exercising the whole stack together.
+
+Models the life of a small data federation: sites join (splits), data
+arrives (inserts), subscriptions stand (registry), analysts ask
+node-selection questions, and sites consolidate (merges) -- asserting
+global consistency invariants after every step.
+"""
+
+import pytest
+
+from repro.core import ALL_ENGINES, ParBoXEngine, SelectionEngine, evaluate_tree, select_centralized
+from repro.distsim import Cluster
+from repro.fragments import fragment_balanced
+from repro.views import MaterializedView, SubscriptionRegistry
+from repro.workloads.xmark import generate_xmark_site
+from repro.xmltree import element
+from repro.xpath import compile_query
+
+WATCH_QUERIES = {
+    "gold": '[//item[name = "gold-bar"]]',
+    "people": "[//person]",
+    "empty-regions": "[not(//item)]",
+}
+
+
+@pytest.fixture
+def federation():
+    tree = generate_xmark_site(2.0, seed=2024, nodes_per_mb=80)
+    cluster = Cluster.one_site_per_fragment(fragment_balanced(tree, 3))
+    return cluster
+
+
+def assert_consistent(cluster):
+    """All engines agree with the stitched-document oracle."""
+    whole = cluster.fragmented_tree.stitch()
+    for text in ("[//person]", "[//bidder]", '[//item[name = "gold-bar"]]'):
+        qlist = compile_query(text)
+        oracle, _ = evaluate_tree(whole, qlist)
+        for engine_cls in ALL_ENGINES:
+            assert engine_cls(cluster).evaluate(qlist).answer == oracle, engine_cls.name
+    select_q = compile_query("[//person/name]")
+    assert SelectionEngine(cluster).select(select_q).paths == select_centralized(
+        whole, select_q
+    )
+
+
+class TestFederationLifecycle:
+    def test_full_story(self, federation):
+        cluster = federation
+        registry = SubscriptionRegistry(cluster)
+        for name, text in WATCH_QUERIES.items():
+            registry.subscribe(name, compile_query(text))
+        assert registry.answer("gold") is False
+        assert registry.answer("people") is True
+        assert_consistent(cluster)
+
+        # --- a new department joins: split a subtree to a fresh site ---
+        f0 = cluster.fragment("F0")
+        candidate = next(
+            n
+            for n in f0.root.children
+            if not n.is_virtual and n.subtree_size() > 3
+        )
+        view = MaterializedView.create(cluster, compile_query("[//person]"))
+        view.apply_split("F0", candidate, "DEPT", target_site="S-NEW")
+        assert "S-NEW" in cluster.source_tree().sites()
+        assert_consistent(cluster)
+
+        # The registry predates the split: rebuilding picks it up.
+        registry.recompute_from_scratch()
+        assert registry.answer("people") is True
+
+        # --- data arrives at the new department -----------------------
+        dept = cluster.fragment("DEPT")
+        dept.root.add_child(
+            element("item", element("name", text="gold-bar"))
+        )
+        report = registry.notify_fragment_updated("DEPT")
+        assert "gold" in report.changed
+        assert registry.answer("gold") is True
+        assert_consistent(cluster)
+
+        # --- analysts select across the federation --------------------
+        qlist = compile_query('[//item[name = "gold-bar"]]')
+        selection = SelectionEngine(cluster).select(qlist)
+        assert len(selection.paths) == 1
+        assert selection.result.metrics.max_visits_per_site() <= 2
+
+        # --- consolidation: the department merges back ----------------
+        virtual = next(
+            n for n in cluster.fragment("F0").root.iter_subtree() if n.fragment_ref == "DEPT"
+        )
+        view.apply_merge("F0", virtual)
+        assert "DEPT" not in cluster.fragmented_tree.fragments
+        assert_consistent(cluster)
+        registry.recompute_from_scratch()
+        assert registry.answer("gold") is True
+
+    def test_parbox_guarantees_hold_throughout(self, federation):
+        cluster = federation
+        qlist = compile_query("[//person and //bidder]")
+        some_fragment = next(
+            fid for fid in cluster.fragmented_tree.fragments if fid != "F0"
+        )
+        for _ in range(3):
+            result = ParBoXEngine(cluster).evaluate(qlist)
+            assert result.metrics.max_visits_per_site() == 1
+            assert result.metrics.nodes_processed == cluster.total_size()
+            # mutate a little between rounds
+            cluster.fragment(some_fragment).root.add_child(element("note", text="x"))

@@ -1,0 +1,234 @@
+"""Unit tests for fragmentation: cutting, stitching, split/merge."""
+
+import pytest
+
+from repro.fragments import (
+    Fragment,
+    FragmentationError,
+    FragmentedTree,
+    fragment_at,
+    fragment_balanced,
+    fragment_per_node,
+    merge_fragment,
+    split_fragment,
+)
+from repro.xmltree import XMLNode, XMLTree, element
+
+
+def sample_tree() -> XMLTree:
+    return XMLTree(
+        element(
+            "r",
+            element("a", element("a1"), element("a2", element("deep"))),
+            element("b", element("b1")),
+            element("c"),
+        )
+    )
+
+
+class TestFragment:
+    def test_size_and_subs(self):
+        root = element("a", element("b"))
+        root.add_child(XMLNode.virtual("F2"))
+        root.add_child(XMLNode.virtual("F3"))
+        fragment = Fragment("F1", root)
+        assert fragment.size() == 2
+        assert fragment.sub_fragment_ids() == ["F2", "F3"]
+        assert len(fragment.virtual_nodes()) == 2
+
+    def test_virtual_root_rejected(self):
+        with pytest.raises(FragmentationError):
+            Fragment("F1", XMLNode.virtual("F2"))
+
+    def test_wire_bytes_positive(self):
+        assert Fragment("F", element("a", element("b"))).wire_bytes() > 0
+
+
+class TestFragmentAt:
+    def test_basic_cut(self):
+        tree = sample_tree()
+        target = tree.root.children[0]  # subtree 'a'
+        ftree = fragment_at(tree, [target], ids=["FA"])
+        assert set(ftree.fragments) == {"F0", "FA"}
+        assert ftree.fragments["FA"].size() == 4
+        assert ftree.fragments["F0"].sub_fragment_ids() == ["FA"]
+
+    def test_copy_semantics_default(self):
+        tree = sample_tree()
+        before = tree.size()
+        fragment_at(tree, [tree.root.children[0]])
+        assert tree.size() == before  # input untouched
+
+    def test_nested_cuts(self):
+        tree = sample_tree()
+        outer = tree.root.children[0]
+        inner = outer.children[1].children[0]  # 'deep'
+        ftree = fragment_at(tree, [outer, inner], ids=["FA", "FD"])
+        assert ftree.parent_of("FD") == "FA"
+        assert ftree.parent_of("FA") == "F0"
+        assert ftree.depth_of("FD") == 2
+
+    def test_total_size_preserved(self):
+        tree = sample_tree()
+        cuts = [tree.root.children[0], tree.root.children[1]]
+        ftree = fragment_at(tree, cuts)
+        assert ftree.total_size() == tree.size()
+
+    def test_cut_at_root_rejected(self):
+        tree = sample_tree()
+        with pytest.raises(FragmentationError):
+            fragment_at(tree, [tree.root])
+
+    def test_duplicate_ids_rejected(self):
+        tree = sample_tree()
+        with pytest.raises(FragmentationError):
+            fragment_at(tree, [tree.root.children[0], tree.root.children[1]], ids=["X", "X"])
+
+    def test_stitch_round_trip(self):
+        tree = sample_tree()
+        cuts = [tree.root.children[0], tree.root.children[0].children[1], tree.root.children[2]]
+        ftree = fragment_at(tree, cuts)
+        assert ftree.stitch().structurally_equal(tree)
+
+    def test_stitch_is_non_destructive(self):
+        tree = sample_tree()
+        ftree = fragment_at(tree, [tree.root.children[1]])
+        first = ftree.stitch()
+        second = ftree.stitch()
+        assert first.structurally_equal(second)
+        assert ftree.fragments["F0"].sub_fragment_ids()  # still fragmented
+
+
+class TestFragmentBalanced:
+    def test_produces_requested_count(self):
+        tree = sample_tree()
+        ftree = fragment_balanced(tree, 3)
+        assert ftree.card() == 3
+        assert ftree.total_size() == tree.size()
+
+    def test_single_fragment(self):
+        tree = sample_tree()
+        ftree = fragment_balanced(tree, 1)
+        assert ftree.card() == 1
+        assert ftree.stitch().structurally_equal(tree)
+
+    def test_round_trip(self):
+        tree = sample_tree()
+        for count in (2, 3, 4):
+            assert fragment_balanced(tree, count).stitch().structurally_equal(tree)
+
+
+class TestFragmentPerNode:
+    def test_pathological_cardinality(self):
+        tree = sample_tree()
+        ftree = fragment_per_node(tree)
+        assert ftree.card() == tree.size()
+        for fragment in ftree.fragments.values():
+            assert fragment.size() == 1
+        assert ftree.stitch().structurally_equal(tree)
+
+
+class TestValidation:
+    def test_unknown_reference_rejected(self):
+        root = element("a")
+        root.add_child(XMLNode.virtual("GHOST"))
+        with pytest.raises(FragmentationError):
+            FragmentedTree({"F0": Fragment("F0", root)}, "F0")
+
+    def test_unreachable_fragment_rejected(self):
+        with pytest.raises(FragmentationError):
+            FragmentedTree(
+                {"F0": Fragment("F0", element("a")), "F1": Fragment("F1", element("b"))},
+                "F0",
+            )
+
+    def test_double_reference_rejected(self):
+        root = element("a")
+        root.add_child(XMLNode.virtual("F1"))
+        root.add_child(XMLNode.virtual("F1"))
+        with pytest.raises(FragmentationError):
+            FragmentedTree(
+                {"F0": Fragment("F0", root), "F1": Fragment("F1", element("b"))},
+                "F0",
+            )
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(FragmentationError):
+            FragmentedTree({}, "F0")
+
+
+class TestFragmentTreeRelations:
+    def test_depths_and_traversal(self):
+        tree = sample_tree()
+        outer = tree.root.children[0]
+        inner = outer.children[1]
+        ftree = fragment_at(tree, [outer, inner], ids=["FA", "FI"])
+        assert ftree.max_depth() == 2
+        assert ftree.fragments_at_depth(0) == ["F0"]
+        assert ftree.fragments_at_depth(1) == ["FA"]
+        assert ftree.fragments_at_depth(2) == ["FI"]
+        assert list(ftree.iter_depth_first())[0] == "F0"
+
+    def test_children_in_document_order(self):
+        tree = sample_tree()
+        ftree = fragment_at(
+            tree, [tree.root.children[0], tree.root.children[2]], ids=["FA", "FC"]
+        )
+        assert ftree.children_of("F0") == ["FA", "FC"]
+
+
+class TestSplitMerge:
+    def test_split_creates_subfragment(self):
+        tree = sample_tree()
+        ftree = fragment_at(tree, [])
+        target = ftree.fragments["F0"].root.children[0]
+        new_id = split_fragment(ftree, "F0", target, "FNEW")
+        assert new_id == "FNEW"
+        assert ftree.parent_of("FNEW") == "F0"
+        assert ftree.stitch().structurally_equal(tree)
+
+    def test_split_at_fragment_root_rejected(self):
+        ftree = fragment_at(sample_tree(), [])
+        with pytest.raises(FragmentationError):
+            split_fragment(ftree, "F0", ftree.fragments["F0"].root)
+
+    def test_split_foreign_node_rejected(self):
+        ftree = fragment_at(sample_tree(), [])
+        with pytest.raises(FragmentationError):
+            split_fragment(ftree, "F0", element("alien", element("x")).children[0])
+
+    def test_merge_restores(self):
+        tree = sample_tree()
+        ftree = fragment_at(tree, [])
+        target = ftree.fragments["F0"].root.children[0]
+        split_fragment(ftree, "F0", target, "FNEW")
+        virtual = ftree.fragments["F0"].virtual_nodes()[0]
+        absorbed = merge_fragment(ftree, "F0", virtual)
+        assert absorbed == "FNEW"
+        assert ftree.card() == 1
+        assert ftree.stitch().structurally_equal(tree)
+
+    def test_merge_non_virtual_is_noop(self):
+        ftree = fragment_at(sample_tree(), [])
+        real_node = ftree.fragments["F0"].root.children[0]
+        assert merge_fragment(ftree, "F0", real_node) is None
+
+    def test_merge_preserves_grandchildren(self):
+        # Merging F1 into F0 when F1 has a sub-fragment F2: F2 becomes a
+        # direct sub-fragment of F0.
+        tree = sample_tree()
+        outer = tree.root.children[0]
+        inner = outer.children[1]
+        ftree = fragment_at(tree, [outer, inner], ids=["FA", "FI"])
+        virtual = [n for n in ftree.fragments["F0"].root.iter_subtree() if n.is_virtual][0]
+        merge_fragment(ftree, "F0", virtual)
+        assert ftree.parent_of("FI") == "F0"
+        assert ftree.stitch().structurally_equal(tree)
+
+    def test_split_of_split_fragment(self):
+        ftree = fragment_at(sample_tree(), [])
+        target = ftree.fragments["F0"].root.children[0]
+        split_fragment(ftree, "F0", target, "FA")
+        deep = ftree.fragments["FA"].root.children[1]
+        split_fragment(ftree, "FA", deep, "FB")
+        assert ftree.parent_of("FB") == "FA"

@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Strategy: generate random labelled trees, random fragmentations of them,
+and random XBL queries; assert that
+
+* every distributed engine agrees with the centralized oracle;
+* ParBoX visits each site exactly once;
+* fragmentation round-trips (stitch inverts cutting);
+* formula canonicalization preserves semantics;
+* selection agrees with its oracle.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.boolexpr import FALSE, TRUE, PaperAlgebra, Var, make_and, make_not, make_or
+from repro.core import (
+    FullDistParBoXEngine,
+    LazyParBoXEngine,
+    NaiveCentralizedEngine,
+    NaiveDistributedEngine,
+    ParBoXEngine,
+    SelectionEngine,
+    evaluate_tree,
+    select_centralized,
+)
+from repro.distsim import Cluster
+from repro.fragments import fragment_at
+from repro.workloads.queries import random_query
+from repro.xmltree import XMLNode, XMLTree
+from repro.xpath import compile_query, parse_query
+from repro.xpath.parser import QueryParseError
+
+LABELS = ("a", "b", "c", "d", "seal")
+TEXTS = (None, "x", "y", "7")
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+
+
+def build_random_tree(rng: random.Random, max_nodes: int = 30) -> XMLTree:
+    root = XMLNode(rng.choice(LABELS), text=rng.choice(TEXTS))
+    nodes = [root]
+    for _ in range(rng.randint(0, max_nodes - 1)):
+        parent = rng.choice(nodes)
+        child = XMLNode(rng.choice(LABELS), text=rng.choice(TEXTS))
+        parent.add_child(child)
+        nodes.append(child)
+    return XMLTree(root)
+
+
+def random_fragmentation(rng: random.Random, tree: XMLTree):
+    candidates = [n for n in tree.root.iter_subtree() if n is not tree.root]
+    rng.shuffle(candidates)
+    cut_count = rng.randint(0, min(len(candidates), 6))
+    chosen: list[XMLNode] = []
+    for node in candidates:
+        if len(chosen) == cut_count:
+            break
+        chosen.append(node)
+    return fragment_at(tree, chosen)
+
+
+def random_placement(rng: random.Random, ftree) -> Cluster:
+    n_sites = rng.randint(1, max(1, ftree.card()))
+    assignment = {}
+    ids = list(ftree.iter_depth_first())
+    for index, fid in enumerate(ids):
+        # Root fragment on S0; others anywhere.
+        assignment[fid] = "S0" if index == 0 else f"S{rng.randint(0, n_sites - 1)}"
+    from repro.fragments import Placement
+
+    return Cluster(ftree, Placement(assignment))
+
+
+def valid_random_query(rng: random.Random) -> str:
+    while True:
+        text = random_query(rng, max_depth=2, labels=LABELS, texts=("x", "y", "7"))
+        try:
+            parse_query(text)
+            return text
+        except QueryParseError:  # pragma: no cover - generator is well-formed
+            continue
+
+
+# ---------------------------------------------------------------------------
+# Engine agreement
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_all_engines_agree_with_oracle(seed):
+    rng = random.Random(seed)
+    tree = build_random_tree(rng)
+    ftree = random_fragmentation(rng, tree)
+    cluster = random_placement(rng, ftree)
+    qlist = compile_query(valid_random_query(rng))
+    oracle, _ = evaluate_tree(tree, qlist)
+    for engine_cls in (
+        ParBoXEngine,
+        NaiveCentralizedEngine,
+        NaiveDistributedEngine,
+        FullDistParBoXEngine,
+        LazyParBoXEngine,
+    ):
+        result = engine_cls(cluster).evaluate(qlist)
+        assert result.answer == oracle, (engine_cls.name, qlist.source or qlist.pretty())
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_parbox_visit_invariant(seed):
+    rng = random.Random(seed)
+    tree = build_random_tree(rng)
+    cluster = random_placement(rng, random_fragmentation(rng, tree))
+    result = ParBoXEngine(cluster).evaluate(compile_query("[//a and not //b]"))
+    assert result.metrics.max_visits_per_site() == 1
+    assert set(result.metrics.visits) == set(cluster.source_tree().sites())
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_paper_algebra_agrees(seed):
+    rng = random.Random(seed)
+    tree = build_random_tree(rng)
+    cluster = random_placement(rng, random_fragmentation(rng, tree))
+    qlist = compile_query(valid_random_query(rng))
+    canonical = ParBoXEngine(cluster).evaluate(qlist)
+    paper = ParBoXEngine(cluster, algebra=PaperAlgebra()).evaluate(qlist)
+    assert canonical.answer == paper.answer
+
+
+# ---------------------------------------------------------------------------
+# Fragmentation
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_stitch_inverts_fragmentation(seed):
+    rng = random.Random(seed)
+    tree = build_random_tree(rng)
+    ftree = random_fragmentation(rng, tree)
+    assert ftree.stitch().structurally_equal(tree)
+    assert ftree.total_size() == tree.size()
+
+
+# ---------------------------------------------------------------------------
+# Selection
+# ---------------------------------------------------------------------------
+
+
+def _random_path_query(rng: random.Random) -> str:
+    depth = rng.randint(1, 3)
+    pieces = []
+    for index in range(depth):
+        sep = rng.choice(["/", "//"]) if index else rng.choice(["", "//"])
+        pieces.append(sep + rng.choice(LABELS + ("*",)))
+    return "[" + "".join(pieces) + "]"
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_selection_agrees_with_oracle(seed):
+    rng = random.Random(seed)
+    tree = build_random_tree(rng)
+    cluster = random_placement(rng, random_fragmentation(rng, tree))
+    qlist = compile_query(_random_path_query(rng))
+    assert SelectionEngine(cluster).select(qlist).paths == select_centralized(tree, qlist)
+
+
+# ---------------------------------------------------------------------------
+# Formula algebra
+# ---------------------------------------------------------------------------
+
+
+_vars = [Var(f"F{i}", "V", 0) for i in range(4)]
+
+
+@st.composite
+def formulas(draw, depth=3):
+    if depth == 0:
+        return draw(st.sampled_from([TRUE, FALSE] + _vars))
+    kind = draw(st.integers(min_value=0, max_value=3))
+    if kind == 0:
+        return draw(st.sampled_from([TRUE, FALSE] + _vars))
+    if kind == 1:
+        return make_not(draw(formulas(depth=depth - 1)))
+    left = draw(formulas(depth=depth - 1))
+    right = draw(formulas(depth=depth - 1))
+    return make_and(left, right) if kind == 2 else make_or(left, right)
+
+
+@settings(max_examples=200, deadline=None)
+@given(formula=formulas(), bits=st.integers(min_value=0, max_value=15))
+def test_substitution_preserves_semantics(formula, bits):
+    env = {var: bool(bits >> i & 1) for i, var in enumerate(_vars)}
+    from repro.boolexpr.formula import const
+
+    substituted = formula.substitute({v: const(env[v]) for v in formula.variables()})
+    assert substituted.is_ground()
+    assert substituted.evaluate({}) == formula.evaluate(env)
+
+
+@settings(max_examples=200, deadline=None)
+@given(left=formulas(), right=formulas(), bits=st.integers(min_value=0, max_value=15))
+def test_connectives_sound(left, right, bits):
+    env = {var: bool(bits >> i & 1) for i, var in enumerate(_vars)}
+    assert make_and(left, right).evaluate(env) == (left.evaluate(env) and right.evaluate(env))
+    assert make_or(left, right).evaluate(env) == (left.evaluate(env) or right.evaluate(env))
+    assert make_not(left).evaluate(env) == (not left.evaluate(env))
+
+
+@settings(max_examples=100, deadline=None)
+@given(formula=formulas())
+def test_wire_round_trip_preserves_semantics(formula):
+    from repro.boolexpr import formula_from_obj
+
+    restored = formula_from_obj(formula.to_obj())
+    for bits in range(16):
+        env = {var: bool(bits >> i & 1) for i, var in enumerate(_vars)}
+        assert restored.evaluate(env) == formula.evaluate(env)

@@ -1,0 +1,142 @@
+"""Tests for the subscription registry (multi-view maintenance)."""
+
+import pytest
+
+from repro.views import MaterializedView, SubscriptionRegistry
+from repro.workloads.portfolio import build_portfolio_cluster
+from repro.xmltree import XMLNode, element
+from repro.xpath import compile_query
+from repro.xpath.qlist import concatenate_qlists
+
+
+class TestConcatenateQLists:
+    def test_offsets_and_topology(self):
+        first = compile_query("[//a]")
+        second = compile_query("[//b and c]")
+        combined, answers = concatenate_qlists([first, second])
+        assert len(combined) == len(first) + len(second)
+        assert answers == [first.answer_index, len(first) + second.answer_index]
+        for index, entry in enumerate(combined):
+            assert all(arg < index for arg in entry.args)
+
+    def test_combined_evaluation_matches_individuals(self):
+        from repro.core import evaluate_tree
+        from repro.workloads.portfolio import build_portfolio_tree
+
+        tree = build_portfolio_tree()
+        queries = [compile_query(q) for q in ("[//stock]", '[//code = "YHOO"]', "[//zzz]")]
+        combined, answers = concatenate_qlists(queries)
+        # Evaluate the combination once; read each query's answer entry.
+        from repro.core.centralized import evaluate_node
+        from repro.core import bottom_up
+        from repro.fragments import Fragment
+
+        triplet, _ = bottom_up(Fragment("W", tree.root), combined)
+        for qlist, answer_index in zip(queries, answers):
+            expected, _ = evaluate_tree(tree, qlist)
+            assert triplet.v[answer_index].evaluate({}) == expected
+
+    def test_single_input(self):
+        qlist = compile_query("[//a]")
+        combined, answers = concatenate_qlists([qlist])
+        assert combined.entries == qlist.entries
+        assert answers == [qlist.answer_index]
+
+
+@pytest.fixture
+def cluster():
+    return build_portfolio_cluster()
+
+
+@pytest.fixture
+def registry(cluster):
+    registry = SubscriptionRegistry(cluster)
+    registry.subscribe("has-stock", compile_query("[//stock]"))
+    registry.subscribe("goog-376", compile_query('[//stock[code = "GOOG" and sell = "376"]]'))
+    registry.subscribe("no-tsla", compile_query('[not(//code = "TSLA")]'))
+    return registry
+
+
+class TestRegistryBasics:
+    def test_initial_answers(self, registry):
+        assert registry.answers() == {
+            "has-stock": True,
+            "goog-376": False,
+            "no-tsla": True,
+        }
+
+    def test_duplicate_name_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.subscribe("has-stock", compile_query("[//a]"))
+
+    def test_unsubscribe(self, registry):
+        registry.unsubscribe("goog-376")
+        assert registry.names() == ["has-stock", "no-tsla"]
+        assert "goog-376" not in registry.answers()
+
+    def test_unsubscribe_all(self, cluster):
+        registry = SubscriptionRegistry(cluster)
+        registry.subscribe("x", compile_query("[//a]"))
+        registry.unsubscribe("x")
+        assert len(registry) == 0
+        with pytest.raises(ValueError):
+            registry.notify_fragment_updated("F0")
+
+    def test_combined_size_is_sum(self, registry):
+        assert registry.combined_size() == sum(
+            len(compile_query(q))
+            for q in ("[//stock]", '[//stock[code = "GOOG" and sell = "376"]]', '[not(//code = "TSLA")]')
+        )
+
+
+class TestRegistryMaintenance:
+    def test_one_update_flips_exactly_the_affected(self, cluster, registry):
+        sell = next(
+            n for n in cluster.fragment("F2").root.iter_subtree() if n.label == "sell"
+        )
+        sell.text = "376"
+        report = registry.notify_fragment_updated("F2")
+        assert report.changed == ("goog-376",)
+        assert registry.answer("goog-376") is True
+        assert registry.answer("has-stock") is True
+
+    def test_single_traversal_per_update(self, cluster, registry):
+        report = registry.notify_fragment_updated("F2")
+        # One pass over F2 only, whatever the subscription count.
+        assert report.nodes_recomputed == cluster.fragment("F2").size()
+        assert report.sites_visited == ("S2",)
+
+    def test_cheaper_than_separate_views(self, cluster, registry):
+        # Three separate views traverse the fragment three times.
+        queries = [compile_query(q) for q in ("[//stock]", "[//sell]", "[//buy]")]
+        views = [MaterializedView.create(cluster, q) for q in queries]
+        separate_nodes = sum(v.refresh_fragment("F3").nodes_recomputed for v in views)
+        shared = SubscriptionRegistry(cluster)
+        for index, q in enumerate(queries):
+            shared.subscribe(f"s{index}", q)
+        report = shared.notify_fragment_updated("F3")
+        assert report.nodes_recomputed * 3 == separate_nodes
+
+    def test_no_change_short_circuits(self, registry):
+        report = registry.notify_fragment_updated("F3")
+        assert not report.triplet_changed
+        assert report.changed == ()
+
+    def test_matches_scratch_after_update_storm(self, cluster, registry):
+        f3 = cluster.fragment("F3")
+        f3.root.add_child(element("stock", element("code", text="TSLA")))
+        registry.notify_fragment_updated("F3")
+        assert registry.answer("no-tsla") is False
+        live = registry.answers()
+        assert registry.recompute_from_scratch() == live
+
+    def test_insert_then_delete_round_trip(self, cluster, registry):
+        before = registry.answers()
+        f1 = cluster.fragment("F1")
+        extra = XMLNode("stock")
+        f1.root.add_child(extra)
+        registry.notify_fragment_updated("F1")
+        extra.detach()
+        report = registry.notify_fragment_updated("F1")
+        assert registry.answers() == before
+        assert not report.changed

@@ -1,0 +1,133 @@
+"""Tests for the Section 8 extension: data-selection queries."""
+
+import pytest
+
+from repro.core import SelectionEngine, select_centralized
+from repro.core.selection import path_entry_indices, selection_table
+from repro.fragments import Fragment
+from repro.workloads.portfolio import build_portfolio_cluster, build_portfolio_tree
+from repro.workloads.queries import seal_query
+from repro.workloads.topologies import chain_ft2, star_ft1
+from repro.xmltree import parse_xml
+from repro.xpath import compile_query
+
+SELECTION_QUERIES = [
+    "[//stock]",
+    "[//stock/code]",
+    "[broker/market]",
+    '[//stock[code = "GOOG"]]',
+    '[//market[name = "NASDAQ"]/stock]',
+    "[//name]",
+    "[*]",
+    "[.]",
+    "[//zzz]",
+    "[/portofolio/broker]",
+]
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("query", SELECTION_QUERIES)
+    def test_portfolio(self, query):
+        cluster = build_portfolio_cluster()
+        tree = build_portfolio_tree()
+        qlist = compile_query(query)
+        assert SelectionEngine(cluster).select(qlist).paths == select_centralized(tree, qlist)
+
+    @pytest.mark.parametrize("query", ["[//seal]", "[//person/name]", "[//open_auction/bidder]"])
+    def test_xmark_star(self, query):
+        cluster = star_ft1(4, 1.0, seed=40)
+        whole = cluster.fragmented_tree.stitch()
+        qlist = compile_query(query)
+        assert SelectionEngine(cluster).select(qlist).paths == select_centralized(whole, qlist)
+
+    def test_xmark_chain(self):
+        cluster = chain_ft2(4, 1.0, seed=41)
+        whole = cluster.fragmented_tree.stitch()
+        qlist = compile_query("[//seal]")
+        paths = SelectionEngine(cluster).select(qlist).paths
+        assert paths == select_centralized(whole, qlist)
+        assert len(paths) == 4  # one seal per fragment
+
+
+class TestVisitGuarantee:
+    def test_at_most_two_visits_per_site(self):
+        cluster = build_portfolio_cluster()  # S2 holds two fragments
+        result = SelectionEngine(cluster).select(compile_query("[//stock]")).result
+        assert result.metrics.max_visits_per_site() == 2
+        assert set(result.metrics.visits) == {"S0", "S1", "S2"}
+
+    def test_chain_two_visits(self):
+        cluster = chain_ft2(5, 1.0, seed=42)
+        result = SelectionEngine(cluster).select(compile_query("[//seal]")).result
+        assert result.metrics.max_visits_per_site() == 2
+
+
+class TestSemantics:
+    def test_paths_are_document_positions(self):
+        cluster = build_portfolio_cluster()
+        qlist = compile_query("[/portofolio]")
+        (path,) = SelectionEngine(cluster).select(qlist).paths
+        assert path == ()  # the root itself
+
+    def test_selection_spanning_fragments(self):
+        # //stock has matches in F0 (IBM, HPQ), F1 (AAPL), F2 (GOOG) and
+        # F3 (YHOO, GOOG).
+        cluster = build_portfolio_cluster()
+        result = SelectionEngine(cluster).select(compile_query("[//stock]"))
+        assert len(result.paths) == 6
+
+    def test_boolean_answer_consistent(self):
+        cluster = build_portfolio_cluster()
+        positive = SelectionEngine(cluster).select(compile_query("[//stock]"))
+        negative = SelectionEngine(cluster).select(compile_query("[//zzz]"))
+        assert positive.result.answer is True
+        assert negative.result.answer is False
+        assert negative.paths == ()
+
+    def test_non_path_query_rejected(self):
+        cluster = build_portfolio_cluster()
+        with pytest.raises(ValueError):
+            SelectionEngine(cluster).select(compile_query("[//a and //b]"))
+        with pytest.raises(ValueError):
+            select_centralized(build_portfolio_tree(), compile_query("[not //a]"))
+
+
+class TestSelectionTable:
+    def test_exit_states_for_descendant(self):
+        # //b crossing into a sub-fragment: the DESC state must flow out.
+        root = parse_xml('<a><frag:ref id="K"/></a>').root
+        fragment = Fragment("F", root)
+        qlist = compile_query("[//b]")
+        table = selection_table(fragment, qlist, _all_false_env(qlist, "K"))
+        answer = qlist.answer_index
+        assert "K" in table.exits[answer]
+        assert answer in table.exits[answer]["K"]
+
+    def test_child_state_crosses_to_fragment_root(self):
+        # b with the sub-fragment as the candidate child: the
+        # continuation state activates at the sub-fragment's root.
+        root = parse_xml('<a><frag:ref id="K"/></a>').root
+        fragment = Fragment("F", root)
+        qlist = compile_query("[b]")
+        table = selection_table(fragment, qlist, _all_false_env(qlist, "K"))
+        answer = qlist.answer_index  # the */q entry
+        exits = table.exits[answer]["K"]
+        # The exit state is the ε[label()=b] continuation, not the child
+        # entry itself.
+        assert exits and all(qlist[j].op == "self" for j in exits)
+
+    def test_path_entry_indices(self):
+        qlist = compile_query("[//a[x]/b]")
+        indices = path_entry_indices(qlist)
+        assert indices
+        assert all(qlist[i].op in ("eps", "self", "selfseq", "child", "desc") for i in indices)
+
+
+def _all_false_env(qlist, fragment_id):
+    from repro.boolexpr import Var
+
+    env = {}
+    for kind in ("V", "CV", "DV"):
+        for index in range(len(qlist)):
+            env[Var(fragment_id, kind, index)] = False
+    return env

@@ -1,0 +1,127 @@
+"""Advanced selection cases: state interplay, overlaps, deep chains."""
+
+import pytest
+
+from repro.core import SelectionEngine, select_centralized
+from repro.distsim import Cluster
+from repro.fragments import Fragment, FragmentedTree, Placement, fragment_at
+from repro.xmltree import XMLNode, XMLTree, element, parse_xml
+from repro.xpath import compile_query
+
+
+def cluster_from(doc: str, cut_labels: list[str]) -> tuple[Cluster, XMLTree]:
+    """Cut the document at the first node of each label; one site each."""
+    tree = parse_xml(doc)
+    cuts = [tree.root.find_by_label(label)[0] for label in cut_labels]
+    ftree = fragment_at(tree, cuts)
+    return Cluster.one_site_per_fragment(ftree), tree
+
+
+class TestDescendantStates:
+    def test_desc_spanning_fragment_boundary(self):
+        cluster, tree = cluster_from(
+            "<r><a><keep/><x><b><keep/></b></x></a></r>", ["x"]
+        )
+        qlist = compile_query("[//keep]")
+        assert SelectionEngine(cluster).select(qlist).paths == select_centralized(tree, qlist)
+
+    def test_desc_of_desc(self):
+        doc = "<r><a><m><a><m/></a></m></a><m/></r>"
+        cluster, tree = cluster_from(doc, ["a"])
+        for text in ("[//a//m]", "[//m]", "[a//m]"):
+            qlist = compile_query(text)
+            assert SelectionEngine(cluster).select(qlist).paths == select_centralized(
+                tree, qlist
+            ), text
+
+    def test_overlapping_child_and_desc_matches(self):
+        # The same node reachable as both a child and a descendant match.
+        doc = "<r><a><b/></a><b/></r>"
+        cluster, tree = cluster_from(doc, ["a"])
+        for text in ("[//b]", "[*/b or b]", "[//b or b]"):
+            qlist = compile_query(text)
+            assert SelectionEngine(cluster).select(qlist).paths == select_centralized(
+                tree, qlist
+            ), text
+
+
+class TestQualifierStates:
+    def test_qualifier_depends_on_remote_fragment(self):
+        # a[//flag] where the flag lives in the sub-fragment: phase 1
+        # must resolve the qualifier before phase 2 selects.
+        doc = "<r><a><x><flag/></x></a><a><x/></a></r>"
+        cluster, tree = cluster_from(doc, ["x"])
+        qlist = compile_query("[a[x//flag]]")
+        result = SelectionEngine(cluster).select(qlist)
+        assert result.paths == select_centralized(tree, qlist)
+        assert len(result.paths) == 1
+
+    def test_negated_qualifier(self):
+        doc = "<r><a><bad/></a><a><good/></a></r>"
+        cluster, tree = cluster_from(doc, ["a"])
+        qlist = compile_query("[a[not bad]]")
+        assert SelectionEngine(cluster).select(qlist).paths == select_centralized(tree, qlist)
+
+    def test_text_qualifier_across_fragments(self):
+        doc = '<r><s><code>GOOG</code></s><s><code>YHOO</code></s></r>'
+        cluster, tree = cluster_from(doc, ["s"])
+        qlist = compile_query('[//s[code = "GOOG"]]')
+        result = SelectionEngine(cluster).select(qlist)
+        assert result.paths == select_centralized(tree, qlist)
+        assert len(result.paths) == 1
+
+
+class TestChainsOfFragments:
+    def _chain(self, depth: int) -> tuple[Cluster, XMLTree]:
+        """Each fragment: <hop><mark/>@next</hop>; whole tree for oracle."""
+        fragments = {}
+        for index in range(depth):
+            root = element("hop", element("mark"))
+            if index + 1 < depth:
+                root.add_child(XMLNode.virtual(f"F{index + 1}"))
+            fragments[f"F{index}"] = Fragment(f"F{index}", root)
+        ftree = FragmentedTree(fragments, "F0")
+        placement = Placement({fid: f"S{i}" for i, fid in enumerate(fragments)})
+        return Cluster(ftree, placement), ftree.stitch()
+
+    def test_marks_across_long_chain(self):
+        cluster, whole = self._chain(12)
+        qlist = compile_query("[//mark]")
+        result = SelectionEngine(cluster).select(qlist)
+        assert len(result.paths) == 12
+        assert result.paths == select_centralized(whole, qlist)
+
+    def test_child_chain_crossing_every_boundary(self):
+        cluster, whole = self._chain(6)
+        qlist = compile_query("[hop/hop/hop/mark]")
+        result = SelectionEngine(cluster).select(qlist)
+        assert result.paths == select_centralized(whole, qlist)
+        assert len(result.paths) == 1
+
+    def test_visits_stay_at_two(self):
+        cluster, _ = self._chain(10)
+        result = SelectionEngine(cluster).select(compile_query("[//mark]")).result
+        assert result.metrics.max_visits_per_site() == 2
+
+
+class TestWildcardAndSelf:
+    @pytest.mark.parametrize(
+        "query", ["[*]", "[*/*]", "[.]", "[//*]", "[*[mark]]", "[.//mark]"]
+    )
+    def test_structural_queries(self, query):
+        doc = "<r><a><mark/></a><b><c><mark/></c></b></r>"
+        cluster, tree = cluster_from(doc, ["b"])
+        qlist = compile_query(query)
+        assert SelectionEngine(cluster).select(qlist).paths == select_centralized(
+            tree, qlist
+        ), query
+
+
+class TestResultObject:
+    def test_len_and_bool_answer(self):
+        doc = "<r><a/><a/></r>"
+        cluster, _ = cluster_from(doc, ["a"])
+        result = SelectionEngine(cluster).select(compile_query("[//a]"))
+        assert len(result) == 2
+        assert result.result.answer is True
+        assert result.result.details["selected"] == 2

@@ -1,0 +1,111 @@
+"""Protocol-level tests via the event trace."""
+
+import pytest
+
+from repro.core import (
+    FullDistParBoXEngine,
+    NaiveCentralizedEngine,
+    NaiveDistributedEngine,
+    ParBoXEngine,
+)
+from repro.core.engine import MSG_FRAGMENT_DATA, MSG_QUERY, MSG_TRIPLET
+from repro.distsim.trace import Trace
+from repro.workloads.portfolio import build_portfolio_cluster
+from repro.xpath import compile_query
+
+
+@pytest.fixture
+def cluster():
+    return build_portfolio_cluster()
+
+
+@pytest.fixture
+def qlist():
+    return compile_query("[//stock]")
+
+
+def traced(engine_cls, cluster, qlist):
+    trace = Trace()
+    engine_cls(cluster, trace=trace).evaluate(qlist)
+    return trace
+
+
+class TestTraceMechanics:
+    def test_events_recorded_in_order(self, cluster, qlist):
+        trace = traced(ParBoXEngine, cluster, qlist)
+        sequences = [event.sequence for event in trace]
+        assert sequences == sorted(sequences)
+        assert len(trace) > 0
+
+    def test_event_kinds(self, cluster, qlist):
+        trace = traced(ParBoXEngine, cluster, qlist)
+        kinds = {event.kind for event in trace}
+        assert kinds == {"visit", "message", "compute"}
+
+    def test_filtering(self, cluster, qlist):
+        trace = traced(ParBoXEngine, cluster, qlist)
+        assert all(e.kind == "visit" for e in trace.events("visit"))
+        assert len(trace.events()) == len(trace)
+
+    def test_render_lines(self, cluster, qlist):
+        trace = traced(ParBoXEngine, cluster, qlist)
+        text = trace.render()
+        assert text.count("\n") == len(trace) - 1
+        assert "visit" in text and "message" in text and "compute" in text
+
+    def test_no_trace_by_default(self, cluster, qlist):
+        engine = ParBoXEngine(cluster)
+        assert engine.trace is None
+        engine.evaluate(qlist)  # must not fail without a trace
+
+
+class TestParBoXProtocol:
+    def test_query_broadcast_precedes_triplets(self, cluster, qlist):
+        trace = traced(ParBoXEngine, cluster, qlist)
+        first_reply = trace.first_index(
+            lambda e: e.kind == "message" and e.detail == MSG_TRIPLET
+        )
+        queries = [
+            e for e in trace.events("message") if e.detail == MSG_QUERY
+        ]
+        assert queries, "the query must be broadcast"
+        assert all(q.sequence < first_reply for q in queries[:1])
+
+    def test_each_site_gets_query_once(self, cluster, qlist):
+        trace = traced(ParBoXEngine, cluster, qlist)
+        recipients = [e.peer for e in trace.events("message") if e.detail == MSG_QUERY]
+        assert sorted(recipients) == ["S0", "S1", "S2"]
+
+    def test_one_reply_per_site(self, cluster, qlist):
+        # S2 holds two fragments but sends a single combined reply.
+        trace = traced(ParBoXEngine, cluster, qlist)
+        replies = [e for e in trace.events("message") if e.detail == MSG_TRIPLET]
+        assert sorted(e.site for e in replies) == ["S0", "S1", "S2"]
+
+    def test_no_fragment_data_messages(self, cluster, qlist):
+        trace = traced(ParBoXEngine, cluster, qlist)
+        assert not [e for e in trace.events("message") if e.detail == MSG_FRAGMENT_DATA]
+
+    def test_compute_happens_on_owning_sites(self, cluster, qlist):
+        trace = traced(ParBoXEngine, cluster, qlist)
+        compute_sites = {e.site for e in trace.events("compute")}
+        assert compute_sites == {"S0", "S1", "S2"}
+
+
+class TestBaselineProtocols:
+    def test_naive_centralized_ships_data(self, cluster, qlist):
+        trace = traced(NaiveCentralizedEngine, cluster, qlist)
+        shipments = [e for e in trace.events("message") if e.detail == MSG_FRAGMENT_DATA]
+        assert shipments and all(e.peer == "S0" for e in shipments)
+
+    def test_naive_distributed_control_returns_to_caller(self, cluster, qlist):
+        trace = traced(NaiveDistributedEngine, cluster, qlist)
+        # F2 lives on S2 under F1 on S1: results must flow S2 -> S1.
+        assert trace.messages_between("S2", "S1")
+
+    def test_fulldist_triplets_flow_up_the_source_tree(self, cluster, qlist):
+        trace = traced(FullDistParBoXEngine, cluster, qlist)
+        # F2 (S2) resolves into F1 (S1); F1 and F3 resolve into F0 (S0).
+        assert trace.messages_between("S2", "S1")
+        assert trace.messages_between("S1", "S0")
+        assert trace.messages_between("S2", "S0")

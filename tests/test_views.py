@@ -1,0 +1,190 @@
+"""Tests for incremental view maintenance (Section 5)."""
+
+import pytest
+
+from repro.views import MaterializedView
+from repro.workloads.portfolio import build_portfolio_cluster
+from repro.workloads.topologies import chain_ft2, star_ft1
+from repro.workloads.queries import query_of_size, seal_query
+from repro.xpath import compile_query
+
+
+@pytest.fixture
+def cluster():
+    return build_portfolio_cluster()
+
+
+class TestCreation:
+    def test_state_holds_all_triplets(self, cluster):
+        view = MaterializedView.create(cluster, compile_query("[//stock]"))
+        assert view.ans is True
+        assert set(view.triplets) == {"F0", "F1", "F2", "F3"}
+
+    def test_initial_answer_matches_scratch(self, cluster):
+        view = MaterializedView.create(cluster, compile_query('[//code = "YHOO"]'))
+        assert view.ans == view.recompute_from_scratch() is True
+
+
+class TestContentUpdates:
+    def test_insert_flips_answer(self, cluster):
+        view = MaterializedView.create(cluster, compile_query('[//code = "TSLA"]'))
+        assert view.ans is False
+        f3_market = cluster.fragment("F3").root
+        stock = view.cluster.fragment("F3").root  # same object
+        assert stock is f3_market
+        # Insert a new stock with the sought code into F3.
+        report = view.insert_node("F3", f3_market, "stock")
+        new_stock = f3_market.children[-1]
+        report = view.insert_node("F3", new_stock, "code", text="TSLA")
+        assert view.ans is True
+        assert report.answer_changed
+        assert report.triplet_changed
+
+    def test_delete_flips_answer(self, cluster):
+        view = MaterializedView.create(cluster, compile_query('[//code = "IBM"]'))
+        assert view.ans is True
+        f0 = cluster.fragment("F0")
+        ibm_stock = next(
+            n for n in f0.root.iter_subtree() if n.label == "code" and n.text == "IBM"
+        ).parent
+        report = view.delete_node("F0", ibm_stock)
+        assert view.ans is False
+        assert report.answer_changed
+
+    def test_irrelevant_update_short_circuits(self, cluster):
+        view = MaterializedView.create(cluster, compile_query('[//code = "GOOG"]'))
+        report = view.insert_node("F0", cluster.fragment("F0").root, "note", text="hi")
+        assert not report.triplet_changed
+        assert not report.answer_changed
+
+    def test_maintenance_is_localized(self, cluster):
+        view = MaterializedView.create(cluster, compile_query("[//stock]"))
+        report = view.refresh_fragment("F2")
+        assert report.sites_visited == ("S2",)
+        assert report.is_localized()
+        assert report.nodes_recomputed == cluster.fragment("F2").size()
+
+    def test_delete_root_rejected(self, cluster):
+        view = MaterializedView.create(cluster, compile_query("[//stock]"))
+        with pytest.raises(ValueError):
+            view.delete_node("F1", cluster.fragment("F1").root)
+
+    def test_answer_always_matches_scratch(self, cluster):
+        qlist = compile_query('[//stock[code = "GOOG" and sell = "373"]]')
+        view = MaterializedView.create(cluster, qlist)
+        f3 = cluster.fragment("F3")
+        goog_sell = next(
+            n for n in f3.root.iter_subtree() if n.label == "sell" and n.text == "373"
+        )
+        view.delete_node("F3", goog_sell)
+        assert view.ans == view.recompute_from_scratch()
+        parent_stock = f3.root.find_by_label("stock")[1]
+        view.insert_node("F3", parent_stock, "sell", text="373")
+        assert view.ans == view.recompute_from_scratch() is True
+
+
+class TestTrafficBounds:
+    def test_traffic_independent_of_data_size(self):
+        """Maintenance traffic must not grow with |T| (paper claim (b))."""
+        qlist = query_of_size(8)
+        reports = []
+        for scale in (1.0, 8.0):
+            cluster = star_ft1(4, scale, seed=50)
+            view = MaterializedView.create(cluster, qlist)
+            target = cluster.fragment("F2")
+            target.root.add_child(_leaf("note"))
+            reports.append(view.refresh_fragment("F2"))
+        small, large = reports
+        assert large.traffic_bytes <= small.traffic_bytes * 1.5
+
+    def test_traffic_independent_of_update_size(self):
+        qlist = query_of_size(8)
+        cluster = star_ft1(4, 2.0, seed=51)
+        view = MaterializedView.create(cluster, qlist)
+        target = cluster.fragment("F2").root
+        target.add_child(_leaf("note"))
+        single = view.refresh_fragment("F2")
+        for _ in range(200):
+            target.add_child(_leaf("note"))
+        bulk = view.refresh_fragment("F2")
+        assert bulk.traffic_bytes <= single.traffic_bytes * 1.5
+
+    def test_recomputation_localized_to_fragment(self):
+        qlist = query_of_size(8)
+        cluster = star_ft1(4, 2.0, seed=52)
+        view = MaterializedView.create(cluster, qlist)
+        report = view.refresh_fragment("F3")
+        assert report.nodes_recomputed == cluster.fragment("F3").size()
+        assert report.nodes_recomputed < cluster.total_size() / 2
+
+
+class TestStructuralUpdates:
+    def test_split_preserves_answer(self, cluster):
+        qlist = compile_query('[//stock[code = "GOOG"]]')
+        view = MaterializedView.create(cluster, qlist)
+        before = view.ans
+        market = cluster.fragment("F0").root.find_by_label("market")[0]
+        report = view.apply_split("F0", market, "F4", target_site="S3")
+        assert view.ans == before
+        assert not report.answer_changed
+        assert "F4" in view.triplets
+        assert view.cluster.site_of("F4") == "S3"
+        assert view.recompute_from_scratch() == before
+
+    def test_example_51_sequence(self, cluster):
+        """Example 5.1: insert a stock subtree, then split at the market."""
+        qlist = compile_query('[//stock[code = "HPQ"]]')
+        view = MaterializedView.create(cluster, qlist)
+        f0 = cluster.fragment("F0")
+        broker = f0.root.children[0]
+        market = broker.find_by_label("market")[0]
+        view.insert_node("F0", market, "stock")
+        new_stock = market.children[-1]
+        view.insert_node("F0", new_stock, "code", text="HPQ2")
+        report = view.apply_split("F0", market, "F4", target_site="S3")
+        assert report.operation == "split"
+        assert view.ans == view.recompute_from_scratch() is True
+
+    def test_merge_preserves_answer(self, cluster):
+        qlist = compile_query('[//code = "YHOO"]')
+        view = MaterializedView.create(cluster, qlist)
+        before = view.ans
+        virtual_f3 = next(
+            n for n in cluster.fragment("F0").root.iter_subtree() if n.fragment_ref == "F3"
+        )
+        report = view.apply_merge("F0", virtual_f3)
+        assert report.operation == "merge"
+        assert view.ans == before
+        assert "F3" not in view.triplets
+        assert view.recompute_from_scratch() == before
+
+    def test_merge_non_virtual_noop(self, cluster):
+        view = MaterializedView.create(cluster, compile_query("[//stock]"))
+        real = cluster.fragment("F0").root.children[0]
+        report = view.apply_merge("F0", real)
+        assert report.operation == "merge-noop"
+        assert report.traffic_bytes == 0
+
+    def test_split_then_update_then_merge(self):
+        cluster = chain_ft2(3, 1.0, seed=53)
+        qlist = seal_query("F2")
+        view = MaterializedView.create(cluster, qlist)
+        assert view.ans is True
+        # Split a subtree out of F1, update inside it, merge back.
+        f1 = cluster.fragment("F1")
+        candidate = next(
+            n for n in f1.root.children if not n.is_virtual and n.children
+        )
+        view.apply_split("F1", candidate, "FX")
+        view.insert_node("FX", cluster.fragment("FX").root, "note", text="x")
+        virtual = next(
+            n for n in cluster.fragment("F1").root.iter_subtree() if n.fragment_ref == "FX"
+        )
+        view.apply_merge("F1", virtual)
+        assert view.ans == view.recompute_from_scratch() is True
+
+
+def _leaf(label):
+    from repro.xmltree import XMLNode
+
+    return XMLNode(label, text="x")

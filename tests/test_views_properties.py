@@ -1,0 +1,110 @@
+"""Property-based tests for incremental view maintenance.
+
+Random update sequences (inserts, deletes, splits, merges) against a
+random initial cluster: after every step the incrementally maintained
+answer must equal a from-scratch re-evaluation.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.views import MaterializedView
+from repro.xmltree import XMLNode, XMLTree
+from repro.xpath import compile_query
+from tests.test_properties import (
+    build_random_tree,
+    random_fragmentation,
+    random_placement,
+    valid_random_query,
+)
+
+LABELS = ("a", "b", "c", "seal")
+
+
+def _random_update(rng: random.Random, view: MaterializedView) -> str:
+    cluster = view.cluster
+    fragment_ids = list(cluster.fragmented_tree.fragments)
+    fragment_id = rng.choice(fragment_ids)
+    fragment = cluster.fragment(fragment_id)
+    action = rng.choice(["insert", "insert", "delete", "split", "merge"])
+
+    if action == "insert":
+        parents = [n for n in fragment.root.iter_subtree() if not n.is_virtual]
+        parent = rng.choice(parents)
+        view.insert_node(
+            fragment_id, parent, rng.choice(LABELS), text=rng.choice([None, "x", "7"])
+        )
+        return "insert"
+
+    if action == "delete":
+        deletable = [
+            n
+            for n in fragment.root.iter_subtree()
+            if n is not fragment.root and not n.is_virtual and not _subtree_has_virtual(n)
+        ]
+        if not deletable:
+            return "skip"
+        view.delete_node(fragment_id, rng.choice(deletable))
+        return "delete"
+
+    if action == "split":
+        candidates = [
+            n for n in fragment.root.iter_subtree() if n is not fragment.root and not n.is_virtual
+        ]
+        if not candidates:
+            return "skip"
+        view.apply_split(fragment_id, rng.choice(candidates))
+        return "split"
+
+    virtuals = fragment.virtual_nodes()
+    if not virtuals:
+        return "skip"
+    view.apply_merge(fragment_id, rng.choice(virtuals))
+    return "merge"
+
+
+def _subtree_has_virtual(node: XMLNode) -> bool:
+    return any(n.is_virtual for n in node.iter_subtree())
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_maintained_answer_equals_scratch(seed):
+    rng = random.Random(seed)
+    tree = build_random_tree(rng, max_nodes=20)
+    cluster = random_placement(rng, random_fragmentation(rng, tree))
+    qlist = compile_query(valid_random_query(rng))
+    view = MaterializedView.create(cluster, qlist)
+    assert view.ans == view.recompute_from_scratch()
+    for _ in range(rng.randint(1, 6)):
+        _random_update(rng, view)
+        assert view.ans == view.recompute_from_scratch()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_structural_updates_never_change_answer(seed):
+    rng = random.Random(seed)
+    tree = build_random_tree(rng, max_nodes=20)
+    cluster = random_placement(rng, random_fragmentation(rng, tree))
+    qlist = compile_query("[//a and (//b or not //seal)]")
+    view = MaterializedView.create(cluster, qlist)
+    initial = view.ans
+    for _ in range(4):
+        fragment_ids = list(cluster.fragmented_tree.fragments)
+        fragment_id = rng.choice(fragment_ids)
+        fragment = cluster.fragment(fragment_id)
+        if rng.random() < 0.5:
+            candidates = [
+                n
+                for n in fragment.root.iter_subtree()
+                if n is not fragment.root and not n.is_virtual
+            ]
+            if candidates:
+                view.apply_split(fragment_id, rng.choice(candidates))
+        else:
+            virtuals = fragment.virtual_nodes()
+            if virtuals:
+                view.apply_merge(fragment_id, rng.choice(virtuals))
+        assert view.ans == initial

@@ -1,0 +1,173 @@
+"""Tests for the workload generators and topology factories."""
+
+import pytest
+
+from repro.core import evaluate_tree
+from repro.workloads import (
+    FT3_SHAPE,
+    QUERY_SIZES,
+    bushy_ft3,
+    chain_ft2,
+    co_located,
+    generate_xmark_site,
+    query_of_size,
+    seal_query,
+    star_ft1,
+)
+from repro.workloads.portfolio import (
+    PORTFOLIO_QUERIES,
+    build_portfolio_cluster,
+    build_portfolio_fragments,
+    build_portfolio_tree,
+)
+from repro.workloads.topologies import ft3_sizes
+from repro.xpath import compile_query
+
+
+class TestXMarkGenerator:
+    def test_deterministic(self):
+        first = generate_xmark_site(1.0, seed=5)
+        second = generate_xmark_site(1.0, seed=5)
+        assert first.structurally_equal(second)
+
+    def test_seed_changes_content(self):
+        assert not generate_xmark_site(1.0, seed=5).structurally_equal(
+            generate_xmark_site(1.0, seed=6)
+        )
+
+    def test_site_index_changes_content(self):
+        assert not generate_xmark_site(1.0, seed=5, site_index=0).structurally_equal(
+            generate_xmark_site(1.0, seed=5, site_index=1)
+        )
+
+    def test_size_scales(self):
+        small = generate_xmark_site(1.0, seed=7, nodes_per_mb=200).size()
+        large = generate_xmark_site(4.0, seed=7, nodes_per_mb=200).size()
+        assert 3 * small < large < 5 * small
+
+    def test_size_near_target(self):
+        for mb, per_mb in ((1.0, 300), (2.5, 200)):
+            size = generate_xmark_site(mb, seed=8, nodes_per_mb=per_mb).size()
+            target = mb * per_mb
+            assert 0.75 * target <= size <= 1.05 * target
+
+    def test_xmark_vocabulary(self):
+        tree = generate_xmark_site(1.0, seed=9)
+        assert tree.root.label == "site"
+        labels = {n.label for n in tree.iter_nodes()}
+        for expected in ("regions", "people", "person", "open_auctions", "bidder", "item"):
+            assert expected in labels
+
+
+class TestQueryFactories:
+    @pytest.mark.parametrize("size", QUERY_SIZES)
+    def test_sizes_exact(self, size):
+        assert len(query_of_size(size)) == size
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError):
+            query_of_size(99)
+
+    def test_query_answers_deterministic_on_xmark(self):
+        # The generator plants one increase-7 bid per document, pinning
+        # the answers of all four benchmark queries regardless of seed.
+        expected = {2: True, 8: True, 15: True, 23: False}
+        for seed in (10, 11):
+            tree = generate_xmark_site(3.0, seed=seed)
+            for size in QUERY_SIZES:
+                answer, _ = evaluate_tree(tree, query_of_size(size))
+                assert answer is expected[size], f"|QList|={size}, seed={seed}"
+
+    def test_seal_query_targets_single_fragment(self):
+        cluster = chain_ft2(4, 1.0, seed=11)
+        whole = cluster.fragmented_tree.stitch()
+        for fid in ("F0", "F3"):
+            answer, _ = evaluate_tree(whole, seal_query(fid))
+            assert answer is True
+        answer, _ = evaluate_tree(whole, seal_query("F99"))
+        assert answer is False
+
+
+class TestTopologies:
+    def test_star_shape(self):
+        cluster = star_ft1(5, 2.5, seed=12)
+        st = cluster.source_tree()
+        assert st.children_of("F0") == ["F1", "F2", "F3", "F4"]
+        assert st.max_depth() == 1
+        assert len(cluster.sites()) == 5
+
+    def test_star_equal_sizes(self):
+        cluster = star_ft1(5, 5.0, seed=13)
+        sizes = [cluster.fragment(f"F{i}").size() for i in range(5)]
+        assert max(sizes) <= 1.3 * min(sizes)
+
+    def test_chain_shape(self):
+        cluster = chain_ft2(6, 3.0, seed=14)
+        st = cluster.source_tree()
+        assert st.max_depth() == 5
+        for depth in range(6):
+            assert st.fragments_at_depth(depth) == [f"F{depth}"]
+
+    def test_bushy_shape(self):
+        cluster = bushy_ft3(0, seed=15, nodes_per_mb=12)
+        st = cluster.source_tree()
+        for fid, subs in FT3_SHAPE.items():
+            assert tuple(st.children_of(fid)) == subs
+
+    def test_ft3_sizes_sweep(self):
+        first, last = ft3_sizes(0), ft3_sizes(9)
+        assert sum(first.values()) == pytest.approx(45.0)
+        assert sum(last.values()) == pytest.approx(160.0)
+        assert last["F1"] == pytest.approx(50.0)
+        assert first["F1"] == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            ft3_sizes(10)
+
+    def test_co_located_single_site(self):
+        cluster = co_located(6, 3.0, seed=16)
+        assert len(cluster.sites()) == 1
+        assert len(cluster.site("S0").fragment_ids()) == 6
+
+    def test_total_size_constant_across_fragment_counts(self):
+        # Experiment 1/4 keep cumulative data constant per iteration.
+        sizes = [star_ft1(n, 4.0, seed=17).total_size() for n in (1, 2, 4, 8)]
+        assert max(sizes) <= 1.25 * min(sizes)
+
+    def test_invalid_fragment_count(self):
+        with pytest.raises(ValueError):
+            star_ft1(0, 1.0)
+        with pytest.raises(ValueError):
+            chain_ft2(0, 1.0)
+
+
+class TestPortfolio:
+    def test_tree_contents(self):
+        tree = build_portfolio_tree()
+        assert tree.root.label == "portofolio"
+        codes = sorted(n.text for n in tree.root.find_by_label("code"))
+        assert codes == ["AAPL", "GOOG", "GOOG", "HPQ", "IBM", "YHOO"]
+
+    def test_fragmentation_matches_fig2(self):
+        ftree = build_portfolio_fragments()
+        assert ftree.parent_of("F2") == "F1"
+        assert ftree.parent_of("F1") == "F0"
+        assert ftree.parent_of("F3") == "F0"
+        assert ftree.stitch().structurally_equal(build_portfolio_tree())
+
+    def test_placement_matches_fig2b(self):
+        cluster = build_portfolio_cluster()
+        st = cluster.source_tree()
+        assert st.fragments_of("S2") == ["F2", "F3"]
+        assert st.coordinator_site == "S0"
+
+    def test_paper_queries_compile_and_answer(self):
+        tree = build_portfolio_tree()
+        expected = {
+            "goog_sell_376": False,
+            "goog_not_yhoo": True,
+            "yhoo": True,
+            "merill": True,
+        }
+        for name, text in PORTFOLIO_QUERIES.items():
+            answer, _ = evaluate_tree(tree, compile_query(text))
+            assert answer == expected[name], name

@@ -1,0 +1,70 @@
+"""Property-based tests on generated XMark documents.
+
+These close the loop between the generator and the rest of the stack:
+whatever the generator produces must round-trip through the serializer,
+fragment/stitch cleanly at any granularity, and evaluate consistently
+across engines.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ParBoXEngine, evaluate_tree
+from repro.distsim import Cluster
+from repro.fragments import fragment_balanced
+from repro.workloads.queries import QUERY_SIZES, query_of_size
+from repro.workloads.xmark import generate_xmark_site
+from repro.xmltree import parse_xml, serialize
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000), mb=st.sampled_from([0.2, 0.5, 1.0]))
+def test_serialize_parse_round_trip(seed, mb):
+    tree = generate_xmark_site(mb, seed=seed, nodes_per_mb=60)
+    assert parse_xml(serialize(tree)).structurally_equal(tree)
+    assert parse_xml(serialize(tree, indent=2)).structurally_equal(tree)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    fragments=st.integers(min_value=1, max_value=8),
+)
+def test_fragment_stitch_round_trip(seed, fragments):
+    tree = generate_xmark_site(0.6, seed=seed, nodes_per_mb=60)
+    ftree = fragment_balanced(tree, fragments)
+    assert ftree.stitch().structurally_equal(tree)
+    assert ftree.total_size() == tree.size()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    fragments=st.integers(min_value=2, max_value=6),
+    size=st.sampled_from(QUERY_SIZES),
+)
+def test_parbox_matches_oracle_on_generated_docs(seed, fragments, size):
+    tree = generate_xmark_site(0.6, seed=seed, nodes_per_mb=60)
+    cluster = Cluster.one_site_per_fragment(fragment_balanced(tree, fragments))
+    qlist = query_of_size(size)
+    oracle, _ = evaluate_tree(tree, qlist)
+    assert ParBoXEngine(cluster).evaluate(qlist).answer == oracle
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_generator_structural_invariants(seed):
+    tree = generate_xmark_site(0.5, seed=seed, nodes_per_mb=80)
+    root = tree.root
+    assert root.label == "site"
+    top = [child.label for child in root.children]
+    assert top == ["categories", "regions", "people", "open_auctions"]
+    # Every bidder has a date and an increase; every person an address.
+    for bidder in root.find_by_label("bidder"):
+        labels = [c.label for c in bidder.children]
+        assert "date" in labels and "increase" in labels
+    for person in root.find_by_label("person"):
+        assert person.find_by_label("address")
+    # No virtual nodes come out of the generator.
+    assert all(not n.is_virtual for n in tree.iter_nodes())

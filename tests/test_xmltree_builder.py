@@ -1,0 +1,73 @@
+"""Unit tests for the tree builders."""
+
+import pytest
+
+from repro.xmltree import TreeBuilder, element
+
+
+class TestElementDsl:
+    def test_nested(self):
+        node = element("a", element("b", element("c")))
+        assert node.children[0].children[0].label == "c"
+
+    def test_string_argument_is_text(self):
+        node = element("name", "Bache")
+        assert node.text == "Bache"
+
+    def test_text_keyword(self):
+        assert element("name", text="Bache").text == "Bache"
+
+    def test_double_text_rejected(self):
+        with pytest.raises(ValueError):
+            element("a", "x", text="y")
+        with pytest.raises(ValueError):
+            element("a", "x", "y")
+
+    def test_mixed_children_and_text(self):
+        node = element("a", element("b"), "txt", element("c"))
+        assert node.text == "txt"
+        assert [c.label for c in node.children] == ["b", "c"]
+
+
+class TestTreeBuilder:
+    def test_basic_nesting(self):
+        builder = TreeBuilder("site")
+        builder.open("regions")
+        builder.leaf("africa")
+        builder.close()
+        builder.leaf("seal", text="x")
+        tree = builder.build()
+        assert [c.label for c in tree.root.children] == ["regions", "seal"]
+        assert tree.root.children[0].children[0].label == "africa"
+
+    def test_virtual_leaf(self):
+        builder = TreeBuilder("a")
+        builder.virtual_leaf("F5")
+        tree = builder.build()
+        assert tree.root.children[0].fragment_ref == "F5"
+
+    def test_current_tracks_innermost(self):
+        builder = TreeBuilder("a")
+        opened = builder.open("b")
+        assert builder.current is opened
+        builder.close()
+        assert builder.current.label == "a"
+
+    def test_unbalanced_close_rejected(self):
+        builder = TreeBuilder("a")
+        with pytest.raises(ValueError):
+            builder.close()
+
+    def test_build_with_open_elements_rejected(self):
+        builder = TreeBuilder("a")
+        builder.open("b")
+        with pytest.raises(ValueError):
+            builder.build()
+
+    def test_builder_not_reusable(self):
+        builder = TreeBuilder("a")
+        builder.build()
+        with pytest.raises(ValueError):
+            builder.leaf("x")
+        with pytest.raises(ValueError):
+            builder.build()

@@ -1,0 +1,191 @@
+"""Unit tests for the XML node model."""
+
+import pytest
+
+from repro.xmltree import XMLNode, element
+
+
+class TestConstruction:
+    def test_label_and_text(self):
+        node = XMLNode("stock", text="GOOG")
+        assert node.label == "stock"
+        assert node.text == "GOOG"
+        assert node.children == []
+        assert node.parent is None
+
+    def test_node_ids_are_unique(self):
+        ids = {XMLNode("a").node_id for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_children_reparented_on_init(self):
+        child = XMLNode("b")
+        parent = XMLNode("a", children=[child])
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_virtual_factory(self):
+        node = XMLNode.virtual("F2")
+        assert node.is_virtual
+        assert node.fragment_ref == "F2"
+        assert node.label == "@F2"
+
+    def test_virtual_node_cannot_have_children(self):
+        with pytest.raises(ValueError):
+            XMLNode("x", children=[XMLNode("y")], fragment_ref="F1")
+
+
+class TestMutation:
+    def test_add_child_appends(self):
+        parent = XMLNode("a")
+        first, second = XMLNode("b"), XMLNode("c")
+        parent.add_child(first)
+        parent.add_child(second)
+        assert [c.label for c in parent.children] == ["b", "c"]
+
+    def test_add_child_at_index(self):
+        parent = element("a", element("b"), element("d"))
+        parent.add_child(XMLNode("c"), index=1)
+        assert [c.label for c in parent.children] == ["b", "c", "d"]
+
+    def test_add_child_rejects_attached_node(self):
+        parent = XMLNode("a")
+        child = parent.add_child(XMLNode("b"))
+        with pytest.raises(ValueError):
+            XMLNode("c").add_child(child)
+
+    def test_add_child_rejects_cycle(self):
+        a = XMLNode("a")
+        b = a.add_child(XMLNode("b"))
+        with pytest.raises(ValueError):
+            b.add_child(a)
+
+    def test_add_child_rejects_self(self):
+        a = XMLNode("a")
+        with pytest.raises(ValueError):
+            a.add_child(a)
+
+    def test_virtual_node_rejects_add_child(self):
+        with pytest.raises(ValueError):
+            XMLNode.virtual("F1").add_child(XMLNode("x"))
+
+    def test_detach(self):
+        parent = element("a", element("b"))
+        child = parent.children[0]
+        child.detach()
+        assert child.parent is None
+        assert parent.children == []
+
+    def test_detach_root_is_noop(self):
+        node = XMLNode("a")
+        assert node.detach() is node
+
+    def test_replace_with(self):
+        parent = element("a", element("b"), element("c"))
+        old = parent.children[0]
+        replacement = XMLNode("x")
+        returned = old.replace_with(replacement)
+        assert returned is old
+        assert old.parent is None
+        assert [c.label for c in parent.children] == ["x", "c"]
+
+    def test_replace_with_preserves_position(self):
+        parent = element("a", element("b"), element("c"), element("d"))
+        parent.children[1].replace_with(XMLNode.virtual("F9"))
+        assert [c.label for c in parent.children] == ["b", "@F9", "d"]
+
+    def test_replace_root_rejected(self):
+        with pytest.raises(ValueError):
+            XMLNode("a").replace_with(XMLNode("b"))
+
+
+class TestTraversal:
+    @pytest.fixture
+    def tree(self):
+        return element(
+            "a",
+            element("b", element("d"), element("e")),
+            element("c", element("f")),
+        )
+
+    def test_preorder(self, tree):
+        assert [n.label for n in tree.iter_subtree()] == ["a", "b", "d", "e", "c", "f"]
+
+    def test_postorder(self, tree):
+        assert [n.label for n in tree.iter_postorder()] == ["d", "e", "b", "f", "c", "a"]
+
+    def test_postorder_visits_children_before_parents(self, tree):
+        seen = set()
+        for node in tree.iter_postorder():
+            for child in node.children:
+                assert child.node_id in seen
+            seen.add(node.node_id)
+
+    def test_ancestors(self, tree):
+        deepest = tree.children[0].children[0]
+        assert [n.label for n in deepest.iter_ancestors()] == ["b", "a"]
+
+    def test_find_first(self, tree):
+        found = tree.find_first(lambda n: n.label == "e")
+        assert found is not None and found.label == "e"
+        assert tree.find_first(lambda n: n.label == "zz") is None
+
+    def test_find_by_label_skips_virtual(self):
+        root = element("a", element("b"))
+        root.add_child(XMLNode.virtual("F1"))
+        assert len(root.find_by_label("@F1")) == 0
+        assert len(root.find_by_label("b")) == 1
+
+    def test_deep_tree_traversal_is_iterative(self):
+        # 10000-deep chain: would overflow a recursive traversal.
+        root = XMLNode("n0")
+        current = root
+        for index in range(1, 10_000):
+            current = current.add_child(XMLNode(f"n{index}"))
+        assert sum(1 for _ in root.iter_subtree()) == 10_000
+        assert sum(1 for _ in root.iter_postorder()) == 10_000
+
+
+class TestMeasurements:
+    def test_subtree_size_excludes_virtual(self):
+        root = element("a", element("b"))
+        root.add_child(XMLNode.virtual("F1"))
+        assert root.subtree_size() == 2
+
+    def test_depth(self):
+        tree = element("a", element("b", element("c")))
+        leaf = tree.children[0].children[0]
+        assert tree.depth() == 0
+        assert leaf.depth() == 2
+
+    def test_height(self):
+        tree = element("a", element("b", element("c")), element("d"))
+        assert tree.height() == 2
+        assert tree.children[1].height() == 0
+
+
+class TestCopyAndEquality:
+    def test_deep_copy_is_structurally_equal(self):
+        original = element("a", element("b", text="x"), element("c"))
+        copy = original.deep_copy()
+        assert original.structurally_equal(copy)
+        assert copy.node_id != original.node_id
+
+    def test_deep_copy_is_independent(self):
+        original = element("a", element("b"))
+        copy = original.deep_copy()
+        copy.add_child(XMLNode("new"))
+        assert not original.structurally_equal(copy)
+
+    def test_copy_preserves_virtual(self):
+        original = element("a")
+        original.add_child(XMLNode.virtual("F7"))
+        copy = original.deep_copy()
+        assert copy.children[0].fragment_ref == "F7"
+
+    def test_equality_sensitive_to_text(self):
+        assert not element("a", text="x").structurally_equal(element("a", text="y"))
+
+    def test_equality_sensitive_to_order(self):
+        left = element("a", element("b"), element("c"))
+        right = element("a", element("c"), element("b"))
+        assert not left.structurally_equal(right)

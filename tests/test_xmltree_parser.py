@@ -1,0 +1,128 @@
+"""Unit tests for the XML parser and serializer."""
+
+import pytest
+
+from repro.xmltree import XMLNode, XMLTree, element, parse_xml, serialize, estimated_wire_bytes
+from repro.xmltree.parser import XMLParseError, parse_fragment_root
+
+
+class TestParsing:
+    def test_single_element(self):
+        tree = parse_xml("<a/>")
+        assert tree.root.label == "a"
+        assert tree.size() == 1
+
+    def test_nested_elements(self):
+        tree = parse_xml("<a><b><c/></b><d/></a>")
+        assert [n.label for n in tree.iter_nodes()] == ["a", "b", "c", "d"]
+
+    def test_text_content(self):
+        tree = parse_xml("<code>GOOG</code>")
+        assert tree.root.text == "GOOG"
+
+    def test_whitespace_only_text_dropped(self):
+        tree = parse_xml("<a>\n  <b/>\n</a>")
+        assert tree.root.text is None
+
+    def test_entities(self):
+        tree = parse_xml("<a>&lt;x&gt; &amp; &quot;y&quot; &apos;</a>")
+        assert tree.root.text == "<x> & \"y\" '"
+
+    def test_numeric_entities(self):
+        tree = parse_xml("<a>&#65;&#x42;</a>")
+        assert tree.root.text == "AB"
+
+    def test_comments_skipped(self):
+        tree = parse_xml("<!-- head --><a><!-- inner --><b/></a>")
+        assert tree.size() == 2
+
+    def test_xml_declaration_skipped(self):
+        tree = parse_xml('<?xml version="1.0"?><a/>')
+        assert tree.root.label == "a"
+
+    def test_cdata(self):
+        tree = parse_xml("<a><![CDATA[1 < 2 & 3]]></a>")
+        assert tree.root.text == "1 < 2 & 3"
+
+    def test_attributes_parsed_and_ignored(self):
+        tree = parse_xml('<a id="1" name="x"><b k="v"/></a>')
+        assert tree.size() == 2
+
+    def test_virtual_node_round_trip(self):
+        tree = parse_xml('<a><frag:ref id="F2"/></a>')
+        virtual = tree.root.children[0]
+        assert virtual.is_virtual
+        assert virtual.fragment_ref == "F2"
+
+    def test_parse_fragment_root(self):
+        node = parse_fragment_root("<b><c/></b>")
+        assert node.label == "b"
+        assert len(node.children) == 1
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "<a>",
+            "<a></b>",
+            "<a><b></a></b>",
+            "<a/><b/>",
+            "<a attr=value/>",
+            "<a>&unknown;</a>",
+            "<a>&broken</a>",
+            '<frag:ref id="F1">x</frag:ref>',
+            "<frag:ref/>",
+            "< a/>",
+        ],
+    )
+    def test_malformed_inputs_raise(self, bad):
+        with pytest.raises(XMLParseError):
+            parse_xml(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XMLParseError) as exc:
+            parse_xml("<a><b></c></a>")
+        assert exc.value.position > 0
+
+
+class TestSerialization:
+    def test_round_trip_structure(self):
+        original = XMLTree(
+            element(
+                "portfolio",
+                element("broker", element("name", text="Bache")),
+                element("market", text="NYSE"),
+            )
+        )
+        reparsed = parse_xml(serialize(original))
+        assert original.structurally_equal(reparsed)
+
+    def test_round_trip_with_virtual_nodes(self):
+        root = element("a", element("b"))
+        root.add_child(XMLNode.virtual("F3"))
+        original = XMLTree(root)
+        reparsed = parse_xml(serialize(original))
+        assert original.structurally_equal(reparsed)
+
+    def test_escaping_round_trip(self):
+        original = XMLTree(element("a", text='1 < 2 & "3"'))
+        reparsed = parse_xml(serialize(original))
+        assert reparsed.root.text == '1 < 2 & "3"'
+
+    def test_pretty_print_contains_newlines(self):
+        tree = XMLTree(element("a", element("b")))
+        assert "\n" in serialize(tree, indent=2)
+        assert "\n" not in serialize(tree, indent=0)
+
+    def test_estimated_wire_bytes_matches_serialization(self):
+        tree = XMLTree(
+            element("a", element("b", text="hello"), element("c"), element("d", text="x"))
+        )
+        assert estimated_wire_bytes(tree) == len(serialize(tree))
+
+    def test_estimated_wire_bytes_counts_virtual(self):
+        root = element("a")
+        root.add_child(XMLNode.virtual("F1"))
+        assert estimated_wire_bytes(XMLTree(root)) == len(serialize(XMLTree(root)))

@@ -1,0 +1,94 @@
+"""Unit tests for the XMLTree document wrapper."""
+
+import pytest
+
+from repro.xmltree import XMLNode, XMLTree, element
+
+
+@pytest.fixture
+def tree():
+    return XMLTree(element("a", element("b", element("c")), element("d")))
+
+
+class TestLookup:
+    def test_node_by_id(self, tree):
+        node = tree.root.children[0]
+        assert tree.node_by_id(node.node_id) is node
+
+    def test_node_by_id_missing(self, tree):
+        with pytest.raises(KeyError):
+            tree.node_by_id(-1)
+
+    def test_contains_node(self, tree):
+        assert tree.contains_node(tree.root.children[1])
+        assert not tree.contains_node(XMLNode("other"))
+
+    def test_root_must_be_detached(self):
+        parent = element("a", element("b"))
+        with pytest.raises(ValueError):
+            XMLTree(parent.children[0])
+
+
+class TestMutation:
+    def test_insert_node(self, tree):
+        node = tree.insert_node("x", tree.root, text="hello")
+        assert node.parent is tree.root
+        assert tree.contains_node(node)
+        assert tree.size() == 5
+
+    def test_insert_node_at_index(self, tree):
+        tree.insert_node("x", tree.root, index=0)
+        assert tree.root.children[0].label == "x"
+
+    def test_insert_rejects_foreign_parent(self, tree):
+        with pytest.raises(ValueError):
+            tree.insert_node("x", XMLNode("foreign"))
+
+    def test_delete_node(self, tree):
+        target = tree.root.children[0]  # subtree of 2 nodes
+        tree.delete_node(target)
+        assert tree.size() == 2
+        assert not tree.contains_node(target)
+
+    def test_delete_root_rejected(self, tree):
+        with pytest.raises(ValueError):
+            tree.delete_node(tree.root)
+
+    def test_delete_foreign_rejected(self, tree):
+        with pytest.raises(ValueError):
+            tree.delete_node(XMLNode("foreign"))
+
+    def test_version_bumps_on_mutation(self, tree):
+        before = tree.version
+        tree.insert_node("x", tree.root)
+        assert tree.version > before
+
+    def test_index_refreshes_after_out_of_band_mutation(self, tree):
+        tree.node_by_id(tree.root.node_id)  # populate the id index
+        node = XMLNode("manual")
+        tree.root.add_child(node)
+        assert not tree.contains_node(node)  # stale cache
+        tree.touch()
+        assert tree.contains_node(node)
+
+
+class TestMeasurements:
+    def test_size_counts_non_virtual(self, tree):
+        assert tree.size() == 4
+        tree.root.add_child(XMLNode.virtual("F1"))
+        tree.touch()
+        assert tree.size() == 4
+
+    def test_size_is_cached(self, tree):
+        assert tree.size() == tree.size()
+
+    def test_height(self, tree):
+        assert tree.height() == 2
+
+
+class TestCopyEquality:
+    def test_deep_copy(self, tree):
+        copy = tree.deep_copy()
+        assert tree.structurally_equal(copy)
+        copy.insert_node("x", copy.root)
+        assert not tree.structurally_equal(copy)

@@ -1,0 +1,157 @@
+"""Unit tests for normalization to the paper's β-normal form."""
+
+import pytest
+
+from repro.xpath import parse_query
+from repro.xpath.normalize import (
+    NAnd,
+    NDescendant,
+    NExists,
+    NLabelIs,
+    NNot,
+    NOr,
+    NSelf,
+    NTextIs,
+    NWildcard,
+    normalize,
+)
+from repro.xpath.unparse import unparse_normalized
+
+
+def norm(text):
+    return normalize(parse_query(text))
+
+
+def steps_of(nbool):
+    assert isinstance(nbool, NExists)
+    return nbool.steps
+
+
+class TestPathRules:
+    def test_label_becomes_wildcard_self(self):
+        # normalize(A) = */ε[label() = A]
+        steps = steps_of(norm("[broker]"))
+        assert isinstance(steps[0], NWildcard)
+        assert isinstance(steps[1], NSelf)
+        assert steps[1].qualifier == NLabelIs("broker")
+
+    def test_descendant_step(self):
+        steps = steps_of(norm("[//broker]"))
+        assert isinstance(steps[0], NDescendant)
+        assert isinstance(steps[1], NWildcard)
+        assert steps[2].qualifier == NLabelIs("broker")
+
+    def test_wildcard_alone(self):
+        steps = steps_of(norm("[*]"))
+        assert len(steps) == 1
+        assert isinstance(steps[0], NWildcard)
+
+    def test_epsilon_path(self):
+        assert steps_of(norm("[.]")) == ()
+
+    def test_dot_steps_vanish(self):
+        assert norm("[a/./b]") == norm("[a/b]")
+
+    def test_absolute_head_is_self_test(self):
+        steps = steps_of(norm("[/portofolio]"))
+        assert len(steps) == 1
+        assert steps[0].qualifier == NLabelIs("portofolio")
+
+    def test_concatenation(self):
+        steps = steps_of(norm("[a/b]"))
+        kinds = [type(s) for s in steps]
+        assert kinds == [NWildcard, NSelf, NWildcard, NSelf]
+
+
+class TestQualifierMerging:
+    def test_qualifier_appends_self_step(self):
+        # normalize(p[q']) = normalize(p)/ε[normalize(q')], merged with
+        # the label's own ε step.
+        steps = steps_of(norm("[stock[code]]"))
+        assert len(steps) == 2
+        qualifier = steps[1].qualifier
+        assert isinstance(qualifier, NAnd)
+        assert qualifier.left == NLabelIs("stock")
+
+    def test_adjacent_self_steps_merge(self):
+        # ε[q1]/ε[q2] -> ε[q1 ∧ q2]
+        steps = steps_of(norm("[.[a]/.[b]]"))
+        assert len(steps) == 1
+        assert isinstance(steps[0].qualifier, NAnd)
+
+    def test_stacked_qualifiers_conjoined(self):
+        steps = steps_of(norm("[stock[code][sell]]"))
+        (self_step,) = [s for s in steps if isinstance(s, NSelf)]
+        qualifier = self_step.qualifier
+        # label ∧ q1 ∧ q2, left-associated
+        assert isinstance(qualifier, NAnd)
+        assert isinstance(qualifier.left, NAnd)
+        assert qualifier.left.left == NLabelIs("stock")
+
+    def test_text_comparison_merges_into_last_step(self):
+        # normalize(p/text() = s) = normalize(p)[text() = s]
+        steps = steps_of(norm('[code/text() = "GOOG"]'))
+        assert len(steps) == 2
+        qualifier = steps[1].qualifier
+        assert qualifier == NAnd(NLabelIs("code"), NTextIs("GOOG"))
+
+    def test_text_after_wildcard_appends_step(self):
+        steps = steps_of(norm('[*/text() = "x"]'))
+        assert len(steps) == 2
+        assert steps[1].qualifier == NTextIs("x")
+
+    def test_bare_text_test(self):
+        steps = steps_of(norm('[text() = "x"]'))
+        assert len(steps) == 1
+        assert steps[0].qualifier == NTextIs("x")
+
+
+class TestBooleanRules:
+    def test_connectives_map_structurally(self):
+        out = norm("[a and (b or not c)]")
+        assert isinstance(out, NAnd)
+        assert isinstance(out.right, NOr)
+        assert isinstance(out.right.right, NNot)
+
+    def test_label_eq(self):
+        assert norm("[label() = stock]") == NLabelIs("stock")
+
+
+class TestExample21:
+    """Example 2.1's normalization, by the paper's rewrite rules."""
+
+    def test_normal_form_rendering(self):
+        out = norm('[//stock[code/text() = "yhoo"]]')
+        # By the rules normalize(A) = */ε[label()=A], the descendant step
+        # is followed by a child step (the paper's printed example elides
+        # the '*'; see the module docstring of repro.xpath.normalize).
+        rendered = unparse_normalized(out)
+        assert rendered == (
+            '///*/ε[label() = stock ∧ */ε[label() = code ∧ text() = "yhoo"]]'
+        )
+
+    def test_inner_path_shape(self):
+        out = norm('[//stock[code/text() = "yhoo"]]')
+        steps = steps_of(out)
+        assert isinstance(steps[0], NDescendant)
+        assert isinstance(steps[1], NWildcard)
+        assert isinstance(steps[2], NSelf)
+        inner = steps[2].qualifier
+        assert inner.left == NLabelIs("stock")
+        inner_steps = steps_of(inner.right)
+        assert isinstance(inner_steps[0], NWildcard)
+        assert inner_steps[1].qualifier == NAnd(NLabelIs("code"), NTextIs("yhoo"))
+
+
+class TestNormalizationIdempotence:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "[//A and //B]",
+            '[//stock[code/text() = "yhoo"]]',
+            "[not(a//b) or c[d]]",
+            '[/portofolio/broker/name = "Merill Lynch"]',
+        ],
+    )
+    def test_deterministic(self, text):
+        assert norm(text) == norm(text)

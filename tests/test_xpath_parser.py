@@ -1,0 +1,204 @@
+"""Unit tests for the XBL query parser."""
+
+import pytest
+
+from repro.xpath import parse_query, QueryParseError
+from repro.xpath.ast import (
+    AXIS_CHILD,
+    AXIS_DESC,
+    AXIS_SELF,
+    TEST_LABEL,
+    TEST_SELF,
+    TEST_WILDCARD,
+    BAnd,
+    BLabelEq,
+    BNot,
+    BOr,
+    BPath,
+    BTextEq,
+)
+from repro.xpath.unparse import unparse_bool
+
+
+class TestPaths:
+    def test_relative_label(self):
+        expr = parse_query("[broker]")
+        assert isinstance(expr, BPath)
+        (segment,) = expr.path.segments
+        assert segment.axis == AXIS_CHILD
+        assert segment.test == TEST_LABEL
+        assert segment.label == "broker"
+
+    def test_descendant_prefix(self):
+        expr = parse_query("[//stock]")
+        (segment,) = expr.path.segments
+        assert segment.axis == AXIS_DESC
+
+    def test_absolute_path_head_is_self(self):
+        expr = parse_query("[/portofolio/broker]")
+        first, second = expr.path.segments
+        assert first.axis == AXIS_SELF
+        assert second.axis == AXIS_CHILD
+
+    def test_wildcard_and_dot(self):
+        expr = parse_query("[*/.]")
+        first, second = expr.path.segments
+        assert first.test == TEST_WILDCARD
+        assert second.test == TEST_SELF
+
+    def test_mixed_separators(self):
+        expr = parse_query("[a//b/c]")
+        axes = [s.axis for s in expr.path.segments]
+        assert axes == [AXIS_CHILD, AXIS_DESC, AXIS_CHILD]
+
+    def test_qualifiers(self):
+        expr = parse_query("[stock[code and sell]]")
+        (segment,) = expr.path.segments
+        (qualifier,) = segment.qualifiers
+        assert isinstance(qualifier, BAnd)
+
+    def test_stacked_qualifiers(self):
+        expr = parse_query("[stock[code][sell]]")
+        (segment,) = expr.path.segments
+        assert len(segment.qualifiers) == 2
+
+
+class TestComparisons:
+    def test_text_comparison(self):
+        expr = parse_query('[//code/text() = "GOOG"]')
+        assert isinstance(expr, BTextEq)
+        assert expr.value == "GOOG"
+        assert expr.path.segments[-1].label == "code"
+
+    def test_equals_sugar(self):
+        sugar = parse_query('[//name = "Bache"]')
+        explicit = parse_query('[//name/text() = "Bache"]')
+        assert sugar == explicit
+
+    def test_bare_text_test(self):
+        expr = parse_query('[text() = "x"]')
+        assert isinstance(expr, BTextEq)
+        assert expr.path.is_epsilon()
+
+    def test_descendant_text(self):
+        expr = parse_query('[a//text() = "x"]')
+        assert isinstance(expr, BTextEq)
+        last = expr.path.segments[-1]
+        assert last.axis == AXIS_DESC and last.test == TEST_SELF
+
+    def test_label_comparison(self):
+        expr = parse_query("[label() = stock]")
+        assert expr == BLabelEq("stock")
+
+    def test_label_comparison_quoted(self):
+        assert parse_query('[label() = "stock"]') == BLabelEq("stock")
+
+    def test_single_quotes(self):
+        assert parse_query("[//a/text() = 'v']").value == "v"
+
+
+class TestBooleanStructure:
+    def test_precedence_and_binds_tighter(self):
+        expr = parse_query("[a or b and c]")
+        assert isinstance(expr, BOr)
+        assert isinstance(expr.right, BAnd)
+
+    def test_parentheses(self):
+        expr = parse_query("[(a or b) and c]")
+        assert isinstance(expr, BAnd)
+        assert isinstance(expr.left, BOr)
+
+    def test_not(self):
+        expr = parse_query("[not a]")
+        assert isinstance(expr, BNot)
+
+    def test_not_with_parens(self):
+        expr = parse_query("[not(a and b)]")
+        assert isinstance(expr, BNot)
+        assert isinstance(expr.operand, BAnd)
+
+    def test_double_negation(self):
+        expr = parse_query("[not not a]")
+        assert isinstance(expr.operand, BNot)
+
+    @pytest.mark.parametrize(
+        "glyph,ascii_",
+        [("[//A ∧ //B]", "[//A and //B]"), ("[//A ∨ //B]", "[//A or //B]"), ("[¬//A]", "[not //A]")],
+    )
+    def test_paper_glyphs(self, glyph, ascii_):
+        assert parse_query(glyph) == parse_query(ascii_)
+
+    @pytest.mark.parametrize(
+        "symbol,word",
+        [("[a && b]", "[a and b]"), ("[a || b]", "[a or b]"), ("[!a]", "[not a]")],
+    )
+    def test_c_style_operators(self, symbol, word):
+        assert parse_query(symbol) == parse_query(word)
+
+    def test_outer_brackets_optional(self):
+        assert parse_query("//A and //B") == parse_query("[//A and //B]")
+
+
+class TestPaperQueries:
+    """The queries quoted in the paper must parse."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "[//A ∧ //B]",
+            '[//stock[code = "goog" ∧ sell = "376"]]',
+            '[//broker[//stock/code/text() = "goog" ∧ ¬(//stock/code/text() = "yhoo")]]',
+            '[//stock[code/text() = "yhoo"]]',
+            '[/portofolio/broker/name = "Merill Lynch"]',
+        ],
+    )
+    def test_parses(self, text):
+        parse_query(text)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "[",
+            "[a",
+            "[a]]",
+            "[a and]",
+            "[and a]",
+            "[a[]]",
+            "[//]",
+            "[a/text()]",  # text() requires a comparison
+            '[label() = ]',
+            "[a = b = c]",
+            "[(a]",
+            "[a?b]",
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(QueryParseError):
+            parse_query(bad)
+
+    def test_error_position(self):
+        with pytest.raises(QueryParseError) as exc:
+            parse_query("[a and ]")
+        assert exc.value.position > 0
+
+
+class TestUnparseRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "[//A and //B]",
+            '[//stock[code/text() = "yhoo"]]',
+            "[not(a or b) and c//d]",
+            '[/portofolio/broker/name = "Merill Lynch"]',
+            "[label() = stock]",
+            '[text() = "x"]',
+            "[*/.[a]]",
+        ],
+    )
+    def test_round_trip(self, text):
+        expr = parse_query(text)
+        assert parse_query(unparse_bool(expr)) == expr

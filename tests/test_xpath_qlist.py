@@ -1,0 +1,144 @@
+"""Unit tests for QList compilation."""
+
+import pytest
+
+from repro.xpath import compile_query
+from repro.xpath.qlist import (
+    OP_AND,
+    OP_CHILD,
+    OP_DESC,
+    OP_EPSILON,
+    OP_LABEL_IS,
+    OP_NOT,
+    OP_OR,
+    OP_SELF_QUAL,
+    OP_SELF_SEQ,
+    OP_TEXT_IS,
+    QEntry,
+    QList,
+)
+
+
+class TestQEntryValidation:
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            QEntry(OP_AND, args=(0,))
+        with pytest.raises(ValueError):
+            QEntry(OP_EPSILON, args=(0,))
+
+    def test_payload_checked(self):
+        with pytest.raises(ValueError):
+            QEntry(OP_LABEL_IS)  # needs a label
+        with pytest.raises(ValueError):
+            QEntry(OP_EPSILON, value="x")  # must not carry one
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            QEntry("bogus")
+
+
+class TestQListInvariants:
+    def test_topological_order_enforced(self):
+        with pytest.raises(ValueError):
+            QList([QEntry(OP_NOT, args=(0,))])  # self-reference
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "[//A]",
+            "[//A and //B]",
+            '[//stock[code/text() = "yhoo"]]',
+            "[not(a or b) and c//d[e]]",
+            '[/portofolio/broker/name = "Merill Lynch"]',
+        ],
+    )
+    def test_compiled_lists_are_topological(self, text):
+        qlist = compile_query(text)
+        for index, entry in enumerate(qlist):
+            assert all(arg < index for arg in entry.args)
+
+    def test_answer_is_last(self):
+        qlist = compile_query("[//A and //A or //A]")
+        assert qlist.answer_index == len(qlist) - 1
+
+
+class TestHashConsing:
+    def test_shared_subqueries_compile_once(self):
+        once = compile_query("[//stock]")
+        twice = compile_query("[//stock and //stock]")
+        # The duplicated conjunct adds only the AND entry.
+        assert len(twice) == len(once) + 1
+
+    def test_distinct_subqueries_not_merged(self):
+        ab = compile_query("[//a and //b]")
+        aa = compile_query("[//a and //a]")
+        assert len(ab) > len(aa)
+
+
+class TestExample21:
+    """Example 2.1: q = //stock[code/text() = "yhoo"]."""
+
+    def test_ten_entries(self):
+        # The paper's QList also has exactly 10 entries (its elided '*'
+        # and final ε-alias trade places with our explicit child step).
+        qlist = compile_query('[//stock[code/text() = "yhoo"]]')
+        assert len(qlist) == 10
+
+    def test_entry_structure(self):
+        # Topological order is not unique; the paper lists the inner
+        # path's entries first (q1 = label()=code), our compiler emits
+        # the left conjunct (label()=stock) first.  Same DAG either way.
+        qlist = compile_query('[//stock[code/text() = "yhoo"]]')
+        ops = [entry.op for entry in qlist]
+        assert ops == [
+            OP_LABEL_IS,  # q1 = label() = stock
+            OP_LABEL_IS,  # q2 = label() = code
+            OP_TEXT_IS,  # q3 = text() = "yhoo"
+            OP_AND,  # q4 = q2 ∧ q3
+            OP_SELF_QUAL,  # q5 = ε[q4]
+            OP_CHILD,  # q6 = */q5
+            OP_AND,  # q7 = q1 ∧ q6
+            OP_SELF_QUAL,  # q8 = ε[q7]
+            OP_CHILD,  # q9 = */q8   (the rules' explicit child step)
+            OP_DESC,  # q10 = //q9
+        ]
+        assert qlist[0].value == "stock"
+        assert qlist[1].value == "code"
+        assert qlist[2].value == "yhoo"
+
+    def test_pretty_rendering(self):
+        qlist = compile_query('[//stock[code/text() = "yhoo"]]')
+        text = qlist.pretty()
+        assert "q4 = q2 ∧ q3" in text
+        assert "q5 = ε[q4]" in text
+        assert "q6 = */q5" in text
+
+
+class TestSelfSeq:
+    def test_mid_path_qualifier_uses_selfseq(self):
+        # a[q]/b: the qualifier must not terminate the path.
+        qlist = compile_query("[a[x]/b]")
+        assert any(entry.op == OP_SELF_SEQ for entry in qlist)
+
+
+class TestWireFormat:
+    @pytest.mark.parametrize(
+        "text",
+        ["[//A]", '[//stock[code/text() = "yhoo"]]', "[not(a or b)]"],
+    )
+    def test_round_trip(self, text):
+        qlist = compile_query(text)
+        restored = QList.from_obj(qlist.to_obj())
+        assert restored.entries == qlist.entries
+
+    def test_wire_bytes_positive_and_monotone(self):
+        small = compile_query("[//A]")
+        large = compile_query('[//stock[code/text() = "yhoo"] and //b and //c]')
+        assert 0 < small.wire_bytes() < large.wire_bytes()
+
+
+class TestDescribe:
+    def test_all_ops_render(self):
+        qlist = compile_query('[not(//a[b/text() = "v"]) and (. or label() = z)]')
+        rendered = [entry.describe() for entry in qlist]
+        assert all(isinstance(r, str) and r for r in rendered)
