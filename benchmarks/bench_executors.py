@@ -1,0 +1,44 @@
+"""Micro-benchmarks: per-query cost of each site-execution strategy.
+
+Measures one ParBoX evaluation per executor on the FT1 star (one
+fragment per site, so the fan-out matches the worker count), plus the
+regeneration of the ``executors`` comparison experiment.  The serial
+strategy is the baseline; threads add pool dispatch overhead but
+overlap site work where the interpreter allows; processes pay wire
+serialization per batch in exchange for GIL-free evaluation.
+"""
+
+import pytest
+
+from conftest import regenerate_and_check
+
+from repro.bench.experiments import executors_realtime
+from repro.core import ParBoXEngine
+from repro.distsim.executors import EXECUTOR_REGISTRY, resolve_executor
+from repro.workloads.queries import query_of_size
+from repro.workloads.topologies import star_ft1
+
+
+@pytest.fixture(scope="module")
+def cluster(config):
+    return config.with_network(
+        star_ft1(6, config.total_mb / 2, seed=99, nodes_per_mb=config.nodes_per_mb)
+    )
+
+
+@pytest.fixture(scope="module")
+def qlist():
+    return query_of_size(8)
+
+
+@pytest.mark.parametrize("executor_name", sorted(EXECUTOR_REGISTRY))
+def test_engine_parbox_executor(benchmark, cluster, qlist, executor_name):
+    with resolve_executor(executor_name) as executor:
+        engine = ParBoXEngine(cluster, executor=executor)
+        result = benchmark(lambda: engine.evaluate(qlist))
+    assert result.details["executor"] == executor_name
+    assert result.metrics.max_visits_per_site() == 1
+
+
+def test_fig_executors(benchmark, config):
+    regenerate_and_check(benchmark, executors_realtime, "executors", config)

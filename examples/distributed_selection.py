@@ -6,6 +6,15 @@ guarantee that each site is visited at most twice".  This example
 selects nodes across a federated document and verifies both the answer
 (against a centralized oracle) and the two-visit guarantee.
 
+How it works (``repro.core.selection``): visit 1 is ParBoX stage 2 --
+every site partially evaluates the query over its fragments (dispatched
+through the site executor, so it parallelizes like any other engine) --
+after which the coordinator solves the *full* equation system, not just
+the root's answer.  Visit 2 sends each site the solved values of its
+sub-fragment variables; the site replies with a per-fragment selection
+table, and the coordinator composes the tables into concrete node
+paths.  Two visits per site, query-sized traffic, no data shipping.
+
 Run:  python examples/distributed_selection.py
 """
 

@@ -1,0 +1,83 @@
+"""True concurrent site execution: ``serial`` vs ``threads`` vs ``process``.
+
+The paper's ParBoX evaluates every site's fragments "in parallel".
+This repository makes that real through interchangeable site executors
+(see ``docs/ARCHITECTURE.md``): the same engine, the same cluster and
+the same query run under all three strategies, and two clocks are
+reported side by side --
+
+* **simulated elapsed** -- the critical path the cost model derives
+  (request transfer + site busy time + reply transfer, max over sites,
+  plus the coordinator's combine).  Identical across executors by
+  construction: it describes the *algorithm*, not the host machine.
+* **real wall clock** -- how long the computation phases actually took
+  end to end.  ``serial`` pays the sum of all site busy times;
+  ``threads`` overlaps them in one process (bounded by the GIL for this
+  pure-Python workload); ``process`` runs them on separate CPUs and
+  pays a wire-serialization toll per batch instead.
+
+The demo uses the paper's FT1 star topology: one XMark-style fragment
+per site, constant cumulative data, so every site does comparable work
+and the critical path is a fair race.
+
+Run:  python examples/parallel_sites.py [sites] [scaled_mb]
+"""
+
+import sys
+
+from repro import ParBoXEngine, compile_query
+from repro.distsim import resolve_executor
+from repro.workloads.topologies import star_ft1
+
+QUERY = '[//site[//item and not(//seal = "no-such-seal")]]'
+
+
+def main() -> None:
+    sites = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    scaled_mb = float(sys.argv[2]) if len(sys.argv) > 2 else 24.0
+    cluster = star_ft1(sites, scaled_mb, seed=2006)
+    qlist = compile_query(QUERY)
+    print(
+        f"FT1 star: {cluster.total_size()} nodes over {len(cluster.sites())} sites, "
+        f"|QList| = {len(qlist)}\n"
+    )
+
+    print(f"{'executor':10s} {'answer':7s} {'simulated':>11s} {'wall':>11s} "
+          f"{'busy(sum)':>11s} {'speedup':>8s}  critical")
+    baseline = None
+    for name in ("serial", "threads", "process"):
+        # Executors are context managers; `process` forks a worker pool
+        # that this reaps promptly instead of waiting for interpreter exit.
+        with resolve_executor(name) as executor:
+            engine = ParBoXEngine(cluster, executor=executor)
+            result = engine.evaluate(qlist)
+        metrics = result.metrics
+        if baseline is None:
+            baseline = result
+        # The simulated ledger must not depend on the execution strategy.
+        assert result.answer == baseline.answer
+        assert metrics.bytes_total == baseline.metrics.bytes_total
+        assert dict(metrics.visits) == dict(baseline.metrics.visits)
+        print(
+            f"{name:10s} {str(result.answer):7s} "
+            f"{metrics.elapsed_seconds * 1000:9.2f}ms "
+            f"{metrics.wall_seconds * 1000:9.2f}ms "
+            f"{metrics.compute_seconds_total * 1000:9.2f}ms "
+            f"{metrics.parallel_speedup():7.2f}x  {metrics.critical_site}"
+        )
+
+    breakdown = baseline.metrics.critical_path_breakdown()
+    print(
+        f"\ncritical path: site {breakdown['critical_site']} bounded the run "
+        f"({breakdown['critical_path_seconds'] * 1000:.2f}ms); the other sites "
+        f"accumulated {breakdown['slack_seconds'] * 1000:.2f}ms of busy time "
+        f"in its shadow -- that slack is what the parallel executors overlap."
+    )
+    print(
+        "\nSame answer, same visits, same traffic under every strategy: the\n"
+        "executor changes how the work runs, never what the algorithm does."
+    )
+
+
+if __name__ == "__main__":
+    main()

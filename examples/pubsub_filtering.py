@@ -5,7 +5,14 @@ Boolean XPath is the subscription language of XML dissemination systems
 auction document is spread over four sites and a broker evaluates a
 whole *book* of subscriptions against it -- each subscription is one
 ParBoX round whose traffic is bytes-per-query, never data shipping.
-The threaded backend runs the per-site work truly concurrently.
+
+``evaluate_threaded`` (the compatibility alias for
+``ParBoXEngine(cluster, executor="threads")``) runs the per-site work
+truly concurrently on a thread pool, one worker per site; the
+subscription loop therefore overlaps each round's site evaluations
+while the visit/traffic ledger stays identical to the serial baseline.
+``examples/parallel_sites.py`` compares all three execution strategies
+head to head.
 
 Run:  python examples/pubsub_filtering.py
 """

@@ -5,6 +5,22 @@ conceptually one XML tree, but its pieces live where the brokers and
 markets keep them.  The owner asks "does my GOOG stock reach a selling
 price of $376?" without shipping anyone's data anywhere.
 
+The five steps below are the whole API surface most users need:
+
+1. build a :class:`~repro.distsim.cluster.Cluster` (fragments placed on
+   simulated sites);
+2. compile the query once with :func:`repro.compile_query`;
+3. evaluate with an engine -- here ParBoX, the paper's contribution;
+4. read the measured guarantees off the returned cost ledger;
+5. grow the data and watch ParBoX's traffic stay constant while the
+   data-shipping baseline's grows linearly.
+
+Where to go next: ``parallel_sites.py`` runs the per-site work truly
+concurrently (``executor="threads"``/``"process"``),
+``stock_portfolio.py`` continues this scenario into node selection and
+incremental view maintenance, and ``docs/ARCHITECTURE.md`` maps every
+paper section to its module.
+
 Run:  python examples/quickstart.py
 """
 

@@ -9,6 +9,13 @@ Walks the paper's running example end to end:
    incrementally as NASDAQ updates a sell price -- only the updated
    fragment's site recomputes.
 
+Together the three parts exercise most of the public API: the engine
+registry and agreement (``repro.core``), the Section 8 selection
+extension (``SelectionEngine``), and the Section 5 maintenance story
+(``repro.views``).  Every engine shown here also accepts
+``executor="threads"`` or ``"process"`` to run its per-site work truly
+concurrently -- see ``examples/parallel_sites.py`` for that comparison.
+
 Run:  python examples/stock_portfolio.py
 """
 

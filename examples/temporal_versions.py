@@ -6,6 +6,15 @@ represents the version history".  Asking "did X ever happen?" rarely
 needs the whole history -- LazyParBoX descends the chain only until the
 Boolean equation system resolves, trading latency for total site load.
 
+What to watch in the output: the fraction of ``node x |QList|``
+operations LazyParBoX *saves* against eager ParBoX depends on where the
+answer lives.  A fact from the recent past resolves after one or two
+depth steps (large savings); a fact that never happened forces the full
+descent (no savings, extra round trips).  That is exactly the paper's
+Fig. 9-11 trade-off, reproduced by the ``fig9``-``fig11`` benchmarks.
+Both engines accept ``executor="threads"``/``"process"`` to run each
+depth step's per-site work concurrently.
+
 Run:  python examples/temporal_versions.py
 """
 

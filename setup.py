@@ -1,4 +1,50 @@
-"""Setup shim for environments whose pip/setuptools lack PEP 660 support."""
-from setuptools import setup
+"""Packaging for the ParBoX reproduction.
 
-setup()
+``pip install -e .`` installs the ``repro`` package from ``src/`` and a
+``repro`` console command wrapping :func:`repro.cli.main`.  Plain
+``setup.py`` (rather than pyproject metadata) is kept deliberately so
+environments whose pip/setuptools lack PEP 660 editable-install support
+can still install the package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="parbox-repro",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Using Partial Evaluation in Distributed Query "
+        "Evaluation' (VLDB 2006): Boolean XPath over fragmented XML trees "
+        "with the ParBoX algorithm family, an accounted distribution "
+        "simulator and real concurrent site execution"
+    ),
+    long_description=open("README.md", encoding="utf-8").read(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    # Standard library only: the simulator, the engines and the three
+    # site executors (serial / threads / process) need no third-party
+    # runtime dependencies.  Tests additionally need pytest.
+    install_requires=[],
+    extras_require={
+        "test": ["pytest"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 3 - Alpha",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Database",
+        "Topic :: Text Processing :: Markup :: XML",
+    ],
+)

@@ -218,6 +218,28 @@ def check_ablation_algebra(result: ExperimentResult) -> dict[str, bool]:
     }
 
 
+def check_executors(result: ExperimentResult) -> dict[str, bool]:
+    """All strategies agree on the answer; ledgers stay consistent."""
+    answers = result.column("answer")
+    walls = result.column("wall_s")
+    busies = result.column("busy_s")
+    rows = {x: values for x, values in result.rows}
+    return {
+        "all_executors_same_answer": len(set(answers)) == 1,
+        "wall_and_busy_positive": all(w > 0 for w in walls) and all(b > 0 for b in busies),
+        # Serial runs on one thread: its wall time can never sit far
+        # below its CPU-time busy total (the converse -- wall above
+        # busy -- is legitimate scheduler preemption on a loaded host,
+        # so it is deliberately not bounded here).
+        "serial_wall_tracks_busy": (
+            rows["serial"]["wall_s"] >= rows["serial"]["busy_s"] * 0.5 - 1e-4
+        ),
+        "critical_site_identified": all(
+            values["critical_site"] for values in rows.values()
+        ),
+    }
+
+
 #: experiment id -> shape checker.
 CHECKS = {
     "fig4": check_fig4,
@@ -231,6 +253,7 @@ CHECKS = {
     "sec4-hybrid": check_sec4_hybrid,
     "sec5-incremental": check_sec5_incremental,
     "ablation-algebra": check_ablation_algebra,
+    "executors": check_executors,
 }
 
 __all__ = ["CHECKS"] + [name for name in dir() if name.startswith("check_")]

@@ -6,10 +6,15 @@ Four subcommands::
         Show the surface AST, the β-normal form and the compiled QList.
 
     repro query <file.xml> '<query>' [--fragments N] [--engine NAME]
-                 [--sites N] [--trace] [--all-engines]
+                 [--sites N] [--executor serial|threads|process]
+                 [--trace] [--all-engines]
         Fragment the document, place the fragments on simulated sites
         and evaluate the Boolean query; prints the answer and the cost
-        ledger (visits / messages / bytes / simulated elapsed).
+        ledger (visits / messages / bytes / simulated elapsed / real
+        wall clock).  ``--executor`` chooses how site-local work really
+        executes: serially (deterministic baseline), on a thread pool
+        (one worker per site) or on a process pool (CPU-bound formula
+        evaluation).
 
     repro select <file.xml> '<path-query>' [--fragments N] [--limit K]
         The Section 8 extension: print the selected nodes.
@@ -32,6 +37,7 @@ from typing import Optional
 
 from repro.core import ENGINE_REGISTRY, SelectionEngine
 from repro.distsim import Cluster
+from repro.distsim.executors import EXECUTOR_REGISTRY, resolve_executor
 from repro.distsim.trace import Trace
 from repro.fragments import Placement, fragment_balanced
 from repro.xmltree import parse_xml, serialize
@@ -88,21 +94,27 @@ def cmd_query(args: argparse.Namespace) -> int:
 
     print(
         f"document: {cluster.total_size()} nodes, {cluster.card()} fragments, "
-        f"{len(cluster.sites())} sites; |QList| = {len(qlist)}"
+        f"{len(cluster.sites())} sites; |QList| = {len(qlist)}; "
+        f"executor = {args.executor}"
     )
-    for engine_cls in seen_classes:
-        trace = Trace() if args.trace else None
-        engine = engine_cls(cluster, trace=trace)
-        result = engine.evaluate(qlist)
-        summary = result.metrics.summary()
-        print(
-            f"{engine_cls.name:18s} answer={result.answer}  "
-            f"visits(max)={summary['max_visits_per_site']}  "
-            f"msgs={summary['messages']}  bytes={summary['bytes_total']}  "
-            f"elapsed={summary['elapsed_seconds'] * 1000:.2f}ms"
-        )
-        if trace is not None:
-            print(trace.render())
+    # One executor instance shared across engines, so a process pool
+    # forks its workers once for the whole comparison.
+    executor = resolve_executor(args.executor)
+    with executor:
+        for engine_cls in seen_classes:
+            trace = Trace() if args.trace else None
+            engine = engine_cls(cluster, trace=trace, executor=executor)
+            result = engine.evaluate(qlist)
+            summary = result.metrics.summary()
+            print(
+                f"{engine_cls.name:18s} answer={result.answer}  "
+                f"visits(max)={summary['max_visits_per_site']}  "
+                f"msgs={summary['messages']}  bytes={summary['bytes_total']}  "
+                f"elapsed={summary['elapsed_seconds'] * 1000:.2f}ms  "
+                f"wall={summary['wall_seconds'] * 1000:.2f}ms"
+            )
+            if trace is not None:
+                print(trace.render())
     return 0
 
 
@@ -174,6 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--fragments", type=int, default=4)
     query.add_argument("--sites", type=int, default=None)
     query.add_argument("--engine", default="parbox")
+    query.add_argument(
+        "--executor",
+        default="serial",
+        choices=sorted(EXECUTOR_REGISTRY),
+        help="site-execution strategy (default: serial)",
+    )
     query.add_argument("--all-engines", action="store_true")
     query.add_argument("--trace", action="store_true")
     query.set_defaults(func=cmd_query)

@@ -4,15 +4,18 @@ Every algorithm of Sections 3-4 is an :class:`Engine`: construct it once
 over a :class:`~repro.distsim.cluster.Cluster`, then call
 :meth:`Engine.evaluate` per query.  Engines share the composition
 algebra knob (canonical vs paper-literal formula composition, used by
-the ablation benchmarks) and the message-kind vocabulary.
+the ablation benchmarks), the site-execution strategy (``serial`` /
+``threads`` / ``process``, see :mod:`repro.distsim.executors`) and the
+message-kind vocabulary.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Union
 
 from repro.boolexpr.compose import DEFAULT_ALGEBRA, FormulaAlgebra
 from repro.distsim.cluster import Cluster
+from repro.distsim.executors import SiteExecutor, SiteJob, resolve_executor
 from repro.distsim.metrics import EvalResult
 from repro.distsim.runtime import Run
 from repro.distsim.trace import Trace
@@ -30,7 +33,19 @@ CONTROL_BYTES = 64
 
 
 class Engine:
-    """Base class: holds the cluster and the formula-composition algebra."""
+    """Base class: holds the cluster, the algebra and the site executor.
+
+    ``executor`` selects how the parallel stages really run: a registry
+    name (``"serial"``, ``"threads"``, ``"process"``) or a pre-built
+    :class:`~repro.distsim.executors.SiteExecutor` instance (shareable
+    across engines so a process pool forks once).  The simulated cost
+    ledger is executor-independent; only the real wall clock changes.
+
+    An engine that received a *name* owns the resolved executor: call
+    :meth:`close` (or use the engine as a context manager) to reap its
+    worker pool.  A pre-built instance is shared, so the engine leaves
+    its lifecycle to whoever built it.
+    """
 
     #: Engine name used in experiment tables.
     name = "abstract"
@@ -40,20 +55,109 @@ class Engine:
         cluster: Cluster,
         algebra: Optional[FormulaAlgebra] = None,
         trace: Optional[Trace] = None,
+        executor: Union[str, SiteExecutor, None] = None,
     ) -> None:
         self.cluster = cluster
         self.algebra = algebra or DEFAULT_ALGEBRA
         self.trace = trace
+        self.executor = resolve_executor(executor)
+        self._owns_executor = not isinstance(executor, SiteExecutor)
 
     def evaluate(self, qlist: QList) -> EvalResult:
         """Evaluate a compiled query; subclasses implement the algorithm."""
         raise NotImplementedError
 
+    def close(self) -> None:
+        """Release the executor pool this engine owns.
+
+        Closes the executor only when the engine resolved it from a
+        name (a shared pre-built instance belongs to its builder).
+        Safe to call twice; unclosed pools are reaped at interpreter
+        exit.  Subclasses holding extra pools extend this.
+        """
+        if self._owns_executor:
+            self.executor.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def _new_run(self) -> Run:
-        return Run(self.cluster, trace=self.trace)
+        return Run(self.cluster, trace=self.trace, executor=self.executor)
+
+    def _site_job(
+        self,
+        site_id: str,
+        qlist: QList,
+        fragment_ids: Optional[Sequence[str]] = None,
+    ) -> SiteJob:
+        """The site's parallel work: evaluate its fragments against ``qlist``.
+
+        ``fragment_ids`` restricts the job to a subset (LazyParBoX
+        dispatches one depth level at a time); the default is every
+        fragment the site stores, in source-tree order.
+        """
+        if fragment_ids is None:
+            fragment_ids = self.cluster.source_tree().fragments_of(site_id)
+        fragments = tuple(self.cluster.fragment(fid) for fid in fragment_ids)
+        return SiteJob(site_id, fragments, qlist, self.algebra)
+
+    def _fold_outcome(self, run: Run, outcome, triplets: dict) -> None:
+        """Record one site outcome's costs and collect its triplets.
+
+        Adds the deterministic operation counts to the ledger and
+        stores the produced triplets by fragment id into ``triplets``.
+        Reply traffic is the caller's concern: not every engine sends
+        stage-2 replies (FullDist ships ground triplets in stage 3),
+        and sizing a reply serializes every formula vector.
+        """
+        for fragment_outcome in outcome.fragments:
+            run.add_ops(fragment_outcome.nodes_visited, fragment_outcome.qlist_ops)
+            triplets[fragment_outcome.triplet.fragment_id] = fragment_outcome.triplet
+
+    def _broadcast_stage(
+        self, run: Run, qlist: QList, request_bytes: int, reply: bool
+    ) -> tuple[dict, dict[str, float]]:
+        """ParBoX stages 1-2: broadcast, evaluate everywhere, fold.
+
+        Visits every site once, sends it ``request_bytes`` of query (and
+        whatever else the engine bundles, e.g. FullDist's source-tree
+        copy), dispatches one :class:`SiteJob` per site through the
+        executor and folds the outcomes.  Returns ``(triplets,
+        site_finish)`` where each site's finish time is request
+        transfer + busy seconds, plus the triplet-reply transfer when
+        ``reply`` is true (engines whose composition stage ships
+        results itself pass ``False``).
+        """
+        source_tree = self.cluster.source_tree()
+        coordinator = source_tree.coordinator_site
+        request_seconds: dict[str, float] = {}
+        jobs = []
+        for site_id in source_tree.sites():
+            run.visit(site_id)
+            request_seconds[site_id] = run.message(
+                coordinator, site_id, request_bytes, MSG_QUERY
+            )
+            jobs.append(self._site_job(site_id, qlist))
+        batch = run.parallel(jobs)
+
+        triplets: dict = {}
+        site_finish: dict[str, float] = {}
+        for site_id, outcome in batch:
+            self._fold_outcome(run, outcome, triplets)
+            finish = request_seconds[site_id] + outcome.seconds
+            if reply:
+                finish += run.message(
+                    site_id, coordinator, outcome.reply_bytes(), MSG_TRIPLET
+                )
+            site_finish[site_id] = finish
+        return triplets, site_finish
 
     def _result(self, answer: bool, run: Run, elapsed_seconds: float, **details) -> EvalResult:
         run.finish(elapsed_seconds)
+        details.setdefault("executor", self.executor.name)
         return EvalResult(answer=answer, engine=self.name, metrics=run.metrics, details=details)
 
 

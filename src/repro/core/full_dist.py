@@ -1,11 +1,13 @@
 """Algorithm FullDistParBoX (paper, Section 4).
 
-Stages 1-2 are identical to ParBoX (parallel ``bottomUp`` everywhere).
-Stage 3 replaces the coordinator's ``evalST`` with ``evalDistrST``:
-triplets flow bottom-up along the source tree, and each site resolves
-its own fragments' formulas against the (variable-free) triplets
-received from its sub-fragments before passing a ground triplet to its
-parent's site.  Consequences measured here:
+Stages 1-2 are identical to ParBoX (parallel ``bottomUp`` everywhere,
+dispatched as one :class:`~repro.distsim.executors.SiteJob` per site
+through the run's executor).  Stage 3 replaces the coordinator's
+``evalST`` with ``evalDistrST``: triplets flow bottom-up along the
+source tree, and each site resolves its own fragments' formulas against
+the (variable-free) triplets received from its sub-fragments before
+passing a ground triplet to its parent's site.  Consequences measured
+here:
 
 * no variables ever cross the network -- reply traffic is smaller than
   ParBoX's (the paper observes "at most half the traffic");
@@ -13,13 +15,14 @@ parent's site.  Consequences measured here:
   per fragment during stage 3 (visits up to ``card(F_Si)``);
 * elapsed time: a fragment's ground triplet is ready at
   ``max(site stage-2 finish, max over children of (child ready +
-  transfer)) + local resolve``.
+  transfer)) + local resolve`` -- a dependency-DAG merge rather than a
+  flat fork/join, so stage 3 keeps its explicit ready-time recurrence
+  while stage 2 uses the executor's true concurrency.
 """
 
 from __future__ import annotations
 
-from repro.core.bottom_up import bottom_up
-from repro.core.engine import MSG_GROUND_TRIPLET, MSG_QUERY, Engine
+from repro.core.engine import MSG_GROUND_TRIPLET, Engine
 from repro.core.eval_st import resolve_triplet
 from repro.core.vectors import VectorTriplet
 from repro.distsim.metrics import EvalResult
@@ -34,29 +37,14 @@ class FullDistParBoXEngine(Engine):
     def evaluate(self, qlist: QList) -> EvalResult:
         run = self._new_run()
         source_tree = self.cluster.source_tree()
-        coordinator = source_tree.coordinator_site
-        query_bytes = qlist.wire_bytes()
 
         # Stages 1-2: broadcast + parallel local evaluation (as ParBoX).
         # Every site also receives a copy of the source tree so it knows
-        # its parents/children for stage 3.
-        triplets: dict[str, VectorTriplet] = {}
-        site_finish: dict[str, float] = {}
-        st_bytes = source_tree.wire_bytes()
-        for site_id in source_tree.sites():
-            run.visit(site_id)
-            request_seconds = run.message(coordinator, site_id, query_bytes + st_bytes, MSG_QUERY)
-            compute_seconds = 0.0
-            for fragment_id in source_tree.fragments_of(site_id):
-                fragment = self.cluster.fragment(fragment_id)
-                (pair, seconds) = run.compute(
-                    site_id, lambda f=fragment: bottom_up(f, qlist, self.algebra)
-                )
-                triplet, stats = pair
-                run.add_ops(stats.nodes_visited, stats.qlist_ops)
-                triplets[fragment_id] = triplet
-                compute_seconds += seconds
-            site_finish[site_id] = request_seconds + compute_seconds
+        # its parents/children for stage 3; no stage-2 replies -- the
+        # results travel as ground triplets during stage 3 itself.
+        triplets, site_finish = self._broadcast_stage(
+            run, qlist, qlist.wire_bytes() + source_tree.wire_bytes(), reply=False
+        )
 
         # Stage 3 (evalDistrST): resolve bottom-up along the source tree.
         ready: dict[str, tuple[VectorTriplet, float]] = {}

@@ -15,13 +15,14 @@ are placed) -- no extra round-trip is needed to decide.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.boolexpr.compose import FormulaAlgebra
 from repro.core.engine import Engine
 from repro.core.naive_centralized import NaiveCentralizedEngine
 from repro.core.parbox import ParBoXEngine
 from repro.distsim.cluster import Cluster
+from repro.distsim.executors import SiteExecutor
 from repro.distsim.metrics import EvalResult
 from repro.distsim.trace import Trace
 from repro.xpath.qlist import QList
@@ -37,10 +38,13 @@ class HybridParBoXEngine(Engine):
         cluster: Cluster,
         algebra: Optional[FormulaAlgebra] = None,
         trace: Optional[Trace] = None,
+        executor: Union[str, SiteExecutor, None] = None,
     ) -> None:
-        super().__init__(cluster, algebra, trace)
-        self._parbox = ParBoXEngine(cluster, algebra, trace)
-        self._central = NaiveCentralizedEngine(cluster, algebra, trace)
+        super().__init__(cluster, algebra, trace, executor=executor)
+        # Both delegates share this engine's resolved executor, so a
+        # process pool forks once no matter which branch wins.
+        self._parbox = ParBoXEngine(cluster, algebra, trace, executor=self.executor)
+        self._central = NaiveCentralizedEngine(cluster, algebra, trace, executor=self.executor)
 
     def choose_strategy(self, qlist: QList) -> str:
         """The switching rule: ``card(F) < |T|/|q|`` favours ParBoX."""

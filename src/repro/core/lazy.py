@@ -9,8 +9,11 @@ Boolean equation system and stops as soon as the answer resolves
 irrelevant, e.g. ``x OR true``).
 
 Costs (paper Fig. 4): sites may be visited once per fragment (across
-steps); only fragments at the same depth evaluate in parallel, so the
-elapsed time is the *sum over visited depths* of the per-depth maxima --
+steps); only fragments at the same depth evaluate in parallel (each
+depth is dispatched as one executor batch, one
+:class:`~repro.distsim.executors.SiteJob` per touched site), so the
+elapsed time is the *sum over visited depths* of the per-depth critical
+paths --
 roughly 3x ParBoX when the satisfying fragment sits mid-tree
 (Experiment 2, Fig. 11), in exchange for evaluating fewer fragments
 (lower total site load).
@@ -19,7 +22,6 @@ roughly 3x ParBoX when the satisfying fragment sits mid-tree
 from __future__ import annotations
 
 from repro.boolexpr.formula import Var
-from repro.core.bottom_up import bottom_up
 from repro.core.engine import CONTROL_BYTES, MSG_CONTROL, MSG_QUERY, MSG_TRIPLET, Engine
 from repro.core.eval_st import answer_variable, build_equation_system
 from repro.core.vectors import VectorTriplet
@@ -65,29 +67,32 @@ class LazyParBoXEngine(Engine):
             for fragment_id in fragment_ids:
                 by_site.setdefault(source_tree.site_of(fragment_id), []).append(fragment_id)
 
-            step_times: list[float] = []
+            request_seconds: dict[str, float] = {}
+            jobs = []
             for site_id, site_fragments in by_site.items():
                 run.visit(site_id)
                 if site_id in queried_sites:
-                    request_seconds = run.message(coordinator, site_id, CONTROL_BYTES, MSG_CONTROL)
-                else:
-                    request_seconds = run.message(coordinator, site_id, query_bytes, MSG_QUERY)
-                    queried_sites.add(site_id)
-                compute_seconds = 0.0
-                reply_bytes = 0
-                for fragment_id in site_fragments:
-                    fragment = self.cluster.fragment(fragment_id)
-                    (pair, seconds) = run.compute(
-                        site_id, lambda f=fragment: bottom_up(f, qlist, self.algebra)
+                    request_seconds[site_id] = run.message(
+                        coordinator, site_id, CONTROL_BYTES, MSG_CONTROL
                     )
-                    triplet, stats = pair
-                    run.add_ops(stats.nodes_visited, stats.qlist_ops)
-                    triplets[fragment_id] = triplet
-                    compute_seconds += seconds
-                    reply_bytes += triplet.wire_bytes()
-                reply_seconds = run.message(site_id, coordinator, reply_bytes, MSG_TRIPLET)
-                step_times.append(request_seconds + compute_seconds + reply_seconds)
-            elapsed += max(step_times)
+                else:
+                    request_seconds[site_id] = run.message(
+                        coordinator, site_id, query_bytes, MSG_QUERY
+                    )
+                    queried_sites.add(site_id)
+                jobs.append(self._site_job(site_id, qlist, fragment_ids=site_fragments))
+            site_batch = run.parallel(jobs)
+
+            step_finish: dict[str, float] = {}
+            for site_id, outcome in site_batch:
+                self._fold_outcome(run, outcome, triplets)
+                reply_seconds = run.message(
+                    site_id, coordinator, outcome.reply_bytes(), MSG_TRIPLET
+                )
+                step_finish[site_id] = (
+                    request_seconds[site_id] + outcome.seconds + reply_seconds
+                )
+            elapsed += run.join(step_finish)
 
             # Try to resolve with what we have so far.
             (verdict, combine_seconds) = run.compute(

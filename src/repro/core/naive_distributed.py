@@ -19,7 +19,6 @@ compute and message times) matches the paper's execution structure.
 
 from __future__ import annotations
 
-from repro.core.bottom_up import bottom_up
 from repro.core.engine import CONTROL_BYTES, MSG_CONTROL, MSG_GROUND_TRIPLET, MSG_QUERY, Engine
 from repro.core.eval_st import resolve_triplet
 from repro.core.vectors import VectorTriplet
@@ -68,13 +67,16 @@ class NaiveDistributedEngine(Engine):
                 caller_site, site_id, handoff_bytes, MSG_QUERY if handoff_bytes > CONTROL_BYTES else MSG_CONTROL
             )
 
-            # Local evaluation, resolving children synchronously.
-            fragment = self.cluster.fragment(fragment_id)
-            (pair, compute_seconds) = run.compute(
-                site_id, lambda f=fragment: bottom_up(f, qlist, self.algebra)
-            )
-            triplet, stats = pair
-            run.add_ops(stats.nodes_visited, stats.qlist_ops)
+            # Local evaluation, resolving children synchronously.  The
+            # single-fragment job still goes through the executor so the
+            # strategy choice is honored uniformly -- the batches just
+            # never overlap, which *is* the algorithm's sequential flaw.
+            batch = run.parallel([self._site_job(site_id, qlist, fragment_ids=[fragment_id])])
+            outcome = batch.outcomes[site_id]
+            fragment_outcome = outcome.fragments[0]
+            triplet = fragment_outcome.triplet
+            compute_seconds = outcome.seconds
+            run.add_ops(fragment_outcome.nodes_visited, fragment_outcome.qlist_ops)
             children = {cid: resolved[cid] for cid in source_tree.children_of(fragment_id)}
             (ground, resolve_seconds) = run.compute(
                 site_id, lambda t=triplet, c=children: resolve_triplet(t, c)

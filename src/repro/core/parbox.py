@@ -10,25 +10,24 @@ Three stages:
    fragments it stores;
 3. the coordinator solves the Boolean equation system (``evalST``).
 
-Simulated elapsed time = max over sites of
-(query transfer + site compute + reply transfer) + coordinator combine;
-transfers to/from the coordinator's own site are free.
-
-``evaluate_threaded`` additionally offers a truly concurrent execution
-of stage 2 on a thread pool -- it returns the same answer with wall-clock
-timing instead of the simulated composition (used by the
-``pubsub_filtering`` example and the backend-equivalence tests).
+Stage 2 is dispatched as one :class:`~repro.distsim.executors.SiteJob`
+per site through the run's executor, so with ``executor="threads"`` or
+``"process"`` the sites really do evaluate concurrently.  Simulated
+elapsed time = critical path over sites of (query transfer + site
+compute + reply transfer), via :meth:`~repro.distsim.runtime.Run.join`,
+plus the coordinator's combine; transfers to/from the coordinator's own
+site are free.  The simulated ledger is identical across executors --
+only the real wall clock (``metrics.wall_seconds``) shrinks when site
+work overlaps.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
 
-from repro.core.bottom_up import bottom_up
-from repro.core.engine import MSG_QUERY, MSG_TRIPLET, Engine
+from repro.core.engine import Engine
 from repro.core.eval_st import eval_st
-from repro.core.vectors import VectorTriplet
+from repro.distsim.executors import SiteExecutor, ThreadSiteExecutor
 from repro.distsim.metrics import EvalResult
 from repro.xpath.qlist import QList
 
@@ -42,32 +41,17 @@ class ParBoXEngine(Engine):
         run = self._new_run()
         source_tree = self.cluster.source_tree()
         coordinator = source_tree.coordinator_site
-        query_bytes = qlist.wire_bytes()
 
-        triplets: dict[str, VectorTriplet] = {}
-        site_finish: dict[str, float] = {}
-        for site_id in source_tree.sites():  # stage 1: identify sites
-            run.visit(site_id)
-            request_seconds = run.message(coordinator, site_id, query_bytes, MSG_QUERY)
-
-            # Stage 2 (evalQual): the site evaluates every local fragment.
-            compute_seconds = 0.0
-            reply_bytes = 0
-            for fragment_id in source_tree.fragments_of(site_id):
-                fragment = self.cluster.fragment(fragment_id)
-                (triplet, stats), seconds = run.compute(
-                    site_id, lambda f=fragment: bottom_up(f, qlist, self.algebra)
-                )
-                run.add_ops(stats.nodes_visited, stats.qlist_ops)
-                triplets[fragment_id] = triplet
-                compute_seconds += seconds
-                reply_bytes += triplet.wire_bytes()
-            reply_seconds = run.message(site_id, coordinator, reply_bytes, MSG_TRIPLET)
-            site_finish[site_id] = request_seconds + compute_seconds + reply_seconds
+        # Stages 1-2: broadcast the query, every site evaluates its
+        # fragments (one executor job per site) and replies with all
+        # its triplets in one message.
+        triplets, site_finish = self._broadcast_stage(
+            run, qlist, qlist.wire_bytes(), reply=True
+        )
 
         # Stage 3: compose partial answers at the coordinator.
         (answer, combine_seconds) = self._combine(run, coordinator, triplets, source_tree, qlist)
-        elapsed = max(site_finish.values()) + combine_seconds
+        elapsed = run.join(site_finish) + combine_seconds
         return self._result(
             answer,
             run,
@@ -83,47 +67,43 @@ class ParBoXEngine(Engine):
         return answer, seconds
 
     # ------------------------------------------------------------------
-    # Optional truly-concurrent stage 2
+    # Backward-compatible alias for the pre-executor API
     # ------------------------------------------------------------------
-    def evaluate_threaded(self, qlist: QList, max_workers: Optional[int] = None) -> EvalResult:
+    def evaluate_threaded(
+        self, qlist: QList, max_workers: Optional[int] = None
+    ) -> EvalResult:
         """Run stage 2 on a thread pool (one worker per site).
 
-        The answer and the visit/traffic accounting are identical to
-        :meth:`evaluate`; ``elapsed_seconds`` is real wall-clock time.
+        Predates the ``executor=`` knob and is kept for compatibility:
+        it is exactly ``ParBoXEngine(cluster, executor="threads")`` with
+        the answer and the visit/traffic accounting identical to
+        :meth:`evaluate`; the real concurrency shows up in
+        ``metrics.wall_seconds``.  The thread executor is cached per
+        ``max_workers`` so repeated calls (e.g. one per pub/sub
+        subscription) reuse one pool instead of spawning threads anew;
+        the alias engine itself is rebuilt per call so the current
+        ``self.trace`` is honored.
         """
-        import time
+        executors: Optional[dict[Optional[int], SiteExecutor]] = getattr(
+            self, "_threaded_executors", None
+        )
+        if executors is None:
+            executors = self._threaded_executors = {}
+        executor = executors.get(max_workers)
+        if executor is None:
+            executor = executors[max_workers] = ThreadSiteExecutor(max_workers=max_workers)
+        engine = ParBoXEngine(self.cluster, self.algebra, trace=self.trace, executor=executor)
+        result = engine.evaluate(qlist)
+        result.details["backend"] = "threads"
+        return result
 
-        run = self._new_run()
-        source_tree = self.cluster.source_tree()
-        coordinator = source_tree.coordinator_site
-        query_bytes = qlist.wire_bytes()
-        sites = source_tree.sites()
-        started = time.perf_counter()
-
-        def site_work(site_id: str) -> list[VectorTriplet]:
-            produced = []
-            for fragment_id in source_tree.fragments_of(site_id):
-                triplet, stats = bottom_up(self.cluster.fragment(fragment_id), qlist, self.algebra)
-                produced.append((triplet, stats))
-            return produced
-
-        with ThreadPoolExecutor(max_workers=max_workers or len(sites)) as pool:
-            futures = {site_id: pool.submit(site_work, site_id) for site_id in sites}
-            triplets: dict[str, VectorTriplet] = {}
-            for site_id, future in futures.items():
-                run.visit(site_id)
-                run.message(coordinator, site_id, query_bytes, MSG_QUERY)
-                reply_bytes = 0
-                for triplet, stats in future.result():
-                    run.add_ops(stats.nodes_visited, stats.qlist_ops)
-                    triplets[triplet.fragment_id] = triplet
-                    reply_bytes += triplet.wire_bytes()
-                run.message(site_id, coordinator, reply_bytes, MSG_TRIPLET)
-
-        answer = eval_st(triplets, source_tree, qlist)
-        elapsed = time.perf_counter() - started
-        run.metrics.compute_seconds_total = elapsed
-        return self._result(answer, run, elapsed, backend="threads")
+    def close(self) -> None:
+        """Also reap the thread pools cached by :meth:`evaluate_threaded`."""
+        executors: dict = getattr(self, "_threaded_executors", {})
+        for cached in executors.values():
+            cached.close()
+        executors.clear()
+        super().close()
 
 
 __all__ = ["ParBoXEngine"]

@@ -37,8 +37,8 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.boolexpr.formula import Var
-from repro.core.bottom_up import bottom_up, compile_entries
-from repro.core.engine import MSG_CONTROL, MSG_QUERY, MSG_TRIPLET, Engine
+from repro.core.bottom_up import compile_entries
+from repro.core.engine import MSG_CONTROL, MSG_TRIPLET, Engine
 from repro.core.eval_st import build_equation_system
 from repro.core.vectors import VectorTriplet
 from repro.distsim.metrics import EvalResult
@@ -305,29 +305,15 @@ class SelectionEngine(Engine):
         query_bytes = qlist.wire_bytes()
 
         # ---- Visit 1: ParBoX stage 2 + full system solution -------------
-        triplets: dict[str, VectorTriplet] = {}
-        phase1_times: dict[str, float] = {}
-        for site_id in source_tree.sites():
-            run.visit(site_id)
-            request_seconds = run.message(coordinator, site_id, query_bytes, MSG_QUERY)
-            compute_seconds, reply_bytes = 0.0, 0
-            for fragment_id in source_tree.fragments_of(site_id):
-                fragment = self.cluster.fragment(fragment_id)
-                (pair, seconds) = run.compute(
-                    site_id, lambda f=fragment: bottom_up(f, qlist, self.algebra)
-                )
-                triplet, stats = pair
-                run.add_ops(stats.nodes_visited, stats.qlist_ops)
-                triplets[fragment_id] = triplet
-                compute_seconds += seconds
-                reply_bytes += triplet.wire_bytes()
-            reply_seconds = run.message(site_id, coordinator, reply_bytes, MSG_TRIPLET)
-            phase1_times[site_id] = request_seconds + compute_seconds + reply_seconds
+        # Dispatched through the site executor exactly like ParBoX.
+        triplets, phase1_times = self._broadcast_stage(
+            run, qlist, query_bytes, reply=True
+        )
 
         (solution, solve_seconds) = run.compute(
             coordinator, lambda: build_equation_system(triplets).solve_all()
         )
-        elapsed = max(phase1_times.values()) + solve_seconds
+        elapsed = run.join(phase1_times) + solve_seconds
 
         # ---- Visit 2: conditional selection tables -----------------------
         tables: dict[str, SelectionTable] = {}
@@ -356,7 +342,7 @@ class SelectionEngine(Engine):
             request_seconds = run.message(coordinator, site_id, env_bytes or 16, MSG_CONTROL)
             reply_seconds = run.message(site_id, coordinator, reply_bytes, MSG_TRIPLET)
             phase2_times[site_id] = request_seconds + site_seconds + reply_seconds
-        elapsed += max(phase2_times.values())
+        elapsed += run.join(phase2_times)
 
         # ---- Composition over the fragment tree --------------------------
         (paths, compose_seconds) = run.compute(

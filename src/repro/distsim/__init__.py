@@ -4,17 +4,22 @@ The paper's experiments ran on 10 Linux machines on a LAN.  This package
 replaces that testbed with an *accounted simulation*:
 
 * site-local computation **really executes** (the actual ``bottomUp``
-  code runs for every fragment) and is wall-clock timed;
+  code runs for every fragment) and is wall-clock timed -- either
+  serially on the driver (the deterministic baseline) or genuinely
+  concurrently on a thread or process pool, via the interchangeable
+  :mod:`~repro.distsim.executors` strategies;
 * message costs follow a parameterized LAN model
   (:class:`NetworkModel`: latency + bytes/bandwidth, zero for intra-site
   transfers);
 * every engine builds its simulated elapsed time from these ingredients
-  according to its own concurrency structure (parallel = max over
-  branches, sequential = sum), via a :class:`Run` ledger that also
-  tracks the paper's three cost metrics -- per-site **visits**, total
-  **communication** bytes and total **computation** (node x |QList|
-  operations).  A thread-pool backend offers truly concurrent stage-2
-  execution for comparison.
+  according to its own concurrency structure, via a :class:`Run` ledger:
+  parallel stages dispatch :class:`~repro.distsim.executors.SiteJob`
+  batches through :meth:`Run.parallel` and fold the branch finish times
+  with :meth:`Run.join` (the critical path); sequential steps sum.  The
+  ledger also tracks the paper's three cost metrics -- per-site
+  **visits**, total **communication** bytes and total **computation**
+  (node x |QList| operations) -- plus per-site busy time and the real
+  wall clock of the computation phases.
 
 :class:`Cluster` owns the fragmented tree, the placement and the site
 stores, and exposes the structural update operations of Section 5.
@@ -24,6 +29,31 @@ from repro.distsim.network import NetworkModel
 from repro.distsim.metrics import Metrics
 from repro.distsim.site import Site
 from repro.distsim.cluster import Cluster
-from repro.distsim.runtime import Run
+from repro.distsim.executors import (
+    EXECUTOR_REGISTRY,
+    ProcessSiteExecutor,
+    SerialSiteExecutor,
+    SiteExecutor,
+    SiteJob,
+    SiteOutcome,
+    ThreadSiteExecutor,
+    resolve_executor,
+)
+from repro.distsim.runtime import ParallelBatch, Run
 
-__all__ = ["NetworkModel", "Metrics", "Site", "Cluster", "Run"]
+__all__ = [
+    "NetworkModel",
+    "Metrics",
+    "Site",
+    "Cluster",
+    "Run",
+    "ParallelBatch",
+    "SiteExecutor",
+    "SerialSiteExecutor",
+    "ThreadSiteExecutor",
+    "ProcessSiteExecutor",
+    "SiteJob",
+    "SiteOutcome",
+    "EXECUTOR_REGISTRY",
+    "resolve_executor",
+]

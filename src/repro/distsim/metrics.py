@@ -6,13 +6,23 @@ Collects the three cost dimensions of the paper's Fig. 4 plus timing:
 * **communication** -- message count and bytes, split by message kind;
 * **computation** -- nodes processed and ``node x |QList|`` operations,
   together with the wall-clock seconds the (real) site computations took;
-* **elapsed_seconds** -- the engine's simulated parallel time.
+* **elapsed_seconds** -- the engine's simulated parallel time;
+* **wall_seconds** -- the *real* elapsed time of the computation phases
+  as executed (equal to ``compute_seconds_total`` under the serial
+  executor, smaller under the thread/process executors because site
+  jobs genuinely overlap);
+* **site_seconds** -- per-site busy time, i.e. how long each site's
+  local evaluations took where they actually ran;
+* **critical path** -- which parallel branch determined the simulated
+  elapsed time (:attr:`Metrics.critical_site`) and the accumulated
+  length of the joined branches (:attr:`Metrics.critical_path_seconds`).
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 @dataclass
@@ -27,6 +37,17 @@ class Metrics:
     qlist_ops: int = 0
     compute_seconds_total: float = 0.0
     elapsed_seconds: float = 0.0
+    #: Real elapsed seconds of the computation phases (parallel batches
+    #: are timed end to end, so overlap shows up as wall < total).
+    wall_seconds: float = 0.0
+    #: Busy compute seconds attributed to each site.
+    site_seconds: Counter = field(default_factory=Counter)
+    #: Number of parallel dispatch batches the run issued.
+    parallel_batches: int = 0
+    #: Site that bounded the longest parallel join of the run.
+    critical_site: Optional[str] = None
+    #: Sum over joins of the longest branch (the simulated critical path).
+    critical_path_seconds: float = 0.0
     extra: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -44,6 +65,41 @@ class Metrics:
         """Total bytes sent over the (inter-site) network."""
         return self.bytes_total
 
+    def busiest_site(self) -> Optional[str]:
+        """The site with the most attributed busy seconds."""
+        if not self.site_seconds:
+            return None
+        return max(self.site_seconds, key=lambda site: self.site_seconds[site])
+
+    def parallel_speedup(self) -> float:
+        """Serial compute time over real wall time (1.0 when serial)."""
+        if self.wall_seconds <= 0.0:
+            return 1.0
+        return self.compute_seconds_total / self.wall_seconds
+
+    def critical_path_breakdown(self) -> dict:
+        """The critical-path summary: who bounded the run, and by how much.
+
+        ``critical_site`` is the site that bounded the *longest* join
+        (for multi-join engines like LazyParBoX, the dominant depth
+        step); ``critical_path_seconds`` sums every join's longest
+        branch.  ``slack_seconds`` is how much busy time the *other*
+        sites accumulated while the critical site worked -- the
+        quantity a better placement or fragmentation could reclaim.
+        """
+        critical_busy = (
+            self.site_seconds[self.critical_site] if self.critical_site else 0.0
+        )
+        return {
+            "critical_site": self.critical_site,
+            "critical_path_seconds": self.critical_path_seconds,
+            "critical_site_busy_seconds": critical_busy,
+            # The busiest site can differ from the critical one when
+            # message transfers, not compute, bound a branch.
+            "busiest_site": self.busiest_site(),
+            "slack_seconds": max(0.0, sum(self.site_seconds.values()) - critical_busy),
+        }
+
     def summary(self) -> dict:
         """A flat dict for table rendering."""
         return {
@@ -56,6 +112,10 @@ class Metrics:
             "qlist_ops": self.qlist_ops,
             "compute_seconds_total": self.compute_seconds_total,
             "elapsed_seconds": self.elapsed_seconds,
+            "wall_seconds": self.wall_seconds,
+            "parallel_batches": self.parallel_batches,
+            "critical_site": self.critical_site or "",
+            "critical_path_seconds": self.critical_path_seconds,
         }
 
 
@@ -72,6 +132,11 @@ class EvalResult:
     def elapsed_seconds(self) -> float:
         """Simulated parallel elapsed time of the evaluation."""
         return self.metrics.elapsed_seconds
+
+    @property
+    def wall_seconds(self) -> float:
+        """Real elapsed time of the computation phases as executed."""
+        return self.metrics.wall_seconds
 
 
 __all__ = ["Metrics", "EvalResult"]
