@@ -1,0 +1,58 @@
+"""Batched multi-query evaluation: amortization curve + session cost.
+
+Regenerates the ``batching`` experiment (traffic-per-query must fall
+strictly as the batch size grows) and micro-benchmarks one
+``QuerySession.evaluate_many`` call against the equivalent sequential
+``evaluate()`` loop, so a regression in the planner or the combined
+bottom-up pass shows up as lost amortization.
+"""
+
+import pytest
+
+from conftest import regenerate_and_check
+
+from repro.bench.experiments import batching_amortization
+from repro.core import QuerySession
+from repro.workloads.pubsub import subscription_texts
+from repro.workloads.topologies import star_ft1
+
+
+@pytest.fixture(scope="module")
+def cluster(config):
+    return config.with_network(
+        star_ft1(6, config.total_mb / 2, seed=7, nodes_per_mb=config.nodes_per_mb)
+    )
+
+
+@pytest.fixture(scope="module")
+def texts():
+    return subscription_texts(16, seed=7)
+
+
+def test_session_batched(benchmark, cluster, texts):
+    with QuerySession(cluster, engine="parbox") as session:
+        outcome = benchmark(lambda: session.evaluate_many(texts))
+    assert len(outcome.answers) == len(texts)
+    # One broadcast round for the whole stream: a single visit per site.
+    assert all(batch.metrics.max_visits_per_site() == 1 for batch in outcome.batches)
+
+
+def test_sequential_loop(benchmark, cluster, texts):
+    with QuerySession(cluster, engine="parbox") as session:
+        qlists = [session.compile(text) for text in texts]
+        engine = session.engine
+        results = benchmark(lambda: [engine.evaluate(qlist) for qlist in qlists])
+    assert len(results) == len(texts)
+
+
+def test_batched_traffic_beats_sequential(cluster, texts):
+    with QuerySession(cluster, engine="parbox") as session:
+        outcome = session.evaluate_many(texts)
+        sequential_bytes = sum(
+            session.evaluate(text).metrics.bytes_total for text in texts
+        )
+    assert outcome.bytes_total < sequential_bytes
+
+
+def test_fig_batching(benchmark, config):
+    regenerate_and_check(benchmark, batching_amortization, "batching", config)

@@ -3,21 +3,21 @@
 Boolean XPath is the subscription language of XML dissemination systems
 (the paper cites Altinel & Franklin's XFilter).  Here a federated
 auction document is spread over four sites and a broker evaluates a
-whole *book* of subscriptions against it -- each subscription is one
-ParBoX round whose traffic is bytes-per-query, never data shipping.
+whole *book* of subscriptions against it through the batched
+:class:`~repro.core.session.QuerySession` API: the session compiles
+each subscription text once, plans the book as one combined query
+(duplicate subscriptions collapse onto a shared slice) and broadcasts
+it in a single ParBoX round -- every site is visited once for the whole
+book, and the per-query ledger shows the amortized traffic.
 
-``evaluate_threaded`` (the compatibility alias for
-``ParBoXEngine(cluster, executor="threads")``) runs the per-site work
-truly concurrently on a thread pool, one worker per site; the
-subscription loop therefore overlaps each round's site evaluations
-while the visit/traffic ledger stays identical to the serial baseline.
-``examples/parallel_sites.py`` compares all three execution strategies
-head to head.
+``examples/parallel_sites.py`` compares the three execution strategies
+head to head; pass ``executor="threads"`` to the session to overlap the
+per-site work here too.
 
 Run:  python examples/pubsub_filtering.py
 """
 
-from repro import ParBoXEngine, compile_query
+from repro import QuerySession
 from repro.workloads.topologies import star_ft1
 
 SUBSCRIPTIONS = {
@@ -31,6 +31,9 @@ SUBSCRIPTIONS = {
     "category-1-interest": '[//profile[interest = "category-1"]]',
     "auctions-with-annotations": "[//open_auction[annotation/description]]",
     "root-is-a-site": "[label() = site and regions]",
+    # A second subscriber watches the big bids too: the planner
+    # deduplicates the repeated query inside the batch.
+    "big-bids-mirror": '[//bidder[increase = "7"]]',
 }
 
 
@@ -42,40 +45,44 @@ def main() -> None:
         f"{len(cluster.sites())} sites, {cluster.card()} fragments\n"
     )
 
-    engine = ParBoXEngine(cluster)
-    total_bytes = 0
-    matched = []
-    print(f"{'subscription':28s} {'match':6s} {'bytes':>6s} {'elapsed':>10s}")
-    for name, text in SUBSCRIPTIONS.items():
-        qlist = compile_query(text)
-        result = engine.evaluate_threaded(qlist)
-        total_bytes += result.metrics.bytes_total
-        if result.answer:
-            matched.append(name)
+    names = list(SUBSCRIPTIONS)
+    with QuerySession(cluster, engine="parbox") as session:
+        outcome = session.evaluate_many([SUBSCRIPTIONS[name] for name in names])
+        cache = session.cache_stats()
+
+    batch = outcome.batches[0]
+    matched = [name for name, answer in zip(names, outcome.answers) if answer]
+    print(f"{'subscription':28s} {'match':6s} {'bytes/q':>8s} {'ops/q':>8s}")
+    for name, answer, cost in zip(names, outcome.answers, outcome.per_query):
+        shared = f" (dedup x{cost.shared_with + 1})" if cost.shared_with else ""
         print(
-            f"{name:28s} {str(result.answer):6s} "
-            f"{result.metrics.bytes_total:6d} "
-            f"{result.elapsed_seconds * 1000:8.2f}ms"
+            f"{name:28s} {str(answer):6s} {cost.bytes_sent:8.0f} "
+            f"{cost.qlist_ops:8.0f}{shared}"
         )
 
     print(f"\n{len(matched)}/{len(SUBSCRIPTIONS)} subscriptions fired: {matched}")
     print(
-        f"total network traffic for the whole book: {total_bytes} bytes "
-        "(the document itself never moved)"
+        f"whole book in one round: {batch.metrics.total_visits()} site visits "
+        f"({batch.metrics.max_visits_per_site()} per site), "
+        f"{outcome.bytes_total} bytes total = {outcome.bytes_per_query:.0f} per query; "
+        f"compiled {cache['misses']} unique texts ({cache['hits']} cache hits); "
+        "the document itself never moved"
     )
 
     # ---- Standing subscriptions with shared maintenance ----------------
     # A real broker doesn't re-run the book per update: the registry
-    # concatenates all QLists and maintains every subscription with a
-    # single traversal of whichever fragment changed.
+    # keeps the same batch plan standing and maintains every
+    # subscription with a single traversal of whichever fragment
+    # changed.
     from repro.views import SubscriptionRegistry
     from repro.xmltree import element
 
     registry = SubscriptionRegistry(cluster)
     for name, text in SUBSCRIPTIONS.items():
-        registry.subscribe(name, compile_query(text))
+        registry.subscribe(name, text)
     print(
-        f"\nregistry: {len(registry)} standing subscriptions, combined "
+        f"\nregistry: {len(registry)} standing subscriptions "
+        f"({registry.duplicate_subscriptions()} deduplicated), combined "
         f"|QList| = {registry.combined_size()}"
     )
 

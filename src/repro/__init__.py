@@ -16,13 +16,20 @@ Quickstart::
     result = ParBoXEngine(cluster).evaluate(query)
     print(result.answer, result.metrics.summary())
 
+Many queries at once (one set of site visits per batch)::
+
+    from repro import QuerySession
+    with QuerySession(cluster, engine="parbox", batch_size=16) as session:
+        outcome = session.evaluate_many(['[//stock]', '[//bidder]', ...])
+        print(outcome.answers, outcome.bytes_per_query)
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every figure.
 """
 
 from repro.xpath import compile_query, parse_query, QList
 from repro.distsim import Cluster, NetworkModel
-from repro.distsim.metrics import EvalResult, Metrics
+from repro.distsim.metrics import BatchResult, EvalResult, Metrics, QueryCost
 from repro.core import (
     ParBoXEngine,
     HybridParBoXEngine,
@@ -30,6 +37,11 @@ from repro.core import (
     LazyParBoXEngine,
     NaiveCentralizedEngine,
     NaiveDistributedEngine,
+    QuerySession,
+    SessionOutcome,
+    BatchPlan,
+    QueryCache,
+    plan_batch,
     evaluate_tree,
     ALL_ENGINES,
 )
@@ -43,7 +55,14 @@ __all__ = [
     "Cluster",
     "NetworkModel",
     "EvalResult",
+    "BatchResult",
+    "QueryCost",
     "Metrics",
+    "QuerySession",
+    "SessionOutcome",
+    "BatchPlan",
+    "QueryCache",
+    "plan_batch",
     "ParBoXEngine",
     "HybridParBoXEngine",
     "FullDistParBoXEngine",

@@ -443,6 +443,67 @@ def executors_realtime(config: Optional[BenchConfig] = None) -> ExperimentResult
 
 
 # ---------------------------------------------------------------------------
+# Batching -- traffic-per-query amortization (added experiment)
+# ---------------------------------------------------------------------------
+
+
+def batching_amortization(config: Optional[BenchConfig] = None) -> ExperimentResult:
+    """Traffic per query vs batch size: the multi-query amortization curve.
+
+    A fixed stream of 32 pub/sub subscriptions (drawn from a 12-query
+    pool, so popular subscriptions recur) is evaluated through a
+    :class:`~repro.core.session.QuerySession` at increasing batch
+    sizes.  Costs are deterministic, so the curve is exact: per-query
+    bytes fall as batches grow because (a) each batch costs one
+    broadcast and one reply per site instead of N, and (b) the planner
+    deduplicates repeated subscriptions within a batch -- the larger
+    the batch, the more of the stream collapses.  ``answers_true`` must
+    not move: batching changes costs, never answers.
+    """
+    from repro.core import QuerySession
+    from repro.workloads.pubsub import subscription_texts
+
+    config = config or BenchConfig.default()
+    sites = max(4, min(config.iterations, 6))
+    cluster = config.with_network(
+        star_ft1(sites, config.total_mb, seed=config.seed, nodes_per_mb=config.nodes_per_mb)
+    )
+    texts = subscription_texts(32, seed=config.seed)
+    result = ExperimentResult(
+        "batching",
+        f"Per-query cost amortization vs batch size (ParBoX, FT1, {sites} sites, "
+        f"32 subscriptions)",
+        "batch_size",
+        [
+            "bytes_per_query",
+            "visits_per_query",
+            "messages_per_query",
+            "combined_entries",
+            "duplicates_collapsed",
+            "answers_true",
+        ],
+    )
+    for batch_size in (1, 2, 4, 8, 16, 32):
+        with QuerySession(cluster, engine="parbox", batch_size=batch_size) as session:
+            outcome = session.evaluate_many(texts)
+        result.add_row(
+            batch_size,
+            bytes_per_query=outcome.bytes_per_query,
+            visits_per_query=outcome.visits_per_query,
+            messages_per_query=outcome.messages_per_query,
+            # Read from the evaluated batches themselves, not a re-plan.
+            combined_entries=sum(
+                batch.details["combined_entries"] for batch in outcome.batches
+            ),
+            duplicates_collapsed=sum(
+                batch.details["duplicates_collapsed"] for batch in outcome.batches
+            ),
+            answers_true=sum(outcome.answers),
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Ablation -- formula canonicalization (DESIGN.md Section 5)
 # ---------------------------------------------------------------------------
 
@@ -526,6 +587,7 @@ ALL_EXPERIMENTS: list[tuple[str, Callable[[Optional[BenchConfig]], ExperimentRes
     ("sec5-incremental", sec5_incremental),
     ("ablation-algebra", ablation_algebra),
     ("executors", executors_realtime),
+    ("batching", batching_amortization),
 ]
 
 __all__ = [
@@ -542,5 +604,6 @@ __all__ = [
     "sec5_incremental",
     "ablation_algebra",
     "executors_realtime",
+    "batching_amortization",
     "ALL_EXPERIMENTS",
 ]

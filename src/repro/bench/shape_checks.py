@@ -240,6 +240,42 @@ def check_executors(result: ExperimentResult) -> dict[str, bool]:
     }
 
 
+def check_batching(result: ExperimentResult) -> dict[str, bool]:
+    """Batching amortizes every per-query cost without moving answers.
+
+    The headline claim: traffic per query falls *strictly* at every
+    doubling of the batch size (one broadcast+reply per site per batch,
+    plus in-batch deduplication of popular subscriptions).  All costs
+    here are deterministic, so strict inequalities are safe.
+    """
+    bytes_per_query = result.column("bytes_per_query")
+    visits = result.column("visits_per_query")
+    messages = result.column("messages_per_query")
+    entries = result.column("combined_entries")
+    duplicates = result.column("duplicates_collapsed")
+    answers = result.column("answers_true")
+    return {
+        "traffic_per_query_strictly_decreasing": all(
+            b < a for a, b in zip(bytes_per_query, bytes_per_query[1:])
+        ),
+        "visits_per_query_strictly_decreasing": all(
+            b < a for a, b in zip(visits, visits[1:])
+        ),
+        "messages_per_query_strictly_decreasing": all(
+            b < a for a, b in zip(messages, messages[1:])
+        ),
+        "dedup_grows_with_batch_size": all(
+            b >= a for a, b in zip(duplicates, duplicates[1:])
+        )
+        and duplicates[-1] > duplicates[0],
+        "combined_entries_shrink_with_dedup": all(
+            b <= a for a, b in zip(entries, entries[1:])
+        )
+        and entries[-1] < entries[0],
+        "answers_independent_of_batch_size": len(set(answers)) == 1,
+    }
+
+
 #: experiment id -> shape checker.
 CHECKS = {
     "fig4": check_fig4,
@@ -254,6 +290,7 @@ CHECKS = {
     "sec5-incremental": check_sec5_incremental,
     "ablation-algebra": check_ablation_algebra,
     "executors": check_executors,
+    "batching": check_batching,
 }
 
 __all__ = ["CHECKS"] + [name for name in dir() if name.startswith("check_")]

@@ -5,8 +5,9 @@ Four subcommands::
     repro explain '<query>'
         Show the surface AST, the β-normal form and the compiled QList.
 
-    repro query <file.xml> '<query>' [--fragments N] [--engine NAME]
-                 [--sites N] [--executor serial|threads|process]
+    repro query <file.xml> '<query>' ['<query>' ...] [--fragments N]
+                 [--engine NAME] [--sites N] [--batch-size B]
+                 [--executor serial|threads|process]
                  [--trace] [--all-engines]
         Fragment the document, place the fragments on simulated sites
         and evaluate the Boolean query; prints the answer and the cost
@@ -14,7 +15,11 @@ Four subcommands::
         wall clock).  ``--executor`` chooses how site-local work really
         executes: serially (deterministic baseline), on a thread pool
         (one worker per site) or on a process pool (CPU-bound formula
-        evaluation).
+        evaluation).  Several queries evaluate as one *batch* through a
+        QuerySession -- one broadcast per ``--batch-size`` chunk
+        (default: all in one batch), duplicate queries deduplicated --
+        and the report shows per-query answers plus the amortized
+        per-query costs.
 
     repro select <file.xml> '<path-query>' [--fragments N] [--limit K]
         The Section 8 extension: print the selected nodes.
@@ -78,9 +83,17 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
+    if args.batch_size is not None and args.batch_size < 1:
+        # Validate uniformly, whether or not the flag ends up chunking
+        # anything (a single query never does).
+        print("error: batch_size must be >= 1", file=sys.stderr)
+        return 2
     tree = _load_tree(args.file)
     cluster = _build_cluster(tree, args.fragments, args.sites)
-    qlist = build_qlist(normalize(parse_query(args.query)), source=args.query)
+    if len(args.query) > 1:
+        return _run_query_batch(args, cluster)
+    query_text = args.query[0]
+    qlist = build_qlist(normalize(parse_query(query_text)), source=query_text)
     engine_names = list(ENGINE_REGISTRY) if args.all_engines else [args.engine]
     # Deduplicate aliases while keeping order.
     seen_classes = []
@@ -115,6 +128,53 @@ def cmd_query(args: argparse.Namespace) -> int:
             )
             if trace is not None:
                 print(trace.render())
+    return 0
+
+
+def _run_query_batch(args: argparse.Namespace, cluster: Cluster) -> int:
+    """Evaluate several queries as batches through a QuerySession."""
+    from repro.core import QuerySession
+
+    if args.all_engines:
+        print(
+            "--all-engines applies to single queries; pick one engine for a batch",
+            file=sys.stderr,
+        )
+        return 2
+    # Engine-name and batch-size validation live in QuerySession; its
+    # ValueError is reported by main() like every other CLI error
+    # (stderr, exit 2).
+    trace = Trace() if args.trace else None
+    with QuerySession(
+        cluster,
+        engine=args.engine,
+        trace=trace,
+        executor=args.executor,
+        batch_size=args.batch_size,
+    ) as session:
+        outcome = session.evaluate_many(args.query)
+        stats = session.cache_stats()
+    print(
+        f"document: {cluster.total_size()} nodes, {cluster.card()} fragments, "
+        f"{len(cluster.sites())} sites; {len(args.query)} queries in "
+        f"{len(outcome.batches)} batch(es); executor = {args.executor}"
+    )
+    for text, answer, cost in zip(args.query, outcome.answers, outcome.per_query):
+        shared = f"  (shared x{cost.shared_with + 1})" if cost.shared_with else ""
+        print(f"  answer={str(answer):5s}  |q|={cost.qlist_len:<3d} {text}{shared}")
+    print(
+        f"per query (amortized): visits={outcome.visits_per_query:.2f}  "
+        f"msgs={outcome.messages_per_query:.2f}  "
+        f"bytes={outcome.bytes_per_query:.0f}  "
+        f"[totals: visits={outcome.visits_total} msgs={outcome.messages_total} "
+        f"bytes={outcome.bytes_total}]"
+    )
+    print(
+        f"compiled {stats['misses']} unique queries "
+        f"({stats['hits']} cache hits)"
+    )
+    if trace is not None:
+        print(trace.render())
     return 0
 
 
@@ -180,12 +240,18 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("query")
     explain.set_defaults(func=cmd_explain)
 
-    query = sub.add_parser("query", help="evaluate a Boolean query over an XML file")
+    query = sub.add_parser("query", help="evaluate Boolean queries over an XML file")
     query.add_argument("file")
-    query.add_argument("query")
+    query.add_argument("query", nargs="+", help="one or more queries (several = one batch)")
     query.add_argument("--fragments", type=int, default=4)
     query.add_argument("--sites", type=int, default=None)
     query.add_argument("--engine", default="parbox")
+    query.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="with several queries: chunk them to B per broadcast (default: one batch)",
+    )
     query.add_argument(
         "--executor",
         default="serial",

@@ -13,17 +13,40 @@
   centralized algorithm (correctness oracle and baseline compute stage);
 * :class:`~repro.core.selection.SelectionEngine` -- the Section 8
   extension to data-selection queries (each site visited at most twice).
+
+The batching layer sits on top: :func:`~repro.core.plan.plan_batch`
+combines many compiled queries into one broadcastable QList (with
+duplicate collapsing), every engine's
+:meth:`~repro.core.engine.Engine.evaluate_many` evaluates such a plan
+with a single-query's worth of site visits, and
+:class:`~repro.core.session.QuerySession` adds the compiled-query cache
+and stream chunking on top.
 """
 
 from repro.core.bottom_up import bottom_up, BottomUpStats
-from repro.core.centralized import evaluate_tree, evaluate_node, CentralizedStats
+from repro.core.centralized import (
+    evaluate_tree,
+    evaluate_tree_many,
+    evaluate_node,
+    evaluate_node_many,
+    CentralizedStats,
+)
 from repro.core.engine import Engine
 from repro.core.eval_st import (
     answer_variable,
     build_equation_system,
     eval_st,
+    eval_st_many,
     resolve_triplet,
 )
+from repro.core.plan import (
+    BatchPlan,
+    CompiledQuery,
+    QueryCache,
+    attribute_costs,
+    plan_batch,
+)
+from repro.core.session import QuerySession, SessionOutcome
 from repro.core.full_dist import FullDistParBoXEngine
 from repro.core.hybrid import HybridParBoXEngine
 from repro.core.lazy import LazyParBoXEngine
@@ -31,6 +54,7 @@ from repro.core.naive_centralized import NaiveCentralizedEngine
 from repro.core.naive_distributed import NaiveDistributedEngine
 from repro.core.parbox import ParBoXEngine
 from repro.core.selection import (
+    SelectionBatch,
     SelectionEngine,
     SelectionResult,
     select_centralized,
@@ -63,13 +87,23 @@ __all__ = [
     "bottom_up",
     "BottomUpStats",
     "evaluate_tree",
+    "evaluate_tree_many",
     "evaluate_node",
+    "evaluate_node_many",
     "CentralizedStats",
     "Engine",
     "eval_st",
+    "eval_st_many",
     "build_equation_system",
     "answer_variable",
     "resolve_triplet",
+    "BatchPlan",
+    "CompiledQuery",
+    "QueryCache",
+    "plan_batch",
+    "attribute_costs",
+    "QuerySession",
+    "SessionOutcome",
     "VectorTriplet",
     "ground_triplet_from_bools",
     "ParBoXEngine",
@@ -80,6 +114,7 @@ __all__ = [
     "NaiveDistributedEngine",
     "SelectionEngine",
     "SelectionResult",
+    "SelectionBatch",
     "select_centralized",
     "ALL_ENGINES",
     "ENGINE_REGISTRY",

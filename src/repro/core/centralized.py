@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.bottom_up import compile_entries
 from repro.xmltree.node import XMLNode
@@ -38,9 +39,21 @@ def evaluate_node(root: XMLNode, qlist: QList) -> tuple[bool, CentralizedStats]:
     The subtree must be whole: virtual nodes are rejected, because a
     centralized evaluator has no variables to give them.
     """
+    answers, stats = evaluate_node_many(root, qlist, [qlist.answer_index])
+    return answers[0], stats
+
+
+def evaluate_node_many(
+    root: XMLNode, qlist: QList, answer_indices: Sequence[int]
+) -> tuple[list[bool], CentralizedStats]:
+    """One traversal, several answers: read ``V_root`` at each index.
+
+    The batched form: ``qlist`` may be a combined batch query, and each
+    input query's answer is the root's ``V`` value at that query's
+    answer entry.
+    """
     entries = compile_entries(qlist)
     n = len(entries)
-    answer_index = qlist.answer_index
 
     started = time.perf_counter()
     nodes_visited = 0
@@ -93,7 +106,7 @@ def evaluate_node(root: XMLNode, qlist: QList) -> tuple[bool, CentralizedStats]:
         qlist_ops=nodes_visited * n,
         wall_seconds=time.perf_counter() - started,
     )
-    return root_v[answer_index], stats
+    return [root_v[index] for index in answer_indices], stats
 
 
 def evaluate_tree(tree: XMLTree, qlist: QList) -> tuple[bool, CentralizedStats]:
@@ -101,4 +114,17 @@ def evaluate_tree(tree: XMLTree, qlist: QList) -> tuple[bool, CentralizedStats]:
     return evaluate_node(tree.root, qlist)
 
 
-__all__ = ["evaluate_tree", "evaluate_node", "CentralizedStats"]
+def evaluate_tree_many(
+    tree: XMLTree, qlist: QList, answer_indices: Sequence[int]
+) -> tuple[list[bool], CentralizedStats]:
+    """Evaluate a combined batch query over a whole document."""
+    return evaluate_node_many(tree.root, qlist, answer_indices)
+
+
+__all__ = [
+    "evaluate_tree",
+    "evaluate_tree_many",
+    "evaluate_node",
+    "evaluate_node_many",
+    "CentralizedStats",
+]

@@ -2,21 +2,27 @@
 
 Every algorithm of Sections 3-4 is an :class:`Engine`: construct it once
 over a :class:`~repro.distsim.cluster.Cluster`, then call
-:meth:`Engine.evaluate` per query.  Engines share the composition
-algebra knob (canonical vs paper-literal formula composition, used by
-the ablation benchmarks), the site-execution strategy (``serial`` /
-``threads`` / ``process``, see :mod:`repro.distsim.executors`) and the
-message-kind vocabulary.
+:meth:`Engine.evaluate` per query or :meth:`Engine.evaluate_many` per
+*batch* of queries.  The engine contract is batch-native: subclasses
+implement :meth:`Engine._evaluate_plan` against a combined
+:class:`~repro.core.plan.BatchPlan`, so one batch of N queries costs one
+set of site visits (one broadcast, one reply per site -- not N), and
+``evaluate()`` is simply the batch-of-one special case.  Engines share
+the composition algebra knob (canonical vs paper-literal formula
+composition, used by the ablation benchmarks), the site-execution
+strategy (``serial`` / ``threads`` / ``process``, see
+:mod:`repro.distsim.executors`) and the message-kind vocabulary.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.boolexpr.compose import DEFAULT_ALGEBRA, FormulaAlgebra
+from repro.core.plan import BatchPlan, attribute_costs, coerce_plan
 from repro.distsim.cluster import Cluster
 from repro.distsim.executors import SiteExecutor, SiteJob, resolve_executor
-from repro.distsim.metrics import EvalResult
+from repro.distsim.metrics import BatchResult, EvalResult
 from repro.distsim.runtime import Run
 from repro.distsim.trace import Trace
 from repro.xpath.qlist import QList
@@ -64,7 +70,48 @@ class Engine:
         self._owns_executor = not isinstance(executor, SiteExecutor)
 
     def evaluate(self, qlist: QList) -> EvalResult:
-        """Evaluate a compiled query; subclasses implement the algorithm."""
+        """Evaluate one compiled query: the batch-of-one special case."""
+        return self.evaluate_many([qlist]).single()
+
+    def evaluate_many(
+        self, batch: Union[BatchPlan, Iterable[Union[str, QList]]]
+    ) -> BatchResult:
+        """Evaluate a batch of queries with one set of site visits.
+
+        ``batch`` is a ready :class:`~repro.core.plan.BatchPlan` or an
+        iterable of queries (QLists, or texts compiled ad hoc); plans
+        built from N distinct queries broadcast one combined QList, so
+        the per-site visit count is that of a *single* query.  Returns
+        a :class:`~repro.distsim.metrics.BatchResult`: per-query
+        answers (bitwise identical to sequential ``evaluate()`` calls)
+        over one batch ledger, plus per-query cost attribution.
+        """
+        plan = coerce_plan(batch)
+        answers, run, elapsed, details = self._evaluate_plan(plan)
+        run.finish(elapsed)
+        details.setdefault("executor", self.executor.name)
+        details.setdefault("batch_size", len(plan))
+        details.setdefault("unique_queries", plan.unique_count)
+        details.setdefault("combined_entries", len(plan.combined))
+        details.setdefault("duplicates_collapsed", plan.duplicate_count())
+        return BatchResult(
+            answers=tuple(bool(answer) for answer in answers),
+            engine=self.name,
+            metrics=run.metrics,
+            per_query=attribute_costs(plan, answers, run.metrics),
+            details=details,
+        )
+
+    def _evaluate_plan(
+        self, plan: BatchPlan
+    ) -> tuple[list[bool], Run, float, dict]:
+        """Run the algorithm against a combined batch plan.
+
+        Subclasses evaluate ``plan.combined`` exactly as they would a
+        single query and read one answer per ``plan.answer_indices``
+        entry; they return ``(answers, run, simulated elapsed,
+        details)`` and leave finishing the run to the caller.
+        """
         raise NotImplementedError
 
     def close(self) -> None:
@@ -92,44 +139,50 @@ class Engine:
         site_id: str,
         qlist: QList,
         fragment_ids: Optional[Sequence[str]] = None,
+        segments: tuple[tuple[int, int], ...] = (),
     ) -> SiteJob:
         """The site's parallel work: evaluate its fragments against ``qlist``.
 
         ``fragment_ids`` restricts the job to a subset (LazyParBoX
         dispatches one depth level at a time); the default is every
-        fragment the site stores, in source-tree order.
+        fragment the site stores, in source-tree order.  ``segments``
+        carries the batch plan's per-query spans so the site reports
+        per-query operation counts.
         """
         if fragment_ids is None:
             fragment_ids = self.cluster.source_tree().fragments_of(site_id)
         fragments = tuple(self.cluster.fragment(fid) for fid in fragment_ids)
-        return SiteJob(site_id, fragments, qlist, self.algebra)
+        return SiteJob(site_id, fragments, qlist, self.algebra, segments=segments)
 
     def _fold_outcome(self, run: Run, outcome, triplets: dict) -> None:
         """Record one site outcome's costs and collect its triplets.
 
-        Adds the deterministic operation counts to the ledger and
-        stores the produced triplets by fragment id into ``triplets``.
-        Reply traffic is the caller's concern: not every engine sends
-        stage-2 replies (FullDist ships ground triplets in stage 3),
-        and sizing a reply serializes every formula vector.
+        Adds the deterministic operation counts (total and per batch
+        segment) to the ledger and stores the produced triplets by
+        fragment id into ``triplets``.  Reply traffic is the caller's
+        concern: not every engine sends stage-2 replies (FullDist ships
+        ground triplets in stage 3), and sizing a reply serializes
+        every formula vector.
         """
         for fragment_outcome in outcome.fragments:
             run.add_ops(fragment_outcome.nodes_visited, fragment_outcome.qlist_ops)
+            for segment_index, ops in enumerate(fragment_outcome.segment_ops):
+                run.add_segment_ops(segment_index, ops)
             triplets[fragment_outcome.triplet.fragment_id] = fragment_outcome.triplet
 
     def _broadcast_stage(
-        self, run: Run, qlist: QList, request_bytes: int, reply: bool
+        self, run: Run, plan: BatchPlan, request_bytes: int, reply: bool
     ) -> tuple[dict, dict[str, float]]:
         """ParBoX stages 1-2: broadcast, evaluate everywhere, fold.
 
-        Visits every site once, sends it ``request_bytes`` of query (and
-        whatever else the engine bundles, e.g. FullDist's source-tree
-        copy), dispatches one :class:`SiteJob` per site through the
-        executor and folds the outcomes.  Returns ``(triplets,
-        site_finish)`` where each site's finish time is request
-        transfer + busy seconds, plus the triplet-reply transfer when
-        ``reply`` is true (engines whose composition stage ships
-        results itself pass ``False``).
+        Visits every site once *per batch*, sends it ``request_bytes``
+        of combined query (and whatever else the engine bundles, e.g.
+        FullDist's source-tree copy), dispatches one batched
+        :class:`SiteJob` per site through the executor and folds the
+        outcomes.  Returns ``(triplets, site_finish)`` where each
+        site's finish time is request transfer + busy seconds, plus the
+        triplet-reply transfer when ``reply`` is true (engines whose
+        composition stage ships results itself pass ``False``).
         """
         source_tree = self.cluster.source_tree()
         coordinator = source_tree.coordinator_site
@@ -140,7 +193,7 @@ class Engine:
             request_seconds[site_id] = run.message(
                 coordinator, site_id, request_bytes, MSG_QUERY
             )
-            jobs.append(self._site_job(site_id, qlist))
+            jobs.append(self._site_job(site_id, plan.combined, segments=plan.segments))
         batch = run.parallel(jobs)
 
         triplets: dict = {}

@@ -16,7 +16,7 @@ parents by the dependency order).
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Optional, Sequence
 
 from repro.boolexpr.equations import BooleanEquationSystem
 from repro.boolexpr.formula import Var
@@ -41,9 +41,23 @@ def build_equation_system(triplets: Mapping[str, VectorTriplet]) -> BooleanEquat
     return system
 
 
-def answer_variable(source_tree: SourceTree, qlist: QList) -> Var:
-    """The variable whose value is the query answer: ``V_Froot[last]``."""
-    return Var(source_tree.root_fragment_id, "V", qlist.answer_index)
+def answer_variable(
+    source_tree: SourceTree,
+    qlist: Optional[QList] = None,
+    index: Optional[int] = None,
+) -> Var:
+    """The variable whose value is the query answer: ``V_Froot[last]``.
+
+    Pass ``qlist`` for a standalone query (its last entry), or
+    ``index`` for a batch member's answer entry inside a combined
+    QList.  This is the single place that encodes "the answer lives in
+    the root fragment's ``V`` vector".
+    """
+    if index is None:
+        if qlist is None:
+            raise ValueError("answer_variable needs a qlist or an index")
+        index = qlist.answer_index
+    return Var(source_tree.root_fragment_id, "V", index)
 
 
 def eval_st(
@@ -52,11 +66,29 @@ def eval_st(
     qlist: QList,
 ) -> bool:
     """Solve the equation system and return the query answer."""
+    return eval_st_many(triplets, source_tree, [qlist.answer_index])[0]
+
+
+def eval_st_many(
+    triplets: Mapping[str, VectorTriplet],
+    source_tree: SourceTree,
+    answer_indices: Sequence[int],
+) -> list[bool]:
+    """Solve the system once; read several answer entries at the root.
+
+    The batched composition stage: a combined batch QList produces one
+    equation system, and each query's answer is the root fragment's
+    ``V`` value at that query's answer index -- one solve, N answers
+    (the system's memoization shares all common sub-formulas).
+    """
     missing = [fid for fid in source_tree.fragment_ids() if fid not in triplets]
     if missing:
         raise ValueError(f"evalST needs a triplet for every fragment; missing {missing}")
     system = build_equation_system(triplets)
-    return system.value_of(answer_variable(source_tree, qlist))
+    return [
+        system.value_of(answer_variable(source_tree, index=index))
+        for index in answer_indices
+    ]
 
 
 def resolve_triplet(
@@ -82,4 +114,10 @@ def resolve_triplet(
     return resolved
 
 
-__all__ = ["eval_st", "build_equation_system", "answer_variable", "resolve_triplet"]
+__all__ = [
+    "eval_st",
+    "eval_st_many",
+    "build_equation_system",
+    "answer_variable",
+    "resolve_triplet",
+]

@@ -24,9 +24,8 @@ from __future__ import annotations
 
 from repro.core.engine import MSG_GROUND_TRIPLET, Engine
 from repro.core.eval_st import resolve_triplet
+from repro.core.plan import BatchPlan
 from repro.core.vectors import VectorTriplet
-from repro.distsim.metrics import EvalResult
-from repro.xpath.qlist import QList
 
 
 class FullDistParBoXEngine(Engine):
@@ -34,7 +33,7 @@ class FullDistParBoXEngine(Engine):
 
     name = "FullDistParBoX"
 
-    def evaluate(self, qlist: QList) -> EvalResult:
+    def _evaluate_plan(self, plan: BatchPlan):
         run = self._new_run()
         source_tree = self.cluster.source_tree()
 
@@ -43,7 +42,7 @@ class FullDistParBoXEngine(Engine):
         # its parents/children for stage 3; no stage-2 replies -- the
         # results travel as ground triplets during stage 3 itself.
         triplets, site_finish = self._broadcast_stage(
-            run, qlist, qlist.wire_bytes() + source_tree.wire_bytes(), reply=False
+            run, plan, plan.combined.wire_bytes() + source_tree.wire_bytes(), reply=False
         )
 
         # Stage 3 (evalDistrST): resolve bottom-up along the source tree.
@@ -79,8 +78,8 @@ class FullDistParBoXEngine(Engine):
             ready[fragment_id] = (ground, ready_time + resolve_seconds)
 
         root_triplet, elapsed = ready[source_tree.root_fragment_id]
-        answer = root_triplet.v[qlist.answer_index].evaluate({})
-        return self._result(answer, run, elapsed, triplets=len(triplets))
+        answers = [root_triplet.v[index].evaluate({}) for index in plan.answer_indices]
+        return answers, run, elapsed, dict(triplets=len(triplets))
 
 
 __all__ = ["FullDistParBoXEngine"]

@@ -15,15 +15,16 @@ are placed) -- no extra round-trip is needed to decide.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Iterable, Optional, Union
 
 from repro.boolexpr.compose import FormulaAlgebra
 from repro.core.engine import Engine
 from repro.core.naive_centralized import NaiveCentralizedEngine
 from repro.core.parbox import ParBoXEngine
+from repro.core.plan import BatchPlan, coerce_plan
 from repro.distsim.cluster import Cluster
 from repro.distsim.executors import SiteExecutor
-from repro.distsim.metrics import EvalResult
+from repro.distsim.metrics import BatchResult
 from repro.distsim.trace import Trace
 from repro.xpath.qlist import QList
 
@@ -45,26 +46,53 @@ class HybridParBoXEngine(Engine):
         # process pool forks once no matter which branch wins.
         self._parbox = ParBoXEngine(cluster, algebra, trace, executor=self.executor)
         self._central = NaiveCentralizedEngine(cluster, algebra, trace, executor=self.executor)
+        self._delegates_closed = False
 
     def choose_strategy(self, qlist: QList) -> str:
-        """The switching rule: ``card(F) < |T|/|q|`` favours ParBoX."""
+        """The switching rule: ``card(F) < |T|/|q|`` favours ParBoX.
+
+        Under batching ``|q|`` is the *combined* query size: a big
+        enough batch genuinely moves the tipping point, because the
+        broadcast grows with the batch while the shipped data does not.
+        """
         card = self.cluster.card()
         tree_size = self.cluster.total_size()
         query_size = len(qlist)
         return "parbox" if card < tree_size / query_size else "centralized"
 
-    def evaluate(self, qlist: QList) -> EvalResult:
-        strategy = self.choose_strategy(qlist)
+    def evaluate_many(
+        self, batch: Union[BatchPlan, Iterable[Union[str, QList]]]
+    ) -> BatchResult:
+        """Pick the strategy once per batch and delegate the whole plan."""
+        plan = coerce_plan(batch)
+        strategy = self.choose_strategy(plan.combined)
         delegate = self._parbox if strategy == "parbox" else self._central
-        inner = delegate.evaluate(qlist)
+        inner = delegate.evaluate_many(plan)
         details = dict(inner.details)
         details["strategy"] = strategy
-        return EvalResult(
-            answer=inner.answer,
+        return BatchResult(
+            answers=inner.answers,
             engine=self.name,
             metrics=inner.metrics,
+            per_query=inner.per_query,
             details=details,
         )
+
+    def close(self) -> None:
+        """Close the delegate engines exactly once, then the shared pool.
+
+        The delegates hold this engine's resolved executor as a
+        pre-built instance, so closing them never touches the shared
+        pool (the :meth:`Engine.close` ownership rule); what they *do*
+        own -- e.g. the thread pools ParBoX caches for
+        ``evaluate_threaded`` -- is reaped here.  The guard makes
+        repeated ``close()`` calls hit each delegate only once.
+        """
+        if not self._delegates_closed:
+            self._delegates_closed = True
+            self._parbox.close()
+            self._central.close()
+        super().close()
 
 
 __all__ = ["HybridParBoXEngine"]

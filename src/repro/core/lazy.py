@@ -24,27 +24,37 @@ from __future__ import annotations
 from repro.boolexpr.formula import Var
 from repro.core.engine import CONTROL_BYTES, MSG_CONTROL, MSG_QUERY, MSG_TRIPLET, Engine
 from repro.core.eval_st import answer_variable, build_equation_system
+from repro.core.plan import BatchPlan
 from repro.core.vectors import VectorTriplet
-from repro.distsim.metrics import EvalResult
-from repro.xpath.qlist import QList
 
 
 class LazyParBoXEngine(Engine):
-    """Depth-by-depth evaluation with early termination."""
+    """Depth-by-depth evaluation with early termination.
+
+    Under batching, a depth step still dispatches one job per touched
+    site (carrying the combined query), and the descent stops at the
+    first depth where *every* query of the batch Kleene-resolves -- the
+    batch descends exactly as deep as its deepest-resolving member
+    would alone, never deeper.
+    """
 
     name = "LazyParBoX"
 
-    def evaluate(self, qlist: QList) -> EvalResult:
+    def _evaluate_plan(self, plan: BatchPlan):
         run = self._new_run()
         source_tree = self.cluster.source_tree()
         coordinator = source_tree.coordinator_site
-        query_bytes = qlist.wire_bytes()
-        target = answer_variable(source_tree, qlist)
+        query_bytes = plan.combined.wire_bytes()
+        targets = [
+            answer_variable(source_tree, index=index) for index in plan.answer_indices
+        ]
+        # Duplicate queries share an answer entry: resolve each once.
+        open_targets = list(dict.fromkeys(targets))
 
         triplets: dict[str, VectorTriplet] = {}
         queried_sites: set[str] = set()
         elapsed = 0.0
-        answer: bool | None = None
+        verdicts: dict[Var, bool] = {}
         steps_evaluated = 0
 
         # The paper's first step covers the coordinator AND depth 1
@@ -80,7 +90,14 @@ class LazyParBoXEngine(Engine):
                         coordinator, site_id, query_bytes, MSG_QUERY
                     )
                     queried_sites.add(site_id)
-                jobs.append(self._site_job(site_id, qlist, fragment_ids=site_fragments))
+                jobs.append(
+                    self._site_job(
+                        site_id,
+                        plan.combined,
+                        fragment_ids=site_fragments,
+                        segments=plan.segments,
+                    )
+                )
             site_batch = run.parallel(jobs)
 
             step_finish: dict[str, float] = {}
@@ -94,30 +111,41 @@ class LazyParBoXEngine(Engine):
                 )
             elapsed += run.join(step_finish)
 
-            # Try to resolve with what we have so far.
-            (verdict, combine_seconds) = run.compute(
-                coordinator, lambda: _try_answer(triplets, target)
+            # Try to resolve the still-open queries with what we have.
+            (resolved, combine_seconds) = run.compute(
+                coordinator, lambda: _try_answers(triplets, open_targets)
             )
             elapsed += combine_seconds
-            if verdict is not None:
-                answer = verdict
+            verdicts.update(resolved)
+            open_targets = [t for t in open_targets if t not in verdicts]
+            if not open_targets:
                 break
 
-        if answer is None:  # all depths evaluated; the system must resolve now
+        if open_targets:  # all depths evaluated; the system must resolve now
             raise RuntimeError("LazyParBoX failed to resolve after all depths")
-        return self._result(
-            answer,
-            run,
-            elapsed,
+        answers = [verdicts[target] for target in targets]
+        details = dict(
             fragments_evaluated=len(triplets),
             steps_evaluated=steps_evaluated,
         )
+        return answers, run, elapsed, details
 
 
-def _try_answer(triplets: dict[str, VectorTriplet], target: Var) -> bool | None:
-    """Kleene-evaluate the answer variable against the partial system."""
+def _try_answers(
+    triplets: dict[str, VectorTriplet], targets: list[Var]
+) -> dict[Var, bool]:
+    """Kleene-evaluate the open answer variables against the partial system.
+
+    Returns only the targets that resolved; one memoized system serves
+    every query of the batch.
+    """
     system = build_equation_system(triplets)
-    return system.partial_value_of(target)
+    resolved: dict[Var, bool] = {}
+    for target in targets:
+        verdict = system.partial_value_of(target)
+        if verdict is not None:
+            resolved[target] = verdict
+    return resolved
 
 
 __all__ = ["LazyParBoXEngine"]

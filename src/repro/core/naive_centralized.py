@@ -14,10 +14,9 @@ centralized evaluation are timed as real coordinator-local work.
 
 from __future__ import annotations
 
-from repro.core.centralized import evaluate_tree
+from repro.core.centralized import evaluate_tree_many
 from repro.core.engine import CONTROL_BYTES, MSG_CONTROL, MSG_FRAGMENT_DATA, Engine
-from repro.distsim.metrics import EvalResult
-from repro.xpath.qlist import QList
+from repro.core.plan import BatchPlan
 
 
 class NaiveCentralizedEngine(Engine):
@@ -25,7 +24,7 @@ class NaiveCentralizedEngine(Engine):
 
     name = "NaiveCentralized"
 
-    def evaluate(self, qlist: QList) -> EvalResult:
+    def _evaluate_plan(self, plan: BatchPlan):
         run = self._new_run()
         source_tree = self.cluster.source_tree()
         coordinator = source_tree.coordinator_site
@@ -51,15 +50,19 @@ class NaiveCentralizedEngine(Engine):
             total_bytes, len(remote_sites)
         )
 
-        # Local phase: stitch the document together, then evaluate it.
+        # Local phase: stitch the document together, then evaluate it
+        # once against the combined batch query.
         (tree, stitch_seconds) = run.compute(coordinator, self.cluster.fragmented_tree.stitch)
-        ((answer, stats), eval_seconds) = run.compute(
-            coordinator, lambda: evaluate_tree(tree, qlist)
+        ((answers, stats), eval_seconds) = run.compute(
+            coordinator,
+            lambda: evaluate_tree_many(tree, plan.combined, plan.answer_indices),
         )
         run.add_ops(stats.nodes_visited, stats.qlist_ops)
+        for segment_index, (_, length) in enumerate(plan.segments):
+            run.add_segment_ops(segment_index, stats.nodes_visited * length)
 
         elapsed = request_seconds + shipping_seconds + stitch_seconds + eval_seconds
-        return self._result(answer, run, elapsed, shipped_bytes=total_bytes)
+        return answers, run, elapsed, dict(shipped_bytes=total_bytes)
 
 
 __all__ = ["NaiveCentralizedEngine"]

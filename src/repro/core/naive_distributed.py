@@ -21,9 +21,8 @@ from __future__ import annotations
 
 from repro.core.engine import CONTROL_BYTES, MSG_CONTROL, MSG_GROUND_TRIPLET, MSG_QUERY, Engine
 from repro.core.eval_st import resolve_triplet
+from repro.core.plan import BatchPlan
 from repro.core.vectors import VectorTriplet
-from repro.distsim.metrics import EvalResult
-from repro.xpath.qlist import QList
 
 
 class NaiveDistributedEngine(Engine):
@@ -31,11 +30,11 @@ class NaiveDistributedEngine(Engine):
 
     name = "NaiveDistributed"
 
-    def evaluate(self, qlist: QList) -> EvalResult:
+    def _evaluate_plan(self, plan: BatchPlan):
         run = self._new_run()
         source_tree = self.cluster.source_tree()
         coordinator = source_tree.coordinator_site
-        query_bytes = qlist.wire_bytes()
+        query_bytes = plan.combined.wire_bytes()
         root_fragment = source_tree.root_fragment_id
 
         elapsed_total = 0.0
@@ -71,12 +70,23 @@ class NaiveDistributedEngine(Engine):
             # single-fragment job still goes through the executor so the
             # strategy choice is honored uniformly -- the batches just
             # never overlap, which *is* the algorithm's sequential flaw.
-            batch = run.parallel([self._site_job(site_id, qlist, fragment_ids=[fragment_id])])
+            batch = run.parallel(
+                [
+                    self._site_job(
+                        site_id,
+                        plan.combined,
+                        fragment_ids=[fragment_id],
+                        segments=plan.segments,
+                    )
+                ]
+            )
             outcome = batch.outcomes[site_id]
             fragment_outcome = outcome.fragments[0]
             triplet = fragment_outcome.triplet
             compute_seconds = outcome.seconds
             run.add_ops(fragment_outcome.nodes_visited, fragment_outcome.qlist_ops)
+            for segment_index, ops in enumerate(fragment_outcome.segment_ops):
+                run.add_segment_ops(segment_index, ops)
             children = {cid: resolved[cid] for cid in source_tree.children_of(fragment_id)}
             (ground, resolve_seconds) = run.compute(
                 site_id, lambda t=triplet, c=children: resolve_triplet(t, c)
@@ -89,9 +99,9 @@ class NaiveDistributedEngine(Engine):
                 site_id, caller_site, ground.wire_bytes(), MSG_GROUND_TRIPLET
             )
 
-        answer_formula = resolved[root_fragment].v[qlist.answer_index]
-        answer = answer_formula.evaluate({})
-        return self._result(answer, run, elapsed_total)
+        root_vector = resolved[root_fragment].v
+        answers = [root_vector[index].evaluate({}) for index in plan.answer_indices]
+        return answers, run, elapsed_total, {}
 
 
 __all__ = ["NaiveDistributedEngine"]

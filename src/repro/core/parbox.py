@@ -26,7 +26,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.engine import Engine
-from repro.core.eval_st import eval_st
+from repro.core.eval_st import eval_st_many
+from repro.core.plan import BatchPlan
 from repro.distsim.executors import SiteExecutor, ThreadSiteExecutor
 from repro.distsim.metrics import EvalResult
 from repro.xpath.qlist import QList
@@ -37,34 +38,31 @@ class ParBoXEngine(Engine):
 
     name = "ParBoX"
 
-    def evaluate(self, qlist: QList) -> EvalResult:
+    def _evaluate_plan(self, plan: BatchPlan):
         run = self._new_run()
         source_tree = self.cluster.source_tree()
         coordinator = source_tree.coordinator_site
 
-        # Stages 1-2: broadcast the query, every site evaluates its
-        # fragments (one executor job per site) and replies with all
-        # its triplets in one message.
+        # Stages 1-2: broadcast the (combined) query, every site
+        # evaluates its fragments (one executor job per site) and
+        # replies with all its triplets in one message -- one visit per
+        # site for the whole batch.
         triplets, site_finish = self._broadcast_stage(
-            run, qlist, qlist.wire_bytes(), reply=True
+            run, plan, plan.combined.wire_bytes(), reply=True
         )
 
-        # Stage 3: compose partial answers at the coordinator.
-        (answer, combine_seconds) = self._combine(run, coordinator, triplets, source_tree, qlist)
+        # Stage 3: compose partial answers at the coordinator.  One
+        # equation-system solve yields every query's answer entry.
+        (answers, combine_seconds) = run.compute(
+            coordinator,
+            lambda: eval_st_many(triplets, source_tree, plan.answer_indices),
+        )
         elapsed = run.join(site_finish) + combine_seconds
-        return self._result(
-            answer,
-            run,
-            elapsed,
+        details = dict(
             triplets=len(triplets),
             variables=sum(len(t.variables()) for t in triplets.values()),
         )
-
-    def _combine(self, run, coordinator, triplets, source_tree, qlist):
-        (answer, seconds) = run.compute(
-            coordinator, lambda: eval_st(triplets, source_tree, qlist)
-        )
-        return answer, seconds
+        return answers, run, elapsed, details
 
     # ------------------------------------------------------------------
     # Backward-compatible alias for the pre-executor API

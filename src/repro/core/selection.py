@@ -34,14 +34,15 @@ occupies the same child position as the subtree it replaces).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Iterable, Mapping, Optional, Union
 
 from repro.boolexpr.formula import Var
 from repro.core.bottom_up import compile_entries
 from repro.core.engine import MSG_CONTROL, MSG_TRIPLET, Engine
 from repro.core.eval_st import build_equation_system
+from repro.core.plan import BatchPlan, attribute_costs, coerce_plan
 from repro.core.vectors import VectorTriplet
-from repro.distsim.metrics import EvalResult
+from repro.distsim.metrics import EvalResult, QueryCost
 from repro.fragments.fragment import Fragment
 from repro.xmltree.node import XMLNode
 from repro.xpath.qlist import (
@@ -96,21 +97,43 @@ class SelectionResult:
         return len(self.paths)
 
 
+@dataclass(frozen=True)
+class SelectionBatch:
+    """Outcome of a batched selection: N node sets over one ledger.
+
+    ``selections[i]`` is query *i*'s selected paths; ``result`` is the
+    *batch-level* cost ledger (still at most two visits per site) and
+    ``per_query`` its per-query attribution.
+    """
+
+    selections: tuple[tuple[NodePath, ...], ...]
+    result: EvalResult
+    per_query: tuple[QueryCost, ...]
+
+    def __len__(self) -> int:
+        return len(self.selections)
+
+    def __getitem__(self, index: int) -> tuple[NodePath, ...]:
+        return self.selections[index]
+
+
 def path_entry_indices(qlist: QList) -> list[int]:
     """Indices of path-shaped entries (the possible automaton states)."""
     return [i for i, entry in enumerate(qlist) if entry.op in _PATH_OPS]
 
 
-def initial_states(qlist: QList) -> frozenset[int]:
+def initial_states(qlist: QList, answer_index: Optional[int] = None) -> frozenset[int]:
     """The automaton start states of a selection query.
 
     A selection query is a path or a union (``or``) of paths; unions
     simply activate several start states at the document root.  Raises
     ``ValueError`` for anything else (conjunctions/negations have no
-    node-set semantics).
+    node-set semantics).  ``answer_index`` overrides the root entry --
+    for a *batch*, each member query's states start at that query's
+    answer entry inside the combined QList.
     """
     out: set[int] = set()
-    stack = [qlist.answer_index]
+    stack = [qlist.answer_index if answer_index is None else answer_index]
     while stack:
         index = stack.pop()
         entry = qlist[index]
@@ -292,22 +315,45 @@ def _insert_sorted(worklist: list[int], j: int) -> list[int]:
 
 
 class SelectionEngine(Engine):
-    """Distributed node selection with at most two visits per site."""
+    """Distributed node selection with at most two visits per site.
+
+    Batched: :meth:`select_many` runs the whole two-visit protocol once
+    for a combined batch of selection queries -- the phase-2 automaton
+    pass already computes tables for *every* path entry, so per-query
+    answers only differ in which start states the coordinator composes
+    from.  :meth:`select` is the batch-of-one special case.
+    """
 
     name = "ParBoX-Select"
 
     def select(self, qlist: QList) -> SelectionResult:
         """Evaluate a selection query (a path or a union of paths)."""
-        starts = initial_states(qlist)  # validates the query shape
+        batch = self.select_many([qlist])
+        return SelectionResult(paths=batch.selections[0], result=batch.result)
+
+    def select_many(
+        self, batch: Union[BatchPlan, Iterable[Union[str, QList]]]
+    ) -> SelectionBatch:
+        """Evaluate a batch of selection queries in one two-visit round."""
+        plan = coerce_plan(batch)
+        combined = plan.combined
+        # One start-state set per *unique* segment (duplicates share an
+        # answer entry, hence identical states); building them validates
+        # every member query's shape before any site is touched.
+        starts_by_segment: dict[int, frozenset[int]] = {}
+        for segment, answer_index in zip(plan.segment_of, plan.answer_indices):
+            if segment not in starts_by_segment:
+                starts_by_segment[segment] = initial_states(
+                    combined, answer_index=answer_index
+                )
         run = self._new_run()
         source_tree = self.cluster.source_tree()
         coordinator = source_tree.coordinator_site
-        query_bytes = qlist.wire_bytes()
 
         # ---- Visit 1: ParBoX stage 2 + full system solution -------------
         # Dispatched through the site executor exactly like ParBoX.
         triplets, phase1_times = self._broadcast_stage(
-            run, qlist, query_bytes, reply=True
+            run, plan, combined.wire_bytes(), reply=True
         )
 
         (solution, solve_seconds) = run.compute(
@@ -333,9 +379,11 @@ class SelectionEngine(Engine):
                 env_bytes += 8 * len(virtual_env)
                 (table, seconds) = run.compute(
                     site_id,
-                    lambda f=fragment, e=virtual_env: selection_table(f, qlist, e),
+                    lambda f=fragment, e=virtual_env: selection_table(f, combined, e),
                 )
-                run.add_ops(fragment.size(), fragment.size() * len(qlist))
+                run.add_ops(fragment.size(), fragment.size() * len(combined))
+                for segment_index, (_, length) in enumerate(plan.segments):
+                    run.add_segment_ops(segment_index, fragment.size() * length)
                 tables[fragment_id] = table
                 site_seconds += seconds
                 reply_bytes += table.wire_bytes()
@@ -344,18 +392,30 @@ class SelectionEngine(Engine):
             phase2_times[site_id] = request_seconds + site_seconds + reply_seconds
         elapsed += run.join(phase2_times)
 
-        # ---- Composition over the fragment tree --------------------------
-        (paths, compose_seconds) = run.compute(
-            coordinator, lambda: _compose(tables, source_tree, starts, self.cluster)
+        # ---- Composition over the fragment tree, once per unique query ---
+        (composed, compose_seconds) = run.compute(
+            coordinator,
+            lambda: {
+                segment: _compose(tables, source_tree, starts, self.cluster)
+                for segment, starts in starts_by_segment.items()
+            },
         )
         elapsed += compose_seconds
+        per_query_paths = [composed[segment] for segment in plan.segment_of]
+        answers = [bool(paths) for paths in per_query_paths]
         result = self._result(
-            bool(paths),
+            any(answers),
             run,
             elapsed,
-            selected=len(paths),
+            selected=sum(len(paths) for paths in composed.values()),
+            batch_size=len(plan),
+            unique_queries=plan.unique_count,
         )
-        return SelectionResult(paths=paths, result=result)
+        return SelectionBatch(
+            selections=tuple(per_query_paths),
+            result=result,
+            per_query=attribute_costs(plan, answers, run.metrics),
+        )
 
 
 def _compose(
@@ -418,6 +478,7 @@ def select_centralized(tree, qlist: QList) -> tuple[NodePath, ...]:
 __all__ = [
     "SelectionEngine",
     "SelectionResult",
+    "SelectionBatch",
     "SelectionTable",
     "selection_table",
     "select_centralized",

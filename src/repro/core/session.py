@@ -1,0 +1,227 @@
+"""``QuerySession``: the batched front door to every engine.
+
+A session owns the pieces a long-running coordinator needs to serve
+many queries cheaply:
+
+* a :class:`~repro.core.plan.QueryCache` so each distinct query text is
+  parsed/normalized/compiled exactly once for the session's lifetime;
+* an engine (by registry name or as a pre-built instance) whose
+  :meth:`~repro.core.engine.Engine.evaluate_many` turns a planned batch
+  into one set of site visits;
+* a ``batch_size`` knob that chunks arbitrarily long query streams into
+  bounded broadcasts (an unbounded combined QList would eventually make
+  the broadcast message itself the bottleneck).
+
+The session surface is intentionally small::
+
+    with QuerySession(cluster, engine="parbox", batch_size=16) as session:
+        outcome = session.evaluate_many(list_of_query_texts)
+        outcome.answers          # one bool per input query, input order
+        outcome.bytes_per_query  # the amortization headline
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.boolexpr.compose import FormulaAlgebra
+from repro.core.engine import Engine
+from repro.core.plan import BatchPlan, QueryCache, plan_batch
+from repro.distsim.cluster import Cluster
+from repro.distsim.executors import SiteExecutor
+from repro.distsim.metrics import BatchResult, EvalResult, QueryCost
+from repro.distsim.trace import Trace
+from repro.xpath.qlist import QList
+
+Query = Union[str, QList]
+
+
+@dataclass(frozen=True)
+class SessionOutcome:
+    """The flattened result of one :meth:`QuerySession.evaluate_many`.
+
+    ``batches`` keeps the underlying chunk results (one
+    :class:`~repro.distsim.metrics.BatchResult` per dispatched batch);
+    the aggregate accessors sum over them so callers see one stream of
+    N queries regardless of how it was chunked.
+    """
+
+    answers: tuple[bool, ...]
+    per_query: tuple[QueryCost, ...]
+    batches: tuple[BatchResult, ...] = field(repr=False)
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    @property
+    def bytes_total(self) -> int:
+        """Network bytes across every batch of the call."""
+        return sum(batch.metrics.bytes_total for batch in self.batches)
+
+    @property
+    def messages_total(self) -> int:
+        return sum(batch.metrics.messages for batch in self.batches)
+
+    @property
+    def visits_total(self) -> int:
+        return sum(batch.metrics.total_visits() for batch in self.batches)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Simulated elapsed time: batches run one after another."""
+        return sum(batch.metrics.elapsed_seconds for batch in self.batches)
+
+    @property
+    def bytes_per_query(self) -> float:
+        """Amortized traffic per query -- the batching headline number."""
+        return self.bytes_total / len(self.answers)
+
+    @property
+    def visits_per_query(self) -> float:
+        return self.visits_total / len(self.answers)
+
+    @property
+    def messages_per_query(self) -> float:
+        return self.messages_total / len(self.answers)
+
+
+class QuerySession:
+    """Plan, cache and batch-evaluate queries against one cluster.
+
+    ``engine`` is a registry name (``"parbox"``, ``"fulldist"``, ...)
+    or an :class:`~repro.core.engine.Engine` instance.  A session that
+    *resolved* the engine from a name owns it -- :meth:`close` (or the
+    context manager) tears it down, executor pool included; a pre-built
+    engine belongs to its builder, mirroring the executor-ownership
+    rule on :class:`~repro.core.engine.Engine` itself.
+
+    ``batch_size`` bounds how many queries ride one combined broadcast
+    (``None`` = the whole call in one batch); the compiled-query cache
+    persists across calls and batches either way.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        engine: Union[str, Engine] = "parbox",
+        algebra: Optional[FormulaAlgebra] = None,
+        trace: Optional[Trace] = None,
+        executor: Union[str, SiteExecutor, None] = None,
+        batch_size: Optional[int] = None,
+        cache: Optional[QueryCache] = None,
+    ) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.cluster = cluster
+        self.batch_size = batch_size
+        self.cache = cache or QueryCache()
+        if isinstance(engine, Engine):
+            # A pre-built engine already fixed its algebra, trace and
+            # executor; silently ignoring these knobs would make the
+            # caller believe they took effect.
+            conflicting = [
+                knob
+                for knob, value in (
+                    ("algebra", algebra),
+                    ("trace", trace),
+                    ("executor", executor),
+                )
+                if value is not None
+            ]
+            if conflicting:
+                raise ValueError(
+                    f"{', '.join(conflicting)} cannot be combined with a "
+                    "pre-built engine instance; configure the engine itself"
+                )
+            self.engine = engine
+            self._owns_engine = False
+        else:
+            from repro.core import ENGINE_REGISTRY  # local: avoids an import cycle
+
+            engine_cls = ENGINE_REGISTRY.get(engine.lower())
+            if engine_cls is None:
+                raise ValueError(
+                    f"unknown engine {engine!r}; choose from "
+                    f"{sorted(set(ENGINE_REGISTRY))}"
+                )
+            self.engine = engine_cls(cluster, algebra, trace, executor=executor)
+            self._owns_engine = True
+
+    # ------------------------------------------------------------------
+    # Compilation / planning
+    # ------------------------------------------------------------------
+    def compile(self, query: Query) -> QList:
+        """Compile one query through the session cache (texts only)."""
+        return self.cache.qlist(query)
+
+    def plan(self, queries: Sequence[Query]) -> BatchPlan:
+        """Plan a batch without evaluating it (inspection, tests)."""
+        return plan_batch([self.cache.qlist(query) for query in queries])
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, query: Query) -> EvalResult:
+        """Evaluate one query (cache-compiled, batch of one)."""
+        return self.engine.evaluate_many(self.plan([query])).single()
+
+    def evaluate_batch(self, queries: Sequence[Query]) -> BatchResult:
+        """Evaluate one un-chunked batch: one combined broadcast."""
+        return self.engine.evaluate_many(self.plan(queries))
+
+    def evaluate_many(self, queries: Iterable[Query]) -> SessionOutcome:
+        """Evaluate a query stream, chunked to ``batch_size`` per batch."""
+        if isinstance(queries, str):
+            raise TypeError(
+                "evaluate_many takes a sequence of queries; "
+                "use evaluate() for a single query text"
+            )
+        query_list = list(queries)
+        if not query_list:
+            raise ValueError("evaluate_many needs at least one query")
+        step = self.batch_size or len(query_list)
+        batches = [
+            self.evaluate_batch(query_list[start : start + step])
+            for start in range(0, len(query_list), step)
+        ]
+        # Re-index the per-query rows from batch-local to stream-local,
+        # so per_query[i] always describes the i-th input query.
+        per_query: list[QueryCost] = []
+        for batch in batches:
+            offset = len(per_query)
+            per_query.extend(
+                replace(cost, index=cost.index + offset) for cost in batch.per_query
+            )
+        return SessionOutcome(
+            answers=tuple(answer for batch in batches for answer in batch.answers),
+            per_query=tuple(per_query),
+            batches=tuple(batches),
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict:
+        """The compiled-query cache's hit/miss counters."""
+        return self.cache.stats()
+
+    def close(self) -> None:
+        """Tear down the engine this session built from a name."""
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<QuerySession engine={self.engine.name} "
+            f"batch_size={self.batch_size} cached={len(self.cache)}>"
+        )
+
+
+__all__ = ["QuerySession", "SessionOutcome"]

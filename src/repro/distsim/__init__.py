@@ -26,7 +26,7 @@ stores, and exposes the structural update operations of Section 5.
 """
 
 from repro.distsim.network import NetworkModel
-from repro.distsim.metrics import Metrics
+from repro.distsim.metrics import BatchResult, EvalResult, Metrics, QueryCost
 from repro.distsim.site import Site
 from repro.distsim.cluster import Cluster
 from repro.distsim.executors import (
@@ -44,6 +44,9 @@ from repro.distsim.runtime import ParallelBatch, Run
 __all__ = [
     "NetworkModel",
     "Metrics",
+    "EvalResult",
+    "BatchResult",
+    "QueryCost",
     "Site",
     "Cluster",
     "Run",

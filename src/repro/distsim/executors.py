@@ -64,22 +64,36 @@ _ALGEBRAS_BY_NAME = {
 
 @dataclass(frozen=True)
 class SiteJob:
-    """One site's parallel work: evaluate ``fragments`` against ``qlist``."""
+    """One site's parallel work: evaluate ``fragments`` against ``qlist``.
+
+    ``qlist`` may be a *combined* batch query, in which case
+    ``segments`` carries the planner's ``(offset, length)`` span per
+    unique query so the site can attribute its operation counts back to
+    individual queries (``FragmentOutcome.segment_ops``).  An empty
+    ``segments`` means single-query accounting.
+    """
 
     site_id: str
     fragments: tuple[Fragment, ...]
     qlist: QList
     algebra: FormulaAlgebra
     label: str = "bottomUp"
+    segments: tuple[tuple[int, int], ...] = ()
 
 
 @dataclass(frozen=True)
 class FragmentOutcome:
-    """The partial answer of one fragment plus its deterministic costs."""
+    """The partial answer of one fragment plus its deterministic costs.
+
+    ``segment_ops`` attributes ``qlist_ops`` to the batch's unique
+    queries (one count per :attr:`SiteJob.segments` span); empty for
+    unbatched jobs.
+    """
 
     triplet: "VectorTriplet"  # noqa: F821 - imported lazily (cycle)
     nodes_visited: int
     qlist_ops: int
+    segment_ops: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -130,10 +144,23 @@ def execute_site_job(job: SiteJob) -> SiteOutcome:
                 triplet=triplet,
                 nodes_visited=stats.nodes_visited,
                 qlist_ops=stats.qlist_ops,
+                segment_ops=_segment_ops(stats.nodes_visited, job.segments),
             )
         )
     seconds = time.thread_time() - started
     return SiteOutcome(site_id=job.site_id, fragments=tuple(outcomes), seconds=seconds)
+
+
+def _segment_ops(
+    nodes_visited: int, segments: tuple[tuple[int, int], ...]
+) -> tuple[int, ...]:
+    """Per-query operation counts of one fragment evaluation.
+
+    ``bottomUp`` touches every entry at every node, so a segment of
+    *length* entries costs exactly ``nodes x length`` operations --
+    the same accounting unit as ``BottomUpStats.qlist_ops``.
+    """
+    return tuple(nodes_visited * length for _, length in segments)
 
 
 # ---------------------------------------------------------------------------
@@ -159,7 +186,7 @@ def _job_payload(job: SiteJob) -> tuple:
     fragments = tuple(
         (fragment.fragment_id, serialize(fragment.root)) for fragment in job.fragments
     )
-    return (job.site_id, fragments, job.qlist.to_obj(), algebra_name)
+    return (job.site_id, fragments, job.qlist.to_obj(), algebra_name, job.segments)
 
 
 def _run_job_payload(payload: tuple) -> tuple:
@@ -173,9 +200,10 @@ def _run_job_payload(payload: tuple) -> tuple:
     from repro.core.bottom_up import bottom_up
     from repro.xmltree.parser import parse_xml
 
-    site_id, fragment_texts, qlist_obj, algebra_name = payload
+    site_id, fragment_texts, qlist_obj, algebra_name, segments = payload
     qlist = QList.from_obj(qlist_obj)
     algebra = _ALGEBRAS_BY_NAME[algebra_name]()
+    segments = tuple(tuple(span) for span in segments)
     fragments = [
         Fragment(fragment_id, parse_xml(xml_text).root)
         for fragment_id, xml_text in fragment_texts
@@ -184,7 +212,14 @@ def _run_job_payload(payload: tuple) -> tuple:
     results = []
     for fragment in fragments:
         triplet, stats = bottom_up(fragment, qlist, algebra)
-        results.append((triplet.to_obj(), stats.nodes_visited, stats.qlist_ops))
+        results.append(
+            (
+                triplet.to_obj(),
+                stats.nodes_visited,
+                stats.qlist_ops,
+                _segment_ops(stats.nodes_visited, segments),
+            )
+        )
     seconds = time.thread_time() - started
     return (site_id, tuple(results), seconds)
 
@@ -199,8 +234,9 @@ def _outcome_from_payload(result: tuple) -> SiteOutcome:
             triplet=VectorTriplet.from_obj(triplet_obj),
             nodes_visited=nodes,
             qlist_ops=ops,
+            segment_ops=tuple(segment_ops),
         )
-        for triplet_obj, nodes, ops in fragment_results
+        for triplet_obj, nodes, ops, segment_ops in fragment_results
     )
     return SiteOutcome(site_id=site_id, fragments=outcomes, seconds=seconds)
 

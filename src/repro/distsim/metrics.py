@@ -16,6 +16,13 @@ Collects the three cost dimensions of the paper's Fig. 4 plus timing:
 * **critical path** -- which parallel branch determined the simulated
   elapsed time (:attr:`Metrics.critical_site`) and the accumulated
   length of the joined branches (:attr:`Metrics.critical_path_seconds`).
+
+Batched evaluations additionally attribute costs *per query*: the
+planner's segments let sites report exact per-query operation counts
+(:attr:`Metrics.segment_ops`), and a finished batch is reported as a
+:class:`BatchResult` whose :class:`QueryCost` rows carry each query's
+exact operation count plus its amortized share of the batch-level
+visits, messages and bytes.
 """
 
 from __future__ import annotations
@@ -48,6 +55,9 @@ class Metrics:
     critical_site: Optional[str] = None
     #: Sum over joins of the longest branch (the simulated critical path).
     critical_path_seconds: float = 0.0
+    #: ``node x entry`` operations attributed to each unique batch
+    #: segment (query), as reported by the batched site jobs.
+    segment_ops: Counter = field(default_factory=Counter)
     extra: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -139,4 +149,94 @@ class EvalResult:
         return self.metrics.wall_seconds
 
 
-__all__ = ["Metrics", "EvalResult"]
+@dataclass(frozen=True)
+class QueryCost:
+    """One query's slice of a batch ledger.
+
+    ``qlist_ops`` is attributed *exactly* (sites count operations per
+    planner segment); ``bytes_sent`` is weighted by the query's share
+    of the combined query size; ``visits``, ``messages`` and
+    ``elapsed_seconds`` are amortized evenly over the batch, because a
+    batch pays them once regardless of how many queries ride along --
+    they are fractional by design (20 messages over 8 queries is 2.5
+    messages per query).  ``shared_with`` counts the *other* queries
+    that deduplicated onto this query's segment.
+    """
+
+    index: int
+    source: Optional[str]
+    answer: bool
+    qlist_len: int
+    shared_with: int
+    visits: float
+    messages: float
+    bytes_sent: float
+    qlist_ops: float
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one batched evaluation: N answers over one ledger.
+
+    ``metrics`` is the whole batch's cost ledger -- the paper-style
+    visit/traffic/computation counters for the *single* set of site
+    visits the batch cost; ``per_query`` slices it back into
+    :class:`QueryCost` rows.
+    """
+
+    answers: tuple[bool, ...]
+    engine: str
+    metrics: Metrics
+    per_query: tuple[QueryCost, ...]
+    details: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def __getitem__(self, index: int) -> QueryCost:
+        return self.per_query[index]
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Simulated parallel elapsed time of the whole batch."""
+        return self.metrics.elapsed_seconds
+
+    @property
+    def wall_seconds(self) -> float:
+        """Real elapsed time of the batch's computation phases."""
+        return self.metrics.wall_seconds
+
+    @property
+    def bytes_per_query(self) -> float:
+        """Amortized network traffic: the batching headline number."""
+        return self.metrics.bytes_total / len(self.answers)
+
+    @property
+    def visits_per_query(self) -> float:
+        """Amortized site visits per query."""
+        return self.metrics.total_visits() / len(self.answers)
+
+    @property
+    def messages_per_query(self) -> float:
+        """Amortized message count per query."""
+        return self.metrics.messages / len(self.answers)
+
+    def single(self) -> EvalResult:
+        """The batch-of-one view: a plain :class:`EvalResult`.
+
+        Engines implement batches natively and derive ``evaluate()``
+        from this, so a single query's result (answer, metrics object,
+        details) is exactly what the unbatched code path produced.
+        """
+        if len(self.answers) != 1:
+            raise ValueError(f"single() on a batch of {len(self.answers)}")
+        return EvalResult(
+            answer=self.answers[0],
+            engine=self.engine,
+            metrics=self.metrics,
+            details=self.details,
+        )
+
+
+__all__ = ["Metrics", "EvalResult", "QueryCost", "BatchResult"]

@@ -200,6 +200,10 @@ class Run:
         self.metrics.nodes_processed += nodes
         self.metrics.qlist_ops += ops
 
+    def add_segment_ops(self, segment_index: int, ops: int) -> None:
+        """Attribute operations to one batch segment (unique query)."""
+        self.metrics.segment_ops[segment_index] += ops
+
     # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------

@@ -4,12 +4,17 @@ The paper motivates Boolean XPath with publish/subscribe systems, where
 *many* subscriptions stand against the same (distributed) document.
 Maintaining each as an independent
 :class:`~repro.views.materialized.MaterializedView` would traverse an
-updated fragment once **per subscription**; the registry instead
-concatenates all subscriptions' QLists
-(:func:`~repro.xpath.qlist.concatenate_qlists`) and evaluates the
-combination in a *single* ``bottomUp`` pass per fragment -- the
-per-update site work is ``O(|F_j| · Σ|q_i|)`` with one traversal's
-constant factor, and the update message carries one combined triplet.
+updated fragment once **per subscription**; the registry instead plans
+all subscriptions as one batch
+(:func:`~repro.core.plan.plan_batch` -- the same planner the engines'
+``evaluate_many`` uses) and evaluates the combined QList in a *single*
+``bottomUp`` pass per fragment -- the per-update site work is
+``O(|F_j| · Σ|q_i|)`` with one traversal's constant factor, and the
+update message carries one combined triplet.  Textually repeated
+subscriptions are compiled once (the registry's
+:class:`~repro.core.plan.QueryCache`), and subscriptions that compile
+to identical QLists collapse onto one shared slice of the combined
+query, shrinking both the broadcast and the per-update traversal.
 
 The registry exposes the same maintenance contract as a single view:
 create, then call :meth:`notify_fragment_updated` after content changes
@@ -19,17 +24,17 @@ inside a fragment; the report lists which subscriptions flipped.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.boolexpr.compose import FormulaAlgebra
-from repro.boolexpr.formula import Var
 from repro.core.bottom_up import bottom_up
 from repro.core.engine import MSG_TRIPLET
-from repro.core.eval_st import build_equation_system
+from repro.core.eval_st import answer_variable, build_equation_system
+from repro.core.plan import BatchPlan, QueryCache, plan_batch
 from repro.core.vectors import VectorTriplet
 from repro.distsim.cluster import Cluster
 from repro.distsim.runtime import Run
-from repro.xpath.qlist import QList, concatenate_qlists
+from repro.xpath.qlist import QList
 
 
 @dataclass(frozen=True)
@@ -50,20 +55,29 @@ class SubscriptionRegistry:
     def __init__(self, cluster: Cluster, algebra: Optional[FormulaAlgebra] = None) -> None:
         self.cluster = cluster
         self.algebra = algebra
+        self.cache = QueryCache()
         self._names: list[str] = []
         self._qlists: list[QList] = []
-        self._combined: Optional[QList] = None
-        self._answer_indices: list[int] = []
+        self._plan: Optional[BatchPlan] = None
         self._triplets: dict[str, VectorTriplet] = {}
         self._answers: dict[str, bool] = {}
 
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
-    def subscribe(self, name: str, qlist: QList) -> bool:
-        """Register a subscription; returns its current answer."""
+    def subscribe(self, name: str, query: Union[str, QList]) -> bool:
+        """Register a subscription (text or compiled); returns its answer.
+
+        Texts go through the registry's compiled-query cache, so a
+        popular subscription arriving from many subscribers is parsed
+        once; identical compiled queries share one slice of the
+        combined plan regardless.
+        """
         if name in self._names:
             raise ValueError(f"subscription {name!r} already registered")
+        # Compile before touching any state: a parse error must leave
+        # the registry exactly as it was.
+        qlist = self.cache.qlist(query)
         self._names.append(name)
         self._qlists.append(qlist)
         self._rebuild()
@@ -77,27 +91,28 @@ class SubscriptionRegistry:
         if self._names:
             self._rebuild()
         else:
-            self._combined = None
+            self._plan = None
             self._triplets.clear()
             self._answers.clear()
 
     def _rebuild(self) -> None:
-        self._combined, self._answer_indices = concatenate_qlists(self._qlists)
+        self._plan = plan_batch(self._qlists)
         self._triplets = {}
         source_tree = self.cluster.source_tree()
         for fragment_id in source_tree.fragment_ids():
             triplet, _ = bottom_up(
-                self.cluster.fragment(fragment_id), self._combined, self.algebra
+                self.cluster.fragment(fragment_id), self._plan.combined, self.algebra
             )
             self._triplets[fragment_id] = triplet
         self._solve()
 
     def _solve(self) -> None:
+        assert self._plan is not None
         system = build_equation_system(self._triplets)
-        root = self.cluster.source_tree().root_fragment_id
+        source_tree = self.cluster.source_tree()
         self._answers = {
-            name: system.value_of(Var(root, "V", answer_index))
-            for name, answer_index in zip(self._names, self._answer_indices)
+            name: system.value_of(answer_variable(source_tree, index=answer_index))
+            for name, answer_index in zip(self._names, self._plan.answer_indices)
         }
 
     # ------------------------------------------------------------------
@@ -115,9 +130,21 @@ class SubscriptionRegistry:
         """Registered subscription names, in registration order."""
         return list(self._names)
 
+    def plan(self) -> Optional[BatchPlan]:
+        """The current batch plan (None when no subscriptions stand)."""
+        return self._plan
+
     def combined_size(self) -> int:
-        """|QList| of the combined query (the shared-traversal width)."""
-        return len(self._combined) if self._combined is not None else 0
+        """|QList| of the combined query (the shared-traversal width).
+
+        Smaller than the sum of subscription sizes whenever
+        deduplication collapsed identical queries.
+        """
+        return len(self._plan.combined) if self._plan is not None else 0
+
+    def duplicate_subscriptions(self) -> int:
+        """Standing subscriptions that share another one's compiled query."""
+        return self._plan.duplicate_count() if self._plan is not None else 0
 
     def __len__(self) -> int:
         return len(self._names)
@@ -132,14 +159,15 @@ class SubscriptionRegistry:
         pass, one combined triplet on the wire -- regardless of how many
         subscriptions stand.
         """
-        if self._combined is None:
+        if self._plan is None:
             raise ValueError("no subscriptions registered")
+        combined = self._plan.combined
         run = Run(self.cluster)
         site_id = self.cluster.site_of(fragment_id)
         run.visit(site_id)
         fragment = self.cluster.fragment(fragment_id)
         (pair, _seconds) = run.compute(
-            site_id, lambda: bottom_up(fragment, self._combined, self.algebra)
+            site_id, lambda: bottom_up(fragment, combined, self.algebra)
         )
         new_triplet, stats = pair
         run.add_ops(stats.nodes_visited, stats.qlist_ops)

@@ -8,7 +8,9 @@
   ``|QList| in {2, 8, 15, 23}`` sizes of Experiments 1-3 and the
   fragment-targeted ``qFk`` queries of Experiment 2;
 * :mod:`repro.workloads.topologies` -- the fragment-tree shapes of
-  Fig. 6 (star FT1, chain FT2, bushy FT3) realized over XMark data.
+  Fig. 6 (star FT1, chain FT2, bushy FT3) realized over XMark data;
+* :mod:`repro.workloads.pubsub` -- many-subscriber subscription streams
+  (popular queries recur) for the batching experiments.
 """
 
 from repro.workloads.portfolio import (
@@ -30,6 +32,7 @@ from repro.workloads.topologies import (
     co_located,
     FT3_SHAPE,
 )
+from repro.workloads.pubsub import subscription_texts
 
 __all__ = [
     "build_portfolio_tree",
@@ -46,4 +49,5 @@ __all__ = [
     "bushy_ft3",
     "co_located",
     "FT3_SHAPE",
+    "subscription_texts",
 ]

@@ -1,0 +1,85 @@
+"""Many-subscriber pub/sub workloads over the XMark vocabulary.
+
+The batching experiments need what a real dissemination broker sees: a
+long stream of standing Boolean XPath subscriptions where a few
+*popular* subscriptions recur verbatim (everyone watches the GOOG
+price) amid a long tail of personalized ones.  :func:`subscription_texts`
+generates that stream deterministically: subscribers draw from a small
+pool of templates, so a batch of *B* consecutive subscriptions contains
+``unique(B) <= pool_size`` distinct texts -- and the bigger the batch,
+the larger the fraction the batch planner deduplicates away, which is
+exactly the amortization curve the ``batching`` experiment plots.
+"""
+
+from __future__ import annotations
+
+import random
+
+# Template pool: realistic subscription bodies over XMark element names.
+# The {city}/{amount}/{category} slots give the long tail; templates
+# without slots are the "popular" subscriptions every subscriber shares.
+_TEMPLATES = (
+    "[//person[profile/education = \"college\"]]",
+    "[//bidder[increase = \"{amount}\"]]",
+    "[//address[city = \"{city}\"]]",
+    "[not(//item[shipping])]",
+    "[//profile[interest = \"{category}\"]]",
+    "[//open_auction[annotation/description]]",
+    "[//item[location = \"{city}\" and //bidder]]",
+    "[//seller or //bidder[increase = \"{amount}\"]]",
+)
+
+_CITIES = ("lagos", "perth", "quito", "oslo")
+_AMOUNTS = ("3", "7", "12")
+_CATEGORIES = ("category-1", "category-2")
+
+
+def _distinct_pool_texts() -> frozenset[str]:
+    """Every concrete text the template pool can produce."""
+    return frozenset(
+        template.format(city=city, amount=amount, category=category)
+        for template in _TEMPLATES
+        for city in _CITIES
+        for amount in _AMOUNTS
+        for category in _CATEGORIES
+    )
+
+
+def subscription_texts(
+    count: int,
+    seed: int = 0,
+    pool_size: int = 12,
+) -> list[str]:
+    """A deterministic stream of ``count`` subscription texts.
+
+    First materializes a pool of ``pool_size`` concrete subscriptions
+    (templates with their slots filled), then draws the stream from the
+    pool with replacement -- duplicates are the point: they model
+    popular subscriptions and give the batch planner something to
+    deduplicate.  Same ``(count, seed, pool_size)`` -> same stream.
+    """
+    if count < 1:
+        raise ValueError("need at least one subscription")
+    attainable = len(_distinct_pool_texts())
+    if not 1 <= pool_size <= attainable:
+        raise ValueError(
+            f"pool_size must be between 1 and {attainable} "
+            f"(the template pool's distinct texts)"
+        )
+    rng = random.Random(seed)
+    pool: list[str] = []
+    seen: set[str] = set()
+    while len(pool) < pool_size:
+        template = rng.choice(_TEMPLATES)
+        text = template.format(
+            city=rng.choice(_CITIES),
+            amount=rng.choice(_AMOUNTS),
+            category=rng.choice(_CATEGORIES),
+        )
+        if text not in seen:
+            seen.add(text)
+            pool.append(text)
+    return [rng.choice(pool) for _ in range(count)]
+
+
+__all__ = ["subscription_texts"]

@@ -236,23 +236,39 @@ class _Builder:
         return cont
 
 
+def append_shifted(entries: list[QEntry], qlist: QList) -> int:
+    """Append ``qlist``'s entries with operand indices offset in place.
+
+    The one primitive behind multi-query combination: operand indices
+    only ever reference earlier entries of the same query, so shifting
+    them by the current length keeps the growing list topologically
+    ordered.  Returns the offset the appended query starts at (its
+    answer entry is ``offset + qlist.answer_index``).  Shared by
+    :func:`concatenate_qlists` and the batch planner
+    (:func:`repro.core.plan.plan_batch`).
+    """
+    offset = len(entries)
+    for entry in qlist:
+        entries.append(
+            QEntry(entry.op, value=entry.value, args=tuple(arg + offset for arg in entry.args))
+        )
+    return offset
+
+
 def concatenate_qlists(qlists: list[QList]) -> tuple[QList, list[int]]:
     """Concatenate several QLists into one, preserving topology.
 
     Returns the combined list plus, per input query, the index of its
     answer entry inside the combination.  Evaluating the combined list
-    computes every input query in a *single* tree traversal -- the
-    multi-query optimization used by
-    :class:`repro.views.registry.SubscriptionRegistry`.
+    computes every input query in a *single* tree traversal.  No
+    deduplication is performed -- the batch planner
+    (:func:`repro.core.plan.plan_batch`) builds on the same primitive
+    and adds duplicate collapsing and per-query segments on top.
     """
     entries: list[QEntry] = []
     answer_indices: list[int] = []
     for qlist in qlists:
-        offset = len(entries)
-        for entry in qlist:
-            entries.append(
-                QEntry(entry.op, value=entry.value, args=tuple(arg + offset for arg in entry.args))
-            )
+        offset = append_shifted(entries, qlist)
         answer_indices.append(offset + qlist.answer_index)
     sources = [qlist.source or "?" for qlist in qlists]
     return QList(entries, source=" + ".join(sources)), answer_indices
@@ -279,6 +295,7 @@ __all__ = [
     "QList",
     "QEntry",
     "build_qlist",
+    "append_shifted",
     "concatenate_qlists",
     "OP_EPSILON",
     "OP_LABEL_IS",

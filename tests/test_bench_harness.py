@@ -113,6 +113,18 @@ class TestShapeClaimsRobustAtQuickScale:
         result = ablation_algebra(quick)
         assert result.column("paper_bytes")[-1] > result.column("canonical_bytes")[-1]
 
+    def test_batching_shape_holds_at_quick_scale(self, quick):
+        # Unlike the timing-based figures, the batching curve is built
+        # from deterministic byte/visit counters, so the full shape
+        # check must pass even at miniature scale.
+        from repro.bench.experiments import batching_amortization
+        from repro.bench.shape_checks import check_batching
+
+        result = batching_amortization(quick)
+        checks = check_batching(result)
+        failed = [claim for claim, passed in checks.items() if not passed]
+        assert not failed, failed
+
 
 class TestCliRunner:
     def test_main_quick_subset(self, capsys):

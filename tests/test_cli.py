@@ -65,6 +65,72 @@ class TestQuery:
         assert main(["query", "/nonexistent.xml", "[//a]"]) == 2
 
 
+class TestQueryBatch:
+    def test_multiple_queries_report_per_query_answers(self, portfolio_file, capsys):
+        code = main(["query", portfolio_file, "[//stock]", "[//zzz]", '[//code = "GOOG"]'])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 queries in 1 batch(es)" in out
+        assert "answer=True" in out and "answer=False" in out
+        assert "per query (amortized)" in out
+
+    def test_batch_size_chunks(self, portfolio_file, capsys):
+        main(
+            [
+                "query",
+                portfolio_file,
+                "[//stock]",
+                "[//zzz]",
+                "[//market]",
+                "[//sell]",
+                "--batch-size",
+                "2",
+            ]
+        )
+        assert "4 queries in 2 batch(es)" in capsys.readouterr().out
+
+    def test_duplicate_queries_marked_shared(self, portfolio_file, capsys):
+        main(["query", portfolio_file, "[//stock]", "[//stock]", "[//zzz]"])
+        out = capsys.readouterr().out
+        assert "(shared x2)" in out
+        assert "compiled 2 unique queries (1 cache hits)" in out
+
+    def test_batch_respects_engine_choice(self, portfolio_file, capsys):
+        assert (
+            main(["query", portfolio_file, "[//stock]", "[//zzz]", "--engine", "fulldist"])
+            == 0
+        )
+
+    def test_batch_rejects_unknown_engine(self, portfolio_file, capsys):
+        assert (
+            main(["query", portfolio_file, "[//stock]", "[//zzz]", "--engine", "warp"]) == 2
+        )
+        # Errors go to stderr like every other CLI failure.
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_batch_rejects_all_engines_flag(self, portfolio_file, capsys):
+        assert (
+            main(["query", portfolio_file, "[//stock]", "[//zzz]", "--all-engines"]) == 2
+        )
+        assert "--all-engines" in capsys.readouterr().err
+
+    def test_batch_parse_error_reported(self, portfolio_file, capsys):
+        assert main(["query", portfolio_file, "[//stock]", "[broken"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_honors_trace(self, portfolio_file, capsys):
+        assert main(["query", portfolio_file, "[//stock]", "[//zzz]", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "visit" in out and "message" in out
+
+    def test_batch_rejects_zero_batch_size(self, portfolio_file, capsys):
+        assert (
+            main(["query", portfolio_file, "[//stock]", "[//zzz]", "--batch-size", "0"])
+            == 2
+        )
+        assert "batch_size" in capsys.readouterr().err
+
+
 class TestSelect:
     def test_selects_nodes(self, portfolio_file, capsys):
         assert main(["select", portfolio_file, "[//stock/code]"]) == 0

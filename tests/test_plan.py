@@ -1,0 +1,178 @@
+"""The batch planner: compilation cache, dedup, slicing, attribution."""
+
+import pytest
+
+from repro.core.plan import (
+    BatchPlan,
+    QueryCache,
+    attribute_costs,
+    coerce_plan,
+    plan_batch,
+)
+from repro.distsim.metrics import Metrics
+from repro.xpath import compile_query
+from repro.xpath.qlist import build_qlist, concatenate_qlists
+from repro.workloads.queries import query_of_size
+
+
+class TestQueryCache:
+    def test_compile_produces_pipeline_stages(self):
+        cache = QueryCache()
+        compiled = cache.compile('[//stock[code = "GOOG"]]')
+        assert compiled.text == '[//stock[code = "GOOG"]]'
+        assert compiled.qlist.source == compiled.text
+        assert len(compiled.qlist) > 0
+        assert compiled.ast is not None and compiled.normalized is not None
+
+    def test_repeat_text_hits_cache(self):
+        cache = QueryCache()
+        first = cache.compile("[//stock]")
+        second = cache.compile("[//stock]")
+        assert first is second  # not recompiled, the same object
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.stats()["hit_rate"] == 0.5
+        assert "[//stock]" in cache and len(cache) == 1
+
+    def test_qlist_coercion_passes_through_compiled(self):
+        cache = QueryCache()
+        qlist = compile_query("[//stock]")
+        assert cache.qlist(qlist) is qlist
+        assert cache.hits == 0 and cache.misses == 0  # no text involved
+
+    def test_distinct_texts_do_not_collide(self):
+        cache = QueryCache()
+        a = cache.compile("[//stock]")
+        b = cache.compile("[//broker]")
+        assert a.qlist.entries != b.qlist.entries
+        assert cache.misses == 2
+
+
+class TestPlanBatch:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="empty batch"):
+            plan_batch([])
+
+    def test_single_query_reuses_qlist(self):
+        qlist = compile_query("[//stock]")
+        plan = plan_batch([qlist])
+        assert plan.combined is qlist  # the batch-of-one fast path
+        assert plan.answer_indices == (qlist.answer_index,)
+        assert plan.segments == ((0, len(qlist)),)
+        assert plan.unique_count == 1 and len(plan) == 1
+
+    def test_concatenation_matches_legacy_helper(self):
+        qlists = [query_of_size(2), query_of_size(8), query_of_size(15)]
+        plan = plan_batch(qlists)
+        legacy, legacy_answers = concatenate_qlists(qlists)
+        assert plan.combined.entries == legacy.entries
+        assert list(plan.answer_indices) == legacy_answers
+
+    def test_combined_is_topologically_valid(self):
+        plan = plan_batch([query_of_size(8), query_of_size(23), query_of_size(2)])
+        for index, entry in enumerate(plan.combined):
+            assert all(arg < index for arg in entry.args)
+
+    def test_answer_indices_point_at_each_query_answer(self):
+        qlists = [query_of_size(2), query_of_size(8)]
+        plan = plan_batch(qlists)
+        for qlist, answer_index, (offset, length) in zip(
+            qlists, plan.answer_indices, plan.segments
+        ):
+            assert answer_index == offset + qlist.answer_index
+            assert offset + length <= len(plan.combined)
+
+    def test_duplicates_collapse_to_one_segment(self):
+        stock = compile_query("[//stock]")
+        stock_again = compile_query("[//stock]")  # distinct object, same entries
+        other = compile_query("[//broker]")
+        plan = plan_batch([stock, other, stock_again])
+        assert len(plan) == 3
+        assert plan.unique_count == 2
+        assert plan.duplicate_count() == 1
+        assert plan.segment_of == (0, 1, 0)
+        # Both copies answer at the same combined entry.
+        assert plan.answer_indices[0] == plan.answer_indices[2]
+        assert plan.entries_saved() == len(stock)
+        assert len(plan.combined) == len(stock) + len(other)
+        assert plan.queries_in_segment(0) == [0, 2]
+
+    def test_dedup_needs_identical_entries_not_text(self):
+        # Logically equal but differently-compiled queries stay separate.
+        a = compile_query("[//stock]")
+        b = compile_query("[.//stock]")
+        plan = plan_batch([a, b])
+        assert plan.unique_count == (1 if a.entries == b.entries else 2)
+
+    def test_coerce_plan_accepts_texts_and_plans(self):
+        plan = coerce_plan(["[//stock]", compile_query("[//broker]")])
+        assert len(plan) == 2
+        assert coerce_plan(plan) is plan
+
+
+class TestAttribution:
+    def _metrics(self):
+        metrics = Metrics()
+        metrics.visits.update({"S0": 1, "S1": 1})
+        metrics.messages = 4
+        metrics.bytes_total = 1000
+        metrics.elapsed_seconds = 2.0
+        return metrics
+
+    def test_exact_ops_and_amortized_shares(self):
+        plan = plan_batch([query_of_size(2), query_of_size(8)])
+        metrics = self._metrics()
+        metrics.segment_ops[0] = 20
+        metrics.segment_ops[1] = 80
+        costs = attribute_costs(plan, [True, False], metrics)
+        assert [c.answer for c in costs] == [True, False]
+        assert costs[0].qlist_ops == 20 and costs[1].qlist_ops == 80
+        # bytes weighted by query size (2 vs 8 entries).
+        assert costs[0].bytes_sent == pytest.approx(1000 * 2 / 10)
+        assert costs[1].bytes_sent == pytest.approx(1000 * 8 / 10)
+        # batch-level costs amortized evenly.
+        for cost in costs:
+            assert cost.visits == pytest.approx(1.0)
+            assert cost.messages == pytest.approx(2.0)
+            assert cost.elapsed_seconds == pytest.approx(1.0)
+
+    def test_duplicates_split_their_shared_segment(self):
+        stock = compile_query("[//stock]")
+        plan = plan_batch([stock, compile_query("[//stock]")])
+        metrics = self._metrics()
+        metrics.segment_ops[0] = 100
+        costs = attribute_costs(plan, [True, True], metrics)
+        assert costs[0].shared_with == 1 and costs[1].shared_with == 1
+        assert costs[0].qlist_ops == pytest.approx(50.0)
+        assert costs[1].qlist_ops == pytest.approx(50.0)
+
+    def test_batch_of_one_gets_the_whole_ledger(self):
+        qlist = query_of_size(8)
+        plan = plan_batch([qlist])
+        metrics = self._metrics()
+        metrics.segment_ops[0] = 64
+        (cost,) = attribute_costs(plan, [True], metrics)
+        assert cost.visits == 2.0
+        assert cost.messages == 4.0
+        assert cost.bytes_sent == pytest.approx(1000.0)
+        assert cost.qlist_ops == 64
+
+
+class TestPlanIsEvaluatable:
+    """The combined QList is a plain QList: every consumer just works."""
+
+    def test_wire_roundtrip(self):
+        from repro.xpath.qlist import QList
+
+        plan = plan_batch([query_of_size(8), query_of_size(15)])
+        rebuilt = QList.from_obj(plan.combined.to_obj())
+        assert rebuilt.entries == plan.combined.entries
+
+    def test_segments_cover_combined_exactly(self):
+        texts = ["[//stock]", "[//broker]", "[//stock]", "[//market or //zzz]"]
+        plan = coerce_plan(texts)
+        covered = sorted(
+            index
+            for offset, length in plan.segments
+            for index in range(offset, offset + length)
+        )
+        assert covered == list(range(len(plan.combined)))

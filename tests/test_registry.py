@@ -89,6 +89,64 @@ class TestRegistryBasics:
         )
 
 
+class TestRegistryBatchMachinery:
+    """The registry rides the shared batch planner and query cache."""
+
+    def test_subscribe_accepts_text(self, cluster):
+        registry = SubscriptionRegistry(cluster)
+        assert registry.subscribe("has-stock", "[//stock]") is True
+        assert registry.answer("has-stock") is True
+
+    def test_parse_error_leaves_registry_untouched(self, cluster):
+        from repro.xpath import QueryParseError
+
+        registry = SubscriptionRegistry(cluster)
+        registry.subscribe("good", "[//stock]")
+        with pytest.raises(QueryParseError):
+            registry.subscribe("bad", "[[not a query")
+        assert registry.names() == ["good"]
+        # The registry is still fully functional: the failed name can
+        # be retried and new subscriptions line up with their answers.
+        assert registry.subscribe("bad", "[//zzz]") is False
+        assert registry.answers() == {"good": True, "bad": False}
+
+    def test_repeated_text_hits_compile_cache(self, cluster):
+        registry = SubscriptionRegistry(cluster)
+        registry.subscribe("a", "[//stock]")
+        registry.subscribe("b", "[//stock]")
+        assert registry.cache.hits == 1 and registry.cache.misses == 1
+
+    def test_identical_subscriptions_share_one_slice(self, cluster):
+        registry = SubscriptionRegistry(cluster)
+        registry.subscribe("a", "[//stock]")
+        size_one = registry.combined_size()
+        registry.subscribe("b", "[//stock]")
+        # The twin collapses onto the same combined slice: no growth.
+        assert registry.combined_size() == size_one
+        assert registry.duplicate_subscriptions() == 1
+        plan = registry.plan()
+        assert plan.answer_indices[0] == plan.answer_indices[1]
+        assert registry.answers() == {"a": True, "b": True}
+
+    def test_plan_exposes_segments(self, registry):
+        plan = registry.plan()
+        assert plan is not None
+        assert len(plan) == 3 and plan.unique_count == 3
+        assert len(plan.combined) == registry.combined_size()
+
+    def test_dedup_survives_maintenance(self, cluster):
+        registry = SubscriptionRegistry(cluster)
+        registry.subscribe("a", '[//code = "TSLA"]')
+        registry.subscribe("b", '[//code = "TSLA"]')
+        from repro.xmltree import XMLNode
+
+        stock = cluster.fragment("F2").root
+        stock.add_child(XMLNode("code", text="TSLA"))
+        report = registry.notify_fragment_updated("F2")
+        assert set(report.changed) == {"a", "b"}
+        assert registry.answers() == {"a": True, "b": True}
+
+
 class TestRegistryMaintenance:
     def test_one_update_flips_exactly_the_affected(self, cluster, registry):
         sell = next(

@@ -1,0 +1,143 @@
+"""QuerySession: cached compilation, chunked batching, lifecycle."""
+
+import pytest
+
+from repro.core import ENGINE_REGISTRY, ParBoXEngine, QuerySession
+from repro.workloads.portfolio import build_portfolio_cluster
+from repro.xpath import compile_query
+
+TEXTS = [
+    "[//stock]",
+    '[//code = "GOOG"]',
+    "[//zzz]",
+    "[//stock]",
+    '[//broker[market]]',
+    '[//code = "GOOG"]',
+]
+
+
+@pytest.fixture
+def cluster():
+    return build_portfolio_cluster()
+
+
+class TestEvaluate:
+    def test_single_query_matches_engine(self, cluster):
+        with QuerySession(cluster, engine="parbox") as session:
+            result = session.evaluate("[//stock]")
+        direct = ParBoXEngine(cluster).evaluate(compile_query("[//stock]"))
+        assert result.answer == direct.answer
+        assert result.metrics.bytes_total == direct.metrics.bytes_total
+        assert dict(result.metrics.visits) == dict(direct.metrics.visits)
+
+    def test_accepts_precompiled_qlists(self, cluster):
+        with QuerySession(cluster) as session:
+            result = session.evaluate(compile_query("[//stock]"))
+        assert result.answer is True
+
+    def test_empty_stream_rejected(self, cluster):
+        with QuerySession(cluster) as session:
+            with pytest.raises(ValueError, match="at least one query"):
+                session.evaluate_many([])
+
+    def test_unknown_engine_rejected(self, cluster):
+        with pytest.raises(ValueError, match="unknown engine"):
+            QuerySession(cluster, engine="warp-drive")
+
+    def test_bad_batch_size_rejected(self, cluster):
+        with pytest.raises(ValueError, match="batch_size"):
+            QuerySession(cluster, batch_size=0)
+
+    def test_bare_string_stream_rejected(self, cluster):
+        with QuerySession(cluster) as session:
+            with pytest.raises(TypeError, match="sequence of queries"):
+                session.evaluate_many("[//stock]")
+
+    def test_knobs_conflict_with_prebuilt_engine(self, cluster):
+        engine = ParBoXEngine(cluster)
+        with pytest.raises(ValueError, match="executor.*pre-built"):
+            QuerySession(cluster, engine=engine, executor="threads")
+        engine.close()
+
+
+class TestBatching:
+    def test_answers_match_sequential_order(self, cluster):
+        with QuerySession(cluster, engine="parbox") as session:
+            outcome = session.evaluate_many(TEXTS)
+            sequential = [session.evaluate(text).answer for text in TEXTS]
+        assert list(outcome.answers) == sequential
+        assert len(outcome.per_query) == len(TEXTS)
+
+    def test_one_batch_means_one_visit_per_site(self, cluster):
+        with QuerySession(cluster, engine="parbox") as session:
+            outcome = session.evaluate_many(TEXTS)
+        assert len(outcome.batches) == 1
+        assert outcome.batches[0].metrics.max_visits_per_site() == 1
+
+    def test_batch_size_chunks_the_stream(self, cluster):
+        with QuerySession(cluster, engine="parbox", batch_size=2) as session:
+            outcome = session.evaluate_many(TEXTS)
+        assert len(outcome.batches) == 3
+        assert all(batch.details["batch_size"] == 2 for batch in outcome.batches)
+        # Cost rows are re-indexed to the input stream, not the chunk.
+        assert [cost.index for cost in outcome.per_query] == list(range(len(TEXTS)))
+        assert [cost.answer for cost in outcome.per_query] == list(outcome.answers)
+        # Aggregates sum over the chunks.
+        assert outcome.bytes_total == sum(
+            batch.metrics.bytes_total for batch in outcome.batches
+        )
+        assert outcome.visits_per_query == outcome.visits_total / len(TEXTS)
+        assert outcome.messages_per_query == outcome.messages_total / len(TEXTS)
+
+    def test_batched_traffic_beats_sequential(self, cluster):
+        with QuerySession(cluster, engine="parbox") as session:
+            batched = session.evaluate_many(TEXTS)
+            sequential_bytes = sum(
+                session.evaluate(text).metrics.bytes_total for text in TEXTS
+            )
+        assert batched.bytes_total < sequential_bytes
+
+    def test_duplicates_deduplicated_in_plan(self, cluster):
+        with QuerySession(cluster) as session:
+            plan = session.plan(TEXTS)
+        assert len(plan) == len(TEXTS)
+        assert plan.unique_count == 4  # two texts repeat
+        assert plan.duplicate_count() == 2
+
+    def test_cache_survives_across_calls(self, cluster):
+        with QuerySession(cluster, engine="parbox") as session:
+            session.evaluate_many(TEXTS)
+            first = session.cache_stats()
+            session.evaluate_many(TEXTS)
+            second = session.cache_stats()
+        assert first["misses"] == 4
+        assert second["misses"] == 4  # nothing recompiled on the second call
+        assert second["hits"] == first["hits"] + len(TEXTS)
+
+    @pytest.mark.parametrize("engine_name", sorted({"parbox", "fulldist", "lazy", "central", "distributed", "hybrid"}))
+    def test_every_engine_name_resolves(self, cluster, engine_name):
+        with QuerySession(cluster, engine=engine_name) as session:
+            outcome = session.evaluate_many(["[//stock]", "[//zzz]"])
+        assert list(outcome.answers) == [True, False]
+        assert type(session.engine) is ENGINE_REGISTRY[engine_name]
+
+
+class TestLifecycle:
+    def test_session_owns_named_engine(self, cluster):
+        session = QuerySession(cluster, engine="parbox", executor="threads")
+        session.evaluate("[//stock]")
+        assert session._owns_engine
+        executor = session.engine.executor
+        assert executor._pool is not None  # pool was exercised
+        session.close()
+        assert executor._pool is None  # session closed its engine's pool
+
+    def test_prebuilt_engine_left_open(self, cluster):
+        engine = ParBoXEngine(cluster, executor="threads")
+        engine.evaluate(compile_query("[//stock]"))
+        with QuerySession(cluster, engine=engine) as session:
+            session.evaluate("[//stock]")
+        # Session exit must not reap a pool it does not own.
+        assert engine.executor._pool is not None
+        engine.close()
+        assert engine.executor._pool is None

@@ -171,3 +171,53 @@ class TestPortfolio:
         for name, text in PORTFOLIO_QUERIES.items():
             answer, _ = evaluate_tree(tree, compile_query(text))
             assert answer == expected[name], name
+
+
+class TestPubSubWorkload:
+    def test_deterministic(self):
+        from repro.workloads.pubsub import subscription_texts
+
+        assert subscription_texts(20, seed=5) == subscription_texts(20, seed=5)
+        assert subscription_texts(20, seed=5) != subscription_texts(20, seed=6)
+
+    def test_every_text_compiles(self):
+        from repro.workloads.pubsub import subscription_texts
+
+        for text in set(subscription_texts(64, seed=1)):
+            assert len(compile_query(text)) > 0
+
+    def test_stream_has_popular_duplicates(self):
+        from repro.workloads.pubsub import subscription_texts
+
+        stream = subscription_texts(32, seed=0, pool_size=12)
+        assert len(stream) == 32
+        unique = len(set(stream))
+        assert unique <= 12
+        assert unique < len(stream)  # duplicates are the point
+
+    def test_pool_size_bounds_uniques(self):
+        from repro.workloads.pubsub import subscription_texts
+
+        assert len(set(subscription_texts(100, seed=3, pool_size=4))) <= 4
+
+    def test_invalid_args_rejected(self):
+        import pytest
+
+        from repro.workloads.pubsub import subscription_texts
+
+        with pytest.raises(ValueError):
+            subscription_texts(0)
+        with pytest.raises(ValueError):
+            subscription_texts(5, pool_size=0)
+
+    def test_unattainable_pool_size_rejected_not_hung(self):
+        import pytest
+
+        from repro.workloads.pubsub import _distinct_pool_texts, subscription_texts
+
+        attainable = len(_distinct_pool_texts())
+        with pytest.raises(ValueError, match="distinct texts"):
+            subscription_texts(5, pool_size=attainable + 1)
+        # The exact attainable count still works.
+        stream = subscription_texts(attainable * 2, seed=9, pool_size=attainable)
+        assert len(set(stream)) <= attainable

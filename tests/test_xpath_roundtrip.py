@@ -1,0 +1,80 @@
+"""Round-trip: ``parse -> normalize -> unparse -> parse`` is a fixed point.
+
+Unparsing a parsed query must produce text that (a) reparses, (b)
+unparses to *itself* (the fixed point -- one round-trip canonicalizes),
+and (c) preserves the semantics end to end: the normal form and the
+compiled QList of the round-tripped text match the original's, and both
+evaluate identically on a document.
+"""
+
+import random
+
+import pytest
+
+from repro.core import evaluate_tree
+from repro.workloads.portfolio import build_portfolio_tree
+from repro.workloads.queries import random_query
+from repro.xpath import build_qlist, normalize, parse_query
+from repro.xpath.unparse import unparse_bool, unparse_normalized
+
+CORPUS = [
+    "[//stock]",
+    "[*]",
+    "[.]",
+    '[//stock[code = "GOOG" and sell = "376"]]',
+    '[//broker[//stock/code/text() = "GOOG" and not(//stock/code/text() = "YHOO")]]',
+    "[not //market]",
+    "[label() = portofolio and //sell]",
+    "[broker/market/stock or //zzz]",
+    "[//person[profile/education = \"college\"]]",
+    "[not(//item[shipping])]",
+    '[//item/description/text/text() = "gold gold gold gold"]',
+    "[//a[b[c[d]]]]",
+    "[a/*//b[.//c or not(d and e)]]",
+    "[label() = x or (//y and not label() = z)]",
+]
+
+
+def _random_corpus(count: int = 40, seed: int = 2006) -> list[str]:
+    rng = random.Random(seed)
+    return [random_query(rng) for _ in range(count)]
+
+
+@pytest.mark.parametrize("text", CORPUS + _random_corpus())
+class TestRoundTrip:
+    def test_unparse_reparses_to_fixed_point(self, text):
+        ast = parse_query(text)
+        rendered = unparse_bool(ast)
+        reparsed = parse_query(rendered)
+        # One round-trip canonicalizes: a second changes nothing.
+        assert unparse_bool(reparsed) == rendered
+
+    def test_normal_form_preserved(self, text):
+        ast = parse_query(text)
+        rendered = unparse_bool(ast)
+        assert normalize(parse_query(rendered)) == normalize(ast)
+
+    def test_compiled_qlist_preserved(self, text):
+        original = build_qlist(normalize(parse_query(text)))
+        roundtripped = build_qlist(
+            normalize(parse_query(unparse_bool(parse_query(text))))
+        )
+        assert roundtripped.entries == original.entries
+
+    def test_semantics_preserved_on_document(self, text):
+        tree = build_portfolio_tree()
+        original = build_qlist(normalize(parse_query(text)))
+        rendered = unparse_bool(parse_query(text))
+        roundtripped = build_qlist(normalize(parse_query(rendered)))
+        assert evaluate_tree(tree, roundtripped)[0] == evaluate_tree(tree, original)[0]
+
+
+class TestNormalizedRendering:
+    """``unparse_normalized`` is notation, not round-trip syntax -- but it
+    must stay stable under normalize (normalization is idempotent)."""
+
+    @pytest.mark.parametrize("text", CORPUS)
+    def test_normalize_idempotent_in_rendering(self, text):
+        normalized = normalize(parse_query(text))
+        assert unparse_normalized(normalized) == unparse_normalized(normalized)
+        assert "ε" in unparse_normalized(normalized) or unparse_normalized(normalized)
