@@ -1,0 +1,75 @@
+"""Continuous-query maintenance: per-update cost vs re-evaluation.
+
+Regenerates the ``stream`` experiment (per-update traffic flat in |T|,
+proportional to dirty-fragment count, dirty sites only) and
+micro-benchmarks one incremental ``StreamMaintainer.apply`` round
+against the from-scratch batch evaluation it replaces, so a regression
+in the dirty index or the changed-slice shipping shows up as lost
+locality.
+"""
+
+import pytest
+
+from conftest import regenerate_and_check
+
+from repro.bench.experiments import stream_maintenance
+from repro.core import ParBoXEngine, QuerySession
+from repro.stream import Relabel, StreamMaintainer
+from repro.workloads.pubsub import subscription_texts
+from repro.workloads.topologies import star_ft1
+
+
+@pytest.fixture(scope="module")
+def cluster(config):
+    return config.with_network(
+        star_ft1(6, config.total_mb / 2, seed=7, nodes_per_mb=config.nodes_per_mb)
+    )
+
+
+@pytest.fixture(scope="module")
+def maintainer(cluster):
+    maintainer = StreamMaintainer(cluster)
+    for index, text in enumerate(subscription_texts(16, seed=7)):
+        maintainer.subscribe(f"sub-{index}", text)
+    maintainer.subscribe("probe", '[//seal = "seal-F2-flip"]')
+    yield maintainer
+    maintainer.close()
+
+
+def _toggle_op(cluster, state={"hot": False}):
+    seal = cluster.fragment("F2").root.find_first(lambda n: n.label == "seal")
+    state["hot"] = not state["hot"]
+    text = "seal-F2-flip" if state["hot"] else "seal-F2"
+    return Relabel("F2", seal.node_id, text=text)
+
+
+def test_incremental_round(benchmark, cluster, maintainer):
+    round_ = benchmark(lambda: maintainer.apply([_toggle_op(cluster)]))
+    # Only the dirty fragment's site participates, whatever |T| is.
+    assert round_.sites_visited == (cluster.site_of("F2"),)
+    assert round_.dirty_fragments == ("F2",)
+
+
+def test_scratch_reevaluation(benchmark, cluster, maintainer):
+    engine = ParBoXEngine(cluster)
+    plan = maintainer.plan()
+    result = benchmark(lambda: engine.evaluate_many(plan))
+    assert len(result.answers) == len(maintainer)
+
+
+def test_incremental_traffic_beats_scratch(cluster, maintainer):
+    round_ = maintainer.apply([_toggle_op(cluster)])
+    scratch = ParBoXEngine(cluster).evaluate_many(maintainer.plan())
+    assert round_.traffic_bytes < scratch.metrics.bytes_total
+    assert tuple(maintainer.answers().values()) == scratch.answers
+
+
+def test_watch_api_round_trip(cluster):
+    with QuerySession(cluster, engine="parbox") as session:
+        handle = session.watch(["[//bidder]", "[//bidder]", "[//seal]"])
+        assert len(handle) == 3 and handle.duplicate_subscriptions() == 1
+        handle.close()
+
+
+def test_fig_stream(benchmark, config):
+    regenerate_and_check(benchmark, stream_maintenance, "stream", config)

@@ -69,37 +69,61 @@ def main() -> None:
         "the document itself never moved"
     )
 
-    # ---- Standing subscriptions with shared maintenance ----------------
-    # A real broker doesn't re-run the book per update: the registry
-    # keeps the same batch plan standing and maintains every
-    # subscription with a single traversal of whichever fragment
-    # changed.
-    from repro.views import SubscriptionRegistry
-    from repro.xmltree import element
+    # ---- Standing subscriptions kept live (the watch API) --------------
+    # A real broker doesn't re-run the book per update: `watch` keeps
+    # the whole book standing on a StreamMaintainer.  Publisher edits
+    # arrive as typed update ops; only the dirty fragment's site
+    # re-runs bottomUp (one combined traversal for the whole book),
+    # only the changed triplet slices cross the network, and answer
+    # flips surface on the changefeed.
+    from repro.stream import InsNode
 
-    registry = SubscriptionRegistry(cluster)
-    for name, text in SUBSCRIPTIONS.items():
-        registry.subscribe(name, text)
-    print(
-        f"\nregistry: {len(registry)} standing subscriptions "
-        f"({registry.duplicate_subscriptions()} deduplicated), combined "
-        f"|QList| = {registry.combined_size()}"
-    )
+    names = list(SUBSCRIPTIONS)
+    with QuerySession(cluster, engine="parbox") as session:
+        watch = session.watch(
+            [SUBSCRIPTIONS[name] for name in names], names=names
+        )
+        print(
+            f"\nwatching: {len(watch)} standing subscriptions "
+            f"({watch.duplicate_subscriptions()} deduplicated), combined "
+            f"|QList| = {watch.combined_size()}"
+        )
 
-    # A publisher at site S2 lists a gold item -- the one subscription
-    # that had not fired yet.
-    target = cluster.fragment("F2")
-    item = element(
-        "item",
-        element("name", text="gold-bar"),
-        element("description", element("text", text="gold gold gold gold")),
-    )
-    target.root.add_child(item)
-    report = registry.notify_fragment_updated("F2")
-    print(
-        f"update in F2: one traversal of {report.nodes_recomputed} nodes, "
-        f"{report.traffic_bytes} bytes; flipped: {list(report.changed) or 'nothing'}"
-    )
+        # A publisher at site S2 lists a gold item -- the one
+        # subscription that had not fired yet.  The nested structure is
+        # built with insNode ops against the typed update log.
+        f2_root = cluster.fragment("F2").root
+        round_ = watch.apply(
+            [InsNode("F2", f2_root.node_id, "item", text=None)]
+        )
+        item_node = f2_root.children[-1]
+        round_ = watch.apply(
+            [
+                InsNode("F2", item_node.node_id, "name", text="gold-bar"),
+                InsNode("F2", item_node.node_id, "description"),
+            ]
+        )
+        description = item_node.children[-1]
+        round_ = watch.apply(
+            [
+                InsNode(
+                    "F2", description.node_id, "text", text="gold gold gold gold"
+                )
+            ]
+        )
+        print(
+            f"update in F2: dirty sites {list(round_.sites_visited)} only, "
+            f"{round_.nodes_recomputed} nodes retraversed, "
+            f"{round_.traffic_bytes} delta bytes, "
+            f"{round_.segments_resolved} of {watch.index.segment_count} "
+            f"segments re-solved"
+        )
+        for event in watch.changefeed.drain():
+            print(
+                f"  changefeed: {event.name} "
+                f"{event.old_answer} -> {event.new_answer}"
+            )
+        watch.close()
 
 
 if __name__ == "__main__":

@@ -23,6 +23,15 @@ Many queries at once (one set of site visits per batch)::
         outcome = session.evaluate_many(['[//stock]', '[//bidder]', ...])
         print(outcome.answers, outcome.bytes_per_query)
 
+Keep queries live under updates (only dirty sites recompute)::
+
+    from repro.stream import InsNode
+    with QuerySession(cluster) as session:
+        watch = session.watch(['[//stock]', '[//bidder]'])
+        watch.apply([InsNode("F2", parent.node_id, "bidder")])
+        for event in watch.changefeed.drain():
+            print(event.name, event.old_answer, "->", event.new_answer)
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every figure.
 """
@@ -45,8 +54,9 @@ from repro.core import (
     evaluate_tree,
     ALL_ENGINES,
 )
+from repro.stream import StreamMaintainer, Changefeed, ChangeEvent
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "compile_query",
@@ -71,5 +81,8 @@ __all__ = [
     "NaiveDistributedEngine",
     "evaluate_tree",
     "ALL_ENGINES",
+    "StreamMaintainer",
+    "Changefeed",
+    "ChangeEvent",
     "__version__",
 ]

@@ -6,13 +6,20 @@ checks::
     python -m repro.bench             # default scale
     python -m repro.bench --quick     # miniature scale
     python -m repro.bench fig7 fig11  # a subset
+    python -m repro.bench --json out.json   # machine-readable results
+
+``--json`` writes every regenerated experiment (rows + shape-check
+verdicts) to one JSON document -- the file CI uploads as a workflow
+artifact so benchmark trajectories persist across PRs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 from repro.bench.experiments import ALL_EXPERIMENTS, BenchConfig
 from repro.bench.shape_checks import CHECKS
@@ -23,11 +30,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
     parser.add_argument("--quick", action="store_true", help="miniature scale")
     parser.add_argument("--no-checks", action="store_true", help="skip shape checks")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write results (and check verdicts) as JSON",
+    )
     args = parser.parse_args(argv)
 
     config = BenchConfig.quick() if args.quick else BenchConfig.default()
     wanted = set(args.experiments) if args.experiments else None
     failures = 0
+    report: dict = {
+        "scale": "quick" if args.quick else "default",
+        "experiments": [],
+    }
     for experiment_id, runner in ALL_EXPERIMENTS:
         if wanted is not None and experiment_id not in wanted:
             continue
@@ -36,13 +53,20 @@ def main(argv: list[str] | None = None) -> int:
         elapsed = time.perf_counter() - started
         print(result.render())
         print(f"(regenerated in {elapsed:.1f}s)")
+        entry = result.to_obj()
+        entry["elapsed_seconds"] = round(elapsed, 3)
         if not args.no_checks and experiment_id in CHECKS:
             checks = CHECKS[experiment_id](result)
+            entry["checks"] = checks
             for claim, passed in checks.items():
                 marker = "PASS" if passed else "FAIL"
                 print(f"  [{marker}] {claim}")
                 failures += 0 if passed else 1
+        report["experiments"].append(entry)
         print()
+    if args.json is not None:
+        Path(args.json).write_text(json.dumps(report, indent=2, default=str))
+        print(f"wrote {args.json}")
     return 1 if failures else 0
 
 

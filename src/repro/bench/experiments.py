@@ -504,6 +504,97 @@ def batching_amortization(config: Optional[BenchConfig] = None) -> ExperimentRes
 
 
 # ---------------------------------------------------------------------------
+# Stream -- continuous-query maintenance bounds (added experiment)
+# ---------------------------------------------------------------------------
+
+
+def stream_maintenance(config: Optional[BenchConfig] = None) -> ExperimentResult:
+    """Per-update maintenance cost of a standing query book as |T| grows.
+
+    A fixed book of subscriptions (pub/sub pool + one probe query per
+    updatable fragment) stands on a 6-fragment FT1 star whose document
+    size sweeps upward.  Each sweep point applies three update batches
+    dirtying 1, 2 and 4 fragments (each batch toggles a ``<seal>``
+    probe, so every dirty fragment genuinely ships a changed slice) and
+    records the per-batch maintenance traffic.
+
+    Section 5's bound, extended to the whole book: traffic depends on
+    the *number of dirty fragments* and the query sizes -- never on
+    ``|T|`` -- and only dirty fragments' sites are contacted.  The
+    ``agree`` column checks the incremental answers bitwise against a
+    from-scratch ParBoX batch evaluation of the same plan.
+    """
+    from repro.stream import Relabel, StreamMaintainer
+    from repro.workloads.pubsub import subscription_texts
+
+    config = config or BenchConfig.default()
+    sites = 6
+    probe_fragments = ["F1", "F2", "F3", "F4"]
+    result = ExperimentResult(
+        "stream",
+        f"Continuous-query maintenance vs document size (FT1, {sites} sites)",
+        "tree_nodes",
+        [
+            "bytes_1frag",
+            "bytes_2frag",
+            "bytes_4frag",
+            "dirty_sites_4frag",
+            "total_sites",
+            "nodes_recomputed_1frag",
+            "agree",
+        ],
+    )
+    steps = min(config.iterations, 5)
+    for step in range(steps):
+        scale = config.total_mb * (1 + step) / steps
+        cluster = config.with_network(
+            star_ft1(sites, scale, seed=config.seed, nodes_per_mb=config.nodes_per_mb)
+        )
+        maintainer = StreamMaintainer(cluster)
+        for index, text in enumerate(subscription_texts(12, seed=config.seed)):
+            maintainer.subscribe(f"sub-{index}", text)
+        for fragment_id in probe_fragments:
+            maintainer.subscribe(
+                f"probe-{fragment_id}", f'[//seal = "seal-{fragment_id}-hot"]'
+            )
+        seals = {
+            fragment_id: cluster.fragment(fragment_id).root.find_first(
+                lambda node: node.label == "seal"
+            )
+            for fragment_id in probe_fragments
+        }
+        hot = {fragment_id: False for fragment_id in probe_fragments}
+
+        rounds = {}
+        for count in (1, 2, 4):
+            batch = []
+            for fragment_id in probe_fragments[:count]:
+                hot[fragment_id] = not hot[fragment_id]
+                suffix = "-hot" if hot[fragment_id] else ""
+                batch.append(
+                    Relabel(
+                        fragment_id,
+                        seals[fragment_id].node_id,
+                        text=f"seal-{fragment_id}{suffix}",
+                    )
+                )
+            rounds[count] = maintainer.apply(batch)
+
+        scratch = ParBoXEngine(cluster).evaluate_many(maintainer.plan()).answers
+        result.add_row(
+            cluster.total_size(),
+            bytes_1frag=rounds[1].traffic_bytes,
+            bytes_2frag=rounds[2].traffic_bytes,
+            bytes_4frag=rounds[4].traffic_bytes,
+            dirty_sites_4frag=len(rounds[4].sites_visited),
+            total_sites=sites,
+            nodes_recomputed_1frag=rounds[1].nodes_recomputed,
+            agree=tuple(maintainer.answers().values()) == scratch,
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Ablation -- formula canonicalization (DESIGN.md Section 5)
 # ---------------------------------------------------------------------------
 
@@ -588,6 +679,7 @@ ALL_EXPERIMENTS: list[tuple[str, Callable[[Optional[BenchConfig]], ExperimentRes
     ("ablation-algebra", ablation_algebra),
     ("executors", executors_realtime),
     ("batching", batching_amortization),
+    ("stream", stream_maintenance),
 ]
 
 __all__ = [
@@ -605,5 +697,6 @@ __all__ = [
     "ablation_algebra",
     "executors_realtime",
     "batching_amortization",
+    "stream_maintenance",
     "ALL_EXPERIMENTS",
 ]

@@ -35,6 +35,22 @@ class ExperimentResult:
         """Attach a free-text observation."""
         self.notes.append(text)
 
+    def to_obj(self) -> dict:
+        """JSON-able representation (the CI-artifact format).
+
+        Row cells are kept as-is (ints/floats/strings/bools are all
+        JSON-native), so BENCH_* trajectories can be diffed across
+        runs without re-parsing rendered tables.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "columns": list(self.columns),
+            "rows": [{"x": x, "values": dict(values)} for x, values in self.rows],
+            "notes": list(self.notes),
+        }
+
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------

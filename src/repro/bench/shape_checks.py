@@ -276,6 +276,42 @@ def check_batching(result: ExperimentResult) -> dict[str, bool]:
     }
 
 
+def check_stream(result: ExperimentResult) -> dict[str, bool]:
+    """Section 5 at batch scale: maintenance cost is local and flat.
+
+    Per-update traffic must not grow with the document (the update
+    batch is fixed while |T| sweeps ~5x), must scale with the number of
+    dirty fragments (each dirty fragment ships its own changed slice),
+    and only dirty fragments' sites may be contacted.  The compute side
+    *does* grow with |T| (the dirty fragment itself grows) -- that
+    contrast is the point, so it is asserted too.  All costs here are
+    deterministic; the incremental answers must match from-scratch
+    evaluation bitwise at every sweep point.
+    """
+    bytes_1 = result.column("bytes_1frag")
+    bytes_2 = result.column("bytes_2frag")
+    bytes_4 = result.column("bytes_4frag")
+    dirty_sites = result.column("dirty_sites_4frag")
+    total_sites = result.column("total_sites")
+    nodes = result.column("nodes_recomputed_1frag")
+    return {
+        "traffic_flat_in_document_size": _roughly_flat(bytes_1, band=0.5)
+        and _roughly_flat(bytes_4, band=0.5),
+        "traffic_proportional_to_dirty_fragments": all(
+            1.6 * one <= two <= 2.4 * one and 3.2 * one <= four <= 4.8 * one
+            for one, two, four in zip(bytes_1, bytes_2, bytes_4)
+        ),
+        "only_dirty_sites_visited": all(
+            dirty == 4 and dirty < total
+            for dirty, total in zip(dirty_sites, total_sites)
+        ),
+        # At quick scale the generator's minimum document clamps the
+        # sweep's low end, so only endpoint growth is asserted.
+        "recomputation_grows_with_fragment_size": nodes[-1] > nodes[0],
+        "incremental_matches_scratch": all(result.column("agree")),
+    }
+
+
 #: experiment id -> shape checker.
 CHECKS = {
     "fig4": check_fig4,
@@ -291,6 +327,7 @@ CHECKS = {
     "ablation-algebra": check_ablation_algebra,
     "executors": check_executors,
     "batching": check_batching,
+    "stream": check_stream,
 }
 
 __all__ = ["CHECKS"] + [name for name in dir() if name.startswith("check_")]

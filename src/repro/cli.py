@@ -21,6 +21,16 @@ Four subcommands::
         and the report shows per-query answers plus the amortized
         per-query costs.
 
+    repro stream <file.xml> '<query>' ['<query>' ...] [--fragments N]
+                 [--rounds R] [--ops K] [--hot H] [--structural-every M]
+                 [--executor serial|threads|process] [--seed S]
+        Keep the queries standing and maintain them over a generated
+        skewed update stream: each round applies one batch of typed
+        updates (insNode / delNode / relabel, optionally split/merge),
+        re-evaluates **only the dirty fragments' sites** and prints the
+        answers that flipped plus the maintenance cost ledger
+        (dirty sites / delta traffic / nodes recomputed per round).
+
     repro select <file.xml> '<path-query>' [--fragments N] [--limit K]
         The Section 8 extension: print the selected nodes.
 
@@ -178,6 +188,66 @@ def _run_query_batch(args: argparse.Namespace, cluster: Cluster) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Maintain standing queries over a generated update stream."""
+    from repro.core import QuerySession
+    from repro.workloads.updates import update_stream
+
+    tree = _load_tree(args.file)
+    cluster = _build_cluster(tree, args.fragments, args.sites)
+    total_sites = len(cluster.sites())
+    print(
+        f"document: {cluster.total_size()} nodes, {cluster.card()} fragments, "
+        f"{total_sites} sites; {len(args.query)} standing queries; "
+        f"executor = {args.executor}"
+    )
+    with QuerySession(cluster, engine="parbox", executor=args.executor) as session:
+        maintainer = session.watch(args.query)
+        print(
+            f"subscribed: combined |QList| = {maintainer.combined_size()} "
+            f"({maintainer.duplicate_subscriptions()} duplicates collapsed)"
+        )
+        for name, answer in maintainer.answers().items():
+            print(f"  {str(answer):5s} {name}")
+
+        total_bytes = 0
+        total_nodes = 0
+        stream = update_stream(
+            cluster,
+            rounds=args.rounds,
+            ops_per_round=args.ops,
+            seed=args.seed,
+            hot_fragments=args.hot,
+            structural_every=args.structural_every,
+        )
+        for batch in stream:
+            round_ = maintainer.apply(batch)
+            total_bytes += round_.traffic_bytes
+            total_nodes += round_.nodes_recomputed
+            flips = (
+                "; flipped: " + ", ".join(round_.changed) if round_.changed else ""
+            )
+            print(
+                f"round {round_.seq}: {len(round_.ops)} ops, dirty="
+                f"{list(round_.dirty_fragments)}, sites={list(round_.sites_visited)}"
+                f"/{total_sites}, {round_.traffic_bytes} bytes, "
+                f"{round_.nodes_recomputed} nodes{flips}"
+            )
+        events = list(maintainer.changefeed)
+        print(
+            f"\n{args.rounds} update rounds: {total_bytes} bytes total "
+            f"({total_bytes / max(1, args.rounds):.0f}/round), "
+            f"{total_nodes} nodes recomputed, {len(events)} changefeed event(s)"
+        )
+        for event in events:
+            print(
+                f"  round {event.round_seq}: {event.name} "
+                f"{event.old_answer} -> {event.new_answer}"
+            )
+        maintainer.close()
+    return 0
+
+
 def cmd_select(args: argparse.Namespace) -> int:
     tree = _load_tree(args.file)
     cluster = _build_cluster(tree, args.fragments, args.sites)
@@ -261,6 +331,31 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--all-engines", action="store_true")
     query.add_argument("--trace", action="store_true")
     query.set_defaults(func=cmd_query)
+
+    stream = sub.add_parser(
+        "stream", help="maintain standing queries over a fragment-update stream"
+    )
+    stream.add_argument("file")
+    stream.add_argument("query", nargs="+", help="standing queries to keep live")
+    stream.add_argument("--fragments", type=int, default=4)
+    stream.add_argument("--sites", type=int, default=None)
+    stream.add_argument("--rounds", type=int, default=8, help="update batches to apply")
+    stream.add_argument("--ops", type=int, default=4, help="updates per batch")
+    stream.add_argument("--hot", type=int, default=1, help="hot fragments absorbing most updates")
+    stream.add_argument(
+        "--structural-every",
+        type=int,
+        default=0,
+        help="every M-th batch leads with a split/merge (0 = never)",
+    )
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument(
+        "--executor",
+        default="serial",
+        choices=sorted(EXECUTOR_REGISTRY),
+        help="site-execution strategy for dirty-site refreshes",
+    )
+    stream.set_defaults(func=cmd_stream)
 
     select = sub.add_parser("select", help="select matching nodes (Section 8 extension)")
     select.add_argument("file")

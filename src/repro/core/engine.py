@@ -30,6 +30,7 @@ from repro.xpath.qlist import QList
 # Message kinds (traffic is reported per kind in the ablation tables).
 MSG_QUERY = "query"  # coordinator -> site: the QList broadcast
 MSG_TRIPLET = "triplet"  # site -> coordinator: (V, CV, DV) with variables
+MSG_TRIPLET_DELTA = "triplet-delta"  # site -> coordinator: changed slices only (stream refresh)
 MSG_GROUND_TRIPLET = "ground-triplet"  # variable-free triplet (FullDist, NaiveDist)
 MSG_FRAGMENT_DATA = "fragment-data"  # serialized XML (NaiveCentralized only)
 MSG_CONTROL = "control"  # small control/handoff messages
@@ -218,6 +219,7 @@ __all__ = [
     "Engine",
     "MSG_QUERY",
     "MSG_TRIPLET",
+    "MSG_TRIPLET_DELTA",
     "MSG_GROUND_TRIPLET",
     "MSG_FRAGMENT_DATA",
     "MSG_CONTROL",

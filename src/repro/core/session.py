@@ -115,7 +115,9 @@ class QuerySession:
             raise ValueError("batch_size must be >= 1")
         self.cluster = cluster
         self.batch_size = batch_size
-        self.cache = cache or QueryCache()
+        # Not `cache or ...`: a shared cache that is still empty is
+        # falsy (it has a __len__) but must still be adopted.
+        self.cache = cache if cache is not None else QueryCache()
         if isinstance(engine, Engine):
             # A pre-built engine already fixed its algebra, trace and
             # executor; silently ignoring these knobs would make the
@@ -198,6 +200,58 @@ class QuerySession:
             per_query=tuple(per_query),
             batches=tuple(batches),
         )
+
+    # ------------------------------------------------------------------
+    # Stream mode
+    # ------------------------------------------------------------------
+    def watch(
+        self,
+        queries: Sequence[Query],
+        names: Optional[Sequence[str]] = None,
+    ) -> "StreamMaintainer":  # noqa: F821 - imported lazily below
+        """Keep ``queries`` standing and maintain them under updates.
+
+        The session's batch mode answers a stream of queries once;
+        *watch* mode turns the same queries into standing subscriptions
+        on a :class:`~repro.stream.maintainer.StreamMaintainer` that
+        shares this session's compiled-query cache and the engine's
+        site executor (so dirty-site refreshes run under the session's
+        execution strategy).  Apply update batches with
+        ``maintainer.apply([...])`` and read answer flips off
+        ``maintainer.changefeed``; the caller owns the handle (closing
+        it never tears down the shared executor).
+
+        ``names`` labels the subscriptions (default: the query texts,
+        or ``q<i>`` for pre-compiled QLists).
+        """
+        from repro.stream.maintainer import StreamMaintainer  # local: keeps core free of stream
+
+        query_list = list(queries)
+        if not query_list:
+            raise ValueError("watch needs at least one query")
+        if names is None:
+            # Default names from the texts, suffixed on repeats so a
+            # popular subscription arriving twice still registers (the
+            # planner dedups them onto one segment regardless).
+            counts: dict[str, int] = {}
+            names = []
+            for index, query in enumerate(query_list):
+                base = query if isinstance(query, str) else f"q{index}"
+                seen = counts.get(base, 0)
+                counts[base] = seen + 1
+                names.append(base if seen == 0 else f"{base}#{seen + 1}")
+        name_list = list(names)
+        if len(name_list) != len(query_list):
+            raise ValueError("names and queries must have the same length")
+        maintainer = StreamMaintainer(
+            self.cluster,
+            algebra=self.engine.algebra,
+            executor=self.engine.executor,
+            cache=self.cache,
+        )
+        for name, query in zip(name_list, query_list):
+            maintainer.subscribe(name, query)
+        return maintainer
 
     # ------------------------------------------------------------------
     # Lifecycle

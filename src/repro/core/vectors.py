@@ -86,6 +86,49 @@ class VectorTriplet:
             env[Var(self.fragment_id, "DV", index)] = self.dv[index]
         return env
 
+    def shifted(self, delta: int) -> "VectorTriplet":
+        """Shift every variable's QList index by ``delta`` (entries as-is).
+
+        Re-bases a triplet between a segment's local index space and
+        its position inside a combined batch QList.  Sound because the
+        batch planner offsets whole segments: all of a slice's
+        variables move by the same amount, which preserves the
+        canonical operand order inside every formula.
+        """
+        if delta == 0:
+            return self
+
+        def shift(formula: Formula) -> Formula:
+            env = {
+                var: Var(var.owner, var.kind, var.index + delta)
+                for var in formula.variables()
+            }
+            return formula.substitute(env) if env else formula
+
+        return VectorTriplet(
+            self.fragment_id,
+            (shift(formula) for formula in self.v),
+            (shift(formula) for formula in self.cv),
+            (shift(formula) for formula in self.dv),
+        )
+
+    def sliced(self, offset: int, length: int) -> "VectorTriplet":
+        """The ``[offset, offset+length)`` slice, re-based to index 0.
+
+        Because combined-QList entries only ever reference entries (and
+        sub-fragment variables) of their own segment, the slice equals
+        what ``bottomUp`` would have produced for that segment's
+        standalone QList -- the identity the stream maintainer's
+        per-segment caches are built on.
+        """
+        stop = offset + length
+        return VectorTriplet(
+            self.fragment_id,
+            self.v[offset:stop],
+            self.cv[offset:stop],
+            self.dv[offset:stop],
+        ).shifted(-offset)
+
     # ------------------------------------------------------------------
     # Wire format
     # ------------------------------------------------------------------

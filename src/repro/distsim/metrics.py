@@ -58,6 +58,13 @@ class Metrics:
     #: ``node x entry`` operations attributed to each unique batch
     #: segment (query), as reported by the batched site jobs.
     segment_ops: Counter = field(default_factory=Counter)
+    #: Visits that targeted a *dirty* site (stream maintenance only
+    #: contacts sites whose fragments an update batch touched; the
+    #: stream shape check asserts this equals ``total_visits()``).
+    dirty_site_visits: int = 0
+    #: Incremental refresh rounds (update batches) folded into this
+    #: ledger by a :class:`~repro.stream.maintainer.StreamMaintainer`.
+    refresh_rounds: int = 0
     extra: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -126,6 +133,8 @@ class Metrics:
             "parallel_batches": self.parallel_batches,
             "critical_site": self.critical_site or "",
             "critical_path_seconds": self.critical_path_seconds,
+            "dirty_site_visits": self.dirty_site_visits,
+            "refresh_rounds": self.refresh_rounds,
         }
 
 

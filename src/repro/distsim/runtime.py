@@ -95,9 +95,16 @@ class Run:
     # ------------------------------------------------------------------
     # Primitives
     # ------------------------------------------------------------------
-    def visit(self, site_id: str) -> None:
-        """Count one visit to ``site_id``."""
+    def visit(self, site_id: str, dirty: bool = False) -> None:
+        """Count one visit to ``site_id``.
+
+        ``dirty=True`` additionally counts the visit as a dirty-site
+        contact (stream maintenance visits *only* dirty sites; the
+        separate counter lets the shape checks assert that).
+        """
         self.metrics.visits[site_id] += 1
+        if dirty:
+            self.metrics.dirty_site_visits += 1
         if self.trace is not None:
             self.trace.record_visit(site_id)
 

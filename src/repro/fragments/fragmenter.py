@@ -17,23 +17,36 @@ Plus the two structural update operations of Section 5:
 
 from __future__ import annotations
 
-import itertools
 from typing import Iterable, Optional, Sequence
 
 from repro.fragments.fragment import Fragment, FragmentationError, FragmentedTree
 from repro.xmltree.node import XMLNode
 from repro.xmltree.tree import XMLTree
 
-_fragment_counter = itertools.count(1)
 
+def fresh_fragment_id(existing: Iterable[str]) -> str:
+    """A fragment id not clashing with ``existing`` (``F1``, ``F2``, ...).
 
-def _fresh_id(existing: Iterable[str]) -> str:
-    """A fragment id not clashing with ``existing`` (``F1``, ``F2``, ...)."""
+    Derived from the target tree's ids alone (one past the highest
+    ``F<k>`` already taken), so identical fragmentations produce
+    identical ids regardless of what else ran in the process -- a
+    split replayed on an equal cluster names the new fragment equally,
+    which the update log and the incremental caches rely on.  The
+    update-stream generator calls this too, to pin a split's id before
+    the op is applied.
+    """
     taken = set(existing)
-    while True:
-        candidate = f"F{next(_fragment_counter)}"
-        if candidate not in taken:
-            return candidate
+    highest = 0
+    for fragment_id in taken:
+        if fragment_id.startswith("F") and fragment_id[1:].isdigit():
+            highest = max(highest, int(fragment_id[1:]))
+    candidate = highest + 1
+    while f"F{candidate}" in taken:
+        candidate += 1
+    return f"F{candidate}"
+
+
+_fresh_id = fresh_fragment_id  # internal alias used by the fragmenters
 
 
 def fragment_at(
@@ -226,6 +239,7 @@ __all__ = [
     "fragment_at",
     "fragment_balanced",
     "fragment_per_node",
+    "fresh_fragment_id",
     "split_fragment",
     "merge_fragment",
 ]

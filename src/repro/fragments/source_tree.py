@@ -15,10 +15,20 @@ from repro.fragments.fragment import FragmentedTree
 
 
 class Placement:
-    """The assignment ``h: fragment id -> site id``."""
+    """The assignment ``h: fragment id -> site id``.
+
+    Alongside the forward map a reverse index ``site id -> fragment
+    ids`` is maintained on every mutation, so :meth:`fragments_of` and
+    :meth:`sites` are dictionary lookups rather than full scans (the
+    stream maintainer resolves every site's fragment list when a new
+    subscription's segment is first evaluated).
+    """
 
     def __init__(self, assignment: dict[str, str]) -> None:
-        self._assignment = dict(assignment)
+        self._assignment: dict[str, str] = {}
+        self._by_site: dict[str, dict[str, None]] = {}
+        for fragment_id, site_id in assignment.items():
+            self.assign(fragment_id, site_id)
 
     def site_of(self, fragment_id: str) -> str:
         """The site storing ``fragment_id``."""
@@ -26,22 +36,30 @@ class Placement:
 
     def assign(self, fragment_id: str, site_id: str) -> None:
         """Add or move a fragment's assignment."""
+        previous = self._assignment.get(fragment_id)
+        if previous is not None:
+            self._drop_reverse(fragment_id, previous)
         self._assignment[fragment_id] = site_id
+        self._by_site.setdefault(site_id, {})[fragment_id] = None
 
     def remove(self, fragment_id: str) -> None:
         """Forget a fragment (after a merge)."""
-        del self._assignment[fragment_id]
+        site_id = self._assignment.pop(fragment_id)
+        self._drop_reverse(fragment_id, site_id)
+
+    def _drop_reverse(self, fragment_id: str, site_id: str) -> None:
+        stored = self._by_site[site_id]
+        del stored[fragment_id]
+        if not stored:  # a site with no fragments is no site at all
+            del self._by_site[site_id]
 
     def fragments_of(self, site_id: str) -> list[str]:
         """All fragments stored at ``site_id`` (insertion order)."""
-        return [fid for fid, sid in self._assignment.items() if sid == site_id]
+        return list(self._by_site.get(site_id, ()))
 
     def sites(self) -> list[str]:
         """Distinct site ids, in first-appearance order."""
-        seen: dict[str, None] = {}
-        for site_id in self._assignment.values():
-            seen.setdefault(site_id)
-        return list(seen)
+        return list(self._by_site)
 
     def items(self) -> Iterator[tuple[str, str]]:
         """Iterate ``(fragment_id, site_id)`` pairs."""

@@ -1,0 +1,498 @@
+"""``StreamMaintainer``: thousands of standing queries, kept live.
+
+The paper's Section 5 bound -- after an update only the edited
+fragment's site re-runs ``bottomUp`` and maintenance traffic is
+``O(|q| card(F_j))``, independent of ``|T|`` and of the update size --
+is realized here for a whole *batch* of standing queries at once:
+
+1. **cache** -- for every live segment (unique compiled query) the
+   maintainer caches each fragment's 0-based triplet slice and the
+   segment's solved answer; creating a subscription evaluates *only its
+   own segment* (a duplicate evaluates nothing at all);
+2. **refresh** -- after an update batch
+   (:func:`~repro.stream.updates.apply_updates`), only the dirty
+   fragments' sites re-run ``bottomUp`` -- over the combined QList, one
+   traversal per fragment however many queries stand -- dispatched as
+   one :class:`~repro.distsim.executors.SiteJob` per dirty site through
+   the run's executor, so dirty sites refresh concurrently under the
+   ``threads``/``process`` strategies;
+3. **ship** -- each refreshed combined triplet is split into
+   per-segment slices (:meth:`~repro.stream.dirty.DirtyIndex.slices_of`)
+   and **only the slices that differ from the cache** cross the
+   network (``triplet-delta`` messages; a dirty site whose triplet did
+   not move sends a control-sized ack);
+4. **re-solve** -- only the segments owning a changed slice rebuild
+   their (per-segment, hence small) Boolean equation system; every
+   other standing answer is untouched;
+5. **notify** -- answers that flipped are appended to the
+   :class:`Changefeed` as ``(query, old, new)`` events, and the whole
+   round is summarized in a :class:`MaintenanceRound` cost ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.boolexpr.compose import DEFAULT_ALGEBRA, FormulaAlgebra
+from repro.core.engine import CONTROL_BYTES, MSG_CONTROL, MSG_TRIPLET_DELTA
+from repro.core.eval_st import answer_variable, build_equation_system
+from repro.core.plan import BatchPlan, QueryCache
+from repro.core.vectors import VectorTriplet
+from repro.distsim.cluster import Cluster
+from repro.distsim.executors import SiteExecutor, SiteJob, resolve_executor
+from repro.distsim.metrics import Metrics
+from repro.distsim.runtime import Run
+from repro.stream.dirty import DirtyIndex, Segment, SegmentKey
+from repro.stream.updates import (
+    AppliedBatch,
+    UpdateError,
+    UpdateOp,
+    apply_updates,
+)
+from repro.xpath.qlist import QList
+
+Query = Union[str, QList]
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One standing query's answer flipped during one refresh round."""
+
+    round_seq: int
+    name: str
+    query: Optional[str]  # the query's source text, when known
+    old_answer: bool
+    new_answer: bool
+
+
+class Changefeed:
+    """An append-only stream of :class:`ChangeEvent`\\ s.
+
+    The maintainer appends; consumers either iterate the full history
+    or :meth:`drain` the events they have not seen yet.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[ChangeEvent] = []
+        self._cursor = 0
+
+    def append(self, event: ChangeEvent) -> None:
+        self.events.append(event)
+
+    def drain(self) -> list[ChangeEvent]:
+        """The events appended since the previous ``drain()``."""
+        fresh = self.events[self._cursor :]
+        self._cursor = len(self.events)
+        return fresh
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+@dataclass(frozen=True)
+class MaintenanceRound:
+    """The ledger of one refresh round (one update batch)."""
+
+    seq: int
+    ops: tuple[str, ...]  # human-readable op descriptions
+    dirty_fragments: tuple[str, ...]
+    sites_visited: tuple[str, ...]
+    traffic_bytes: int
+    nodes_recomputed: int
+    slices_shipped: int
+    segments_resolved: int
+    changed: tuple[str, ...]  # subscription names whose answer flipped
+    events: tuple[ChangeEvent, ...]
+    structural: bool
+    metrics: Metrics = field(repr=False)
+
+    @property
+    def triplet_changed(self) -> bool:
+        """Did any dirty fragment's partial answer actually move?"""
+        return self.slices_shipped > 0
+
+    def is_localized(self) -> bool:
+        """True when only dirty fragments' sites participated."""
+        return len(self.sites_visited) <= len(self.dirty_fragments)
+
+
+class StreamMaintainer:
+    """Incremental maintenance of a batch of standing Boolean queries.
+
+    ``executor`` follows the engine convention: a registry name is
+    resolved and owned (closed by :meth:`close`), a pre-built
+    :class:`~repro.distsim.executors.SiteExecutor` instance is shared
+    and left to its builder.  ``cache`` lets a
+    :class:`~repro.core.session.QuerySession` share its compiled-query
+    cache with the maintainer it spawns.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        algebra: Optional[FormulaAlgebra] = None,
+        executor: Union[str, SiteExecutor, None] = None,
+        cache: Optional[QueryCache] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.algebra = algebra or DEFAULT_ALGEBRA
+        self.executor = resolve_executor(executor)
+        self._owns_executor = not isinstance(executor, SiteExecutor)
+        # Not `cache or ...`: an empty shared cache is falsy (len 0)
+        # but must still be shared.
+        self.cache = cache if cache is not None else QueryCache()
+        self.index = DirtyIndex()
+        self.changefeed = Changefeed()
+        #: segment key -> fragment id -> the fragment's 0-based slice.
+        self._triplets: dict[SegmentKey, dict[str, VectorTriplet]] = {}
+        #: segment key -> the segment's solved Boolean answer.
+        self._segment_answers: dict[SegmentKey, bool] = {}
+        self._names: list[str] = []  # subscription order
+        self._queries: dict[str, QList] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def subscribe(self, name: str, query: Query) -> bool:
+        """Register a standing query; returns its current answer.
+
+        A query compiling to an already-standing segment costs nothing
+        beyond bookkeeping -- no site work, no solve.  A fresh segment
+        is evaluated over every fragment (each site visited once, with
+        the *segment's* QList only -- not the whole combined query) and
+        solved once.
+        """
+        if name in self._queries:
+            raise ValueError(f"subscription {name!r} already registered")
+        # Compile before touching any state: a parse error must leave
+        # the maintainer exactly as it was.
+        qlist = self.cache.qlist(query)
+        segment, is_new = self.index.subscribe(name, qlist)
+        self._names.append(name)
+        self._queries[name] = qlist
+        if is_new:
+            self._triplets[segment.key] = self._evaluate_segment(segment)
+            self._segment_answers[segment.key] = self._solve_segment(segment)
+        return self._segment_answers[segment.key]
+
+    def unsubscribe(self, name: str) -> None:
+        """Remove a standing query.
+
+        Dropping a duplicate never re-solves anything; dropping a
+        segment's last rider just forgets its caches -- the surviving
+        segments' 0-based caches are untouched by the re-offsetting.
+        """
+        if name not in self._queries:
+            raise ValueError(f"unknown subscription {name!r}")
+        segment, removed = self.index.unsubscribe(name)
+        self._names.remove(name)
+        del self._queries[name]
+        if removed:
+            del self._triplets[segment.key]
+            del self._segment_answers[segment.key]
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """Registered subscription names, in registration order."""
+        return list(self._names)
+
+    def answers(self) -> dict[str, bool]:
+        """Current answer of every standing query."""
+        return {
+            name: self._segment_answers[self.index.segment_of(name).key]
+            for name in self._names
+        }
+
+    def answer(self, name: str) -> bool:
+        """Current answer of one standing query."""
+        return self._segment_answers[self.index.segment_of(name).key]
+
+    def plan(self) -> Optional[BatchPlan]:
+        """The live combined plan (None when nothing stands)."""
+        if not self._names:
+            return None
+        return self.index.plan(self._names)
+
+    def combined_size(self) -> int:
+        """|QList| of the combined standing query."""
+        return len(self.index.combined()) if self._names else 0
+
+    def duplicate_subscriptions(self) -> int:
+        """Standing queries sharing another one's compiled segment."""
+        return self.index.duplicate_count()
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def apply(self, ops: Sequence[UpdateOp]) -> MaintenanceRound:
+        """Apply one update batch to the cluster, then refresh.
+
+        The batch mutates the document/decomposition *first*
+        (:func:`~repro.stream.updates.apply_updates`); the refresh then
+        touches exactly the dirty fragments' sites.  If an op fails
+        mid-batch, the earlier ops have already mutated the document --
+        their dirty fragments are refreshed *before* the error is
+        re-raised, so the standing answers never silently diverge from
+        the live document.
+        """
+        try:
+            batch = apply_updates(self.cluster, list(ops))
+        except UpdateError as error:
+            partial = error.applied
+            if partial is not None and partial.effects:
+                self._refresh(partial)
+            raise
+        return self._refresh(batch)
+
+    def refresh(self, fragment_ids: Sequence[str]) -> MaintenanceRound:
+        """Refresh after out-of-band edits inside the given fragments.
+
+        For callers that mutate fragment contents directly (the
+        registry's ``notify_fragment_updated`` contract) instead of
+        going through the typed update log.  Unknown fragment ids are
+        an error here -- silently skipping one would leave a caller
+        serving stale answers with no signal.  (``apply`` tolerates
+        mid-batch removals; that path filters internally.)
+        """
+        unknown = [
+            fragment_id
+            for fragment_id in fragment_ids
+            if fragment_id not in self.cluster.fragmented_tree.fragments
+        ]
+        if unknown:
+            raise KeyError(f"unknown fragment(s) {unknown}")
+        batch = AppliedBatch(effects=(), dirty=tuple(dict.fromkeys(fragment_ids)))
+        return self._refresh(batch)
+
+    def _refresh(self, batch: AppliedBatch) -> MaintenanceRound:
+        self._seq += 1
+        run = Run(self.cluster, executor=self.executor)
+        run.metrics.refresh_rounds += 1
+        coordinator = self.cluster.coordinator_site
+
+        # Structural updates retire fragments: forget their slices so
+        # the per-segment equation systems match the live source tree.
+        for fragment_id in batch.removed:
+            for cached in self._triplets.values():
+                cached.pop(fragment_id, None)
+
+        dirty = [
+            fragment_id
+            for fragment_id in batch.dirty
+            if fragment_id in self.cluster.fragmented_tree.fragments
+        ]
+        events: list[ChangeEvent] = []
+        changed_names: list[str] = []
+        slices_shipped = 0
+        nodes_recomputed = 0
+        resolved: list[Segment] = []
+
+        if self._names and dirty:
+            combined = self.index.combined()
+            spans = self.index.spans()
+            # Group dirty fragments by site: one job -- one visit, one
+            # combined bottomUp pass per fragment -- per dirty site.
+            by_site: dict[str, list[str]] = {}
+            for fragment_id in dirty:
+                by_site.setdefault(self.cluster.site_of(fragment_id), []).append(
+                    fragment_id
+                )
+            jobs = []
+            for site_id, fragment_ids in by_site.items():
+                run.visit(site_id, dirty=True)
+                jobs.append(
+                    SiteJob(
+                        site_id=site_id,
+                        fragments=tuple(
+                            self.cluster.fragment(fid) for fid in fragment_ids
+                        ),
+                        qlist=combined,
+                        algebra=self.algebra,
+                        label="refresh",
+                        segments=spans,
+                    )
+                )
+            parallel = run.parallel(jobs)
+
+            dirty_segments: dict[SegmentKey, Segment] = {}
+            site_finish: dict[str, float] = {}
+            for site_id, outcome in parallel:
+                shipped_bytes = 0
+                for fragment_outcome in outcome.fragments:
+                    run.add_ops(
+                        fragment_outcome.nodes_visited, fragment_outcome.qlist_ops
+                    )
+                    for segment_index, ops_count in enumerate(
+                        fragment_outcome.segment_ops
+                    ):
+                        run.add_segment_ops(segment_index, ops_count)
+                    nodes_recomputed += fragment_outcome.nodes_visited
+                    fragment_id = fragment_outcome.triplet.fragment_id
+                    cached_slices = {
+                        key: per_fragment[fragment_id]
+                        for key, per_fragment in self._triplets.items()
+                        if fragment_id in per_fragment
+                    }
+                    for segment, fresh in self.index.changed_segments(
+                        cached_slices, fragment_outcome.triplet
+                    ):
+                        self._triplets[segment.key][fragment_id] = fresh
+                        dirty_segments[segment.key] = segment
+                        shipped_bytes += fresh.wire_bytes()
+                        slices_shipped += 1
+                # Ship only what changed; an unchanged dirty site still
+                # acknowledges with a control-sized message.
+                if shipped_bytes:
+                    transfer = run.message(
+                        site_id, coordinator, shipped_bytes, MSG_TRIPLET_DELTA
+                    )
+                else:
+                    transfer = run.message(
+                        site_id, coordinator, CONTROL_BYTES, MSG_CONTROL
+                    )
+                site_finish[site_id] = outcome.seconds + transfer
+
+            old_answers = self.answers()
+            (_, solve_seconds) = run.compute(
+                coordinator,
+                lambda: [
+                    self._resolve_segment(segment)
+                    for segment in dirty_segments.values()
+                ],
+            )
+            resolved = list(dirty_segments.values())
+            elapsed = run.join(site_finish) + solve_seconds
+            for name in self._names:
+                new_answer = self.answer(name)
+                if new_answer != old_answers[name]:
+                    changed_names.append(name)
+                    event = ChangeEvent(
+                        round_seq=self._seq,
+                        name=name,
+                        query=self._queries[name].source,
+                        old_answer=old_answers[name],
+                        new_answer=new_answer,
+                    )
+                    self.changefeed.append(event)
+                    events.append(event)
+        else:
+            elapsed = 0.0
+
+        run.finish(elapsed)
+        return MaintenanceRound(
+            seq=self._seq,
+            ops=tuple(effect.op.describe() for effect in batch.effects),
+            dirty_fragments=tuple(dirty),
+            sites_visited=tuple(run.metrics.visits),
+            traffic_bytes=run.metrics.bytes_total,
+            nodes_recomputed=nodes_recomputed,
+            slices_shipped=slices_shipped,
+            segments_resolved=len(resolved),
+            changed=tuple(changed_names),
+            events=tuple(events),
+            structural=batch.structural,
+            metrics=run.metrics,
+        )
+
+    def _resolve_segment(self, segment: Segment) -> bool:
+        answer = self._solve_segment(segment)
+        self._segment_answers[segment.key] = answer
+        return answer
+
+    # ------------------------------------------------------------------
+    # Per-segment evaluation / solving
+    # ------------------------------------------------------------------
+    def _evaluate_segment(self, segment: Segment) -> dict[str, VectorTriplet]:
+        """Evaluate one segment over every fragment (initial broadcast).
+
+        One :class:`SiteJob` per site carrying only the *segment's*
+        QList -- the incremental-subscribe cost is ``O(|q_new| |T|)``
+        site work and one segment-sized triplet per fragment, not a
+        re-evaluation of the whole standing batch.
+        """
+        run = Run(self.cluster, executor=self.executor)
+        source_tree = self.cluster.source_tree()
+        placement = self.cluster.placement
+        jobs = []
+        for site_id in source_tree.sites():
+            run.visit(site_id)
+            # The placement's reverse index resolves a site's fragments
+            # in O(card(F_Si)) -- SourceTree.fragments_of would rescan
+            # the whole fragment tree once per site.
+            fragment_ids = placement.fragments_of(site_id)
+            jobs.append(
+                SiteJob(
+                    site_id=site_id,
+                    fragments=tuple(
+                        self.cluster.fragment(fid) for fid in fragment_ids
+                    ),
+                    qlist=segment.qlist,
+                    algebra=self.algebra,
+                    label="subscribe",
+                )
+            )
+        triplets: dict[str, VectorTriplet] = {}
+        for _, outcome in run.parallel(jobs):
+            for fragment_outcome in outcome.fragments:
+                run.add_ops(fragment_outcome.nodes_visited, fragment_outcome.qlist_ops)
+                triplets[fragment_outcome.triplet.fragment_id] = (
+                    fragment_outcome.triplet
+                )
+        run.finish(0.0)
+        return triplets
+
+    def _solve_segment(self, segment: Segment) -> bool:
+        """Solve one segment's (small) equation system at the coordinator."""
+        triplets = self._triplets[segment.key]
+        system = build_equation_system(triplets)
+        return system.value_of(
+            answer_variable(self.cluster.source_tree(), index=segment.answer_index)
+        )
+
+    # ------------------------------------------------------------------
+    # Oracles
+    # ------------------------------------------------------------------
+    def recompute_from_scratch(self) -> dict[str, bool]:
+        """Re-evaluate and re-solve every segment; refresh all caches."""
+        for segment in self.index.segments():
+            self._triplets[segment.key] = self._evaluate_segment(segment)
+            self._segment_answers[segment.key] = self._solve_segment(segment)
+        return self.answers()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the executor pool the maintainer owns (if any)."""
+        if self._owns_executor:
+            self.executor.close()
+
+    def __enter__(self) -> "StreamMaintainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<StreamMaintainer {len(self)} standing "
+            f"({self.index.segment_count} segments) rounds={self._seq}>"
+        )
+
+
+__all__ = [
+    "StreamMaintainer",
+    "MaintenanceRound",
+    "Changefeed",
+    "ChangeEvent",
+]

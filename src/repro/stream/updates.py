@@ -1,0 +1,289 @@
+"""The typed update log: what publishers do to a fragmented document.
+
+The paper's Section 5 names four update operations -- ``insNode``,
+``delNode``, ``splitFragments``, ``mergeFragments`` -- and proves that
+maintenance after any of them is local to the touched fragments.  This
+module turns them (plus a ``relabel`` content edit, the natural fifth)
+into *value objects* so that an update stream can be generated, logged,
+replayed and batch-applied:
+
+* every op is a frozen dataclass naming its target fragment and (where
+  needed) a node by its stable ``node_id``;
+* :meth:`UpdateOp.apply` mutates the cluster and returns an
+  :class:`UpdateEffect` -- which fragments are now dirty, which were
+  created or removed;
+* :func:`apply_updates` applies a whole batch in order and folds the
+  effects into one :class:`AppliedBatch`, the input the
+  :class:`~repro.stream.maintainer.StreamMaintainer` maintains from.
+
+Node addressing uses ``node_id`` (not child-index paths) deliberately:
+ids are stable under sibling insertion/deletion, so ops inside one
+batch cannot invalidate each other's targets unless one genuinely
+deletes the other's node -- which :func:`apply_updates` reports as the
+error it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.distsim.cluster import Cluster
+from repro.xmltree.node import XMLNode
+
+
+class UpdateError(ValueError):
+    """Raised when an update op cannot be applied to the cluster.
+
+    When raised from :func:`apply_updates`, the ``applied`` attribute
+    holds the :class:`AppliedBatch` of the ops that *did* apply before
+    the failure (the document is already mutated by them).
+    """
+
+    applied: "AppliedBatch | None" = None
+
+
+@dataclass(frozen=True)
+class UpdateEffect:
+    """What one applied op did to the decomposition."""
+
+    op: "UpdateOp"
+    dirty: tuple[str, ...]
+    created: tuple[str, ...] = ()
+    removed: tuple[str, ...] = ()
+
+
+def _node_of(cluster: Cluster, fragment_id: str, node_id: int) -> XMLNode:
+    if fragment_id not in cluster.fragmented_tree.fragments:
+        raise UpdateError(f"unknown fragment {fragment_id!r}")
+    try:
+        return cluster.fragment(fragment_id).node_by_id(node_id)
+    except KeyError:
+        raise UpdateError(
+            f"node {node_id} not found in fragment {fragment_id} "
+            "(deleted earlier in the batch?)"
+        ) from None
+
+
+class UpdateOp:
+    """Base class: one edit against one fragment of the cluster."""
+
+    fragment_id: str
+
+    def apply(self, cluster: Cluster) -> UpdateEffect:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class InsNode(UpdateOp):
+    """``insNode(A, v)``: attach a fresh leaf under ``parent_node_id``."""
+
+    fragment_id: str
+    parent_node_id: int
+    label: str
+    text: Optional[str] = None
+
+    def apply(self, cluster: Cluster) -> UpdateEffect:
+        parent = _node_of(cluster, self.fragment_id, self.parent_node_id)
+        if parent.is_virtual:
+            raise UpdateError("cannot insert under a virtual node")
+        parent.add_child(XMLNode(self.label, text=self.text))
+        return UpdateEffect(self, dirty=(self.fragment_id,))
+
+    def describe(self) -> str:
+        return f"ins {self.label!r} under node {self.parent_node_id} of {self.fragment_id}"
+
+
+@dataclass(frozen=True)
+class DelNode(UpdateOp):
+    """``delNode(v)``: detach the subtree rooted at ``node_id``."""
+
+    fragment_id: str
+    node_id: int
+
+    def apply(self, cluster: Cluster) -> UpdateEffect:
+        node = _node_of(cluster, self.fragment_id, self.node_id)
+        fragment = cluster.fragment(self.fragment_id)
+        if node is fragment.root:
+            raise UpdateError("cannot delete a fragment's root")
+        if any(sub.is_virtual for sub in node.iter_subtree()):
+            # Deleting a subtree holding virtual leaves would orphan
+            # whole sub-fragments; merge them back first.
+            raise UpdateError("subtree contains virtual nodes; mergeFragments first")
+        node.detach()
+        return UpdateEffect(self, dirty=(self.fragment_id,))
+
+    def describe(self) -> str:
+        return f"del node {self.node_id} of {self.fragment_id}"
+
+
+@dataclass(frozen=True)
+class Relabel(UpdateOp):
+    """Edit a node's label and/or text in place (content update)."""
+
+    fragment_id: str
+    node_id: int
+    label: Optional[str] = None
+    text: Optional[str] = None
+
+    def apply(self, cluster: Cluster) -> UpdateEffect:
+        node = _node_of(cluster, self.fragment_id, self.node_id)
+        if node.is_virtual:
+            raise UpdateError("cannot relabel a virtual node")
+        if self.label is not None:
+            node.label = self.label
+        if self.text is not None:
+            node.text = self.text
+        return UpdateEffect(self, dirty=(self.fragment_id,))
+
+    def describe(self) -> str:
+        parts = []
+        if self.label is not None:
+            parts.append(f"label={self.label!r}")
+        if self.text is not None:
+            parts.append(f"text={self.text!r}")
+        return f"relabel node {self.node_id} of {self.fragment_id} ({', '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class SplitFragment(UpdateOp):
+    """``splitFragments(v)``: carve a new fragment out at ``node_id``."""
+
+    fragment_id: str
+    node_id: int
+    new_fragment_id: Optional[str] = None
+    target_site: Optional[str] = None
+
+    def apply(self, cluster: Cluster) -> UpdateEffect:
+        node = _node_of(cluster, self.fragment_id, self.node_id)
+        new_id = cluster.split_fragment(
+            self.fragment_id, node, self.new_fragment_id, self.target_site
+        )
+        return UpdateEffect(
+            self, dirty=(self.fragment_id, new_id), created=(new_id,)
+        )
+
+    def describe(self) -> str:
+        return f"split {self.fragment_id} at node {self.node_id}"
+
+
+@dataclass(frozen=True)
+class MergeFragment(UpdateOp):
+    """``mergeFragments(v)``: absorb ``child_fragment_id`` back."""
+
+    fragment_id: str
+    child_fragment_id: str
+
+    def apply(self, cluster: Cluster) -> UpdateEffect:
+        if self.fragment_id not in cluster.fragmented_tree.fragments:
+            raise UpdateError(f"unknown fragment {self.fragment_id!r}")
+        fragment = cluster.fragment(self.fragment_id)
+        virtual = next(
+            (
+                node
+                for node in fragment.virtual_nodes()
+                if node.fragment_ref == self.child_fragment_id
+            ),
+            None,
+        )
+        if virtual is None:
+            raise UpdateError(
+                f"{self.child_fragment_id!r} is not a sub-fragment of {self.fragment_id!r}"
+            )
+        absorbed = cluster.merge_fragment(self.fragment_id, virtual)
+        assert absorbed == self.child_fragment_id
+        return UpdateEffect(
+            self, dirty=(self.fragment_id,), removed=(absorbed,)
+        )
+
+    def describe(self) -> str:
+        return f"merge {self.child_fragment_id} back into {self.fragment_id}"
+
+
+#: The ops that change the decomposition itself (not just content).
+STRUCTURAL_OPS = (SplitFragment, MergeFragment)
+
+
+@dataclass(frozen=True)
+class AppliedBatch:
+    """The folded effect of one update batch, in application order."""
+
+    effects: tuple[UpdateEffect, ...]
+    dirty: tuple[str, ...]  # fragments needing re-evaluation (still alive)
+    created: tuple[str, ...] = ()
+    removed: tuple[str, ...] = ()
+    structural: bool = field(default=False)
+
+    def __len__(self) -> int:
+        return len(self.effects)
+
+
+def apply_updates(cluster: Cluster, ops: Sequence[UpdateOp]) -> AppliedBatch:
+    """Apply a batch of ops in order; fold their effects.
+
+    ``dirty`` lists every fragment whose content (or virtual-leaf
+    structure) changed and that still exists after the batch, in
+    first-touch order -- the set of fragments whose sites must re-run
+    ``bottomUp``.  Fragments removed mid-batch (merges) drop out of the
+    dirty set; fragments created mid-batch (splits) join it.
+
+    Ops apply in order with no rollback (a real site applies edits as
+    they arrive).  When one fails, the earlier ops *have already
+    mutated the document*: the raised :class:`UpdateError` carries the
+    partial fold as ``error.applied`` so a maintainer can still refresh
+    the fragments the half-batch dirtied.
+    """
+    effects: list[UpdateEffect] = []
+    dirty: dict[str, None] = {}
+    created: dict[str, None] = {}
+    removed: dict[str, None] = {}
+    structural = False
+    for op in ops:
+        try:
+            effect = op.apply(cluster)
+        except UpdateError as error:
+            error.applied = AppliedBatch(
+                effects=tuple(effects),
+                dirty=tuple(dirty),
+                created=tuple(created),
+                removed=tuple(removed),
+                structural=structural,
+            )
+            raise
+        effects.append(effect)
+        structural = structural or isinstance(op, STRUCTURAL_OPS)
+        for fragment_id in effect.dirty:
+            dirty.setdefault(fragment_id)
+        for fragment_id in effect.created:
+            created.setdefault(fragment_id)
+        for fragment_id in effect.removed:
+            dirty.pop(fragment_id, None)
+            if fragment_id in created:
+                del created[fragment_id]
+            else:
+                removed.setdefault(fragment_id)
+    return AppliedBatch(
+        effects=tuple(effects),
+        dirty=tuple(dirty),
+        created=tuple(created),
+        removed=tuple(removed),
+        structural=structural,
+    )
+
+
+__all__ = [
+    "UpdateOp",
+    "InsNode",
+    "DelNode",
+    "Relabel",
+    "SplitFragment",
+    "MergeFragment",
+    "UpdateEffect",
+    "AppliedBatch",
+    "apply_updates",
+    "UpdateError",
+    "STRUCTURAL_OPS",
+]

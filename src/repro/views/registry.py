@@ -4,17 +4,25 @@ The paper motivates Boolean XPath with publish/subscribe systems, where
 *many* subscriptions stand against the same (distributed) document.
 Maintaining each as an independent
 :class:`~repro.views.materialized.MaterializedView` would traverse an
-updated fragment once **per subscription**; the registry instead plans
-all subscriptions as one batch
-(:func:`~repro.core.plan.plan_batch` -- the same planner the engines'
-``evaluate_many`` uses) and evaluates the combined QList in a *single*
-``bottomUp`` pass per fragment -- the per-update site work is
-``O(|F_j| · Σ|q_i|)`` with one traversal's constant factor, and the
-update message carries one combined triplet.  Textually repeated
-subscriptions are compiled once (the registry's
-:class:`~repro.core.plan.QueryCache`), and subscriptions that compile
-to identical QLists collapse onto one shared slice of the combined
-query, shrinking both the broadcast and the per-update traversal.
+updated fragment once **per subscription**; the registry instead keeps
+the whole book standing on a
+:class:`~repro.stream.maintainer.StreamMaintainer` and maintains it in
+a *single* combined ``bottomUp`` pass per dirty fragment -- the
+per-update site work is ``O(|F_j| · Σ|q_i|)`` with one traversal's
+constant factor, and only the triplet slices that actually changed
+cross the network.
+
+Registration is incremental end to end:
+
+* a textually repeated subscription is compiled once (the shared
+  :class:`~repro.core.plan.QueryCache`);
+* a subscription compiling to an already-standing query joins its
+  segment with **no recomputation and no re-solve at all** -- and
+  unsubscribing such a duplicate is equally free;
+* a genuinely new query evaluates *only its own segment* over the
+  fragments (not the whole combined plan), and unsubscribing the last
+  rider of a segment just drops caches -- the surviving segments'
+  answers and triplets are reused as-is.
 
 The registry exposes the same maintenance contract as a single view:
 create, then call :meth:`notify_fragment_updated` after content changes
@@ -27,13 +35,10 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.boolexpr.compose import FormulaAlgebra
-from repro.core.bottom_up import bottom_up
-from repro.core.engine import MSG_TRIPLET
-from repro.core.eval_st import answer_variable, build_equation_system
-from repro.core.plan import BatchPlan, QueryCache, plan_batch
-from repro.core.vectors import VectorTriplet
+from repro.core.plan import BatchPlan, QueryCache
 from repro.distsim.cluster import Cluster
-from repro.distsim.runtime import Run
+from repro.distsim.executors import SiteExecutor
+from repro.stream.maintainer import StreamMaintainer
 from repro.xpath.qlist import QList
 
 
@@ -50,17 +55,34 @@ class RegistryReport:
 
 
 class SubscriptionRegistry:
-    """Standing Boolean XPath subscriptions over one cluster."""
+    """Standing Boolean XPath subscriptions over one cluster.
 
-    def __init__(self, cluster: Cluster, algebra: Optional[FormulaAlgebra] = None) -> None:
+    A thin naming/report facade over a
+    :class:`~repro.stream.maintainer.StreamMaintainer`; pass
+    ``executor`` (a name or a shared
+    :class:`~repro.distsim.executors.SiteExecutor`) to refresh dirty
+    sites concurrently.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        algebra: Optional[FormulaAlgebra] = None,
+        executor: Union[str, SiteExecutor, None] = None,
+    ) -> None:
         self.cluster = cluster
         self.algebra = algebra
-        self.cache = QueryCache()
-        self._names: list[str] = []
-        self._qlists: list[QList] = []
-        self._plan: Optional[BatchPlan] = None
-        self._triplets: dict[str, VectorTriplet] = {}
-        self._answers: dict[str, bool] = {}
+        self._maintainer = StreamMaintainer(cluster, algebra=algebra, executor=executor)
+
+    @property
+    def cache(self) -> QueryCache:
+        """The compiled-query cache (shared with the maintainer)."""
+        return self._maintainer.cache
+
+    @property
+    def maintainer(self) -> StreamMaintainer:
+        """The underlying stream maintainer (changefeed, update log)."""
+        return self._maintainer
 
     # ------------------------------------------------------------------
     # Registration
@@ -68,71 +90,33 @@ class SubscriptionRegistry:
     def subscribe(self, name: str, query: Union[str, QList]) -> bool:
         """Register a subscription (text or compiled); returns its answer.
 
-        Texts go through the registry's compiled-query cache, so a
-        popular subscription arriving from many subscribers is parsed
-        once; identical compiled queries share one slice of the
-        combined plan regardless.
+        A duplicate of a standing query costs bookkeeping only; a new
+        one evaluates just its own segment across the fragments.
         """
-        if name in self._names:
-            raise ValueError(f"subscription {name!r} already registered")
-        # Compile before touching any state: a parse error must leave
-        # the registry exactly as it was.
-        qlist = self.cache.qlist(query)
-        self._names.append(name)
-        self._qlists.append(qlist)
-        self._rebuild()
-        return self._answers[name]
+        return self._maintainer.subscribe(name, query)
 
     def unsubscribe(self, name: str) -> None:
-        """Remove a subscription."""
-        index = self._names.index(name)
-        del self._names[index]
-        del self._qlists[index]
-        if self._names:
-            self._rebuild()
-        else:
-            self._plan = None
-            self._triplets.clear()
-            self._answers.clear()
-
-    def _rebuild(self) -> None:
-        self._plan = plan_batch(self._qlists)
-        self._triplets = {}
-        source_tree = self.cluster.source_tree()
-        for fragment_id in source_tree.fragment_ids():
-            triplet, _ = bottom_up(
-                self.cluster.fragment(fragment_id), self._plan.combined, self.algebra
-            )
-            self._triplets[fragment_id] = triplet
-        self._solve()
-
-    def _solve(self) -> None:
-        assert self._plan is not None
-        system = build_equation_system(self._triplets)
-        source_tree = self.cluster.source_tree()
-        self._answers = {
-            name: system.value_of(answer_variable(source_tree, index=answer_index))
-            for name, answer_index in zip(self._names, self._plan.answer_indices)
-        }
+        """Remove a subscription (never re-solves surviving ones)."""
+        self._maintainer.unsubscribe(name)
 
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
     def answers(self) -> dict[str, bool]:
         """Current answer of every subscription."""
-        return dict(self._answers)
+        return self._maintainer.answers()
 
     def answer(self, name: str) -> bool:
         """Current answer of one subscription."""
-        return self._answers[name]
+        return self._maintainer.answer(name)
 
     def names(self) -> list[str]:
         """Registered subscription names, in registration order."""
-        return list(self._names)
+        return self._maintainer.names()
 
     def plan(self) -> Optional[BatchPlan]:
         """The current batch plan (None when no subscriptions stand)."""
-        return self._plan
+        return self._maintainer.plan()
 
     def combined_size(self) -> int:
         """|QList| of the combined query (the shared-traversal width).
@@ -140,14 +124,14 @@ class SubscriptionRegistry:
         Smaller than the sum of subscription sizes whenever
         deduplication collapsed identical queries.
         """
-        return len(self._plan.combined) if self._plan is not None else 0
+        return self._maintainer.combined_size()
 
     def duplicate_subscriptions(self) -> int:
         """Standing subscriptions that share another one's compiled query."""
-        return self._plan.duplicate_count() if self._plan is not None else 0
+        return self._maintainer.duplicate_subscriptions()
 
     def __len__(self) -> int:
-        return len(self._names)
+        return len(self._maintainer)
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -156,45 +140,35 @@ class SubscriptionRegistry:
         """Incrementally maintain **all** subscriptions after an update.
 
         One visit to the fragment's site, one combined ``bottomUp``
-        pass, one combined triplet on the wire -- regardless of how many
-        subscriptions stand.
+        pass -- regardless of how many subscriptions stand -- and only
+        the changed triplet slices on the wire (a control-sized ack
+        when nothing moved).
         """
-        if self._plan is None:
+        if len(self._maintainer) == 0:
             raise ValueError("no subscriptions registered")
-        combined = self._plan.combined
-        run = Run(self.cluster)
-        site_id = self.cluster.site_of(fragment_id)
-        run.visit(site_id)
-        fragment = self.cluster.fragment(fragment_id)
-        (pair, _seconds) = run.compute(
-            site_id, lambda: bottom_up(fragment, combined, self.algebra)
-        )
-        new_triplet, stats = pair
-        run.add_ops(stats.nodes_visited, stats.qlist_ops)
-        run.message(site_id, self.cluster.coordinator_site, new_triplet.wire_bytes(), MSG_TRIPLET)
-
-        old_answers = dict(self._answers)
-        triplet_changed = new_triplet != self._triplets[fragment_id]
-        if triplet_changed:
-            self._triplets[fragment_id] = new_triplet
-            self._solve()
-        changed = tuple(
-            name for name in self._names if self._answers[name] != old_answers[name]
-        )
-        run.finish(0.0)
+        round_ = self._maintainer.refresh([fragment_id])
         return RegistryReport(
             fragment_id=fragment_id,
-            changed=changed,
-            triplet_changed=triplet_changed,
-            sites_visited=tuple(run.metrics.visits),
-            traffic_bytes=run.metrics.bytes_total,
-            nodes_recomputed=stats.nodes_visited,
+            changed=round_.changed,
+            triplet_changed=round_.triplet_changed,
+            sites_visited=round_.sites_visited,
+            traffic_bytes=round_.traffic_bytes,
+            nodes_recomputed=round_.nodes_recomputed,
         )
 
     def recompute_from_scratch(self) -> dict[str, bool]:
         """Oracle: fresh evaluation of every subscription."""
-        self._rebuild()
-        return self.answers()
+        return self._maintainer.recompute_from_scratch()
+
+    def close(self) -> None:
+        """Release the executor pool the underlying maintainer owns."""
+        self._maintainer.close()
+
+    def __enter__(self) -> "SubscriptionRegistry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SubscriptionRegistry {len(self)} subscriptions |q|={self.combined_size()}>"

@@ -10,7 +10,9 @@
 * :mod:`repro.workloads.topologies` -- the fragment-tree shapes of
   Fig. 6 (star FT1, chain FT2, bushy FT3) realized over XMark data;
 * :mod:`repro.workloads.pubsub` -- many-subscriber subscription streams
-  (popular queries recur) for the batching experiments.
+  (popular queries recur) for the batching experiments;
+* :mod:`repro.workloads.updates` -- skewed fragment-update streams
+  (hot fragments, occasional split/merge) for the stream experiments.
 """
 
 from repro.workloads.portfolio import (
@@ -33,6 +35,7 @@ from repro.workloads.topologies import (
     FT3_SHAPE,
 )
 from repro.workloads.pubsub import subscription_texts
+from repro.workloads.updates import update_stream
 
 __all__ = [
     "build_portfolio_tree",
@@ -50,4 +53,5 @@ __all__ = [
     "co_located",
     "FT3_SHAPE",
     "subscription_texts",
+    "update_stream",
 ]

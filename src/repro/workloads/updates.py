@@ -1,0 +1,215 @@
+"""Skewed fragment-update streams for the continuous-query experiments.
+
+A dissemination system sees a trickle of edits against a large standing
+document: most updates land in a few *hot* fragments (the active
+auctions), a long tail touches the rest, and every so often an operator
+re-partitions (``splitFragments`` / ``mergeFragments``).
+:func:`update_stream` generates that shape deterministically as batches
+of typed :class:`~repro.stream.updates.UpdateOp` values.
+
+The generator draws targets from the **live** cluster state, so each
+yielded batch must be applied (``maintainer.apply(batch)`` or
+:func:`~repro.stream.updates.apply_updates`) before the next batch is
+drawn -- exactly how a maintenance loop consumes it.  Ops address nodes
+by their stable ``node_id``; deletions only ever target non-virtual
+*leaves*, so no op can orphan a sub-fragment or invalidate another op
+of the same batch.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from repro.distsim.cluster import Cluster
+from repro.fragments.fragmenter import fresh_fragment_id
+from repro.stream.updates import (
+    DelNode,
+    InsNode,
+    MergeFragment,
+    Relabel,
+    SplitFragment,
+    UpdateOp,
+)
+
+#: Labels/texts drawn for inserted and relabelled nodes.  Deliberately
+#: overlaps the XMark vocabulary of :mod:`repro.workloads.pubsub`, so a
+#: generated stream actually flips standing subscriptions now and then.
+_LABELS = ("bidder", "item", "note", "probe")
+_TEXTS = ("on", "off", "3", "7", "lagos", None)
+
+
+def update_stream(
+    cluster: Cluster,
+    rounds: int,
+    ops_per_round: int = 4,
+    seed: int = 0,
+    hot_fragments: int = 1,
+    hot_weight: float = 0.8,
+    structural_every: int = 0,
+) -> Iterator[list[UpdateOp]]:
+    """Yield ``rounds`` batches of ``ops_per_round`` skewed updates.
+
+    ``hot_fragments`` fragments (the first non-root ones in source-tree
+    pre-order) receive ``hot_weight`` of the update probability mass;
+    the rest share the remainder.  When ``structural_every`` is
+    positive, every that-many-th batch leads with a structural op --
+    alternating a split of a hot fragment and a merge of a previously
+    split-off child.
+
+    Determinism: same ``(cluster state, arguments)`` -> same stream.
+    Apply each batch before drawing the next.
+    """
+    if rounds < 0:
+        raise ValueError("rounds must be >= 0")
+    if ops_per_round < 1:
+        raise ValueError("ops_per_round must be >= 1")
+    if not 0.0 <= hot_weight <= 1.0:
+        raise ValueError("hot_weight must be in [0, 1]")
+    rng = random.Random(seed)
+    split_children: list[tuple[str, str]] = []  # (parent, child) we split off
+
+    for round_index in range(rounds):
+        fragment_ids = cluster.source_tree().fragment_ids()
+        hot = _hot_set(fragment_ids, hot_fragments)
+        ops: list[UpdateOp] = []
+        touched: set[int] = set()  # node ids already targeted this batch
+        off_limits: set[str] = set()  # fragments a merge in this batch retires
+
+        if structural_every and (round_index + 1) % structural_every == 0:
+            structural = _structural_op(
+                cluster, rng, hot, split_children, touched, off_limits
+            )
+            if structural is not None:
+                ops.append(structural)
+
+        # A small document can run out of untouched target nodes before
+        # the batch fills; cap the draw attempts so the batch comes up
+        # short instead of spinning forever.
+        attempts_left = 20 * ops_per_round
+        while len(ops) < ops_per_round and attempts_left > 0:
+            attempts_left -= 1
+            fragment_id = _pick_fragment(rng, fragment_ids, hot, hot_weight)
+            if fragment_id in off_limits:
+                continue  # a merge earlier in this batch retires it
+            op = _content_op(cluster, rng, fragment_id, touched)
+            if op is not None:
+                ops.append(op)
+        yield ops
+
+
+def _hot_set(fragment_ids: list[str], hot_fragments: int) -> list[str]:
+    """The hot fragments: prefer non-root ones (leaf edits dominate)."""
+    non_root = fragment_ids[1:] or fragment_ids
+    return non_root[: max(1, hot_fragments)]
+
+
+def _pick_fragment(
+    rng: random.Random,
+    fragment_ids: list[str],
+    hot: list[str],
+    hot_weight: float,
+) -> str:
+    cold = [fid for fid in fragment_ids if fid not in hot]
+    if cold and rng.random() >= hot_weight:
+        return rng.choice(cold)
+    return rng.choice(hot)
+
+
+def _content_op(
+    cluster: Cluster,
+    rng: random.Random,
+    fragment_id: str,
+    touched: set[int],
+) -> Optional[UpdateOp]:
+    """One insert / relabel / delete inside ``fragment_id``.
+
+    ``touched`` keeps ops of the same batch off each other's nodes (a
+    delete would otherwise invalidate a later relabel's target).
+    """
+    fragment = cluster.fragment(fragment_id)
+    kind = rng.random()
+    if kind < 0.2:
+        # Delete a non-virtual leaf: never the fragment root, never a
+        # subtree holding virtual nodes -- always safe to detach.
+        leaves = [
+            node
+            for node in fragment.root.iter_subtree()
+            if not node.is_virtual
+            and not node.children
+            and node is not fragment.root
+            and node.node_id not in touched
+        ]
+        if leaves:
+            target = rng.choice(leaves)
+            touched.add(target.node_id)
+            return DelNode(fragment_id, target.node_id)
+        kind = 1.0  # nothing deletable: fall through to an insert
+    candidates = [
+        node
+        for node in fragment.root.iter_subtree()
+        if not node.is_virtual and node.node_id not in touched
+    ]
+    if not candidates:
+        return None
+    target = rng.choice(candidates)
+    touched.add(target.node_id)
+    if kind < 0.5:
+        return Relabel(
+            fragment_id,
+            target.node_id,
+            text=rng.choice([text for text in _TEXTS if text is not None]),
+        )
+    return InsNode(
+        fragment_id,
+        target.node_id,
+        label=rng.choice(_LABELS),
+        text=rng.choice(_TEXTS),
+    )
+
+
+def _structural_op(
+    cluster: Cluster,
+    rng: random.Random,
+    hot: list[str],
+    split_children: list[tuple[str, str]],
+    touched: set[int],
+    off_limits: set[str],
+) -> Optional[UpdateOp]:
+    """Alternate splitting a hot fragment and merging a child back.
+
+    Marks the moved nodes/fragments so the batch's content ops never
+    address a node the structural op relocates before they apply.
+    """
+    if split_children:
+        parent_id, child_id = split_children.pop(0)
+        if (
+            parent_id in cluster.fragmented_tree.fragments
+            and child_id in cluster.fragment(parent_id).sub_fragment_ids()
+        ):
+            off_limits.add(child_id)
+            return MergeFragment(parent_id, child_id)
+    for fragment_id in hot:
+        if fragment_id not in cluster.fragmented_tree.fragments:
+            continue
+        fragment = cluster.fragment(fragment_id)
+        candidates = [
+            node
+            for node in fragment.root.iter_subtree()
+            if node is not fragment.root
+            and not node.is_virtual
+            and len(node.children) > 0
+        ]
+        if not candidates:
+            continue
+        node = rng.choice(candidates)
+        touched.update(sub.node_id for sub in node.iter_subtree())
+        # Pin the new fragment's id so the follow-up merge is correct
+        # by construction (no guessing what the fragmenter would pick).
+        new_id = fresh_fragment_id(cluster.fragmented_tree.fragments)
+        split_children.append((fragment_id, new_id))
+        return SplitFragment(fragment_id, node.node_id, new_fragment_id=new_id)
+    return None
+
+
+__all__ = ["update_stream"]

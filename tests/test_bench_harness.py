@@ -109,6 +109,17 @@ class TestShapeClaimsRobustAtQuickScale:
         maint = result.column("maint_bytes")
         assert max(maint) <= min(maint) * 1.5 + 64
 
+    def test_stream_claims_deterministic_at_quick_scale(self, quick):
+        # Stream maintenance costs are exact (no latency noise), so the
+        # full shape check must hold even at miniature scale.
+        from repro.bench.experiments import stream_maintenance
+        from repro.bench.shape_checks import check_stream
+
+        result = stream_maintenance(quick)
+        checks = check_stream(result)
+        failed = [claim for claim, passed in checks.items() if not passed]
+        assert not failed, failed
+
     def test_ablation_blowup_visible(self, quick):
         result = ablation_algebra(quick)
         assert result.column("paper_bytes")[-1] > result.column("canonical_bytes")[-1]

@@ -131,6 +131,64 @@ class TestQueryBatch:
         assert "batch_size" in capsys.readouterr().err
 
 
+class TestStream:
+    def test_maintains_standing_queries(self, portfolio_file, capsys):
+        code = main(
+            [
+                "stream",
+                portfolio_file,
+                "[//stock]",
+                '[//code = "TSLA"]',
+                "--rounds",
+                "4",
+                "--ops",
+                "2",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "standing queries" in out
+        assert "round 1:" in out and "round 4:" in out
+        assert "update rounds:" in out and "changefeed" in out
+
+    def test_structural_rounds(self, portfolio_file, capsys):
+        code = main(
+            [
+                "stream",
+                portfolio_file,
+                "[//stock]",
+                "--rounds",
+                "4",
+                "--ops",
+                "2",
+                "--structural-every",
+                "2",
+                "--executor",
+                "threads",
+            ]
+        )
+        assert code == 0
+        assert "dirty=" in capsys.readouterr().out
+
+    def test_duplicates_collapse(self, portfolio_file, capsys):
+        assert (
+            main(
+                [
+                    "stream",
+                    portfolio_file,
+                    "[//stock]",
+                    "[//stock]",
+                    "--rounds",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert "1 duplicates collapsed" in capsys.readouterr().out
+
+
 class TestSelect:
     def test_selects_nodes(self, portfolio_file, capsys):
         assert main(["select", portfolio_file, "[//stock/code]"]) == 0

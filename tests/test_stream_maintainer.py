@@ -1,0 +1,380 @@
+"""Tests for the continuous-query maintenance runtime (stream/)."""
+
+import pytest
+
+from repro.core import ENGINE_REGISTRY, ParBoXEngine, QuerySession
+from repro.distsim.executors import ThreadSiteExecutor
+from repro.stream import (
+    Changefeed,
+    ChangeEvent,
+    DirtyIndex,
+    InsNode,
+    MergeFragment,
+    Relabel,
+    SplitFragment,
+    StreamMaintainer,
+)
+from repro.workloads.portfolio import build_portfolio_cluster
+from repro.workloads.topologies import star_ft1
+from repro.workloads.updates import update_stream
+from repro.xpath import compile_query
+
+
+@pytest.fixture
+def cluster():
+    return build_portfolio_cluster()
+
+
+@pytest.fixture
+def maintainer(cluster):
+    maintainer = StreamMaintainer(cluster)
+    maintainer.subscribe("has-stock", "[//stock]")
+    maintainer.subscribe("goog-376", '[//stock[code = "GOOG" and sell = "376"]]')
+    maintainer.subscribe("no-tsla", '[not(//code = "TSLA")]')
+    return maintainer
+
+
+def _sell_node(cluster):
+    return next(
+        n for n in cluster.fragment("F2").root.iter_subtree() if n.label == "sell"
+    )
+
+
+class TestDirtyIndex:
+    def test_duplicate_joins_segment_without_growth(self):
+        index = DirtyIndex()
+        q = compile_query("[//a]")
+        _, first_new = index.subscribe("x", q)
+        combined_before = index.combined()
+        _, second_new = index.subscribe("y", compile_query("[//a]"))
+        assert first_new and not second_new
+        assert index.combined() is combined_before  # not even re-derived
+        assert index.duplicate_count() == 1
+
+    def test_new_segment_appends_after_existing(self):
+        index = DirtyIndex()
+        a = compile_query("[//a]")
+        b = compile_query("[//b and c]")
+        index.subscribe("x", a)
+        index.subscribe("y", b)
+        assert index.spans() == ((0, len(a)), (len(a), len(b)))
+
+    def test_unsubscribe_reoffsets_successors(self):
+        index = DirtyIndex()
+        a, b, c = (compile_query(q) for q in ("[//a]", "[//b]", "[//c]"))
+        for name, q in (("x", a), ("y", b), ("z", c)):
+            index.subscribe(name, q)
+        index.unsubscribe("y")
+        assert index.spans() == ((0, len(a)), (len(a), len(c)))
+        assert [s.qlist for s in index.segments()] == [a, c]
+
+    def test_plan_matches_fresh_plan_semantics(self, cluster):
+        index = DirtyIndex()
+        queries = {"x": "[//stock]", "y": "[//sell]", "z": "[//stock]"}
+        for name, text in queries.items():
+            index.subscribe(name, compile_query(text))
+        plan = index.plan(["x", "y", "z"])
+        assert plan.answer_indices[0] == plan.answer_indices[2]
+        answers = ParBoXEngine(cluster).evaluate_many(plan).answers
+        assert answers == (True, True, True)
+
+    def test_slices_round_trip_standalone_evaluation(self, cluster):
+        from repro.core import bottom_up
+
+        index = DirtyIndex()
+        queries = [compile_query(q) for q in ("[//stock]", '[not(//code = "TSLA")]')]
+        for i, q in enumerate(queries):
+            index.subscribe(f"q{i}", q)
+        fragment = cluster.fragment("F1")
+        combined_triplet, _ = bottom_up(fragment, index.combined())
+        for segment, sliced in index.slices_of(combined_triplet):
+            standalone, _ = bottom_up(fragment, segment.qlist)
+            assert sliced == standalone
+
+
+class TestSubscribeUnsubscribe:
+    def test_initial_answers(self, maintainer):
+        assert maintainer.answers() == {
+            "has-stock": True,
+            "goog-376": False,
+            "no-tsla": True,
+        }
+
+    def test_duplicate_subscription_costs_nothing(self, cluster, maintainer):
+        # A twin of a standing query must not touch any site.
+        visits_probe = []
+
+        class CountingExecutor(ThreadSiteExecutor):
+            def run_jobs(self, jobs):
+                visits_probe.extend(jobs)
+                return super().run_jobs(jobs)
+
+        m = StreamMaintainer(cluster, executor=CountingExecutor())
+        m.subscribe("a", "[//stock]")
+        jobs_after_first = len(visits_probe)
+        assert m.subscribe("b", "[//stock]") is True  # answer served from cache
+        assert len(visits_probe) == jobs_after_first  # no new site work
+        assert m.duplicate_subscriptions() == 1
+
+    def test_new_segment_evaluates_only_itself(self, cluster):
+        jobs_log = []
+
+        class CountingExecutor(ThreadSiteExecutor):
+            def run_jobs(self, jobs):
+                jobs_log.extend(jobs)
+                return super().run_jobs(jobs)
+
+        m = StreamMaintainer(cluster, executor=CountingExecutor())
+        m.subscribe("a", "[//stock]")
+        first_len = len(compile_query("[//stock]"))
+        second_len = len(compile_query("[//sell]"))
+        jobs_log.clear()
+        m.subscribe("b", "[//sell]")
+        # The subscribe jobs carry the new segment's QList only, not
+        # the combined standing query.
+        assert jobs_log and all(len(job.qlist) == second_len for job in jobs_log)
+        assert m.combined_size() == first_len + second_len
+
+    def test_unsubscribe_duplicate_keeps_answers(self, maintainer):
+        maintainer.subscribe("has-stock-2", "[//stock]")
+        maintainer.unsubscribe("has-stock-2")
+        assert maintainer.answers() == {
+            "has-stock": True,
+            "goog-376": False,
+            "no-tsla": True,
+        }
+
+    def test_unsubscribe_unique_segment_drops_cache_only(self, maintainer):
+        maintainer.unsubscribe("goog-376")
+        assert maintainer.names() == ["has-stock", "no-tsla"]
+        assert maintainer.answers() == {"has-stock": True, "no-tsla": True}
+
+    def test_parse_error_leaves_state_untouched(self, maintainer):
+        from repro.xpath import QueryParseError
+
+        with pytest.raises(QueryParseError):
+            maintainer.subscribe("bad", "[[nope")
+        assert maintainer.names() == ["has-stock", "goog-376", "no-tsla"]
+        assert maintainer.subscribe("bad", "[//zzz]") is False
+
+    def test_duplicate_name_rejected(self, maintainer):
+        with pytest.raises(ValueError):
+            maintainer.subscribe("has-stock", "[//a]")
+
+
+class TestRefresh:
+    def test_update_flips_exactly_the_affected(self, cluster, maintainer):
+        sell = _sell_node(cluster)
+        round_ = maintainer.apply([Relabel("F2", sell.node_id, text="376")])
+        assert round_.changed == ("goog-376",)
+        assert round_.dirty_fragments == ("F2",)
+        assert round_.sites_visited == ("S2",)
+        assert round_.metrics.dirty_site_visits == 1
+        assert maintainer.answer("goog-376") is True
+
+    def test_only_changed_slices_ship(self, cluster, maintainer):
+        sell = _sell_node(cluster)
+        round_ = maintainer.apply([Relabel("F2", sell.node_id, text="376")])
+        # Only goog-376's segment changed in F2: one slice on the wire.
+        assert round_.slices_shipped == 1
+        assert round_.segments_resolved == 1
+
+    def test_unchanged_refresh_ships_control_ack_only(self, cluster, maintainer):
+        from repro.core.engine import CONTROL_BYTES
+
+        round_ = maintainer.refresh(["F2"])
+        assert not round_.triplet_changed
+        assert round_.changed == ()
+        assert round_.traffic_bytes == CONTROL_BYTES
+
+    def test_changefeed_accumulates_and_drains(self, cluster, maintainer):
+        sell = _sell_node(cluster)
+        maintainer.apply([Relabel("F2", sell.node_id, text="376")])
+        maintainer.apply([Relabel("F2", sell.node_id, text="377")])
+        events = maintainer.changefeed.drain()
+        assert [e.name for e in events] == ["goog-376", "goog-376"]
+        assert (events[0].old_answer, events[0].new_answer) == (False, True)
+        assert (events[1].old_answer, events[1].new_answer) == (True, False)
+        assert maintainer.changefeed.drain() == []  # cursor advanced
+        assert len(maintainer.changefeed) == 2  # history retained
+
+    def test_multi_fragment_batch_visits_each_dirty_site_once(self, cluster, maintainer):
+        f1 = cluster.fragment("F1").root
+        f2 = cluster.fragment("F2").root
+        f3 = cluster.fragment("F3").root
+        round_ = maintainer.apply(
+            [
+                InsNode("F1", f1.node_id, "note"),
+                InsNode("F2", f2.node_id, "note"),
+                InsNode("F3", f3.node_id, "note"),
+            ]
+        )
+        # F2 and F3 share S2: one visit, one combined job for both.
+        assert sorted(round_.sites_visited) == ["S1", "S2"]
+        assert round_.metrics.total_visits() == 2
+        assert round_.metrics.dirty_site_visits == 2
+
+    def test_split_and_merge_preserve_answers(self, cluster, maintainer):
+        before = maintainer.answers()
+        stock = cluster.fragment("F1").root.find_first(
+            lambda n: not n.is_virtual and n.label == "stock"
+        )
+        split_round = maintainer.apply([SplitFragment("F1", stock.node_id)])
+        assert split_round.structural
+        assert split_round.changed == ()
+        assert maintainer.answers() == before
+        new_id = split_round.dirty_fragments[-1]
+        merge_round = maintainer.apply([MergeFragment("F1", new_id)])
+        assert merge_round.changed == ()
+        assert maintainer.answers() == before
+
+    def test_empty_batch_is_a_cheap_noop(self, maintainer):
+        round_ = maintainer.apply([])
+        assert round_.dirty_fragments == ()
+        assert round_.traffic_bytes == 0
+        assert round_.metrics.total_visits() == 0
+
+    def test_refresh_rounds_counted(self, cluster, maintainer):
+        round_ = maintainer.refresh(["F1"])
+        assert round_.metrics.refresh_rounds == 1
+        assert "refresh_rounds" in round_.metrics.summary()
+
+    def test_refresh_unknown_fragment_raises(self, maintainer):
+        # A typo'd id must not silently no-op into stale answers.
+        with pytest.raises(KeyError):
+            maintainer.refresh(["F99"])
+
+    def test_partial_batch_failure_still_refreshes_applied_ops(
+        self, cluster, maintainer
+    ):
+        from repro.stream import DelNode, UpdateError
+
+        sell = _sell_node(cluster)
+        good = Relabel("F2", sell.node_id, text="376")
+        bad = DelNode("F2", 10**9)
+        with pytest.raises(UpdateError):
+            maintainer.apply([good, bad])
+        # The relabel applied before the failure; the answers must
+        # already reflect it (no silent divergence from the document).
+        assert maintainer.answer("goog-376") is True
+        scratch = ParBoXEngine(cluster).evaluate_many(maintainer.plan()).answers
+        assert tuple(maintainer.answers().values()) == scratch
+
+
+class TestWatchAPI:
+    def test_watch_shares_cache_and_executor(self, cluster):
+        with QuerySession(cluster, engine="parbox", executor="threads") as session:
+            handle = session.watch(["[//stock]", "[//sell]"])
+            assert handle.cache is session.cache
+            assert handle.executor is session.engine.executor
+            # Closing the handle must not tear down the shared executor.
+            handle.close()
+            assert session.evaluate("[//stock]").answer is True
+
+    def test_watch_default_names_disambiguate_duplicates(self, cluster):
+        with QuerySession(cluster) as session:
+            handle = session.watch(["[//stock]", "[//stock]"])
+            assert handle.names() == ["[//stock]", "[//stock]#2"]
+            assert handle.duplicate_subscriptions() == 1
+            handle.close()
+
+    def test_watch_rejects_mismatched_names(self, cluster):
+        with QuerySession(cluster) as session:
+            with pytest.raises(ValueError):
+                session.watch(["[//a]"], names=["x", "y"])
+            with pytest.raises(ValueError):
+                session.watch([])
+
+
+class TestOracleAgreement:
+    """Satellite: incremental maintenance == from-scratch, always."""
+
+    ENGINES = ["parbox", "fulldist", "lazy"]
+    EXECUTORS = ["serial", "threads", "process"]
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    @pytest.mark.parametrize("executor_name", EXECUTORS)
+    def test_random_stream_agrees_bitwise(self, engine_name, executor_name):
+        cluster = star_ft1(4, 0.6, seed=17, nodes_per_mb=24)
+        queries = [
+            "[//bidder]",
+            '[//probe = "on"]',
+            "[//seal]",
+            "[not(//note)]",
+            "[//bidder]",  # duplicate: rides the first segment
+        ]
+        engine_cls = ENGINE_REGISTRY[engine_name]
+        with engine_cls(cluster, executor=executor_name) as oracle:
+            maintainer = StreamMaintainer(cluster, executor=oracle.executor)
+            for index, text in enumerate(queries):
+                maintainer.subscribe(f"q{index}", text)
+            stream = update_stream(
+                cluster,
+                rounds=6,
+                ops_per_round=3,
+                seed=23,
+                structural_every=2,
+            )
+            saw_structural = False
+            for batch in stream:
+                round_ = maintainer.apply(batch)
+                saw_structural = saw_structural or round_.structural
+                live = tuple(maintainer.answers().values())
+                scratch = oracle.evaluate_many(maintainer.plan()).answers
+                assert live == scratch, f"diverged at round {round_.seq}"
+            assert saw_structural  # the stream really exercised split/merge
+
+    def test_long_stream_with_naive_oracle(self):
+        # One long run against the centralized oracle, serial executor.
+        cluster = star_ft1(3, 0.5, seed=5, nodes_per_mb=24)
+        maintainer = StreamMaintainer(cluster)
+        for index, text in enumerate(
+            ["[//item]", '[//seal = "seal-F1"]', "[not(//probe)]"]
+        ):
+            maintainer.subscribe(f"q{index}", text)
+        oracle = ENGINE_REGISTRY["central"](cluster)
+        for batch in update_stream(
+            cluster, rounds=12, ops_per_round=2, seed=9, structural_every=4
+        ):
+            maintainer.apply(batch)
+            assert (
+                tuple(maintainer.answers().values())
+                == oracle.evaluate_many(maintainer.plan()).answers
+            )
+
+
+class TestUpdateStreamGenerator:
+    def test_oversized_batch_terminates(self):
+        # More ops per round than targetable nodes: the batch must come
+        # up short, not spin forever.
+        cluster = build_portfolio_cluster()
+        total_nodes = cluster.total_size()
+        batches = list(
+            update_stream(cluster, rounds=1, ops_per_round=3 * total_nodes, seed=1)
+        )
+        assert len(batches) == 1
+        assert 0 < len(batches[0]) <= 3 * total_nodes
+
+    def test_scheduled_merges_really_happen(self):
+        from repro.stream import MergeFragment, SplitFragment, apply_updates
+
+        cluster = star_ft1(3, 0.5, seed=2, nodes_per_mb=24)
+        splits = merges = 0
+        for batch in update_stream(
+            cluster, rounds=10, ops_per_round=2, seed=6, structural_every=2
+        ):
+            splits += sum(isinstance(op, SplitFragment) for op in batch)
+            merges += sum(isinstance(op, MergeFragment) for op in batch)
+            apply_updates(cluster, batch)
+        # The generator alternates split -> merge; pinning the split id
+        # guarantees the scheduled merge actually fires.
+        assert splits >= 2 and merges >= 2
+
+
+class TestChangefeedPlumbing:
+    def test_events_are_value_objects(self):
+        feed = Changefeed()
+        event = ChangeEvent(1, "q", "[//a]", False, True)
+        feed.append(event)
+        assert list(feed) == [event]
+        assert feed.drain() == [event]
