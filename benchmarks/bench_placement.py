@@ -1,0 +1,87 @@
+"""Placement optimization: workload-aware vs balanced-random.
+
+Regenerates the ``placement`` experiment (the optimizer's placement
+must beat balanced-random on predicted *and* measured cost, with
+predictions ranking candidates truthfully and live rebalancing
+preserving every standing answer) and micro-benchmarks the two costs a
+production coordinator cares about: how long one optimization pass
+takes (pure metadata search -- no XML is touched) and how long enacting
+a plan through a standing query book takes (real data migration plus
+maintenance).
+"""
+
+import pytest
+
+from conftest import regenerate_and_check
+
+from repro.bench.experiments import placement_optimizer
+from repro.core import QuerySession
+from repro.distsim import Cluster
+from repro.fragments import Placement
+from repro.placement import (
+    Constraints,
+    Workload,
+    balanced_random_placement,
+    optimize_placement,
+)
+from repro.workloads.pubsub import subscription_texts
+from repro.workloads.topologies import bushy_ft3
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload.from_queries(
+        subscription_texts(16, seed=7), update_rates={"F4": 4.0, "F5": 2.0}
+    )
+
+
+@pytest.fixture(scope="module")
+def constraints(cluster):
+    return Constraints(site_capacity=int(cluster.total_size() / 4 * 1.9), max_sites=4)
+
+
+@pytest.fixture(scope="module")
+def cluster(config):
+    base = config.with_network(bushy_ft3(0, seed=7, nodes_per_mb=config.nodes_per_mb))
+    placement = balanced_random_placement(
+        base.fragmented_tree, [f"S{i}" for i in range(4)], seed=1
+    )
+    return config.with_network(Cluster(base.fragmented_tree, placement))
+
+
+def test_optimize_pass(benchmark, cluster, workload, constraints):
+    assignment_before = dict(cluster.placement.items())
+    plan = benchmark(lambda: optimize_placement(cluster, workload, constraints))
+    # The search runs in metadata space: the cluster must be untouched.
+    assert plan.before.total() >= plan.after.total()
+    assert dict(cluster.placement.items()) == assignment_before
+
+
+def test_enact_under_watch(benchmark, config, workload, constraints):
+    def build():
+        base = config.with_network(
+            bushy_ft3(0, seed=7, nodes_per_mb=config.nodes_per_mb)
+        )
+        placement = balanced_random_placement(
+            base.fragmented_tree, [f"S{i}" for i in range(4)], seed=1
+        )
+        return config.with_network(Cluster(base.fragmented_tree, placement))
+
+    def enact():
+        with QuerySession(build(), engine="parbox") as session:
+            watch = session.watch(subscription_texts(16, seed=7))
+            before = tuple(watch.answers().values())
+            outcome = session.rebalance(
+                workload=workload, maintainer=watch, constraints=constraints
+            )
+            assert tuple(watch.answers().values()) == before
+            watch.close()
+            return outcome
+
+    outcome = benchmark.pedantic(enact, rounds=1, iterations=1)
+    assert not outcome.plan.is_noop()
+    assert outcome.migration_bytes > 0
+
+
+def test_fig_placement(benchmark, config):
+    regenerate_and_check(benchmark, placement_optimizer, "placement", config)

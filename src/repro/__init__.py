@@ -55,8 +55,17 @@ from repro.core import (
     ALL_ENGINES,
 )
 from repro.stream import StreamMaintainer, Changefeed, ChangeEvent
+from repro.placement import (
+    Workload,
+    Constraints,
+    RebalancePlan,
+    RebalanceOutcome,
+    optimize_placement,
+    balanced_random_placement,
+    enact_plan,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "compile_query",
@@ -84,5 +93,12 @@ __all__ = [
     "StreamMaintainer",
     "Changefeed",
     "ChangeEvent",
+    "Workload",
+    "Constraints",
+    "RebalancePlan",
+    "RebalanceOutcome",
+    "optimize_placement",
+    "balanced_random_placement",
+    "enact_plan",
     "__version__",
 ]

@@ -595,6 +595,196 @@ def stream_maintenance(config: Optional[BenchConfig] = None) -> ExperimentResult
 
 
 # ---------------------------------------------------------------------------
+# Placement -- workload-aware optimizer vs balanced-random (added experiment)
+# ---------------------------------------------------------------------------
+
+
+def placement_optimizer(config: Optional[BenchConfig] = None) -> ExperimentResult:
+    """Optimizer-chosen placement vs workload-blind baselines.
+
+    One FT3 bushy document (8 uneven fragments) is placed four ways on
+    capacity-bounded sites: fully ``spread`` (one site per fragment),
+    two ``balanced-random`` assignments (node-balanced but blind to the
+    workload), and ``optimized`` -- the placement the
+    :mod:`repro.placement` optimizer chooses for the actual workload
+    (a pub/sub subscription book plus an update profile hot on F4/F5),
+    restricted to moves so the same assignment transfers onto every
+    fresh document.
+
+    Per candidate the *same* deterministic workload epoch is measured:
+    one batched evaluation of the book plus four update rounds through
+    a standing :class:`~repro.stream.maintainer.StreamMaintainer` (seal
+    toggles on the hot fragments, so changed slices genuinely ship).
+    The ``optimized`` row is special: its placement is enacted **live**
+    -- the cluster starts at ``random-1``, the book stands via
+    ``watch()``, and ``QuerySession.rebalance`` migrates the data under
+    it -- so its ``agree`` column additionally certifies bitwise answer
+    stability *through* the migration, and ``migration_bytes`` meters
+    what the move really shipped.  All costs are deterministic; the
+    shape check asserts the optimizer strictly beats balanced-random on
+    predicted and measured cost and that predicted cost *ranks*
+    candidates the way measured cost does.
+    """
+    from repro.core import ParBoXEngine as Oracle, QuerySession
+    from repro.core.estimates import Catalog, estimate_workload
+    from repro.distsim import Cluster
+    from repro.fragments import Placement
+    from repro.placement import Constraints, Workload, balanced_random_placement
+    from repro.stream import Relabel
+    from repro.workloads.pubsub import subscription_texts
+
+    config = config or BenchConfig.default()
+    site_ids = [f"S{i}" for i in range(4)]
+    update_rounds = 4
+    #: updates per epoch: F4 toggled every round, F5 every second round.
+    hot_schedule = {"F4": 1, "F5": 2}  # fragment -> toggle every n-th round
+    rates = {
+        fragment_id: update_rounds / every for fragment_id, every in hot_schedule.items()
+    }
+
+    def build() -> Cluster:
+        return config.with_network(
+            bushy_ft3(0, seed=config.seed, nodes_per_mb=config.nodes_per_mb)
+        )
+
+    base = build()
+    fragment_ids = sorted(base.fragmented_tree.fragments)
+    # Headroom for workload-aware co-location: enough that the
+    # coordinator site can absorb the hot fragments, not enough to
+    # collapse the cluster onto one site.
+    capacity = int(base.total_size() / len(site_ids) * 1.9)
+    texts = subscription_texts(12, seed=config.seed) + [
+        f'[//seal = "seal-{fragment_id}-hot"]' for fragment_id in hot_schedule
+    ]
+    workload = Workload.from_queries(texts, update_rates=rates)
+    constraints = Constraints(
+        site_capacity=capacity,
+        max_sites=len(site_ids),
+        allow_splits=False,
+        allow_merges=False,
+    )
+
+    # The "optimized" candidate has no precomputed assignment: its
+    # cluster starts at random-1 and session.rebalance() runs the one
+    # and only optimizer search live, under the standing book.
+    candidates: dict[str, Optional[dict[str, str]]] = {
+        "spread": {fid: f"T{i}" for i, fid in enumerate(fragment_ids)},
+        "random-1": dict(
+            balanced_random_placement(base.fragmented_tree, site_ids, seed=1).items()
+        ),
+        "random-2": dict(
+            balanced_random_placement(base.fragmented_tree, site_ids, seed=2).items()
+        ),
+        "optimized": None,
+    }
+
+    def toggle_batch(cluster: Cluster, seals: dict, hot: dict, round_index: int):
+        batch = []
+        for fragment_id, every in hot_schedule.items():
+            if round_index % every:
+                continue
+            hot[fragment_id] = not hot[fragment_id]
+            suffix = "-hot" if hot[fragment_id] else ""
+            batch.append(
+                Relabel(
+                    fragment_id,
+                    seals[fragment_id].node_id,
+                    text=f"seal-{fragment_id}{suffix}",
+                )
+            )
+        return batch
+
+    def measure_epoch(session: QuerySession, maintainer) -> tuple[int, int, bool]:
+        """One workload epoch: (query bytes, update bytes, bitwise agreement)."""
+        cluster = session.cluster
+        query_bytes = session.evaluate_batch(texts).metrics.bytes_total
+        seals = {
+            fragment_id: cluster.fragment(fragment_id).root.find_first(
+                lambda node: node.label == "seal"
+            )
+            for fragment_id in hot_schedule
+        }
+        hot = {fragment_id: False for fragment_id in hot_schedule}
+        update_bytes = 0
+        agree = True
+        with Oracle(cluster) as oracle:
+            for round_index in range(update_rounds):
+                round_ = maintainer.apply(toggle_batch(cluster, seals, hot, round_index))
+                update_bytes += round_.traffic_bytes
+                live = tuple(maintainer.answers().values())
+                agree = agree and live == oracle.evaluate_many(maintainer.plan()).answers
+        return query_bytes, update_bytes, agree
+
+    result = ExperimentResult(
+        "placement",
+        f"Workload-aware placement vs balanced-random (FT3, |T|={base.total_size()}, "
+        f"{len(site_ids)} sites, capacity {capacity})",
+        "candidate",
+        [
+            "predicted_terms",
+            "measured_bytes",
+            "query_bytes",
+            "update_bytes",
+            "max_site_load",
+            "capacity_ok",
+            "agree",
+            "migration_bytes",
+        ],
+    )
+
+    reference_answers = None
+    enacted_plan = None
+    for name, assignment in candidates.items():
+        live_rebalance = assignment is None
+        initial = candidates["random-1"] if live_rebalance else assignment
+        cluster = config.with_network(
+            Cluster(build().fragmented_tree, Placement(initial))
+        )
+        migration_bytes = 0
+        agree = True
+        with QuerySession(cluster, engine="parbox") as session:
+            maintainer = session.watch(texts)
+            if live_rebalance:
+                # Enact the optimizer's plan under the standing book:
+                # answers must not move while the data does.
+                answers_before = tuple(maintainer.answers().values())
+                outcome = session.rebalance(
+                    workload=workload, maintainer=maintainer, constraints=constraints
+                )
+                enacted_plan = outcome.plan
+                migration_bytes = outcome.migration_bytes
+                agree = tuple(maintainer.answers().values()) == answers_before
+            query_bytes, update_bytes, rounds_agree = measure_epoch(session, maintainer)
+            agree = agree and rounds_agree
+            answers = tuple(maintainer.answers().values())
+            maintainer.close()
+        if reference_answers is None:
+            reference_answers = answers
+        agree = agree and answers == reference_answers  # placement never moves answers
+        estimate = estimate_workload(
+            Catalog.from_cluster(cluster), workload.query_mix(), rates
+        )
+        result.add_row(
+            name,
+            predicted_terms=round(estimate.total(), 1),
+            measured_bytes=query_bytes + update_bytes,
+            query_bytes=query_bytes,
+            update_bytes=update_bytes,
+            max_site_load=estimate.max_site_load,
+            capacity_ok=estimate.max_site_load <= capacity,
+            agree=agree,
+            migration_bytes=migration_bytes,
+        )
+    if enacted_plan is not None:
+        result.note(
+            f"plan: {len(enacted_plan)} move(s), predicted "
+            f"{enacted_plan.before.total():.0f} -> "
+            f"{enacted_plan.after.total():.0f} terms/epoch"
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Ablation -- formula canonicalization (DESIGN.md Section 5)
 # ---------------------------------------------------------------------------
 
@@ -680,6 +870,7 @@ ALL_EXPERIMENTS: list[tuple[str, Callable[[Optional[BenchConfig]], ExperimentRes
     ("executors", executors_realtime),
     ("batching", batching_amortization),
     ("stream", stream_maintenance),
+    ("placement", placement_optimizer),
 ]
 
 __all__ = [
@@ -698,5 +889,6 @@ __all__ = [
     "executors_realtime",
     "batching_amortization",
     "stream_maintenance",
+    "placement_optimizer",
     "ALL_EXPERIMENTS",
 ]

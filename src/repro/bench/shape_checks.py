@@ -312,6 +312,49 @@ def check_stream(result: ExperimentResult) -> dict[str, bool]:
     }
 
 
+def check_placement(result: ExperimentResult) -> dict[str, bool]:
+    """The optimizer earns its keep, and its predictions rank truthfully.
+
+    All costs here are deterministic, so strict inequalities are safe:
+    the workload-aware placement must beat every balanced-random
+    baseline on *measured* total traffic (and on the predicted
+    objective it optimized), the predicted cost must order candidates
+    the way measured cost does wherever the prediction separates them
+    (>2% apart), live rebalancing under a standing ``watch()`` must
+    leave every answer bitwise intact, and the chosen placement must
+    respect the capacity constraint while actually shipping (metered)
+    migration traffic to get there.
+    """
+    rows = {x: values for x, values in result.rows}
+    optimized = rows["optimized"]
+    randoms = [rows["random-1"], rows["random-2"]]
+    by_candidate = [(values["predicted_terms"], values["measured_bytes"]) for values in rows.values()]
+    ranks_consistent = all(
+        # A measured tie is not an inversion: only a strictly *opposed*
+        # ordering refutes the prediction.
+        (measured_a <= measured_b) == (predicted_a < predicted_b)
+        or measured_a == measured_b
+        for i, (predicted_a, measured_a) in enumerate(by_candidate)
+        for predicted_b, measured_b in by_candidate[i + 1 :]
+        if abs(predicted_a - predicted_b) > 0.02 * max(predicted_a, predicted_b)
+    )
+    return {
+        "optimizer_beats_balanced_random_measured": all(
+            optimized["measured_bytes"] < r["measured_bytes"] for r in randoms
+        ),
+        "optimizer_beats_balanced_random_predicted": all(
+            optimized["predicted_terms"] < r["predicted_terms"] for r in randoms
+        ),
+        "predicted_ranks_match_measured": ranks_consistent,
+        "rebalance_preserves_answers_bitwise": all(
+            values["agree"] for values in rows.values()
+        ),
+        "optimized_respects_capacity": optimized["capacity_ok"],
+        "migration_traffic_metered": optimized["migration_bytes"] > 0
+        and all(r["migration_bytes"] == 0 for r in randoms),
+    }
+
+
 #: experiment id -> shape checker.
 CHECKS = {
     "fig4": check_fig4,
@@ -328,6 +371,7 @@ CHECKS = {
     "executors": check_executors,
     "batching": check_batching,
     "stream": check_stream,
+    "placement": check_placement,
 }
 
 __all__ = ["CHECKS"] + [name for name in dir() if name.startswith("check_")]

@@ -23,7 +23,7 @@ from repro.core.plan import BatchPlan, attribute_costs, coerce_plan
 from repro.distsim.cluster import Cluster
 from repro.distsim.executors import SiteExecutor, SiteJob, resolve_executor
 from repro.distsim.metrics import BatchResult, EvalResult
-from repro.distsim.runtime import Run
+from repro.distsim.runtime import MSG_MIGRATE, Run
 from repro.distsim.trace import Trace
 from repro.xpath.qlist import QList
 
@@ -34,6 +34,9 @@ MSG_TRIPLET_DELTA = "triplet-delta"  # site -> coordinator: changed slices only 
 MSG_GROUND_TRIPLET = "ground-triplet"  # variable-free triplet (FullDist, NaiveDist)
 MSG_FRAGMENT_DATA = "fragment-data"  # serialized XML (NaiveCentralized only)
 MSG_CONTROL = "control"  # small control/handoff messages
+# MSG_MIGRATE ("migrate") -- fragment data shipped by rebalancing -- is
+# defined in repro.distsim.runtime (Run.migrate emits it) and
+# re-exported here with the other kinds.
 
 #: Nominal size of a control message in bytes.
 CONTROL_BYTES = 64
@@ -223,5 +226,6 @@ __all__ = [
     "MSG_GROUND_TRIPLET",
     "MSG_FRAGMENT_DATA",
     "MSG_CONTROL",
+    "MSG_MIGRATE",
     "CONTROL_BYTES",
 ]

@@ -16,11 +16,33 @@ per-fragment sizes and the query size) -- no evaluation required:
 ``tests/test_estimates.py`` checks every prediction against measured
 runs, which is precisely the "performance guarantees" claim of the
 paper made mechanical.
+
+Beyond the per-query rows of Fig. 4, this module also predicts the
+aggregate cost of a *workload* -- a weighted mix of standing queries
+plus a per-fragment update-rate profile -- against any candidate
+decomposition/placement, without building it:
+
+* :class:`Catalog` is the metadata a coordinator's catalog would hold
+  (per-fragment sizes, sub-fragment counts, wire bytes, the fragment
+  tree shape and the placement), snapshotted from a live cluster or
+  derived *functionally* from another catalog by a hypothetical
+  move/split/merge -- which is what lets the placement optimizer
+  (:mod:`repro.placement`) search thousands of candidate placements in
+  metadata space;
+* :func:`estimate_workload` turns a catalog plus a workload profile
+  into a :class:`WorkloadEstimate`: predicted steady-state query and
+  maintenance communication (in formula-term units) and the per-site
+  load profile the balance/capacity constraints are checked against.
+
+The prediction's job is *ranking* candidate placements, and the
+``placement`` benchmark checks exactly that: the predicted ordering of
+candidate placements must match the measured ordering.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
 
 from repro.distsim.cluster import Cluster
 from repro.xpath.qlist import QList
@@ -199,6 +221,210 @@ def estimate_maintenance(cluster: Cluster, qlist: QList, fragment_id: str) -> Co
     )
 
 
+# ---------------------------------------------------------------------------
+# Workload-weighted aggregate predictions (the placement optimizer's objective)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Catalog:
+    """The coordinator-side metadata of one decomposition + placement.
+
+    Everything the Fig. 4 estimators consume, and nothing more: sizes,
+    sub-fragment shape, wire bytes and the ``h`` map.  Snapshot a live
+    cluster with :meth:`from_cluster`; derive hypothetical states with
+    :meth:`with_move` / :meth:`with_split` / :meth:`with_merge`, which
+    return *new* catalogs in O(card(F)) without touching any XML --
+    the whole point: the optimizer explores placements in metadata
+    space and only the chosen plan ever moves real data.
+    """
+
+    sizes: Mapping[str, int]  # fragment id -> |F_j| (non-virtual nodes)
+    children: Mapping[str, tuple[str, ...]]  # fragment id -> direct sub-fragments
+    site_of: Mapping[str, str]  # the placement h
+    wire_bytes: Mapping[str, int]  # fragment id -> shipping cost in bytes
+    root_fragment_id: str
+
+    @classmethod
+    def from_cluster(cls, cluster: Cluster) -> "Catalog":
+        """Snapshot the catalog metadata of a live cluster."""
+        fragments = cluster.fragmented_tree.fragments
+        return cls(
+            sizes={fid: f.size() for fid, f in fragments.items()},
+            children={fid: tuple(f.sub_fragment_ids()) for fid, f in fragments.items()},
+            site_of={fid: cluster.site_of(fid) for fid in fragments},
+            wire_bytes={fid: f.wire_bytes() for fid, f in fragments.items()},
+            root_fragment_id=cluster.fragmented_tree.root_fragment_id,
+        )
+
+    # -- shape / placement accessors -----------------------------------
+    def fragment_ids(self) -> list[str]:
+        return list(self.sizes)
+
+    @property
+    def coordinator(self) -> str:
+        """The coordinator site: wherever the root fragment lives."""
+        return self.site_of[self.root_fragment_id]
+
+    def card_of(self, fragment_id: str) -> int:
+        """``card(F_j)``: the fragment's direct sub-fragment count."""
+        return len(self.children[fragment_id])
+
+    def sites(self) -> list[str]:
+        """Distinct sites, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for fragment_id in self.sizes:
+            seen.setdefault(self.site_of[fragment_id])
+        return list(seen)
+
+    def site_loads(self) -> dict[str, int]:
+        """Cumulative node count per site (the paper's |F_Si|)."""
+        loads: dict[str, int] = {}
+        for fragment_id, size in self.sizes.items():
+            site = self.site_of[fragment_id]
+            loads[site] = loads.get(site, 0) + size
+        return loads
+
+    def total_size(self) -> int:
+        return sum(self.sizes.values())
+
+    # -- functional updates (hypothetical rebalancing actions) ---------
+    def with_move(self, fragment_id: str, target_site: str) -> "Catalog":
+        """The catalog after ``moveFragments(fragment_id, target_site)``."""
+        site_of = dict(self.site_of)
+        site_of[fragment_id] = target_site
+        return Catalog(self.sizes, self.children, site_of, self.wire_bytes, self.root_fragment_id)
+
+    def with_split(
+        self,
+        fragment_id: str,
+        new_fragment_id: str,
+        subtree_size: int,
+        subtree_bytes: int,
+        moved_children: Sequence[str] = (),
+        target_site: Optional[str] = None,
+    ) -> "Catalog":
+        """The catalog after carving ``subtree_size`` nodes out of a fragment.
+
+        ``moved_children`` are the sub-fragments whose virtual leaves sit
+        inside the carved subtree: they re-parent onto the new fragment.
+        The new fragment lands on ``target_site`` (default: stays put).
+        """
+        sizes = dict(self.sizes)
+        sizes[fragment_id] = sizes[fragment_id] - subtree_size
+        sizes[new_fragment_id] = subtree_size
+        wire = dict(self.wire_bytes)
+        wire[fragment_id] = max(0, wire[fragment_id] - subtree_bytes)
+        wire[new_fragment_id] = subtree_bytes
+        children = dict(self.children)
+        moved = set(moved_children)
+        children[fragment_id] = tuple(
+            child for child in children[fragment_id] if child not in moved
+        ) + (new_fragment_id,)
+        children[new_fragment_id] = tuple(moved_children)
+        site_of = dict(self.site_of)
+        site_of[new_fragment_id] = target_site or site_of[fragment_id]
+        return Catalog(sizes, children, site_of, wire, self.root_fragment_id)
+
+    def with_merge(self, parent_id: str, child_id: str) -> "Catalog":
+        """The catalog after ``mergeFragments`` absorbs a sub-fragment."""
+        sizes = dict(self.sizes)
+        sizes[parent_id] = sizes[parent_id] + sizes.pop(child_id)
+        wire = dict(self.wire_bytes)
+        wire[parent_id] = wire[parent_id] + wire.pop(child_id)
+        children = dict(self.children)
+        grafted: list[str] = []
+        for sub in children[parent_id]:
+            if sub == child_id:
+                grafted.extend(children[child_id])  # grandchildren re-parent
+            else:
+                grafted.append(sub)
+        children[parent_id] = tuple(grafted)
+        del children[child_id]
+        site_of = dict(self.site_of)
+        del site_of[child_id]
+        return Catalog(sizes, children, site_of, wire, self.root_fragment_id)
+
+
+@dataclass(frozen=True)
+class WorkloadEstimate:
+    """Predicted steady-state cost of one workload on one catalog.
+
+    All communication figures are in formula-term units (the same unit
+    the Fig. 4 rows use), so they rank placements rather than predict
+    absolute bytes; ``site_loads`` feeds the optimizer's balance and
+    capacity constraints.
+    """
+
+    query_terms: float  # weighted remote-triplet terms of the query mix
+    update_terms: float  # weighted remote-delta terms of the update mix
+    site_loads: dict[str, int] = field(repr=False)
+
+    @property
+    def max_site_load(self) -> int:
+        """The paper's ``max |F_Si|``: the parallel-computation bound."""
+        return max(self.site_loads.values()) if self.site_loads else 0
+
+    def total(self) -> float:
+        """The scalar objective the optimizer minimizes."""
+        return self.query_terms + self.update_terms
+
+    def as_dict(self) -> dict:
+        return {
+            "query_terms": self.query_terms,
+            "update_terms": self.update_terms,
+            "total_terms": self.total(),
+            "max_site_load": self.max_site_load,
+            "sites": len(self.site_loads),
+        }
+
+
+def estimate_workload(
+    catalog: Catalog,
+    query_mix: Sequence[tuple[int, float]],
+    update_rates: Optional[Mapping[str, float]] = None,
+) -> WorkloadEstimate:
+    """Workload-weighted aggregate of the ParBoX rows of Fig. 4.
+
+    ``query_mix`` is the standing book as ``(|QList|, weight)`` pairs
+    (weight = how often the query is asked, or how many subscriptions
+    ride it); ``update_rates`` maps fragment ids to expected updates
+    per workload epoch.  Per *remote* fragment (site != coordinator):
+
+    * each query of size ``n`` ships its ``n``-entry broadcast slice
+      plus a worst-case triplet of ``3n(1 + 3 card(F_j))`` terms, i.e.
+      ``n(4 + 9 card(F_j))`` terms per evaluation;
+    * each update re-ships the fragment's slice of the whole standing
+      book: ``3 N (1 + 3 card(F_j))`` terms with ``N`` the weighted
+      book size (Section 5's maintenance bound).
+
+    Fragments co-located with the coordinator contribute **zero**
+    communication -- intra-site messages are free in the network model
+    and in reality -- which is exactly the lever the optimizer pulls,
+    bounded by the capacity/balance constraints on ``site_loads``.
+    Rates for fragments unknown to the catalog (e.g. merged away in a
+    hypothetical state) are ignored.
+    """
+    rates = update_rates or {}
+    coordinator = catalog.coordinator
+    weighted_entries = sum(n * w for n, w in query_mix)
+    query_terms = 0.0
+    update_terms = 0.0
+    for fragment_id in catalog.fragment_ids():
+        if catalog.site_of[fragment_id] == coordinator:
+            continue
+        card_j = catalog.card_of(fragment_id)
+        query_terms += weighted_entries * (4 + 9 * card_j)
+        rate = rates.get(fragment_id, 0.0)
+        if rate:
+            update_terms += rate * 3 * weighted_entries * (1 + 3 * card_j)
+    return WorkloadEstimate(
+        query_terms=query_terms,
+        update_terms=update_terms,
+        site_loads=catalog.site_loads(),
+    )
+
+
 #: All estimators keyed like the engines they predict.
 ESTIMATORS = {
     "ParBoX": estimate_parbox,
@@ -214,5 +440,8 @@ __all__ = [
     "estimate_naive_distributed",
     "estimate_lazy_worst_case",
     "estimate_maintenance",
+    "Catalog",
+    "WorkloadEstimate",
+    "estimate_workload",
     "ESTIMATORS",
 ]

@@ -18,6 +18,10 @@ The session surface is intentionally small::
         outcome = session.evaluate_many(list_of_query_texts)
         outcome.answers          # one bool per input query, input order
         outcome.bytes_per_query  # the amortization headline
+
+        watch = session.watch(list_of_query_texts)   # keep them standing
+        session.rebalance(queries=list_of_query_texts,
+                          maintainer=watch)          # re-place the data for them
 """
 
 from __future__ import annotations
@@ -252,6 +256,53 @@ class QuerySession:
         for name, query in zip(name_list, query_list):
             maintainer.subscribe(name, query)
         return maintainer
+
+    # ------------------------------------------------------------------
+    # Rebalancing
+    # ------------------------------------------------------------------
+    def rebalance(
+        self,
+        queries: Optional[Sequence[Query]] = None,
+        update_rates: Optional[dict] = None,
+        workload: Optional["Workload"] = None,  # noqa: F821 - imported lazily below
+        maintainer: Optional["StreamMaintainer"] = None,  # noqa: F821
+        constraints: Optional["Constraints"] = None,  # noqa: F821
+    ) -> "RebalanceOutcome":  # noqa: F821
+        """Optimize this cluster's placement for a workload and enact it.
+
+        The write-path counterpart of :meth:`evaluate_many` and
+        :meth:`watch`: where those *read* the cluster topology, this
+        one rewrites it.  The workload is either given ready-made
+        (``workload=``) or built from ``queries`` (compiled through the
+        session cache, duplicates folding into weights) plus optional
+        per-fragment ``update_rates``.  The optimizer
+        (:func:`~repro.placement.optimizer.optimize_placement`)
+        searches move/split/merge actions under ``constraints``; the
+        plan is then enacted -- through ``maintainer`` when standing
+        queries must stay live (pass the handle :meth:`watch` returned;
+        answers are preserved bitwise while the data migrates), or
+        straight onto the cluster otherwise.  Returns the
+        :class:`~repro.placement.rebalancer.RebalanceOutcome` tying the
+        plan to the migrations that really shipped.
+        """
+        from repro.placement import (  # local: keeps core importable without placement
+            Workload,
+            enact_plan,
+            optimize_placement,
+        )
+
+        if workload is None:
+            if queries is None:
+                raise ValueError("pass queries= (or a ready workload=)")
+            workload = Workload.from_queries(
+                queries, cache=self.cache, update_rates=update_rates
+            )
+        elif queries is not None or update_rates is not None:
+            raise ValueError("pass either workload= or queries=/update_rates=, not both")
+        plan = optimize_placement(self.cluster, workload, constraints)
+        if maintainer is not None:
+            return enact_plan(plan, maintainer=maintainer)
+        return enact_plan(plan, cluster=self.cluster)
 
     # ------------------------------------------------------------------
     # Lifecycle

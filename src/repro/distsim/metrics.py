@@ -65,6 +65,15 @@ class Metrics:
     #: Incremental refresh rounds (update batches) folded into this
     #: ledger by a :class:`~repro.stream.maintainer.StreamMaintainer`.
     refresh_rounds: int = 0
+    #: Bytes of fragment data shipped site-to-site by rebalancing
+    #: (``MoveFragment``, cross-site merges, off-site splits).  A subset
+    #: of ``bytes_total``, kept separately because migration is a
+    #: one-off cost the placement optimizer amortizes against the
+    #: steady-state savings it buys.
+    migration_bytes: int = 0
+    #: Site contacts made solely to migrate fragment data (the origin
+    #: told to ship, the target told to receive).
+    migration_visits: int = 0
     extra: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -135,6 +144,8 @@ class Metrics:
             "critical_path_seconds": self.critical_path_seconds,
             "dirty_site_visits": self.dirty_site_visits,
             "refresh_rounds": self.refresh_rounds,
+            "migration_bytes": self.migration_bytes,
+            "migration_visits": self.migration_visits,
         }
 
 

@@ -16,7 +16,10 @@ Engines drive a ``Run`` through six primitives:
   elapsed time of the fork/join: the *critical path* (max over
   branches), recorded with the branch that determined it;
 * :meth:`Run.add_ops` -- record deterministic operation counts
-  (nodes processed, ``node x |QList|`` ops).
+  (nodes processed, ``node x |QList|`` ops);
+* :meth:`Run.migrate` -- record a fragment-data shipment between sites
+  during rebalancing (one :data:`MSG_MIGRATE` message, counted both in
+  the normal traffic ledger and in the dedicated migration counters).
 
 The engine composes those ingredients into a simulated elapsed time
 (:meth:`Run.join` over parallel branches, sum over sequential steps)
@@ -42,6 +45,12 @@ from repro.distsim.executors import (
 )
 from repro.distsim.metrics import Metrics
 from repro.distsim.trace import Trace
+
+#: Message kind of fragment-data shipments during rebalancing.  Defined
+#: here (not in :mod:`repro.core.engine` with the evaluation kinds)
+#: because :meth:`Run.migrate` is the primitive that emits it and
+#: ``distsim`` must not import ``core``.
+MSG_MIGRATE = "migrate"
 
 T = TypeVar("T")
 
@@ -122,6 +131,25 @@ class Run:
         if self.trace is not None:
             self.trace.record_message(src_site, dst_site, kind, nbytes)
         return self.cluster.network.transfer_seconds(nbytes, same_site=same)
+
+    def migrate(self, src_site: str, dst_site: str, nbytes: int) -> float:
+        """Record one fragment migration; returns its transfer seconds.
+
+        A migration contacts both endpoints (the origin is told to ship,
+        the target to receive) and moves ``nbytes`` of fragment data as
+        one :data:`MSG_MIGRATE` message.  The bytes count toward the
+        normal traffic ledger *and* the dedicated migration counters, so
+        rebalancing cost stays distinguishable from evaluation cost.
+        An intra-site "migration" (placement unchanged, or a merge whose
+        endpoints share a site) costs nothing and is not counted.
+        """
+        if src_site == dst_site:
+            return 0.0
+        self.visit(src_site)
+        self.visit(dst_site)
+        self.metrics.migration_visits += 2
+        self.metrics.migration_bytes += nbytes
+        return self.message(src_site, dst_site, nbytes, MSG_MIGRATE)
 
     def ingress(self, dst_site: str, total_bytes: int, senders: int, kind: str) -> float:
         """Record a many-to-one shipment bounded by the receiver's link."""
@@ -223,4 +251,4 @@ class Run:
         return self.metrics
 
 
-__all__ = ["Run", "ParallelBatch"]
+__all__ = ["Run", "ParallelBatch", "MSG_MIGRATE"]

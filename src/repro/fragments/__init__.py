@@ -20,9 +20,11 @@ occurrence of a sub-fragment in its parent fragment is replaced by a
 from repro.fragments.fragment import Fragment, FragmentedTree, FragmentationError
 from repro.fragments.source_tree import Placement, SourceTree
 from repro.fragments.fragmenter import (
+    SplitCandidate,
     fragment_at,
     fragment_balanced,
     fragment_per_node,
+    split_candidates,
     split_fragment,
     merge_fragment,
 )
@@ -38,4 +40,6 @@ __all__ = [
     "fragment_per_node",
     "split_fragment",
     "merge_fragment",
+    "split_candidates",
+    "SplitCandidate",
 ]

@@ -12,15 +12,22 @@ Three entry points:
 Plus the two structural update operations of Section 5:
 
 * :func:`split_fragment`  -- the paper's ``splitFragments(v)``;
-* :func:`merge_fragment`  -- the paper's ``mergeFragments(v)``.
+* :func:`merge_fragment`  -- the paper's ``mergeFragments(v)``;
+
+and :func:`split_candidates`, which surveys a fragment for the nodes a
+*re-fragmentation* would cut at -- the decomposition actions the
+placement optimizer (:mod:`repro.placement`) scores in metadata space
+before any real split happens.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from repro.fragments.fragment import Fragment, FragmentationError, FragmentedTree
 from repro.xmltree.node import XMLNode
+from repro.xmltree.serializer import estimated_wire_bytes
 from repro.xmltree.tree import XMLTree
 
 
@@ -235,6 +242,79 @@ def _owning_root(node: XMLNode) -> XMLNode:
     return current
 
 
+@dataclass(frozen=True)
+class SplitCandidate:
+    """One place a fragment could be split, with the catalog deltas.
+
+    Everything a hypothetical :meth:`repro.core.estimates.Catalog.with_split`
+    needs -- the carved subtree's node count, wire bytes and the
+    sub-fragments whose virtual leaves it would carry along -- plus the
+    stable ``node_id`` the eventual
+    :class:`~repro.stream.updates.SplitFragment` op addresses.
+    """
+
+    fragment_id: str
+    node_id: int
+    subtree_size: int
+    subtree_bytes: int
+    moved_sub_fragments: tuple[str, ...]
+
+
+def split_candidates(
+    fragment: Fragment,
+    limit: int = 3,
+    min_fraction: float = 0.1,
+    max_fraction: float = 0.7,
+) -> list[SplitCandidate]:
+    """Survey a fragment for worthwhile split points.
+
+    A candidate is a non-root, non-virtual node whose subtree holds
+    between ``min_fraction`` and ``max_fraction`` of the fragment's
+    nodes (splitting off a sliver buys nothing; splitting off nearly
+    everything just renames the fragment).  At most ``limit``
+    candidates are returned, those closest to an even halving first --
+    the cuts that give a rebalancer the most freedom.  Candidates may
+    be nested; callers applying more than one split per fragment must
+    check containment themselves (the optimizer applies at most one).
+    """
+    total = fragment.size()
+    if total < 2:
+        return []
+    low = max(1, int(total * min_fraction))
+    high = max(low, int(total * max_fraction))
+    # One post-order pass computes every subtree size (calling
+    # node.subtree_size() per node would make the survey quadratic in
+    # the fragment size); wire bytes and carried sub-fragments are then
+    # gathered only for the few nodes that survive selection.
+    sizes: dict[int, int] = {}
+    for node in fragment.root.iter_postorder():
+        sizes[node.node_id] = (0 if node.is_virtual else 1) + sum(
+            sizes[child.node_id] for child in node.children
+        )
+    selected = [
+        node
+        for node in fragment.root.iter_subtree()
+        if node is not fragment.root
+        and not node.is_virtual
+        and low <= sizes[node.node_id] <= high
+    ]
+    selected.sort(key=lambda n: (abs(sizes[n.node_id] - total // 2), n.node_id))
+    return [
+        SplitCandidate(
+            fragment_id=fragment.fragment_id,
+            node_id=node.node_id,
+            subtree_size=sizes[node.node_id],
+            subtree_bytes=estimated_wire_bytes(node),
+            moved_sub_fragments=tuple(
+                sub.fragment_ref
+                for sub in node.iter_subtree()
+                if sub.is_virtual and sub.fragment_ref
+            ),
+        )
+        for node in selected[:limit]
+    ]
+
+
 __all__ = [
     "fragment_at",
     "fragment_balanced",
@@ -242,4 +322,6 @@ __all__ = [
     "fresh_fragment_id",
     "split_fragment",
     "merge_fragment",
+    "split_candidates",
+    "SplitCandidate",
 ]

@@ -1,0 +1,63 @@
+"""Workload-aware placement: choosing *where the data goes*.
+
+Every layer below this one treats the fragmentation and the placement
+``h`` as given; the paper's cost bounds (Fig. 4, executable in
+:mod:`repro.core.estimates`) say how much a given choice costs, and
+``bench_fig13_frags_per_site.py`` measures the effect -- but nothing
+chose a *good* decomposition.  This package closes that loop.  It is
+the first layer that **writes** the cluster topology instead of
+reading it:
+
+* :mod:`~repro.placement.workload` -- the optimization target: a
+  weighted query mix plus per-fragment update rates
+  (:class:`Workload`, :func:`profile_update_stream`);
+* :mod:`~repro.placement.optimizer` -- greedy + local search over
+  **move / split / merge** actions in catalog-metadata space,
+  minimizing :func:`~repro.core.estimates.estimate_workload` under
+  capacity / balance / site-count constraints
+  (:func:`optimize_placement` -> :class:`RebalancePlan`), with
+  :func:`balanced_random_placement` as the workload-blind baseline;
+* :mod:`~repro.placement.rebalancer` -- enactment: the plan becomes a
+  batch of typed update ops (``SplitFragment`` / ``MergeFragment`` /
+  ``MoveFragment``) applied through a live
+  :class:`~repro.stream.maintainer.StreamMaintainer` -- standing
+  answers stay bitwise intact while data migrates, and the migrated
+  bytes are metered as ``MSG_MIGRATE`` traffic
+  (:func:`enact_plan` -> :class:`RebalanceOutcome`).
+
+The convenient front door is
+:meth:`repro.core.session.QuerySession.rebalance`; the ``placement``
+benchmark experiment checks the headline claim end to end: the
+optimizer's placement beats balanced-random on *measured* cost, the
+predicted ranking of candidate placements matches the measured one,
+and a live rebalance under an active ``watch()`` never moves an
+answer.
+"""
+
+from repro.placement.optimizer import (
+    Constraints,
+    MergeAction,
+    MoveAction,
+    RebalanceAction,
+    RebalancePlan,
+    SplitAction,
+    balanced_random_placement,
+    optimize_placement,
+)
+from repro.placement.rebalancer import RebalanceOutcome, enact_plan
+from repro.placement.workload import Workload, profile_update_stream
+
+__all__ = [
+    "Workload",
+    "profile_update_stream",
+    "Constraints",
+    "MoveAction",
+    "SplitAction",
+    "MergeAction",
+    "RebalanceAction",
+    "RebalancePlan",
+    "optimize_placement",
+    "balanced_random_placement",
+    "RebalanceOutcome",
+    "enact_plan",
+]

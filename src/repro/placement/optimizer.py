@@ -1,0 +1,450 @@
+"""The workload-aware placement optimizer.
+
+Given a cluster and a :class:`~repro.placement.workload.Workload`, the
+optimizer searches the space of decompositions and placements for one
+that minimizes the predicted steady-state cost of
+:func:`~repro.core.estimates.estimate_workload`, subject to capacity
+and balance constraints.  The search never touches XML: it runs over
+:class:`~repro.core.estimates.Catalog` snapshots, deriving each
+hypothetical state functionally, and only the chosen
+:class:`RebalancePlan` is ever enacted on real data
+(:mod:`repro.placement.rebalancer`).
+
+The algorithm is greedy hill-climbing with a composite neighborhood --
+the classic local-search recipe for partitioning problems:
+
+1. snapshot the catalog; survey each fragment for split points
+   (:func:`~repro.fragments.fragmenter.split_candidates`);
+2. per step, score every candidate action --
+   **move** a fragment to another (or a fresh) site,
+   **split** a fragment and place the new half anywhere,
+   **merge** a sub-fragment back into its parent --
+   as ``predicted steady-state cost  +  migration_weight x migration
+   bytes  +  a large penalty per node of constraint violation``;
+3. apply the best action if it improves the score, else stop.
+
+Because moves of already-moved fragments stay in the neighborhood, the
+greedy loop *is* a local search: early decisions get revised when a
+later split or merge changes the trade-off.  The penalty formulation
+means an infeasible starting state (an overloaded site, too many
+sites) is repaired first -- any violation dwarfs every steady-state
+term -- and the optimizer doubles as a rebalancer after organic growth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.estimates import Catalog, WorkloadEstimate, estimate_workload
+from repro.distsim.cluster import Cluster
+from repro.fragments.fragment import FragmentedTree
+from repro.fragments.fragmenter import SplitCandidate, fresh_fragment_id, split_candidates
+from repro.fragments.source_tree import Placement
+from repro.placement.workload import Workload
+from repro.stream.updates import MergeFragment, MoveFragment, SplitFragment, UpdateOp
+
+#: Cost charged per node of constraint violation: large enough that any
+#: repair beats any steady-state saving.
+_PENALTY_PER_NODE = 1e9
+
+
+# ---------------------------------------------------------------------------
+# Actions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MoveAction:
+    """Re-assign one fragment to another site."""
+
+    fragment_id: str
+    target_site: str
+
+    def to_op(self) -> UpdateOp:
+        return MoveFragment(self.fragment_id, self.target_site)
+
+    def describe(self) -> str:
+        return f"move {self.fragment_id} -> {self.target_site}"
+
+
+@dataclass(frozen=True)
+class SplitAction:
+    """Carve a new fragment out and place it on ``target_site``."""
+
+    fragment_id: str
+    node_id: int
+    new_fragment_id: str
+    target_site: str
+    #: Nodes the carved subtree holds (drives the update-rate share the
+    #: new fragment inherits; informational otherwise).
+    subtree_size: int = 0
+
+    def to_op(self) -> UpdateOp:
+        return SplitFragment(
+            self.fragment_id,
+            self.node_id,
+            new_fragment_id=self.new_fragment_id,
+            target_site=self.target_site,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"split {self.fragment_id} at node {self.node_id} "
+            f"-> {self.new_fragment_id} on {self.target_site}"
+        )
+
+
+@dataclass(frozen=True)
+class MergeAction:
+    """Absorb a sub-fragment back into its parent (data moves along)."""
+
+    parent_id: str
+    child_id: str
+
+    def to_op(self) -> UpdateOp:
+        return MergeFragment(self.parent_id, self.child_id)
+
+    def describe(self) -> str:
+        return f"merge {self.child_id} into {self.parent_id}"
+
+
+RebalanceAction = Union[MoveAction, SplitAction, MergeAction]
+
+
+# ---------------------------------------------------------------------------
+# Constraints and the plan
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Constraints:
+    """What a feasible placement must respect.
+
+    ``site_capacity`` bounds the nodes one site may store;
+    ``balance_factor`` bounds the loaded-to-mean ratio (1.0 = perfectly
+    even); ``max_sites`` caps how many sites the plan may use, and the
+    optimizer may *open* fresh sites (named ``<new_site_prefix><k>``)
+    up to that cap.  The ``allow_*`` switches restrict the neighborhood
+    -- a moves-only optimization keeps the decomposition bitwise intact,
+    which is what the benchmarks use to transplant an optimized
+    assignment onto freshly generated documents.
+    """
+
+    site_capacity: Optional[int] = None
+    max_sites: Optional[int] = None
+    balance_factor: Optional[float] = None
+    allow_moves: bool = True
+    allow_splits: bool = True
+    allow_merges: bool = True
+    max_actions: int = 16
+    #: Minimum relative score improvement to keep going.
+    min_gain: float = 1e-6
+    splits_per_fragment: int = 3
+    new_site_prefix: str = "Sx"
+
+
+@dataclass(frozen=True)
+class RebalancePlan:
+    """The optimizer's output: ordered actions + predicted effect.
+
+    ``actions`` apply in order (a move may target a fragment an earlier
+    split created); :meth:`to_ops` turns them into the typed update log
+    ops a :class:`~repro.stream.maintainer.StreamMaintainer` enacts
+    live.  ``assignment`` is the final fragment -> site map (only
+    directly transplantable when the plan is moves-only: split actions
+    reference node ids of the plan's own cluster).
+    """
+
+    actions: tuple[RebalanceAction, ...]
+    before: WorkloadEstimate
+    after: WorkloadEstimate
+    assignment: dict[str, str] = field(repr=False)
+    migration_bytes_predicted: int = 0
+
+    def to_ops(self) -> list[UpdateOp]:
+        """The typed update ops enacting the plan, in order."""
+        return [action.to_op() for action in self.actions]
+
+    @property
+    def predicted_improvement(self) -> float:
+        """Predicted steady-state terms saved per workload epoch."""
+        return self.before.total() - self.after.total()
+
+    def is_noop(self) -> bool:
+        return not self.actions
+
+    def describe(self) -> str:
+        """Human-readable plan summary, one line per action."""
+        lines = [
+            f"predicted: {self.before.total():.0f} -> {self.after.total():.0f} terms/epoch "
+            f"({self.predicted_improvement:+.0f}), "
+            f"~{self.migration_bytes_predicted} migration bytes"
+        ]
+        lines += [f"  {i + 1}. {a.describe()}" for i, a in enumerate(self.actions)]
+        if self.is_noop():
+            lines.append("  (already optimal under the given constraints)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+# ---------------------------------------------------------------------------
+# Scoring
+# ---------------------------------------------------------------------------
+
+
+def _violation_nodes(estimate: WorkloadEstimate, constraints: Constraints) -> float:
+    """Constraint violation in node units (0 when feasible)."""
+    loads = estimate.site_loads
+    violation = 0.0
+    if constraints.site_capacity is not None:
+        violation += sum(
+            max(0, load - constraints.site_capacity) for load in loads.values()
+        )
+    if constraints.max_sites is not None and len(loads) > constraints.max_sites:
+        violation += sum(
+            sorted(loads.values())[: len(loads) - constraints.max_sites]
+        )
+    if constraints.balance_factor is not None and loads:
+        mean = sum(loads.values()) / len(loads)
+        violation += max(0.0, max(loads.values()) - constraints.balance_factor * mean)
+    return violation
+
+
+def _score(
+    catalog: Catalog,
+    workload: Workload,
+    rates: dict[str, float],
+    constraints: Constraints,
+    migration_bytes: int,
+) -> tuple[float, WorkloadEstimate]:
+    estimate = estimate_workload(catalog, workload.query_mix(), rates)
+    score = (
+        estimate.total()
+        + workload.migration_weight * migration_bytes
+        + _PENALTY_PER_NODE * _violation_nodes(estimate, constraints)
+    )
+    return score, estimate
+
+
+def _evolve_rates(
+    action: RebalanceAction, rates: dict[str, float], catalog: Catalog
+) -> dict[str, float]:
+    """Update rates follow the *data*, not the fragment id.
+
+    A split hands the new fragment a share of its parent's rate
+    proportional to the carved subtree (updates are assumed uniform
+    within a fragment); a merge folds the absorbed fragment's rate into
+    the parent.  Without this, merging a hot fragment away would hide
+    its maintenance cost from the estimator and the search would game
+    its own objective.  ``catalog`` is the state *before* the action.
+    """
+    if isinstance(action, MoveAction):
+        return rates
+    updated = dict(rates)
+    if isinstance(action, SplitAction):
+        parent_rate = updated.get(action.fragment_id, 0.0)
+        if parent_rate:
+            share = action.subtree_size / max(1, catalog.sizes[action.fragment_id])
+            updated[action.new_fragment_id] = parent_rate * share
+            updated[action.fragment_id] = parent_rate * (1.0 - share)
+    else:  # MergeAction
+        child_rate = updated.pop(action.child_id, 0.0)
+        if child_rate:
+            updated[action.parent_id] = updated.get(action.parent_id, 0.0) + child_rate
+    return updated
+
+
+# ---------------------------------------------------------------------------
+# The search
+# ---------------------------------------------------------------------------
+
+
+def _candidate_sites(catalog: Catalog, constraints: Constraints) -> list[str]:
+    """Placeable sites: the current ones plus fresh ones up to the cap."""
+    sites = catalog.sites()
+    if constraints.max_sites is not None:
+        room = constraints.max_sites - len(sites)
+        index = 0
+        while room > 0:
+            name = f"{constraints.new_site_prefix}{index}"
+            if name not in sites:
+                sites.append(name)
+                room -= 1
+            index += 1
+    return sites
+
+
+def _enumerate(
+    catalog: Catalog,
+    constraints: Constraints,
+    split_table: dict[str, list[SplitCandidate]],
+    consumed_splits: set[str],
+    used_ids: set[str],
+):
+    """Yield ``(action, next_catalog, migration_bytes_delta)`` triples."""
+    sites = _candidate_sites(catalog, constraints)
+    if constraints.allow_moves:
+        for fragment_id in catalog.fragment_ids():
+            origin = catalog.site_of[fragment_id]
+            for site in sites:
+                if site == origin:
+                    continue
+                yield (
+                    MoveAction(fragment_id, site),
+                    catalog.with_move(fragment_id, site),
+                    catalog.wire_bytes[fragment_id],
+                )
+    if constraints.allow_splits:
+        for fragment_id, candidates in split_table.items():
+            if fragment_id in consumed_splits or fragment_id not in catalog.sizes:
+                continue
+            origin = catalog.site_of[fragment_id]
+            for candidate in candidates:
+                new_id = fresh_fragment_id(used_ids)
+                for site in sites:
+                    yield (
+                        SplitAction(
+                            fragment_id,
+                            candidate.node_id,
+                            new_id,
+                            site,
+                            subtree_size=candidate.subtree_size,
+                        ),
+                        catalog.with_split(
+                            fragment_id,
+                            new_id,
+                            candidate.subtree_size,
+                            candidate.subtree_bytes,
+                            candidate.moved_sub_fragments,
+                            target_site=site,
+                        ),
+                        candidate.subtree_bytes if site != origin else 0,
+                    )
+    if constraints.allow_merges:
+        for parent_id in catalog.fragment_ids():
+            for child_id in catalog.children[parent_id]:
+                cross_site = catalog.site_of[child_id] != catalog.site_of[parent_id]
+                yield (
+                    MergeAction(parent_id, child_id),
+                    catalog.with_merge(parent_id, child_id),
+                    catalog.wire_bytes[child_id] if cross_site else 0,
+                )
+
+
+def optimize_placement(
+    cluster: Cluster,
+    workload: Workload,
+    constraints: Optional[Constraints] = None,
+) -> RebalancePlan:
+    """Search fragmentation granularity + placement for one workload.
+
+    Returns a :class:`RebalancePlan` relative to the cluster's current
+    state; enact it with :func:`~repro.placement.rebalancer.enact_plan`
+    (or :meth:`repro.core.session.QuerySession.rebalance`, which does
+    both).  The cluster itself is *not* modified.
+    """
+    constraints = constraints or Constraints()
+    catalog = Catalog.from_cluster(cluster)
+    split_table: dict[str, list[SplitCandidate]] = {}
+    if constraints.allow_splits:
+        split_table = {
+            fragment_id: split_candidates(
+                fragment, limit=constraints.splits_per_fragment
+            )
+            for fragment_id, fragment in cluster.fragmented_tree.fragments.items()
+        }
+    rates = dict(workload.update_rates)
+    before = estimate_workload(catalog, workload.query_mix(), rates)
+
+    actions: list[RebalanceAction] = []
+    consumed_splits: set[str] = set()
+    used_ids = set(catalog.fragment_ids())
+    migration_bytes = 0
+    score, _ = _score(catalog, workload, rates, constraints, migration_bytes)
+
+    for _ in range(constraints.max_actions):
+        best: Optional[tuple[float, RebalanceAction, Catalog, dict, int]] = None
+        for action, next_catalog, migration_delta in _enumerate(
+            catalog, constraints, split_table, consumed_splits, used_ids
+        ):
+            next_rates = _evolve_rates(action, rates, catalog)
+            candidate_score, _ = _score(
+                next_catalog,
+                workload,
+                next_rates,
+                constraints,
+                migration_bytes + migration_delta,
+            )
+            if best is None or candidate_score < best[0]:
+                best = (candidate_score, action, next_catalog, next_rates, migration_delta)
+        if best is None:
+            break
+        best_score, action, next_catalog, next_rates, migration_delta = best
+        if best_score >= score - max(constraints.min_gain * abs(score), 1e-12):
+            break
+        score = best_score
+        catalog = next_catalog
+        rates = next_rates
+        migration_bytes += migration_delta
+        actions.append(action)
+        if isinstance(action, SplitAction):
+            consumed_splits.add(action.fragment_id)
+            used_ids.add(action.new_fragment_id)
+        elif isinstance(action, MergeAction):
+            consumed_splits.add(action.parent_id)  # node ids moved around
+
+    after = estimate_workload(catalog, workload.query_mix(), rates)
+    return RebalancePlan(
+        actions=tuple(actions),
+        before=before,
+        after=after,
+        assignment=dict(catalog.site_of),
+        migration_bytes_predicted=migration_bytes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+
+
+def balanced_random_placement(
+    tree: FragmentedTree,
+    site_ids: list[str],
+    seed: int = 0,
+) -> Placement:
+    """The workload-blind baseline: random but node-balanced.
+
+    Fragments are shuffled deterministically and assigned greedily to
+    the currently least-loaded site, so the node balance is as good as
+    workload-blind placement gets -- which is exactly what the
+    ``placement`` benchmark pits the optimizer against.
+    """
+    if not site_ids:
+        raise ValueError("need at least one site")
+    rng = random.Random(seed)
+    order = sorted(tree.fragments)
+    rng.shuffle(order)
+    loads = {site: 0 for site in site_ids}
+    assignment: dict[str, str] = {}
+    for fragment_id in order:
+        site = min(loads, key=lambda s: (loads[s], s))
+        assignment[fragment_id] = site
+        loads[site] += tree.fragments[fragment_id].size()
+    return Placement(assignment)
+
+
+__all__ = [
+    "Constraints",
+    "MoveAction",
+    "SplitAction",
+    "MergeAction",
+    "RebalanceAction",
+    "RebalancePlan",
+    "optimize_placement",
+    "balanced_random_placement",
+]

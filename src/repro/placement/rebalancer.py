@@ -1,0 +1,88 @@
+"""Enacting a :class:`~repro.placement.optimizer.RebalancePlan`.
+
+Two enactment paths, one op vocabulary:
+
+* **live** -- hand the plan's ops to a running
+  :class:`~repro.stream.maintainer.StreamMaintainer` (the handle
+  :meth:`~repro.core.session.QuerySession.watch` returns).  The
+  maintainer applies the split/merge/move batch, refreshes exactly the
+  fragments whose triplets a split or merge touched, meters migrated
+  fragment data as ``MSG_MIGRATE`` traffic -- and every standing
+  answer stays bitwise what it was, because moves change placement,
+  never content, and split/merge refreshes go through the same
+  delta-shipping path as any other structural update;
+* **offline** -- no standing queries: apply the ops straight to the
+  cluster with :func:`~repro.stream.updates.apply_updates`.
+
+Either way the caller gets a :class:`RebalanceOutcome` tying the plan
+to what actually happened (migrations shipped, maintenance round
+ledger when live).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.distsim.cluster import Cluster
+from repro.placement.optimizer import RebalancePlan
+from repro.stream.maintainer import MaintenanceRound, StreamMaintainer
+from repro.stream.updates import AppliedBatch, Migration, apply_updates
+
+
+@dataclass(frozen=True)
+class RebalanceOutcome:
+    """One enacted plan: what was decided and what it really shipped."""
+
+    plan: RebalancePlan
+    #: The maintenance round (live enactment through a maintainer).
+    round: Optional[MaintenanceRound] = None
+    #: The applied batch (offline enactment straight onto the cluster).
+    batch: Optional[AppliedBatch] = None
+
+    @property
+    def migrations(self) -> tuple[Migration, ...]:
+        """The cross-site fragment shipments the enactment performed."""
+        if self.round is not None:
+            return self.round.migrations
+        if self.batch is not None:
+            return self.batch.migrations
+        return ()
+
+    @property
+    def migration_bytes(self) -> int:
+        """Fragment-data bytes that really crossed the network."""
+        if self.round is not None:
+            return self.round.migration_bytes
+        if self.batch is not None:
+            return self.batch.migration_bytes
+        return 0
+
+    @property
+    def live(self) -> bool:
+        """Was the plan enacted under standing queries?"""
+        return self.round is not None
+
+
+def enact_plan(
+    plan: RebalancePlan,
+    cluster: Optional[Cluster] = None,
+    maintainer: Optional[StreamMaintainer] = None,
+) -> RebalanceOutcome:
+    """Apply a plan's actions, live or offline.
+
+    Pass exactly one of ``maintainer`` (live: standing query books are
+    maintained through the migration) or ``cluster`` (offline).  A
+    no-op plan applies nothing and returns an empty outcome.
+    """
+    if (maintainer is None) == (cluster is None):
+        raise ValueError("pass exactly one of cluster= or maintainer=")
+    if plan.is_noop():
+        return RebalanceOutcome(plan=plan)
+    if maintainer is not None:
+        return RebalanceOutcome(plan=plan, round=maintainer.apply(plan.to_ops()))
+    assert cluster is not None
+    return RebalanceOutcome(plan=plan, batch=apply_updates(cluster, plan.to_ops()))
+
+
+__all__ = ["RebalanceOutcome", "enact_plan"]

@@ -1,0 +1,142 @@
+"""Workload profiles: what the placement optimizer optimizes *for*.
+
+A placement is only good relative to a workload.  This module describes
+one as the two streams the rest of the system already models:
+
+* a **query mix** -- compiled queries (:class:`~repro.xpath.qlist.QList`
+  via the :class:`~repro.core.plan.QueryCache` pipeline) with weights;
+  repeated texts fold into one weighted entry, exactly as the batch
+  planner deduplicates them onto one segment;
+* an **update profile** -- expected updates per fragment per workload
+  epoch, either given directly or *profiled* from the same
+  :func:`~repro.workloads.updates.update_stream` generator the stream
+  experiments replay (:func:`profile_update_stream` dry-runs the
+  stream on a scratch copy of the cluster, so profiling never mutates
+  live data).
+
+:func:`~repro.core.estimates.estimate_workload` consumes the profile's
+:meth:`Workload.query_mix` directly; the optimizer adds
+``migration_weight`` -- the exchange rate between one-off migration
+bytes and steady-state per-epoch cost terms -- to decide when a data
+move pays for itself.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.core.plan import QueryCache
+from repro.distsim.cluster import Cluster
+from repro.stream.updates import apply_updates
+from repro.xpath.qlist import QList
+
+Query = Union[str, QList]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One workload epoch: weighted standing queries + update rates."""
+
+    queries: tuple[tuple[QList, float], ...]
+    update_rates: Mapping[str, float] = field(default_factory=dict)
+    #: Cost terms charged per migrated byte when scoring a rebalancing
+    #: action: the smaller it is, the more epochs a move is assumed to
+    #: amortize over (0 = migrations are free, plan eagerly).
+    migration_weight: float = 0.01
+
+    @classmethod
+    def from_queries(
+        cls,
+        queries: Sequence[Query],
+        cache: Optional[QueryCache] = None,
+        update_rates: Optional[Mapping[str, float]] = None,
+        migration_weight: float = 0.01,
+    ) -> "Workload":
+        """Build a workload from query texts/QLists, folding duplicates.
+
+        A text appearing k times becomes one compiled entry of weight k
+        (queries compiling to identical QLists fold too -- the planner
+        would dedupe them onto one broadcast slice, so they cost like
+        one query asked k times).
+        """
+        if not queries:
+            raise ValueError("a workload needs at least one query")
+        cache = cache if cache is not None else QueryCache()
+        weights: Counter = Counter()
+        compiled: dict[tuple, QList] = {}
+        for query in queries:
+            qlist = cache.qlist(query)
+            key = qlist.entries
+            compiled.setdefault(key, qlist)
+            weights[key] += 1
+        return cls(
+            queries=tuple((compiled[key], float(count)) for key, count in weights.items()),
+            update_rates=dict(update_rates or {}),
+            migration_weight=migration_weight,
+        )
+
+    def query_mix(self) -> tuple[tuple[int, float], ...]:
+        """``(|QList|, weight)`` pairs, the estimator's input."""
+        return tuple((len(qlist), weight) for qlist, weight in self.queries)
+
+    def weighted_entries(self) -> float:
+        """The weighted book size Σ w·|q| (Section 5's ``N``)."""
+        return sum(len(qlist) * weight for qlist, weight in self.queries)
+
+    def query_texts(self) -> list[str]:
+        """The unique query sources, for reports."""
+        return [qlist.source or "?" for qlist, _ in self.queries]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def profile_update_stream(
+    cluster: Cluster,
+    rounds: int = 8,
+    ops_per_round: int = 4,
+    seed: int = 0,
+    hot_fragments: int = 1,
+    hot_weight: float = 0.8,
+    structural_every: int = 0,
+) -> dict[str, float]:
+    """Per-fragment update rates, profiled by dry-running a stream.
+
+    Replays :func:`~repro.workloads.updates.update_stream` with the
+    given knobs against a **scratch copy** of the cluster (the
+    generator draws targets from live state, so the stream must really
+    apply -- but never to the caller's data) and counts how often each
+    fragment is targeted.  Returns ``fragment id -> updates per
+    round``, restricted to fragments that exist in the real cluster
+    (fragments the scratch stream split off mid-profile have no stable
+    identity to plan against).
+    """
+    from repro.workloads.updates import update_stream  # local: workloads builds on stream
+
+    if rounds < 1:
+        raise ValueError("profiling needs at least one round")
+    scratch = Cluster(cluster.fragmented_tree.deep_copy(), cluster.placement.copy())
+    counts: Counter = Counter()
+    for batch in update_stream(
+        scratch,
+        rounds=rounds,
+        ops_per_round=ops_per_round,
+        seed=seed,
+        hot_fragments=hot_fragments,
+        hot_weight=hot_weight,
+        structural_every=structural_every,
+    ):
+        for op in batch:
+            counts[op.fragment_id] += 1
+        apply_updates(scratch, batch)
+    live = cluster.fragmented_tree.fragments
+    return {
+        fragment_id: count / rounds
+        for fragment_id, count in counts.items()
+        if fragment_id in live
+    }
+
+
+__all__ = ["Workload", "profile_update_stream"]

@@ -34,6 +34,8 @@ from repro.stream.updates import (
     DelNode,
     InsNode,
     MergeFragment,
+    Migration,
+    MoveFragment,
     Relabel,
     SplitFragment,
     UpdateError,
@@ -54,6 +56,8 @@ __all__ = [
     "Relabel",
     "SplitFragment",
     "MergeFragment",
+    "MoveFragment",
+    "Migration",
     "AppliedBatch",
     "apply_updates",
     "UpdateError",

@@ -20,6 +20,20 @@ module is its bookkeeping:
   per-segment triplets and its freshly recomputed combined triplet,
   the segments whose slice actually changed: exactly the query slices
   whose answers may move, and the only slices worth shipping.
+
+Costs, in the units the ledger reports: ``subscribe``/``unsubscribe``
+are O(1) segment-table work (plus one O(combined) concatenation,
+amortized by caching); ``changed_segments`` is one slice comparison
+per live segment, O(Σ|q_i|) per refreshed fragment.  No operation here
+ever touches fragment *content* -- the index is pure bookkeeping over
+compiled queries, which is why segment caches survive placement
+changes untouched.
+
+Checked by ``tests/test_stream_maintainer.py`` (incremental
+subscribe/unsubscribe leave sibling segments' caches byte-identical;
+only changed slices ship) and, end to end, by the ``stream``
+experiment's flat-traffic shape check
+(:func:`repro.bench.shape_checks.check_stream`).
 """
 
 from __future__ import annotations

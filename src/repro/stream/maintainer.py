@@ -27,6 +27,27 @@ is realized here for a whole *batch* of standing queries at once:
 5. **notify** -- answers that flipped are appended to the
    :class:`Changefeed` as ``(query, old, new)`` events, and the whole
    round is summarized in a :class:`MaintenanceRound` cost ledger.
+
+Rebalancing rides the same path: a batch may carry
+:class:`~repro.stream.updates.MoveFragment` ops (and splits/merges
+targeting other sites), whose fragment-data shipments are metered as
+``MSG_MIGRATE`` traffic (:attr:`~repro.distsim.metrics.Metrics.migration_bytes`
+/ ``migration_visits``) *without* dirtying anything -- cached
+per-segment triplets are placement-independent, so standing answers
+survive a migration bitwise untouched.
+
+Per-round costs, in ledger units: site work is one combined-QList
+``bottomUp`` per dirty fragment (``O(Σ|q_i| · |F_dirty|)`` node x
+entry ops); traffic is the changed slices only, worst case
+``O(Σ|q_i| · card(F_dirty))`` formula terms plus control acks --
+independent of ``|T|`` and of the update size, the paper's Section 5
+bound extended to a whole standing book.
+
+Checked by ``tests/test_stream_maintainer.py`` (dirty-site-only
+visits, delta-only shipping, oracle agreement across engines x
+executors), ``tests/test_rebalance_properties.py`` (random
+move/split/merge streams under live books) and the ``stream`` /
+``placement`` experiments' shape checks.
 """
 
 from __future__ import annotations
@@ -46,6 +67,7 @@ from repro.distsim.runtime import Run
 from repro.stream.dirty import DirtyIndex, Segment, SegmentKey
 from repro.stream.updates import (
     AppliedBatch,
+    Migration,
     UpdateError,
     UpdateOp,
     apply_updates,
@@ -109,15 +131,27 @@ class MaintenanceRound:
     events: tuple[ChangeEvent, ...]
     structural: bool
     metrics: Metrics = field(repr=False)
+    #: Cross-site fragment-data shipments (rebalancing moves, off-site
+    #: splits, cross-site merges) this round enacted.
+    migrations: tuple[Migration, ...] = ()
 
     @property
     def triplet_changed(self) -> bool:
         """Did any dirty fragment's partial answer actually move?"""
         return self.slices_shipped > 0
 
+    @property
+    def migration_bytes(self) -> int:
+        """One-off fragment-data bytes the round's migrations shipped."""
+        return sum(migration.nbytes for migration in self.migrations)
+
     def is_localized(self) -> bool:
-        """True when only dirty fragments' sites participated."""
-        return len(self.sites_visited) <= len(self.dirty_fragments)
+        """True when only dirty fragments' sites (and migration
+        endpoints) participated."""
+        endpoints = {m.origin for m in self.migrations} | {
+            m.target for m in self.migrations
+        }
+        return len(set(self.sites_visited) - endpoints) <= len(self.dirty_fragments)
 
 
 class StreamMaintainer:
@@ -286,6 +320,17 @@ class StreamMaintainer:
             for cached in self._triplets.values():
                 cached.pop(fragment_id, None)
 
+        # Meter the batch's fragment migrations (rebalancing moves,
+        # off-site splits, cross-site merges): the data genuinely
+        # crosses the network, but no triplet changes -- cached slices
+        # are placement-independent, so the standing answers stay valid
+        # with no recomputation at all.
+        migration_seconds = 0.0
+        for migration in batch.migrations:
+            migration_seconds += run.migrate(
+                migration.origin, migration.target, migration.nbytes
+            )
+
         dirty = [
             fragment_id
             for fragment_id in batch.dirty
@@ -388,7 +433,7 @@ class StreamMaintainer:
         else:
             elapsed = 0.0
 
-        run.finish(elapsed)
+        run.finish(elapsed + migration_seconds)
         return MaintenanceRound(
             seq=self._seq,
             ops=tuple(effect.op.describe() for effect in batch.effects),
@@ -402,6 +447,7 @@ class StreamMaintainer:
             events=tuple(events),
             structural=batch.structural,
             metrics=run.metrics,
+            migrations=batch.migrations,
         )
 
     def _resolve_segment(self, segment: Segment) -> bool:

@@ -3,24 +3,43 @@
 The paper's Section 5 names four update operations -- ``insNode``,
 ``delNode``, ``splitFragments``, ``mergeFragments`` -- and proves that
 maintenance after any of them is local to the touched fragments.  This
-module turns them (plus a ``relabel`` content edit, the natural fifth)
-into *value objects* so that an update stream can be generated, logged,
+module turns them (plus a ``relabel`` content edit and a
+``moveFragments`` placement change, the natural fifth and sixth) into
+*value objects* so that an update stream can be generated, logged,
 replayed and batch-applied:
 
 * every op is a frozen dataclass naming its target fragment and (where
   needed) a node by its stable ``node_id``;
 * :meth:`UpdateOp.apply` mutates the cluster and returns an
   :class:`UpdateEffect` -- which fragments are now dirty, which were
-  created or removed;
+  created or removed, and which fragment data *migrated* between sites
+  (a :class:`Migration` per cross-site shipment, so the maintainer can
+  meter rebalancing traffic without re-deriving it);
 * :func:`apply_updates` applies a whole batch in order and folds the
   effects into one :class:`AppliedBatch`, the input the
   :class:`~repro.stream.maintainer.StreamMaintainer` maintains from.
+
+:class:`MoveFragment` is the op the placement optimizer
+(:mod:`repro.placement`) emits alongside split/merge: it re-assigns one
+fragment to another site.  Content, triplets and standing answers are
+untouched by a move -- only the placement (and therefore future cost)
+changes -- so a move dirties nothing; what it *does* produce is a
+:class:`Migration` whose byte cost the maintainer charges as
+``MSG_MIGRATE`` traffic.  Splits that target another site and merges
+whose endpoints live on different sites migrate data the same way.
 
 Node addressing uses ``node_id`` (not child-index paths) deliberately:
 ids are stable under sibling insertion/deletion, so ops inside one
 batch cannot invalidate each other's targets unless one genuinely
 deletes the other's node -- which :func:`apply_updates` reports as the
 error it is.
+
+Checked by ``tests/test_stream_updates.py`` (per-op semantics, batch
+folding, mid-batch failure contract), ``tests/test_placement.py``
+(``MoveFragment`` migrates without dirtying) and the property suites
+``tests/test_stream_maintainer.py`` /
+``tests/test_rebalance_properties.py`` (random op streams, incremental
+== from-scratch bitwise).
 """
 
 from __future__ import annotations
@@ -44,6 +63,16 @@ class UpdateError(ValueError):
 
 
 @dataclass(frozen=True)
+class Migration:
+    """One cross-site fragment-data shipment caused by an update op."""
+
+    fragment_id: str
+    origin: str
+    target: str
+    nbytes: int
+
+
+@dataclass(frozen=True)
 class UpdateEffect:
     """What one applied op did to the decomposition."""
 
@@ -51,6 +80,7 @@ class UpdateEffect:
     dirty: tuple[str, ...]
     created: tuple[str, ...] = ()
     removed: tuple[str, ...] = ()
+    migrated: tuple[Migration, ...] = ()
 
 
 def _node_of(cluster: Cluster, fragment_id: str, node_id: int) -> XMLNode:
@@ -159,15 +189,26 @@ class SplitFragment(UpdateOp):
 
     def apply(self, cluster: Cluster) -> UpdateEffect:
         node = _node_of(cluster, self.fragment_id, self.node_id)
+        origin = cluster.site_of(self.fragment_id)
         new_id = cluster.split_fragment(
             self.fragment_id, node, self.new_fragment_id, self.target_site
         )
+        migrated: tuple[Migration, ...] = ()
+        destination = cluster.site_of(new_id)
+        if destination != origin:
+            # The carved-out subtree physically leaves the origin site.
+            migrated = (
+                Migration(
+                    new_id, origin, destination, cluster.fragment(new_id).wire_bytes()
+                ),
+            )
         return UpdateEffect(
-            self, dirty=(self.fragment_id, new_id), created=(new_id,)
+            self, dirty=(self.fragment_id, new_id), created=(new_id,), migrated=migrated
         )
 
     def describe(self) -> str:
-        return f"split {self.fragment_id} at node {self.node_id}"
+        suffix = f" -> {self.target_site}" if self.target_site else ""
+        return f"split {self.fragment_id} at node {self.node_id}{suffix}"
 
 
 @dataclass(frozen=True)
@@ -193,18 +234,65 @@ class MergeFragment(UpdateOp):
             raise UpdateError(
                 f"{self.child_fragment_id!r} is not a sub-fragment of {self.fragment_id!r}"
             )
+        parent_site = cluster.site_of(self.fragment_id)
+        child_site = cluster.site_of(self.child_fragment_id)
+        migrated: tuple[Migration, ...] = ()
+        if child_site != parent_site:
+            # The absorbed data physically moves to the parent's site.
+            migrated = (
+                Migration(
+                    self.child_fragment_id,
+                    child_site,
+                    parent_site,
+                    cluster.fragment(self.child_fragment_id).wire_bytes(),
+                ),
+            )
         absorbed = cluster.merge_fragment(self.fragment_id, virtual)
         assert absorbed == self.child_fragment_id
         return UpdateEffect(
-            self, dirty=(self.fragment_id,), removed=(absorbed,)
+            self, dirty=(self.fragment_id,), removed=(absorbed,), migrated=migrated
         )
 
     def describe(self) -> str:
         return f"merge {self.child_fragment_id} back into {self.fragment_id}"
 
 
-#: The ops that change the decomposition itself (not just content).
-STRUCTURAL_OPS = (SplitFragment, MergeFragment)
+@dataclass(frozen=True)
+class MoveFragment(UpdateOp):
+    """``moveFragments(F, S)``: re-assign a fragment to another site.
+
+    The rebalancing primitive: fragment content is untouched, so the
+    cached triplets and every standing answer stay valid -- nothing is
+    dirtied.  What changes is the placement (and with it the source
+    tree and all future evaluation/maintenance costs), plus a one-off
+    :class:`Migration` of the fragment's wire bytes when the target
+    really is a different site.  Moving to the current site is the
+    paper-style no-op: empty effect.
+    """
+
+    fragment_id: str
+    target_site: str
+
+    def apply(self, cluster: Cluster) -> UpdateEffect:
+        if self.fragment_id not in cluster.fragmented_tree.fragments:
+            raise UpdateError(f"unknown fragment {self.fragment_id!r}")
+        origin = cluster.site_of(self.fragment_id)
+        if origin == self.target_site:
+            return UpdateEffect(self, dirty=())
+        nbytes = cluster.fragment(self.fragment_id).wire_bytes()
+        cluster.move_fragment(self.fragment_id, self.target_site)
+        return UpdateEffect(
+            self,
+            dirty=(),
+            migrated=(Migration(self.fragment_id, origin, self.target_site, nbytes),),
+        )
+
+    def describe(self) -> str:
+        return f"move {self.fragment_id} to {self.target_site}"
+
+
+#: The ops that change the decomposition or placement (not just content).
+STRUCTURAL_OPS = (SplitFragment, MergeFragment, MoveFragment)
 
 
 @dataclass(frozen=True)
@@ -216,9 +304,15 @@ class AppliedBatch:
     created: tuple[str, ...] = ()
     removed: tuple[str, ...] = ()
     structural: bool = field(default=False)
+    migrations: tuple[Migration, ...] = ()
 
     def __len__(self) -> int:
         return len(self.effects)
+
+    @property
+    def migration_bytes(self) -> int:
+        """Total fragment data the batch shipped between sites."""
+        return sum(migration.nbytes for migration in self.migrations)
 
 
 def apply_updates(cluster: Cluster, ops: Sequence[UpdateOp]) -> AppliedBatch:
@@ -240,6 +334,7 @@ def apply_updates(cluster: Cluster, ops: Sequence[UpdateOp]) -> AppliedBatch:
     dirty: dict[str, None] = {}
     created: dict[str, None] = {}
     removed: dict[str, None] = {}
+    migrations: list[Migration] = []
     structural = False
     for op in ops:
         try:
@@ -251,10 +346,12 @@ def apply_updates(cluster: Cluster, ops: Sequence[UpdateOp]) -> AppliedBatch:
                 created=tuple(created),
                 removed=tuple(removed),
                 structural=structural,
+                migrations=tuple(migrations),
             )
             raise
         effects.append(effect)
         structural = structural or isinstance(op, STRUCTURAL_OPS)
+        migrations.extend(effect.migrated)
         for fragment_id in effect.dirty:
             dirty.setdefault(fragment_id)
         for fragment_id in effect.created:
@@ -271,6 +368,7 @@ def apply_updates(cluster: Cluster, ops: Sequence[UpdateOp]) -> AppliedBatch:
         created=tuple(created),
         removed=tuple(removed),
         structural=structural,
+        migrations=tuple(migrations),
     )
 
 
@@ -281,6 +379,8 @@ __all__ = [
     "Relabel",
     "SplitFragment",
     "MergeFragment",
+    "MoveFragment",
+    "Migration",
     "UpdateEffect",
     "AppliedBatch",
     "apply_updates",

@@ -124,6 +124,19 @@ class TestShapeClaimsRobustAtQuickScale:
         result = ablation_algebra(quick)
         assert result.column("paper_bytes")[-1] > result.column("canonical_bytes")[-1]
 
+    def test_placement_claims_deterministic_at_quick_scale(self, quick):
+        # Placement costs are exact byte/term counters (no latency
+        # noise), so the full shape check -- optimizer strictly beats
+        # balanced-random, predictions rank truthfully, live rebalance
+        # preserves answers -- must hold even at miniature scale.
+        from repro.bench.experiments import placement_optimizer
+        from repro.bench.shape_checks import check_placement
+
+        result = placement_optimizer(quick)
+        checks = check_placement(result)
+        failed = [claim for claim, passed in checks.items() if not passed]
+        assert not failed, failed
+
     def test_batching_shape_holds_at_quick_scale(self, quick):
         # Unlike the timing-based figures, the batching curve is built
         # from deterministic byte/visit counters, so the full shape

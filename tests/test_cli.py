@@ -131,6 +131,50 @@ class TestQueryBatch:
         assert "batch_size" in capsys.readouterr().err
 
 
+class TestRebalance:
+    def test_optimizes_and_reports(self, portfolio_file, capsys):
+        code = main(
+            [
+                "rebalance",
+                portfolio_file,
+                "[//stock]",
+                '[//code = "GOOG"]',
+                "[//stock]",
+                "--fragments",
+                "4",
+                "--sites",
+                "3",
+                "--moves-only",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workload: 3 queries" in out
+        assert "predicted:" in out
+        assert "answers preserved through rebalance: True" in out
+        assert "measured workload traffic:" in out
+
+    def test_default_capacity_announced(self, portfolio_file, capsys):
+        main(["rebalance", portfolio_file, "[//stock]"])
+        assert "defaulting to --capacity" in capsys.readouterr().out
+
+    def test_explicit_constraints_respected(self, portfolio_file, capsys):
+        code = main(
+            [
+                "rebalance",
+                portfolio_file,
+                "[//stock]",
+                "--capacity",
+                "100000",
+                "--max-sites",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "defaulting" not in out
+
+
 class TestStream:
     def test_maintains_standing_queries(self, portfolio_file, capsys):
         code = main(

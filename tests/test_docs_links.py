@@ -1,0 +1,76 @@
+"""No broken intra-repo links in the documentation suite.
+
+Every relative markdown link (``[text](path)``) and every backticked
+repo path mentioned in the top-level docs must point at something that
+exists.  External URLs and pure anchors are out of scope (CI has no
+network); what this guards is the common rot: a file gets renamed and
+the README keeps pointing at the old name.  The CI docs job runs this
+module together with the example smoke tests.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: PR machinery, not documentation: these quote external repos and
+#: issue text verbatim, so their "paths" are not ours to check.
+_EXCLUDED = {"SNIPPETS.md", "ISSUE.md", "CHANGES.md", "PAPERS.md", "PAPER.md"}
+
+#: The documentation suite under link-check.
+DOC_FILES = sorted(
+    path
+    for path in list(REPO.glob("*.md")) + list((REPO / "docs").glob("*.md"))
+    if path.name not in _EXCLUDED
+)
+
+#: Roots a backticked path may be relative to (docs shorthand `core/...`
+#: means `src/repro/core/...`).
+_PATH_ROOTS = (REPO, REPO / "src" / "repro", REPO / "src")
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Backticked repo-relative paths like `docs/COOKBOOK.md` or
+#: `examples/quickstart.py` (single path component chains ending in a
+#: known source/doc suffix).
+_TICKED_PATH = re.compile(r"`((?:[\w.-]+/)+[\w.-]+\.(?:md|py|xml|yml|toml|json))`")
+
+
+def _is_external(target: str) -> bool:
+    return target.startswith(("http://", "https://", "mailto:", "#"))
+
+
+def test_doc_suite_exists():
+    names = {path.name for path in DOC_FILES}
+    assert {"README.md", "ARCHITECTURE.md", "COOKBOOK.md", "BENCHMARKS.md"} <= names
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO)))
+def test_markdown_links_resolve(doc):
+    text = doc.read_text()
+    broken = []
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if _is_external(target):
+            continue
+        target_path = target.split("#", 1)[0]
+        if not target_path:
+            continue
+        resolved = (doc.parent / target_path).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{doc.name}: broken relative link(s) {broken}"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO)))
+def test_backticked_repo_paths_exist(doc):
+    text = doc.read_text()
+    missing = []
+    for match in _TICKED_PATH.finditer(text):
+        path = match.group(1)
+        if path.startswith(("fragments_out/",)):  # documented *output* paths
+            continue
+        if not any((root / path).exists() for root in _PATH_ROOTS):
+            missing.append(path)
+    assert not missing, f"{doc.name}: stale repo path(s) {missing}"

@@ -1,0 +1,407 @@
+"""The placement layer: catalog, workload, optimizer, rebalancer.
+
+Covers the tentpole claims piece by piece:
+
+* the catalog's functional move/split/merge mirrors what really
+  happens to a cluster;
+* workload-weighted estimates prefer co-location with the coordinator
+  and respect the capacity penalty;
+* the optimizer improves its own objective, never touches the input
+  cluster, and its plans enact cleanly -- offline and live under a
+  standing query book, bitwise answer-stable throughout;
+* ``MoveFragment`` dirties nothing, migrates everything, and is
+  metered.
+"""
+
+import pytest
+
+from repro.core import ParBoXEngine, QuerySession
+from repro.core.estimates import Catalog, estimate_workload
+from repro.distsim import Cluster
+from repro.distsim.runtime import MSG_MIGRATE
+from repro.fragments import Placement, split_candidates
+from repro.placement import (
+    Constraints,
+    MergeAction,
+    MoveAction,
+    RebalancePlan,
+    SplitAction,
+    Workload,
+    balanced_random_placement,
+    enact_plan,
+    optimize_placement,
+    profile_update_stream,
+)
+from repro.stream import MoveFragment, StreamMaintainer, apply_updates
+from repro.stream.updates import UpdateError
+from repro.workloads.topologies import bushy_ft3, star_ft1
+
+
+@pytest.fixture
+def cluster():
+    return star_ft1(5, 0.8, seed=11, nodes_per_mb=24)
+
+
+@pytest.fixture
+def bushy():
+    base = bushy_ft3(0, seed=11, nodes_per_mb=24)
+    placement = balanced_random_placement(
+        base.fragmented_tree, ["S0", "S1", "S2", "S3"], seed=1
+    )
+    return Cluster(base.fragmented_tree, placement)
+
+
+# ---------------------------------------------------------------------------
+# MoveFragment (the new update op)
+# ---------------------------------------------------------------------------
+
+
+class TestMoveFragment:
+    def test_move_migrates_without_dirtying(self, cluster):
+        nbytes = cluster.fragment("F2").wire_bytes()
+        batch = apply_updates(cluster, [MoveFragment("F2", "S0")])
+        assert batch.dirty == ()
+        assert batch.structural
+        assert cluster.site_of("F2") == "S0"
+        (migration,) = batch.migrations
+        assert migration.fragment_id == "F2"
+        assert (migration.origin, migration.target) == ("S2", "S0")
+        assert migration.nbytes == nbytes == batch.migration_bytes
+
+    def test_move_to_same_site_is_noop(self, cluster):
+        origin = cluster.site_of("F2")
+        batch = apply_updates(cluster, [MoveFragment("F2", origin)])
+        assert batch.migrations == () and batch.dirty == ()
+
+    def test_move_unknown_fragment_raises(self, cluster):
+        with pytest.raises(UpdateError):
+            apply_updates(cluster, [MoveFragment("F99", "S0")])
+
+    def test_move_opens_fresh_site(self, cluster):
+        apply_updates(cluster, [MoveFragment("F3", "S-new")])
+        assert "S-new" in [site.site_id for site in cluster.sites()]
+        assert cluster.source_tree().site_of("F3") == "S-new"
+
+    def test_move_preserves_answers(self, cluster):
+        engine = ParBoXEngine(cluster)
+        before = engine.evaluate_many(["[//bidder]", "[//seal]"]).answers
+        apply_updates(cluster, [MoveFragment("F1", "S3"), MoveFragment("F4", "S0")])
+        assert engine.evaluate_many(["[//bidder]", "[//seal]"]).answers == before
+
+    def test_maintainer_meters_migration(self, cluster):
+        maintainer = StreamMaintainer(cluster)
+        maintainer.subscribe("q", "[//bidder]")
+        before = maintainer.answers()
+        round_ = maintainer.apply([MoveFragment("F2", "S0")])
+        assert round_.migration_bytes > 0
+        assert round_.metrics.migration_bytes == round_.migration_bytes
+        assert round_.metrics.migration_visits == 2
+        assert round_.metrics.bytes_by_kind[MSG_MIGRATE] == round_.migration_bytes
+        # Nothing recomputed, nothing re-solved, nothing flipped.
+        assert round_.nodes_recomputed == 0
+        assert round_.segments_resolved == 0
+        assert maintainer.answers() == before
+        maintainer.close()
+
+
+# ---------------------------------------------------------------------------
+# Catalog: the metadata mirror
+# ---------------------------------------------------------------------------
+
+
+class TestCatalog:
+    def test_snapshot_matches_cluster(self, cluster):
+        catalog = Catalog.from_cluster(cluster)
+        assert catalog.sizes == {
+            fid: f.size() for fid, f in cluster.fragmented_tree.fragments.items()
+        }
+        assert catalog.coordinator == cluster.coordinator_site
+        assert sorted(catalog.sites()) == sorted(
+            site.site_id for site in cluster.sites()
+        )
+        loads = catalog.site_loads()
+        assert sum(loads.values()) == cluster.total_size()
+
+    def test_with_move_mirrors_cluster_move(self, cluster):
+        catalog = Catalog.from_cluster(cluster).with_move("F2", "S0")
+        cluster.move_fragment("F2", "S0")
+        assert catalog.site_loads() == Catalog.from_cluster(cluster).site_loads()
+
+    def test_with_merge_mirrors_cluster_merge(self, cluster):
+        catalog = Catalog.from_cluster(cluster).with_merge("F0", "F2")
+        virtual = next(
+            node
+            for node in cluster.fragment("F0").virtual_nodes()
+            if node.fragment_ref == "F2"
+        )
+        cluster.merge_fragment("F0", virtual)
+        mirrored = Catalog.from_cluster(cluster)
+        assert catalog.sizes == mirrored.sizes
+        assert catalog.children == mirrored.children
+        assert catalog.site_loads() == mirrored.site_loads()
+
+    def test_with_split_mirrors_cluster_split(self, cluster):
+        fragment = cluster.fragment("F1")
+        (candidate, *_) = split_candidates(fragment, limit=1)
+        catalog = Catalog.from_cluster(cluster).with_split(
+            "F1",
+            "F9",
+            candidate.subtree_size,
+            candidate.subtree_bytes,
+            candidate.moved_sub_fragments,
+            target_site="S4",
+        )
+        node = fragment.node_by_id(candidate.node_id)
+        cluster.split_fragment("F1", node, "F9", target_site="S4")
+        mirrored = Catalog.from_cluster(cluster)
+        assert catalog.sizes == mirrored.sizes
+        assert catalog.children == mirrored.children
+        assert catalog.site_of == mirrored.site_of
+
+
+# ---------------------------------------------------------------------------
+# Workload + estimates
+# ---------------------------------------------------------------------------
+
+
+class TestWorkload:
+    def test_duplicates_fold_into_weights(self):
+        workload = Workload.from_queries(["[//a]", "[//b]", "[//a]", "[//a]"])
+        weights = {q.source: w for q, w in workload.queries}
+        assert weights == {"[//a]": 3.0, "[//b]": 1.0}
+        assert len(workload) == 2
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            Workload.from_queries([])
+
+    def test_profile_never_mutates_the_cluster(self, cluster):
+        size_before = cluster.total_size()
+        card_before = cluster.card()
+        rates = profile_update_stream(cluster, rounds=6, seed=3, structural_every=2)
+        assert cluster.total_size() == size_before
+        assert cluster.card() == card_before
+        assert rates and all(rate > 0 for rate in rates.values())
+        assert set(rates) <= set(cluster.fragmented_tree.fragments)
+
+    def test_colocated_fragments_cost_nothing(self, cluster):
+        mix = (( 8, 1.0),)
+        remote = estimate_workload(Catalog.from_cluster(cluster), mix, {"F2": 5.0})
+        for fragment_id in list(cluster.fragmented_tree.fragments):
+            cluster.move_fragment(fragment_id, cluster.coordinator_site)
+        merged = estimate_workload(Catalog.from_cluster(cluster), mix, {"F2": 5.0})
+        assert remote.total() > 0
+        assert merged.total() == 0.0
+
+    def test_update_rates_raise_remote_cost(self, cluster):
+        catalog = Catalog.from_cluster(cluster)
+        mix = ((8, 1.0),)
+        cold = estimate_workload(catalog, mix, {})
+        hot = estimate_workload(catalog, mix, {"F2": 5.0})
+        assert hot.total() > cold.total()
+        assert hot.query_terms == cold.query_terms
+
+
+# ---------------------------------------------------------------------------
+# The optimizer
+# ---------------------------------------------------------------------------
+
+
+class TestOptimizer:
+    def test_unconstrained_optimum_is_full_colocation(self, cluster):
+        workload = Workload.from_queries(["[//bidder]"], migration_weight=0.0)
+        plan = optimize_placement(cluster, workload)
+        assert plan.after.total() == 0.0
+        assert len(set(plan.assignment.values())) == 1
+
+    def test_capacity_bounds_the_plan(self, bushy):
+        capacity = int(bushy.total_size() / 4 * 1.5)
+        workload = Workload.from_queries(["[//bidder]", "[//item]"])
+        plan = optimize_placement(
+            bushy, workload, Constraints(site_capacity=capacity, max_sites=4)
+        )
+        assert plan.after.max_site_load <= capacity
+        assert plan.after.total() <= plan.before.total()
+
+    def test_search_leaves_cluster_untouched(self, bushy):
+        assignment = dict(bushy.placement.items())
+        card = bushy.card()
+        workload = Workload.from_queries(["[//bidder]"], update_rates={"F4": 3.0})
+        optimize_placement(bushy, workload, Constraints(site_capacity=500, max_sites=4))
+        assert dict(bushy.placement.items()) == assignment
+        assert bushy.card() == card
+
+    def test_hot_fragment_attracts_colocation(self):
+        # Equal-size star, capacity for exactly one extra fragment at the
+        # coordinator: the optimizer must pick the hot one.
+        cluster = star_ft1(5, 0.8, seed=11, nodes_per_mb=24)
+        capacity = cluster.fragment("F0").size() + cluster.fragment("F3").size() + 1
+        workload = Workload.from_queries(
+            ["[//bidder]"], update_rates={"F3": 50.0}, migration_weight=0.0
+        )
+        plan = optimize_placement(
+            cluster,
+            workload,
+            Constraints(site_capacity=capacity, allow_splits=False, allow_merges=False),
+        )
+        # Either F3 joins the coordinator, or the coordinator (the root
+        # fragment) moves to F3 -- both co-locate the hot fragment with
+        # the solver and kill its maintenance traffic.
+        assert plan.assignment["F3"] == plan.assignment["F0"]
+
+    def test_plan_ops_round_trip(self, bushy):
+        workload = Workload.from_queries(["[//bidder]"], update_rates={"F4": 2.0})
+        plan = optimize_placement(
+            bushy,
+            workload,
+            Constraints(site_capacity=int(bushy.total_size() * 0.6), max_sites=4),
+        )
+        assert not plan.is_noop()
+        enact_plan(plan, cluster=bushy)
+        # Moves-only parts of the assignment must now be live; split
+        # fragments exist under their planned ids.
+        for fragment_id, site in plan.assignment.items():
+            assert bushy.site_of(fragment_id) == site
+        assert plan.describe()
+
+    def test_infeasible_start_gets_repaired(self, cluster):
+        # Pile everything onto one site, then cap it: the optimizer must
+        # spread the load even though that *raises* steady-state traffic.
+        for fragment_id in list(cluster.fragmented_tree.fragments):
+            cluster.move_fragment(fragment_id, "S0")
+        capacity = int(cluster.total_size() * 0.6)
+        workload = Workload.from_queries(["[//bidder]"])
+        plan = optimize_placement(
+            cluster, workload, Constraints(site_capacity=capacity, max_sites=3)
+        )
+        assert plan.before.max_site_load > capacity
+        assert plan.after.max_site_load <= capacity
+
+    def test_enact_requires_exactly_one_target(self, cluster):
+        workload = Workload.from_queries(["[//bidder]"])
+        plan = optimize_placement(cluster, workload)
+        with pytest.raises(ValueError):
+            enact_plan(plan)
+        with pytest.raises(ValueError):
+            enact_plan(plan, cluster=cluster, maintainer=StreamMaintainer(cluster))
+
+    def test_noop_plan_enacts_to_nothing(self, cluster):
+        # Fully co-located already: nothing to improve.
+        for fragment_id in list(cluster.fragmented_tree.fragments):
+            cluster.move_fragment(fragment_id, "S0")
+        workload = Workload.from_queries(["[//bidder]"])
+        plan = optimize_placement(cluster, workload)
+        assert plan.is_noop()
+        outcome = enact_plan(plan, cluster=cluster)
+        assert outcome.migrations == () and not outcome.live
+
+
+# ---------------------------------------------------------------------------
+# Balanced-random baseline
+# ---------------------------------------------------------------------------
+
+
+class TestBalancedRandom:
+    def test_deterministic_and_balanced(self, bushy):
+        tree = bushy.fragmented_tree
+        a = balanced_random_placement(tree, ["A", "B"], seed=5)
+        b = balanced_random_placement(tree, ["A", "B"], seed=5)
+        assert dict(a.items()) == dict(b.items())
+        loads = {"A": 0, "B": 0}
+        for fragment_id, site in a.items():
+            loads[site] += tree.fragments[fragment_id].size()
+        assert max(loads.values()) <= 0.7 * tree.total_size()
+
+    def test_different_seeds_differ(self, bushy):
+        tree = bushy.fragmented_tree
+        sites = ["A", "B", "C"]
+        assignments = {
+            tuple(sorted(balanced_random_placement(tree, sites, seed=s).items()))
+            for s in range(4)
+        }
+        assert len(assignments) > 1
+
+
+# ---------------------------------------------------------------------------
+# Live rebalance through the session
+# ---------------------------------------------------------------------------
+
+
+class TestSessionRebalance:
+    QUERIES = ["[//bidder]", "[//seal]", '[//probe = "on"]', "[//bidder]"]
+
+    def test_live_rebalance_preserves_watch_answers(self, bushy):
+        capacity = int(bushy.total_size() / 4 * 1.9)
+        with QuerySession(bushy, engine="parbox") as session:
+            watch = session.watch(self.QUERIES)
+            before = watch.answers()
+            outcome = session.rebalance(
+                queries=self.QUERIES,
+                update_rates={"F4": 4.0},
+                maintainer=watch,
+                constraints=Constraints(site_capacity=capacity, max_sites=4),
+            )
+            assert outcome.live
+            assert watch.answers() == before
+            # And the live book still agrees with from-scratch evaluation.
+            scratch = session.evaluate_batch(self.QUERIES).answers
+            assert tuple(watch.answers().values()) == scratch
+            assert tuple(before.values()) == scratch
+            watch.close()
+
+    def test_offline_rebalance_mutates_cluster(self, bushy):
+        with QuerySession(bushy, engine="parbox") as session:
+            outcome = session.rebalance(queries=self.QUERIES)
+            assert not outcome.live
+            for fragment_id, site in outcome.plan.assignment.items():
+                assert bushy.site_of(fragment_id) == site
+
+    def test_workload_and_queries_are_exclusive(self, bushy):
+        workload = Workload.from_queries(self.QUERIES)
+        with QuerySession(bushy, engine="parbox") as session:
+            with pytest.raises(ValueError):
+                session.rebalance(queries=self.QUERIES, workload=workload)
+            with pytest.raises(ValueError):
+                session.rebalance()
+
+
+# ---------------------------------------------------------------------------
+# Plan value object
+# ---------------------------------------------------------------------------
+
+
+class TestPlanObject:
+    def test_action_descriptions_and_ops(self):
+        move = MoveAction("F1", "S2")
+        split = SplitAction("F1", 7, "F9", "S3", subtree_size=10)
+        merge = MergeAction("F0", "F1")
+        assert "move" in move.describe() and move.to_op().fragment_id == "F1"
+        assert split.to_op().new_fragment_id == "F9"
+        assert merge.to_op().child_fragment_id == "F1"
+        plan = RebalancePlan(
+            actions=(move, split, merge),
+            before=estimate_workload(
+                Catalog(
+                    sizes={"F0": 1},
+                    children={"F0": ()},
+                    site_of={"F0": "S0"},
+                    wire_bytes={"F0": 10},
+                    root_fragment_id="F0",
+                ),
+                ((2, 1.0),),
+            ),
+            after=estimate_workload(
+                Catalog(
+                    sizes={"F0": 1},
+                    children={"F0": ()},
+                    site_of={"F0": "S0"},
+                    wire_bytes={"F0": 10},
+                    root_fragment_id="F0",
+                ),
+                ((2, 1.0),),
+            ),
+            assignment={"F0": "S0"},
+        )
+        assert len(plan) == 3
+        assert len(plan.to_ops()) == 3
+        assert "1." in plan.describe()

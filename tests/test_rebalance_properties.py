@@ -1,0 +1,135 @@
+"""Property: rebalancing never moves an answer, whoever executes it.
+
+A random sequence of optimizer-style actions -- ``MoveFragment`` to
+existing *and* fresh sites (including moves of the root fragment, i.e.
+coordinator re-election), ``SplitFragment`` onto random target sites,
+``MergeFragment`` of random edges -- interleaved with content edits
+that genuinely flip probe answers, is applied through a standing
+:class:`~repro.stream.maintainer.StreamMaintainer`.  After every round
+the live book must agree bitwise with a from-scratch
+``evaluate_many`` of the same plan, across engines x executors: the
+exact guarantee ``QuerySession.rebalance`` relies on when it migrates
+data under a live ``watch()``.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ENGINE_REGISTRY
+from repro.fragments import split_candidates
+from repro.stream import (
+    MergeFragment,
+    MoveFragment,
+    Relabel,
+    SplitFragment,
+    StreamMaintainer,
+)
+from repro.workloads.topologies import star_ft1
+
+ENGINES = ["parbox", "fulldist", "lazy"]
+EXECUTORS = ["serial", "threads", "process"]
+
+QUERIES = [
+    "[//bidder]",
+    "[//seal]",
+    '[//seal = "seal-F2-hot"]',
+    "[not(//note)]",
+    "[//bidder]",  # duplicate: rides the first segment
+]
+
+
+def _random_structural_op(cluster, rng):
+    """One optimizer-style action drawn from live cluster state."""
+    fragments = cluster.source_tree().fragment_ids()
+    kind = rng.random()
+    if kind < 0.3:
+        # Merge a random edge (parent absorbs child; data may migrate).
+        edges = [
+            (parent, child)
+            for parent in fragments
+            for child in cluster.fragment(parent).sub_fragment_ids()
+        ]
+        if edges:
+            parent, child = rng.choice(edges)
+            return MergeFragment(parent, child)
+    if kind < 0.6 and cluster.card() < 10:
+        # Split a random fragment, placing the new half on a random site.
+        fragment_id = rng.choice(fragments)
+        candidates = split_candidates(cluster.fragment(fragment_id), limit=3)
+        if candidates:
+            candidate = rng.choice(candidates)
+            sites = [site.site_id for site in cluster.sites()] + ["R-fresh"]
+            return SplitFragment(
+                fragment_id,
+                candidate.node_id,
+                target_site=rng.choice(sites),
+            )
+    # Move a random fragment (the root included: coordinator re-election)
+    # to a random existing or fresh site.
+    fragment_id = rng.choice(fragments)
+    sites = [site.site_id for site in cluster.sites()] + [f"R{rng.randrange(3)}"]
+    return MoveFragment(fragment_id, rng.choice(sites))
+
+
+def _toggle_probe(cluster, state):
+    """Flip the F2 probe seal wherever splits/merges have carried it."""
+    for fragment_id, fragment in cluster.fragmented_tree.fragments.items():
+        seal = fragment.root.find_first(
+            lambda n: n.label == "seal" and (n.text or "").startswith("seal-F2")
+        )
+        if seal is not None:
+            state["hot"] = not state["hot"]
+            suffix = "-hot" if state["hot"] else ""
+            return Relabel(fragment_id, seal.node_id, text=f"seal-F2{suffix}")
+    return None
+
+
+@pytest.mark.parametrize("engine_name", ENGINES)
+@pytest.mark.parametrize("executor_name", EXECUTORS)
+def test_random_rebalance_stream_agrees_bitwise(engine_name, executor_name):
+    cluster = star_ft1(4, 0.6, seed=31, nodes_per_mb=24)
+    engine_cls = ENGINE_REGISTRY[engine_name]
+    rng = random.Random(97)
+    state = {"hot": False}
+    kinds_seen = set()
+    with engine_cls(cluster, executor=executor_name) as oracle:
+        maintainer = StreamMaintainer(cluster, executor=oracle.executor)
+        for index, text in enumerate(QUERIES):
+            maintainer.subscribe(f"q{index}", text)
+        flips = 0
+        for round_index in range(10):
+            # Content edit first: a same-batch split could carve the
+            # probe's subtree into a fresh fragment, invalidating a
+            # later relabel's (fragment, node) address; a relabel can
+            # never invalidate a structural op's target.
+            ops = []
+            if round_index % 2:
+                probe = _toggle_probe(cluster, state)
+                if probe is not None:
+                    ops.append(probe)
+            ops.append(_random_structural_op(cluster, rng))
+            round_ = maintainer.apply(ops)
+            kinds_seen.update(type(op).__name__ for op in ops)
+            flips += len(round_.changed)
+            live = tuple(maintainer.answers().values())
+            scratch = oracle.evaluate_many(maintainer.plan()).answers
+            assert live == scratch, f"diverged at round {round_.seq}: {round_.ops}"
+        maintainer.close()
+    # The stream must really have exercised the rebalancing vocabulary
+    # and really have flipped answers (else agreement is vacuous).
+    assert "MoveFragment" in kinds_seen
+    assert kinds_seen & {"SplitFragment", "MergeFragment"}
+    assert flips > 0
+
+
+def test_migration_bytes_conserved_across_round_trip():
+    """Moving a fragment away and back ships the same bytes both ways."""
+    cluster = star_ft1(3, 0.5, seed=7, nodes_per_mb=24)
+    maintainer = StreamMaintainer(cluster)
+    maintainer.subscribe("q", "[//bidder]")
+    out = maintainer.apply([MoveFragment("F1", "S2")])
+    back = maintainer.apply([MoveFragment("F1", "S1")])
+    assert out.migration_bytes == back.migration_bytes > 0
+    assert cluster.site_of("F1") == "S1"
+    maintainer.close()
