@@ -7,10 +7,15 @@ checks::
     python -m repro.bench --quick     # miniature scale
     python -m repro.bench fig7 fig11  # a subset
     python -m repro.bench --json out.json   # machine-readable results
+    python -m repro.bench --profile stream  # cProfile any experiment
 
 ``--json`` writes every regenerated experiment (rows + shape-check
 verdicts) to one JSON document -- the file CI uploads as a workflow
-artifact so benchmark trajectories persist across PRs.
+artifact so benchmark trajectories persist across PRs.  ``--profile``
+wraps each selected experiment in ``cProfile`` and prints the top 20
+functions by cumulative time, so a perf PR can locate the next hot
+spot without ad-hoc scripts (timings printed under a profiler are
+inflated and not comparable across runs).
 """
 
 from __future__ import annotations
@@ -36,6 +41,11 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write results (and check verdicts) as JSON",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each experiment under cProfile; print the top 20 by cumulative time",
+    )
     args = parser.parse_args(argv)
 
     config = BenchConfig.quick() if args.quick else BenchConfig.default()
@@ -45,11 +55,24 @@ def main(argv: list[str] | None = None) -> int:
         "scale": "quick" if args.quick else "default",
         "experiments": [],
     }
+    if args.profile:
+        # Timings recorded under the profiler are inflated severalfold;
+        # mark the document so it is never compared against honest runs.
+        report["profiled"] = True
     for experiment_id, runner in ALL_EXPERIMENTS:
         if wanted is not None and experiment_id not in wanted:
             continue
         started = time.perf_counter()
-        result = runner(config)
+        if args.profile:
+            import cProfile
+            import pstats
+
+            with cProfile.Profile() as profiler:
+                result = runner(config)
+            print(f"=== cProfile: {experiment_id} (top 20 by cumulative) ===")
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+        else:
+            result = runner(config)
         elapsed = time.perf_counter() - started
         print(result.render())
         print(f"(regenerated in {elapsed:.1f}s)")

@@ -1,4 +1,4 @@
-"""Immutable Boolean formulas with canonicalizing constructors.
+"""Immutable Boolean formulas with canonicalizing, hash-consing constructors.
 
 A formula is one of:
 
@@ -17,19 +17,38 @@ absorb complementary literals and order operands canonically, so that
 equal Boolean functions built the same way compare equal and -- more
 importantly for the paper's bounds -- formula size stays proportional to
 the number of distinct variables, i.e. ``O(card(F_j))`` per vector entry.
+
+**Hash-consing.**  Every constructor (smart or raw) interns its result
+in a per-class pool, so structurally equal formulas built in one process
+are one object.  That turns the partial-evaluation hot loop's costs
+from per-occurrence into per-distinct-formula: ``sort_key`` / ``size`` /
+``variables`` are each computed once and cached on the instance, pool
+hits skip allocation entirely, and downstream memo tables (the equation
+solver, the compact triplet codec) key on formulas with cached hashes.
+The pools hold weak references, so formulas no longer reachable from
+live triplets are garbage-collected normally.  Interning is best-effort
+under free-threading -- a rare race can leave two equal instances alive
+-- so ``__eq__`` keeps its structural fallback and nothing *requires*
+identity for correctness.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping, Optional, Union
+from weakref import WeakValueDictionary
 
 Obj = Union[bool, list]  # the JSON-able wire representation
 
 
 class Formula:
-    """Base class of all formulas.  Instances are immutable and hashable."""
+    """Base class of all formulas.  Instances are immutable and hashable.
 
-    __slots__ = ("_key", "_hash", "_size")
+    ``_key`` / ``_hash`` / ``_size`` / ``_vars`` cache the derived
+    measurements; with interned instances each is computed at most once
+    per *distinct* formula in the process.
+    """
+
+    __slots__ = ("_key", "_hash", "_size", "_vars", "__weakref__")
 
     # -- canonical ordering -------------------------------------------------
     def sort_key(self) -> tuple:
@@ -46,10 +65,24 @@ class Formula:
     # -- measurements --------------------------------------------------------
     def size(self) -> int:
         """Number of nodes in the formula tree (wire-size unit)."""
+        size = getattr(self, "_size", None)
+        if size is None:
+            size = self._compute_size()
+            self._size = size
+        return size
+
+    def _compute_size(self) -> int:
         raise NotImplementedError
 
     def variables(self) -> frozenset["Var"]:
-        """The set of free variables."""
+        """The set of free variables (computed once, then cached)."""
+        vars_ = getattr(self, "_vars", None)
+        if vars_ is None:
+            vars_ = self._compute_variables()
+            self._vars = vars_
+        return vars_
+
+    def _compute_variables(self) -> frozenset["Var"]:
         raise NotImplementedError
 
     def is_ground(self) -> bool:
@@ -93,22 +126,36 @@ class Formula:
         return self._hash
 
 
+#: Bootstrap pool for the two constants (filled by the TRUE/FALSE
+#: definitions below; ``Const(...)`` afterwards returns the singletons).
+_CONST_POOL: dict[bool, "Const"] = {}
+
+
 class Const(Formula):
     """A Boolean constant; use the singletons :data:`TRUE` / :data:`FALSE`."""
 
     __slots__ = ("value",)
 
-    def __init__(self, value: bool) -> None:
+    def __new__(cls, value: bool) -> "Const":
+        value = bool(value)
+        existing = _CONST_POOL.get(value)
+        if existing is not None:
+            return existing
+        self = super().__new__(cls)
         self.value = value
-        self._hash = None
+        _CONST_POOL[value] = self
+        return self
+
+    def __reduce__(self):
+        return (Const, (self.value,))
 
     def _compute_key(self) -> tuple:
         return (0, self.value)
 
-    def size(self) -> int:
+    def _compute_size(self) -> int:
         return 1
 
-    def variables(self) -> frozenset["Var"]:
+    def _compute_variables(self) -> frozenset["Var"]:
         return frozenset()
 
     def evaluate(self, env: Mapping["Var", bool]) -> bool:
@@ -129,6 +176,9 @@ TRUE = Const(True)
 #: The false constant.
 FALSE = Const(False)
 
+_VAR_POOL: "WeakValueDictionary[tuple, Var]" = WeakValueDictionary()
+_NOT_POOL: "WeakValueDictionary[Formula, Not]" = WeakValueDictionary()
+
 
 class Var(Formula):
     """A free variable identified by ``(owner, kind, index)``.
@@ -143,21 +193,29 @@ class Var(Formula):
 
     _PREFIX = {"V": "", "CV": "c", "DV": "d"}
 
-    def __init__(self, owner: str, kind: str, index: int) -> None:
+    def __new__(cls, owner: str, kind: str, index: int) -> "Var":
+        key = (owner, kind, index)
+        existing = _VAR_POOL.get(key)
+        if existing is not None:
+            return existing
         if kind not in ("V", "CV", "DV"):
             raise ValueError(f"unknown vector kind {kind!r}")
+        self = super().__new__(cls)
         self.owner = owner
         self.kind = kind
         self.index = index
-        self._hash = None
+        return _VAR_POOL.setdefault(key, self)
+
+    def __reduce__(self):
+        return (Var, (self.owner, self.kind, self.index))
 
     def _compute_key(self) -> tuple:
         return (1, self.owner, self.kind, self.index)
 
-    def size(self) -> int:
+    def _compute_size(self) -> int:
         return 1
 
-    def variables(self) -> frozenset["Var"]:
+    def _compute_variables(self) -> frozenset["Var"]:
         return frozenset((self,))
 
     def evaluate(self, env: Mapping["Var", bool]) -> bool:
@@ -179,17 +237,24 @@ class Not(Formula):
 
     __slots__ = ("child",)
 
-    def __init__(self, child: Formula) -> None:
+    def __new__(cls, child: Formula) -> "Not":
+        existing = _NOT_POOL.get(child)
+        if existing is not None:
+            return existing
+        self = super().__new__(cls)
         self.child = child
-        self._hash = None
+        return _NOT_POOL.setdefault(child, self)
+
+    def __reduce__(self):
+        return (Not, (self.child,))
 
     def _compute_key(self) -> tuple:
         return (2, self.child.sort_key())
 
-    def size(self) -> int:
+    def _compute_size(self) -> int:
         return 1 + self.child.size()
 
-    def variables(self) -> frozenset["Var"]:
+    def _compute_variables(self) -> frozenset["Var"]:
         return self.child.variables()
 
     def evaluate(self, env: Mapping["Var", bool]) -> bool:
@@ -212,24 +277,38 @@ class _NAry(Formula):
     _TAG = ""
     _RANK = -1
     _JOIN = ""
+    #: Per-concrete-class interning pool (set on And / Or below).
+    _pool: "WeakValueDictionary[tuple, _NAry]"
 
-    def __init__(self, children: tuple[Formula, ...]) -> None:
+    def __new__(cls, children: tuple[Formula, ...]) -> "_NAry":
+        children = tuple(children)
+        pool = cls._pool
+        existing = pool.get(children)
+        if existing is not None:
+            return existing
         if len(children) < 2:
-            raise ValueError(f"{type(self).__name__} needs at least two operands")
+            raise ValueError(f"{cls.__name__} needs at least two operands")
+        self = super().__new__(cls)
         self.children = children
-        self._hash = None
+        return pool.setdefault(children, self)
+
+    def __reduce__(self):
+        return (type(self), (self.children,))
 
     def _compute_key(self) -> tuple:
         return (self._RANK, tuple(child.sort_key() for child in self.children))
 
-    def size(self) -> int:
+    def _compute_size(self) -> int:
         return 1 + sum(child.size() for child in self.children)
 
-    def variables(self) -> frozenset["Var"]:
-        out: frozenset[Var] = frozenset()
+    def _compute_variables(self) -> frozenset["Var"]:
+        # One mutable set, frozen once -- the repeated
+        # ``frozenset | frozenset`` of the pre-interning implementation
+        # was quadratic in the number of operands.
+        out: set[Var] = set()
         for child in self.children:
-            out = out | child.variables()
-        return out
+            out.update(child.variables())
+        return frozenset(out)
 
     def to_obj(self) -> Obj:
         return [self._TAG, [child.to_obj() for child in self.children]]
@@ -245,6 +324,7 @@ class And(_NAry):
     _TAG = "and"
     _RANK = 3
     _JOIN = " & "
+    _pool: "WeakValueDictionary[tuple, And]" = WeakValueDictionary()
 
     def evaluate(self, env: Mapping["Var", bool]) -> bool:
         return all(child.evaluate(env) for child in self.children)
@@ -260,12 +340,23 @@ class Or(_NAry):
     _TAG = "or"
     _RANK = 4
     _JOIN = " | "
+    _pool: "WeakValueDictionary[tuple, Or]" = WeakValueDictionary()
 
     def evaluate(self, env: Mapping["Var", bool]) -> bool:
         return any(child.evaluate(env) for child in self.children)
 
     def substitute(self, env: Mapping["Var", "Formula"]) -> "Formula":
         return make_or(*(child.substitute(env) for child in self.children))
+
+
+def pool_stats() -> dict[str, int]:
+    """Approximate live-instance counts of the interning pools."""
+    return {
+        "var": len(_VAR_POOL),
+        "not": len(_NOT_POOL),
+        "and": len(And._pool),
+        "or": len(Or._pool),
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -295,6 +386,9 @@ def _canonical_operands(
     seen: dict[tuple, Formula] = {}
     stack = list(operands)
     stack.reverse()
+    ordered = True
+    saw_not = False
+    last_key: Optional[tuple] = None
     while stack:
         operand = stack.pop()
         if isinstance(operand, Const):
@@ -304,13 +398,34 @@ def _canonical_operands(
         if isinstance(operand, flatten_type):
             stack.extend(reversed(operand.children))
             continue
-        seen.setdefault(operand.sort_key(), operand)
-    # Complement absorption: x op ~x == absorbing.
-    for key, operand in seen.items():
-        complement = make_not(operand)
-        if complement.sort_key() in seen:
-            return None
-    return sorted(seen.values(), key=Formula.sort_key)
+        if isinstance(operand, Not):
+            saw_not = True
+        key = operand.sort_key()
+        if key not in seen:
+            seen[key] = operand
+            if ordered:
+                if last_key is not None and key < last_key:
+                    ordered = False
+                last_key = key
+    # Complement absorption: x op ~x == absorbing.  A complementary
+    # pair needs a Not among the operands, so the scan is skipped
+    # entirely for the (hot) negation-free case; the complement's key
+    # is derived without building the complement formula: for a ``Not``
+    # it is the child's key, otherwise ``make_not`` would wrap (rank 2).
+    if saw_not:
+        for operand in seen.values():
+            if isinstance(operand, Not):
+                complement_key = operand.child.sort_key()
+            else:
+                complement_key = (2, operand.sort_key())
+            if complement_key in seen:
+                return None
+    flat = list(seen.values())
+    if not ordered:
+        # Operands coming out of interned connectives are already in
+        # canonical order; only genuinely unordered inputs pay the sort.
+        flat.sort(key=Formula.sort_key)
+    return flat
 
 
 def make_and(*operands: Formula) -> Formula:
@@ -397,4 +512,5 @@ __all__ = [
     "make_or",
     "formula_from_obj",
     "iter_subformulas",
+    "pool_stats",
 ]

@@ -16,10 +16,35 @@ decoupling this fragment's evaluation from its sub-fragments' (paper:
 "we propose a technique to decouple the dependencies between partial
 evaluation processes ... by introducing Boolean variables").
 
+**Two kernels.**  Subtrees with no virtual node below them only ever
+produce ``TRUE``/``FALSE`` entries -- by far the common case (leaf
+fragments are entirely ground, and even inner fragments are ground
+everywhere except on the root-to-virtual-node paths).  The *bitset
+kernel* represents such a subtree's ``V``/``CV``/``DV`` as Python-int
+bitmasks (bit *i* = entry *i* holds), so child folding (``cv |= v``)
+and the ``DV := V or DV`` update are single word-parallel operations
+over all *n* entries, the leaf cases (``ε`` / ``label()`` / ``text()``)
+resolve through three precompiled per-payload masks with no per-entry
+dispatch at all, and only the entries that reference earlier entries
+run -- as a straight-line function generated once per QList with every
+opcode and operand specialized away.  The whole pass is one store-free
+frame traversal (:func:`_frame_bottom_up`): accumulators stay bitmasks
+until the first virtual node folds in, then *upgrade* to formula lists,
+so the algebra runs exactly on the root-to-virtual-node paths and
+ground child subtrees fold in as constant bits.  (The pure-ground
+variant :func:`_ground_fast_path` backs the centralized evaluator,
+where a virtual node is an error rather than an upgrade.)  The *formula
+kernel* -- ``kernel="formula"`` -- is the classic algebra-everywhere
+path.  Both kernels produce bitwise-identical triplets under either
+composition algebra, because every algebra folds constants the same
+way -- checked exhaustively by ``tests/test_hotpath_kernel.py``.
+
 The traversal is iterative (explicit post-order), so arbitrarily deep
 fragments do not hit the Python recursion limit, and keeps only the
 frontier of child vectors alive, matching the paper's observation that
-two triplets (plus one per virtual node) suffice.
+two triplets (plus one per virtual node) suffice.  The deterministic
+cost ledger (``nodes_visited``, ``qlist_ops``) is defined by the
+algorithm, not the kernel, and is identical on both paths.
 """
 
 from __future__ import annotations
@@ -28,8 +53,8 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.boolexpr.compose import DEFAULT_ALGEBRA, FormulaAlgebra
-from repro.boolexpr.formula import FALSE, TRUE, Var
+from repro.boolexpr.compose import CanonicalAlgebra, DEFAULT_ALGEBRA, FormulaAlgebra
+from repro.boolexpr.formula import FALSE, TRUE, Var, make_or
 from repro.core.vectors import VectorTriplet
 from repro.fragments.fragment import Fragment
 from repro.xpath.qlist import (
@@ -62,6 +87,15 @@ _OPCODE = {
     OP_NOT: _NOT,
 }
 
+#: Kernel selection.  ``"auto"`` runs the bitset fast path on ground
+#: subtrees and the formula algebra on virtual-node paths; ``"formula"``
+#: forces the classic path everywhere (the oracle for the agreement
+#: tests and the baseline `benchmarks/bench_hotpath.py` measures
+#: against).  Module-level so tests can monkeypatch the default for a
+#: whole engine/executor stack without threading a parameter through.
+DEFAULT_KERNEL = "auto"
+_KERNELS = ("auto", "formula")
+
 
 @dataclass(frozen=True)
 class BottomUpStats:
@@ -73,33 +107,435 @@ class BottomUpStats:
 
 
 def compile_entries(qlist: QList) -> list[tuple[int, int, int, Optional[str]]]:
-    """Lower QList entries to ``(opcode, arg0, arg1, payload)`` tuples."""
+    """Lower QList entries to ``(opcode, arg0, arg1, payload)`` tuples.
+
+    The compiled form is cached on the QList instance: QLists are
+    immutable, so the cache needs no invalidation, and every fragment
+    of every round evaluating the same (combined) query reuses one
+    lowering instead of recompiling per call.
+    """
+    cached = getattr(qlist, "_compiled_entries", None)
+    if cached is not None:
+        return cached
     compiled: list[tuple[int, int, int, Optional[str]]] = []
     for entry in qlist:
         arg0 = entry.args[0] if len(entry.args) > 0 else -1
         arg1 = entry.args[1] if len(entry.args) > 1 else -1
         compiled.append((_OPCODE[entry.op], arg0, arg1, entry.value))
+    try:
+        qlist._compiled_entries = compiled
+    except AttributeError:  # exotic read-only QList stand-ins
+        pass
     return compiled
+
+
+def _compile_ground_kernel(
+    entries: list[tuple[int, int, int, Optional[str]]]
+):
+    """Generate the straight-line bit kernel for one QList's dependent entries.
+
+    Partial evaluation applied to ourselves: the per-entry opcode
+    dispatch is specialized away by emitting one Python line per
+    dependent entry with the opcode, operand indices and result bit
+    baked in as constants, then compiling the function once per QList.
+    The generated ``_kernel(cv, dv, base)`` takes the folded child
+    masks plus the node's leaf-entry bits (``base``) and returns the
+    node's full ``V`` mask -- no tuple unpacking, no dispatch, no
+    allocation on any call.  Leaf entries (``ε``/``label()``/``text()``)
+    never appear here; they are resolved into ``base`` by mask lookups.
+    """
+    lines = ["def _kernel(cv, dv, base):", "    v = base"]
+    for index, (opcode, arg0, arg1, _payload) in enumerate(entries):
+        bit = 1 << index
+        if opcode == _CHILD:
+            lines.append(f"    if cv >> {arg0} & 1: v |= {bit}")
+        elif opcode == _DESC:
+            # The classic loop interleaves line 17 with the case
+            # analysis, so ``//qj`` observes the dv entry *after* its
+            # own V contribution was folded in: read ``dv OR v``.
+            lines.append(f"    if (dv | v) >> {arg0} & 1: v |= {bit}")
+        elif opcode == _SELFQ:
+            lines.append(f"    if v >> {arg0} & 1: v |= {bit}")
+        elif opcode == _AND or opcode == _SELFSEQ:
+            lines.append(f"    if v >> {arg0} & 1 and v >> {arg1} & 1: v |= {bit}")
+        elif opcode == _OR:
+            lines.append(f"    if (v >> {arg0} | v >> {arg1}) & 1: v |= {bit}")
+        elif opcode == _NOT:
+            lines.append(f"    if not v >> {arg0} & 1: v |= {bit}")
+    lines.append("    return v")
+    namespace: dict = {}
+    exec("\n".join(lines), namespace)  # noqa: S102 - source built from int constants only
+    return namespace["_kernel"]
+
+
+def _ground_program(
+    qlist: QList, entries: list[tuple[int, int, int, Optional[str]]]
+) -> tuple[int, dict, dict, object, dict]:
+    """The bitset kernel's precompiled form of one QList (cached on it).
+
+    ``(eps_mask, label_masks, text_masks, kernel, leaf_memo,
+    var_cache)``: the masks resolve all leaf entries of a node in O(1)
+    dict lookups (bit *i* of ``label_masks[l]`` is set iff entry *i* is
+    ``label() = l``), ``kernel`` is the generated straight-line
+    function for the dependent entries, ``leaf_memo`` caches
+    ``base -> V`` for childless nodes (their kernel result depends only
+    on ``base``, and distinct bases are bounded by the document's
+    label/text vocabulary), and ``var_cache`` holds each virtual
+    owner's interned variable vectors.  All entries are deterministic,
+    so concurrent site threads sharing the dicts race only on
+    idempotent writes.
+    """
+    cached = getattr(qlist, "_ground_program", None)
+    if cached is not None:
+        return cached
+    eps_mask = 0
+    label_masks: dict[str, int] = {}
+    text_masks: dict[str, int] = {}
+    for index, (opcode, _arg0, _arg1, payload) in enumerate(entries):
+        bit = 1 << index
+        if opcode == _EPS:
+            eps_mask |= bit
+        elif opcode == _LABEL:
+            label_masks[payload] = label_masks.get(payload, 0) | bit
+        elif opcode == _TEXT:
+            text_masks[payload] = text_masks.get(payload, 0) | bit
+    # The trailing dicts: the leaf memo (base -> V mask) and the
+    # virtual-variable cache (owner -> (V vars, DV vars) tuples), both
+    # filled lazily and safely shared across threads (idempotent
+    # writes keyed on deterministic values).
+    program = (
+        eps_mask,
+        label_masks,
+        text_masks,
+        _compile_ground_kernel(entries),
+        {},
+        {},
+    )
+    try:
+        qlist._ground_program = program
+    except AttributeError:
+        pass
+    return program
+
+
+def _virtual_vectors(
+    var_cache: dict, owner: str, n: int
+) -> tuple[tuple, tuple]:
+    """The interned ``V``/``DV`` variable vectors of one virtual node."""
+    cached = var_cache.get(owner)
+    if cached is None:
+        cached = (
+            tuple(Var(owner, "V", i) for i in range(n)),
+            tuple(Var(owner, "DV", i) for i in range(n)),
+        )
+        var_cache[owner] = cached
+    return cached
+
+
+def _ground_fast_path(
+    root, program: tuple
+) -> Optional[tuple[int, int, int, int]]:
+    """One store-free pass over a fully-ground subtree.
+
+    Post-order via an explicit frame stack (``[node, next_child, cv,
+    dv]``), folding each finished node's masks straight into its
+    parent's accumulators -- no result dictionary, no per-node vector
+    allocation.  Childless nodes resolve through the leaf memo without
+    even a frame.  Returns ``(V, CV, DV, nodes_visited)`` masks for the
+    root, or ``None`` as soon as a virtual node is seen -- finding one
+    is the *only* way this returns ``None``, which the centralized
+    evaluator (its caller) turns into the "unfragmented tree required"
+    error.  Fragment evaluation uses :func:`_frame_bottom_up`, which
+    upgrades to the formula algebra instead.
+    """
+    eps_mask, label_masks, text_masks, kernel, leaf_memo, _var_cache = program
+    nodes_visited = 0
+    stack = [[root, 0, 0, 0]]
+    while stack:
+        frame = stack[-1]
+        node = frame[0]
+        children = node.children
+        index = frame[1]
+        if index < len(children):
+            frame[1] = index + 1
+            child = children[index]
+            if child.fragment_ref is not None:
+                return None  # virtual node: this subtree is not ground
+            if child.children:
+                stack.append([child, 0, 0, 0])
+            else:
+                nodes_visited += 1
+                base = eps_mask | label_masks.get(child.label, 0)
+                text = child.text
+                if text is not None and text_masks:
+                    base |= text_masks.get(text, 0)
+                v = leaf_memo.get(base)
+                if v is None:
+                    v = kernel(0, 0, base)
+                    leaf_memo[base] = v
+                frame[2] |= v  # CV  |= child V
+                frame[3] |= v  # DV |= child DV (== V for a leaf)
+            continue
+        stack.pop()
+        nodes_visited += 1
+        cv = frame[2]
+        dv = frame[3]
+        base = eps_mask | label_masks.get(node.label, 0)
+        text = node.text
+        if text is not None and text_masks:
+            base |= text_masks.get(text, 0)
+        v = kernel(cv, dv, base)
+        dv |= v  # line 17, word-parallel
+        if stack:
+            parent = stack[-1]
+            parent[2] |= v
+            parent[3] |= dv
+        else:
+            return (v, cv, dv, nodes_visited)
+    raise AssertionError("unreachable: the root frame always returns")
+
+
+def _mask_to_formulas(mask: int, n: int) -> list:
+    """Expand a result bitmask into the TRUE/FALSE entry list."""
+    return [TRUE if mask >> i & 1 else FALSE for i in range(n)]
+
+
+def _upgrade_frame(frame: list, n: int) -> tuple[list, list]:
+    """Switch a frame's accumulators from bitmasks to formula lists.
+
+    Sound in any child order: a TRUE bit accumulated so far stays TRUE
+    under every later fold (``x OR 1 = 1`` in both algebras), and a
+    zero bit is exactly the untouched FALSE accumulator.
+    """
+    cv = frame[2]
+    if type(cv) is int:
+        frame[2] = _mask_to_formulas(cv, n)
+        frame[3] = _mask_to_formulas(frame[3], n)
+    return frame[2], frame[3]
+
+
+def _fold_masks_into_lists(cv: list, dv: list, v_mask: int, dv_mask: int) -> None:
+    """Fold a ground child's result masks into formula accumulators.
+
+    A set bit contributes TRUE, which absorbs whatever the accumulator
+    holds (``x OR 1 = 1`` under every algebra); a zero bit contributes
+    nothing -- identical to folding the expanded constant vector.
+    """
+    mask = v_mask
+    while mask:
+        low = mask & -mask
+        cv[low.bit_length() - 1] = TRUE
+        mask ^= low
+    mask = dv_mask
+    while mask:
+        low = mask & -mask
+        dv[low.bit_length() - 1] = TRUE
+        mask ^= low
+
+
+def _frame_bottom_up(root, program: tuple, entries, n: int, algebra) -> tuple:
+    """The auto kernel: one frame-stack pass, bitset until proven virtual.
+
+    Every frame accumulates its children's results as int bitmasks
+    while all of them are ground, and *upgrades* to formula lists the
+    moment a virtual node (or a formula-valued child subtree) folds in
+    -- so the formula algebra runs exactly on the root-to-virtual-node
+    paths and everything else stays word-parallel integer work.  No
+    result store, no per-node vector allocation on the ground side.
+
+    For the (default) canonical algebra, virtual children are not
+    folded eagerly: their owners accumulate on the frame and every
+    entry gets **one** n-ary ``make_or`` at node completion.  Sound and
+    bitwise-identical because canonical disjunction is associative,
+    commutative and flattening -- the left-fold chain and the n-ary
+    call intern to the same formula object.  Non-canonical algebras
+    (whose fold shape is observable, e.g. the paper-literal one) keep
+    the classic pairwise fold in child order.
+
+    Returns ``((V, CV, DV), nodes_visited)`` where the vectors are
+    masks (fully ground fragment) or formula lists.
+    """
+    eps_mask, label_masks, text_masks, bit_kernel, leaf_memo, var_cache = program
+    or_ = algebra.or_
+    and_ = algebra.and_
+    not_ = algebra.not_
+    defer_virtuals = type(algebra) is CanonicalAlgebra
+    nodes_visited = 0
+    # frame: [node, next_child_index, cv, dv, deferred_virtual_owners]
+    stack = [[root, 0, 0, 0, None]]
+    while stack:
+        frame = stack[-1]
+        node = frame[0]
+        children = node.children
+        index = frame[1]
+        if index < len(children):
+            frame[1] = index + 1
+            child = children[index]
+            owner = child.fragment_ref
+            if owner is not None:
+                if defer_virtuals:
+                    owners = frame[4]
+                    if owners is None:
+                        frame[4] = [owner]
+                    else:
+                        owners.append(owner)
+                    continue
+                # Non-canonical algebra: fold the virtual leaf's free
+                # variables eagerly, in child order (they are never
+                # FALSE, so every entry participates).
+                cv, dv = _upgrade_frame(frame, n)
+                for i in range(n):
+                    value = Var(owner, "V", i)
+                    current = cv[i]
+                    cv[i] = value if current is FALSE else or_(current, value)
+                    value = Var(owner, "DV", i)
+                    current = dv[i]
+                    dv[i] = value if current is FALSE else or_(current, value)
+                continue
+            if child.children:
+                stack.append([child, 0, 0, 0, None])
+                continue
+            # Ground leaf: resolve through the memo, no frame needed.
+            nodes_visited += 1
+            base = eps_mask | label_masks.get(child.label, 0)
+            text = child.text
+            if text is not None and text_masks:
+                base |= text_masks.get(text, 0)
+            v = leaf_memo.get(base)
+            if v is None:
+                v = bit_kernel(0, 0, base)
+                leaf_memo[base] = v
+            cv = frame[2]
+            if type(cv) is int:
+                frame[2] = cv | v
+                frame[3] = frame[3] | v  # a leaf's DV equals its V
+            else:
+                _fold_masks_into_lists(cv, frame[3], v, v)
+            continue
+
+        # All children folded: complete this node.
+        stack.pop()
+        nodes_visited += 1
+        cv = frame[2]
+        dv = frame[3]
+        owners = frame[4]
+        if owners is not None:
+            # Deferred virtual folds (canonical algebra): one n-ary
+            # disjunction per entry instead of a pairwise chain --
+            # O(card) instead of O(card^2) operand visits.
+            if type(cv) is int:
+                cv = _mask_to_formulas(cv, n)
+                dv = _mask_to_formulas(dv, n)
+            vectors = [_virtual_vectors(var_cache, owner, n) for owner in owners]
+            for i in range(n):
+                cv[i] = make_or(cv[i], *(vec[0][i] for vec in vectors))
+                dv[i] = make_or(dv[i], *(vec[1][i] for vec in vectors))
+        if type(cv) is int:
+            base = eps_mask | label_masks.get(node.label, 0)
+            text = node.text
+            if text is not None and text_masks:
+                base |= text_masks.get(text, 0)
+            v = bit_kernel(cv, dv, base)  # lines 6-16, specialized
+            dv |= v  # line 17, word-parallel
+            if not stack:
+                return (v, cv, dv), nodes_visited
+            parent = stack[-1]
+            parent_cv = parent[2]
+            if type(parent_cv) is int:
+                parent[2] = parent_cv | v
+                parent[3] = parent[3] | dv
+            else:
+                _fold_masks_into_lists(parent_cv, parent[3], v, dv)
+            continue
+
+        # Formula completion: lines 6-17, classic case analysis.
+        v = [FALSE] * n
+        label = node.label
+        text = node.text
+        for i in range(n):
+            opcode, arg0, arg1, payload = entries[i]
+            if opcode == _SELFQ:
+                value = v[arg0]
+            elif opcode == _CHILD:
+                value = cv[arg0]
+            elif opcode == _DESC:
+                value = dv[arg0]
+            elif opcode == _LABEL:
+                value = TRUE if label == payload else FALSE
+            elif opcode == _TEXT:
+                value = TRUE if text == payload else FALSE
+            elif opcode == _AND or opcode == _SELFSEQ:
+                value = and_(v[arg0], v[arg1])
+            elif opcode == _OR:
+                value = or_(v[arg0], v[arg1])
+            elif opcode == _NOT:
+                value = not_(v[arg0])
+            else:  # _EPS
+                value = TRUE
+            v[i] = value
+            if value is not FALSE:  # line 17: DV := V or DV
+                current = dv[i]
+                dv[i] = value if current is FALSE else or_(value, current)
+        if not stack:
+            return (v, cv, dv), nodes_visited
+        parent = stack[-1]
+        parent_cv, parent_dv = _upgrade_frame(parent, n)
+        for i in range(n):
+            value = v[i]
+            if value is not FALSE:
+                current = parent_cv[i]
+                parent_cv[i] = value if current is FALSE else or_(current, value)
+            value = dv[i]
+            if value is not FALSE:
+                current = parent_dv[i]
+                parent_dv[i] = value if current is FALSE else or_(current, value)
+    raise AssertionError("unreachable: the root frame always returns")
 
 
 def bottom_up(
     fragment: Fragment,
     qlist: QList,
     algebra: Optional[FormulaAlgebra] = None,
+    kernel: Optional[str] = None,
 ) -> tuple[VectorTriplet, BottomUpStats]:
     """Partially evaluate ``qlist`` over one fragment.
 
     Returns the fragment's :class:`VectorTriplet` (formulas over the
     variables of its virtual nodes) and the evaluation costs.
+    ``kernel`` is ``"auto"`` (bitset fast path on ground subtrees,
+    the default) or ``"formula"`` (force the algebra everywhere); both
+    return bitwise-identical triplets and cost ledgers.
     """
     algebra = algebra or DEFAULT_ALGEBRA
+    kernel = kernel or DEFAULT_KERNEL
+    if kernel not in _KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; choose from {_KERNELS}")
+    entries = compile_entries(qlist)
+    n = len(entries)
+    started = time.perf_counter()
+
+    if kernel == "auto":
+        program = _ground_program(qlist, entries)
+        (root_v, root_cv, root_dv), nodes_visited = _frame_bottom_up(
+            fragment.root, program, entries, n, algebra
+        )
+        if type(root_v) is int:  # entirely ground fragment
+            root_v = _mask_to_formulas(root_v, n)
+            root_cv = _mask_to_formulas(root_cv, n)
+            root_dv = _mask_to_formulas(root_dv, n)
+        triplet = VectorTriplet(fragment.fragment_id, root_v, root_cv, root_dv)
+        stats = BottomUpStats(
+            nodes_visited=nodes_visited,
+            qlist_ops=nodes_visited * n,
+            wall_seconds=time.perf_counter() - started,
+        )
+        return triplet, stats
+
+    # kernel == "formula": the classic store-based traversal, formula
+    # algebra on every node -- the agreement oracle and perf baseline.
     or_ = algebra.or_
     and_ = algebra.and_
     not_ = algebra.not_
-    entries = compile_entries(qlist)
-    n = len(entries)
-
-    started = time.perf_counter()
     nodes_visited = 0
     # node_id -> (V, DV) of completed subtrees not yet folded into a parent.
     store: dict[int, tuple[list, list]] = {}
@@ -172,4 +608,4 @@ def bottom_up(
     return triplet, stats
 
 
-__all__ = ["bottom_up", "BottomUpStats", "compile_entries"]
+__all__ = ["bottom_up", "BottomUpStats", "compile_entries", "DEFAULT_KERNEL"]

@@ -8,6 +8,15 @@ machinery.  It serves three roles:
 * the correctness *oracle* for every distributed engine in the tests;
 * the reference point for the paper's "total computation is comparable
   to the best-known centralized algorithm" claim.
+
+The implementation *is* the bitset ground kernel of
+:mod:`repro.core.bottom_up`: a whole tree is the degenerate case of a
+fragment with no virtual nodes, so the store-free bitmask pass applies
+verbatim -- and keeping the two on one code path preserves the
+"comparable total computation" claim as the kernels get faster
+together.  A virtual node anywhere is the fast path's only bail-out
+condition, which here is an error: a centralized evaluator has no
+variables to give it.
 """
 
 from __future__ import annotations
@@ -16,12 +25,10 @@ import time
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.bottom_up import compile_entries
+from repro.core.bottom_up import _ground_fast_path, _ground_program, compile_entries
 from repro.xmltree.node import XMLNode
 from repro.xmltree.tree import XMLTree
 from repro.xpath.qlist import QList
-
-_EPS, _LABEL, _TEXT, _CHILD, _DESC, _SELFQ, _SELFSEQ, _AND, _OR, _NOT = range(10)
 
 
 @dataclass(frozen=True)
@@ -56,57 +63,18 @@ def evaluate_node_many(
     n = len(entries)
 
     started = time.perf_counter()
-    nodes_visited = 0
-    store: dict[int, tuple[list, list]] = {}
-
-    for node in root.iter_postorder():
-        if node.is_virtual:
-            raise ValueError("centralized evaluation requires an unfragmented tree")
-        nodes_visited += 1
-        cv = [False] * n
-        dv = [False] * n
-        for child in node.children:
-            child_v, child_dv = store.pop(child.node_id)
-            for i in range(n):
-                if child_v[i]:
-                    cv[i] = True
-                if child_dv[i]:
-                    dv[i] = True
-        v = [False] * n
-        label = node.label
-        text = node.text
-        for i in range(n):
-            opcode, arg0, arg1, payload = entries[i]
-            if opcode == _SELFQ:
-                value = v[arg0]
-            elif opcode == _CHILD:
-                value = cv[arg0]
-            elif opcode == _DESC:
-                value = dv[arg0]
-            elif opcode == _LABEL:
-                value = label == payload
-            elif opcode == _TEXT:
-                value = text == payload
-            elif opcode == _AND or opcode == _SELFSEQ:
-                value = v[arg0] and v[arg1]
-            elif opcode == _OR:
-                value = v[arg0] or v[arg1]
-            elif opcode == _NOT:
-                value = not v[arg0]
-            else:  # _EPS
-                value = True
-            v[i] = value
-            if value:
-                dv[i] = True
-        store[node.node_id] = (v, dv)
-
-    root_v, _ = store.pop(root.node_id)
+    result = None
+    if not root.is_virtual:
+        result = _ground_fast_path(root, _ground_program(qlist, entries))
+    if result is None:  # the fast path bails only on virtual nodes
+        raise ValueError("centralized evaluation requires an unfragmented tree")
+    root_v, _root_cv, _root_dv, nodes_visited = result
     stats = CentralizedStats(
         nodes_visited=nodes_visited,
         qlist_ops=nodes_visited * n,
         wall_seconds=time.perf_counter() - started,
     )
-    return [root_v[index] for index in answer_indices], stats
+    return [bool(root_v >> index & 1) for index in answer_indices], stats
 
 
 def evaluate_tree(tree: XMLTree, qlist: QList) -> tuple[bool, CentralizedStats]:

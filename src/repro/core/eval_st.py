@@ -11,7 +11,11 @@ the source tree solves it; the query answer is ``V_Froot[last]``
 The implementation delegates to
 :class:`~repro.boolexpr.equations.BooleanEquationSystem`, whose memoized
 evaluation *is* that bottom-up pass (children are forced before their
-parents by the dependency order).
+parents by the dependency order).  The solver's worklist memoizes per
+*interned formula*, not just per variable, and the memo lives on the
+system object -- so the N answer reads of :func:`eval_st_many` share
+every common sub-formula's value: one solve, N cheap reads, exactly the
+batched composition stage's cost model.
 """
 
 from __future__ import annotations
@@ -25,20 +29,49 @@ from repro.fragments.source_tree import SourceTree
 from repro.xpath.qlist import QList
 
 
-def build_equation_system(triplets: Mapping[str, VectorTriplet]) -> BooleanEquationSystem:
+_VECTOR_OF_KIND = {"V": "v", "CV": "cv", "DV": "dv"}
+
+
+def build_equation_system(
+    triplets: Mapping[str, VectorTriplet], eager: bool = False
+) -> BooleanEquationSystem:
     """Turn a set of triplets into the Boolean equation system.
 
-    Defines ``Var(F, 'V', i) := V_F[i]`` (and CV/DV likewise) for every
-    fragment ``F`` present.  Partial sets are allowed -- LazyParBoX adds
-    triplets one source-tree depth at a time.
+    Conceptually defines ``Var(F, 'V', i) := V_F[i]`` (and CV/DV
+    likewise) for every fragment ``F`` present; partial sets are
+    allowed -- LazyParBoX adds triplets one source-tree depth at a time
+    and an absent fragment's variables are simply unbound.
+
+    By default the definitions materialize *lazily* through the
+    solver's resolver hook: reading one answer touches only the
+    variables reachable from it (the fragment-tree spine), not the full
+    ``3 n card(F)`` definition set -- which keeps the composition stage
+    O(reachable) as fragment counts grow.  Pass ``eager=True`` when
+    every variable will be read anyway (``solve_all``, as in the
+    selection engine's phase 1).
     """
-    system = BooleanEquationSystem()
-    for triplet in triplets.values():
-        for index in range(len(triplet)):
-            system.define(Var(triplet.fragment_id, "V", index), triplet.v[index])
-            system.define(Var(triplet.fragment_id, "CV", index), triplet.cv[index])
-            system.define(Var(triplet.fragment_id, "DV", index), triplet.dv[index])
-    return system
+    if eager:
+        system = BooleanEquationSystem()
+        for triplet in triplets.values():
+            for index in range(len(triplet)):
+                system.define(Var(triplet.fragment_id, "V", index), triplet.v[index])
+                system.define(Var(triplet.fragment_id, "CV", index), triplet.cv[index])
+                system.define(Var(triplet.fragment_id, "DV", index), triplet.dv[index])
+        return system
+
+    def resolve(var: Var):
+        triplet = triplets.get(var.owner)
+        if triplet is None:
+            return None
+        vector = getattr(triplet, _VECTOR_OF_KIND[var.kind])
+        # Full bounds check: Python's negative indexing would otherwise
+        # silently resolve Var(F, 'V', -1) to the last entry where the
+        # eager build raised UnboundVariableError.
+        if not 0 <= var.index < len(vector):
+            return None
+        return vector[var.index]
+
+    return BooleanEquationSystem(resolver=resolve)
 
 
 def answer_variable(

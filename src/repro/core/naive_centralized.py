@@ -14,7 +14,7 @@ centralized evaluation are timed as real coordinator-local work.
 
 from __future__ import annotations
 
-from repro.core.centralized import evaluate_tree_many
+from repro.core.centralized import evaluate_node_many, evaluate_tree_many
 from repro.core.engine import CONTROL_BYTES, MSG_CONTROL, MSG_FRAGMENT_DATA, Engine
 from repro.core.plan import BatchPlan
 
@@ -51,12 +51,24 @@ class NaiveCentralizedEngine(Engine):
         )
 
         # Local phase: stitch the document together, then evaluate it
-        # once against the combined batch query.
-        (tree, stitch_seconds) = run.compute(coordinator, self.cluster.fragmented_tree.stitch)
-        ((answers, stats), eval_seconds) = run.compute(
-            coordinator,
-            lambda: evaluate_tree_many(tree, plan.combined, plan.answer_indices),
-        )
+        # once against the combined batch query.  A single-fragment
+        # decomposition IS the document -- no virtual node was ever
+        # cut, so it evaluates in place (the same zero-copy access a
+        # ParBoX site gets) and reassembly genuinely costs nothing.
+        fragmented = self.cluster.fragmented_tree
+        if fragmented.card() == 1:
+            root = fragmented.fragments[fragmented.root_fragment_id].root
+            stitch_seconds = 0.0
+            ((answers, stats), eval_seconds) = run.compute(
+                coordinator,
+                lambda: evaluate_node_many(root, plan.combined, plan.answer_indices),
+            )
+        else:
+            (tree, stitch_seconds) = run.compute(coordinator, fragmented.stitch)
+            ((answers, stats), eval_seconds) = run.compute(
+                coordinator,
+                lambda: evaluate_tree_many(tree, plan.combined, plan.answer_indices),
+            )
         run.add_ops(stats.nodes_visited, stats.qlist_ops)
         for segment_index, (_, length) in enumerate(plan.segments):
             run.add_segment_ops(segment_index, stats.nodes_visited * length)

@@ -357,7 +357,9 @@ class SelectionEngine(Engine):
         )
 
         (solution, solve_seconds) = run.compute(
-            coordinator, lambda: build_equation_system(triplets).solve_all()
+            # Eager: phase 2 reads every fragment's variables, so the
+            # lazy resolver would materialize them all anyway.
+            coordinator, lambda: build_equation_system(triplets, eager=True).solve_all()
         )
         elapsed = run.join(phase1_times) + solve_seconds
 

@@ -214,7 +214,12 @@ def _run_job_payload(payload: tuple) -> tuple:
         triplet, stats = bottom_up(fragment, qlist, algebra)
         results.append(
             (
-                triplet.to_obj(),
+                # Compact codec, not to_obj(): ground entries collapse
+                # into three int bitmasks and residual formulas ship
+                # once each through a hash-consed table, cutting the
+                # real pickle volume without touching the simulated
+                # ledger (wire_bytes stays defined over to_obj()).
+                triplet.to_compact(),
                 stats.nodes_visited,
                 stats.qlist_ops,
                 _segment_ops(stats.nodes_visited, segments),
@@ -231,12 +236,12 @@ def _outcome_from_payload(result: tuple) -> SiteOutcome:
     site_id, fragment_results, seconds = result
     outcomes = tuple(
         FragmentOutcome(
-            triplet=VectorTriplet.from_obj(triplet_obj),
+            triplet=VectorTriplet.from_compact(triplet_wire),
             nodes_visited=nodes,
             qlist_ops=ops,
             segment_ops=tuple(segment_ops),
         )
-        for triplet_obj, nodes, ops, segment_ops in fragment_results
+        for triplet_wire, nodes, ops, segment_ops in fragment_results
     )
     return SiteOutcome(site_id=site_id, fragments=outcomes, seconds=seconds)
 

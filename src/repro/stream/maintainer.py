@@ -43,6 +43,16 @@ entry ops); traffic is the changed slices only, worst case
 independent of ``|T|`` and of the update size, the paper's Section 5
 bound extended to a whole standing book.
 
+Hot-path notes: the per-fragment refresh runs ``bottomUp``'s bitset
+ground kernel whenever the dirty fragment holds no virtual node (the
+common case -- see :mod:`repro.core.bottom_up`), the combined QList's
+compiled form is cached on the QList across rounds, and under the
+``process`` executor the refreshed triplets return in the compact
+bitmask+residue wire form (:meth:`~repro.core.vectors.VectorTriplet.to_compact`)
+-- none of which moves the *simulated* ledger: ``triplet-delta`` bytes
+stay defined over ``wire_bytes()`` and are bitwise identical across
+kernels and executors (checked by ``tests/test_hotpath_kernel.py``).
+
 Checked by ``tests/test_stream_maintainer.py`` (dirty-site-only
 visits, delta-only shipping, oracle agreement across engines x
 executors), ``tests/test_rebalance_properties.py`` (random

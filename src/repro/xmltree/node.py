@@ -209,10 +209,27 @@ class XMLNode:
         )
 
     def deep_copy(self) -> "XMLNode":
-        """Copy the subtree; the copy receives fresh node ids."""
+        """Copy the subtree; the copy receives fresh node ids.
+
+        Iterative, and wires parent/children links directly: the source
+        is already a valid tree, so ``add_child``'s cycle/reparent
+        validation would only re-prove invariants per copied node (and
+        recursion would cap the copyable depth).  This sits on the
+        NaiveCentralized stitch path, where it is the dominant cost.
+        """
         copy = XMLNode(self.label, text=self.text, fragment_ref=self.fragment_ref)
-        for child in self.children:
-            copy.add_child(child.deep_copy())
+        stack = [(self, copy)]
+        while stack:
+            source, target = stack.pop()
+            target_children = target.children
+            for child in source.children:
+                child_copy = XMLNode(
+                    child.label, text=child.text, fragment_ref=child.fragment_ref
+                )
+                child_copy.parent = target
+                target_children.append(child_copy)
+                if child.children:
+                    stack.append((child, child_copy))
         return copy
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -45,6 +45,21 @@ class TestBuildEquationSystem:
         system = build_equation_system({"F0": parent, "F1": child})
         assert system.value_of(Var("F0", "V", 0)) is True
 
+    @pytest.mark.parametrize("eager", [False, True])
+    def test_out_of_range_indices_unbound(self, eager):
+        """The lazy resolver must bounds-check like the eager build.
+
+        Python's negative indexing would otherwise silently resolve
+        ``Var(F, 'V', -1)`` to the *last* entry instead of raising.
+        """
+        from repro.boolexpr import UnboundVariableError
+
+        triplet = ground_triplet_from_bools("F1", [True, False], [False] * 2, [True] * 2)
+        system = build_equation_system({"F1": triplet}, eager=eager)
+        for index in (-1, 2):
+            with pytest.raises(UnboundVariableError):
+                system.value_of(Var("F1", "V", index))
+
 
 class TestAnswerVariable:
     def test_points_at_root_fragment_last_entry(self):
