@@ -1,0 +1,76 @@
+"""Serving-tier overhead: the same batch in-process vs over the gateway.
+
+Two micro-benchmarks on one topology: ``QuerySession`` straight onto a
+local ParBoX engine, and the identical session pointed at a
+:class:`~repro.serving.cluster.ServingCluster` gateway (real sockets,
+inline site servers).  The delta is the serving tax -- framing,
+loopback round-trips and the coordinator's thread hop -- paid for
+running sites as real network peers.  A correctness cross-check keeps
+the comparison honest: both paths must return identical answers and
+identical deterministic ledgers.
+
+``REPRO_BENCH_QUICK=1`` shrinks the topology and batch.
+"""
+
+import pytest
+
+from conftest import QUICK
+
+from repro.core import QuerySession
+from repro.serving import ServingCluster
+from repro.workloads.pubsub import subscription_texts
+from repro.workloads.topologies import star_ft1
+
+SITES = 3 if QUICK else 6
+BATCH = 4 if QUICK else 16
+MB = 0.05 if QUICK else 0.5
+
+
+@pytest.fixture(scope="module")
+def cluster(config):
+    return config.with_network(
+        star_ft1(SITES, MB, seed=7, nodes_per_mb=config.nodes_per_mb)
+    )
+
+
+@pytest.fixture(scope="module")
+def texts():
+    return subscription_texts(BATCH, seed=7)
+
+
+@pytest.fixture(scope="module")
+def serving(cluster):
+    with ServingCluster(cluster) as tier:
+        yield tier
+
+
+def test_serving_in_process_baseline(benchmark, cluster, texts):
+    with QuerySession(cluster, engine="parbox") as session:
+        session.evaluate_batch(texts)  # warm the compile cache
+        result = benchmark(lambda: session.evaluate_batch(texts))
+    assert len(result.answers) == len(texts)
+
+
+def test_serving_over_gateway(benchmark, cluster, serving, texts):
+    with serving.session(engine="parbox") as session:
+        session.evaluate_batch(texts)  # warm caches and site links
+        result = benchmark(lambda: session.evaluate_batch(texts))
+    assert len(result.answers) == len(texts)
+    # The serving tier must be transparent: same answers, same ledger.
+    with QuerySession(cluster, engine="parbox") as local:
+        expected = local.evaluate_batch(texts)
+    assert result.answers == expected.answers
+    assert result.metrics.bytes_total == expected.metrics.bytes_total
+    assert result.metrics.visits == expected.metrics.visits
+
+
+def test_serving_gateway_throughput_sequential_sessions(benchmark, serving, texts):
+    """Connection setup included: one fresh session per round, the cost a
+    short-lived client actually pays."""
+
+    def round_trip():
+        with serving.session(engine="parbox") as session:
+            return session.evaluate_batch(texts)
+
+    result = benchmark(round_trip)
+    assert len(result.answers) == len(texts)

@@ -42,6 +42,22 @@ The subcommands::
         predicted and *measured* cost before/after plus the metered
         migration traffic.
 
+    repro serve <file.xml> [--fragments N] [--sites N] [--port P]
+                 [--site-mode inline|process] [--replicas R]
+                 [--engine NAME] [--check]
+        Boot the *networked* serving tier for the document: one site
+        server per simulated site (in-process asyncio servers, or real
+        child processes with ``--site-mode process``), a coordinator
+        that pushes each site its fragments once, and a front-door
+        gateway on ``--port``.  ``--check`` runs a self-query through a
+        loopback client after boot and exits (the CI smoke); otherwise
+        the command serves until interrupted.
+
+    repro connect HOST:PORT '<query>' ['<query>' ...] [--engine NAME]
+        Evaluate queries against a running gateway: the same batched
+        session surface as ``repro query``, but over TCP -- answers and
+        the cost ledger come back from the serving tier.
+
     repro select <file.xml> '<path-query>' [--fragments N] [--limit K]
         The Section 8 extension: print the selected nodes.
 
@@ -58,6 +74,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -318,6 +335,83 @@ def cmd_rebalance(args: argparse.Namespace) -> int:
     return 0 if agree else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the networked serving tier and serve until interrupted."""
+    from repro.serving import SERVABLE_ENGINES, ServingCluster
+
+    if args.engine.lower() not in SERVABLE_ENGINES:
+        print(
+            f"error: engine {args.engine!r} is not servable; "
+            f"choose from {list(SERVABLE_ENGINES)}",
+            file=sys.stderr,
+        )
+        return 2
+    tree = _load_tree(args.file)
+    cluster = _build_cluster(tree, args.fragments, args.sites)
+    serving = ServingCluster(
+        cluster,
+        replicas=args.replicas,
+        site_mode=args.site_mode,
+        site_timeout=args.site_timeout,
+        default_engine=args.engine,
+        gateway_port=args.port,
+    )
+    serving.start()
+    try:
+        print(
+            f"serving {cluster.total_size()} nodes / {cluster.card()} fragments "
+            f"across {len(serving.sites)} {args.site_mode} site(s) "
+            f"x{args.replicas} replica(s)"
+        )
+        for site_id, servers in sorted(serving.sites.items()):
+            ports = ", ".join(str(server.port) for server in servers)
+            print(f"  site {site_id}: port(s) {ports}")
+        print(f"gateway: {serving.address}  (engine: {args.engine})")
+        if args.check:
+            with serving.client() as client:
+                client.ping()
+                reply = client.query(("[//a]", "[not //b]"), args.engine)
+            print(
+                f"self-check: answers={list(reply.answers)} "
+                f"engine={reply.details.get('engine')} ok"
+            )
+            return 0
+        print("serving; Ctrl-C to stop")
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("\nstopping")
+        return 0
+    finally:
+        serving.close()
+
+
+def cmd_connect(args: argparse.Namespace) -> int:
+    """Evaluate queries against a running gateway."""
+    from repro.core import QuerySession
+
+    spec = f"net:{args.address}" + (f"/{args.engine}" if args.engine else "")
+    with QuerySession(None, engine=spec) as session:
+        outcome = session.evaluate_many(args.query)
+    batch = outcome.batches[0]
+    print(
+        f"gateway {args.address}: {len(args.query)} queries via "
+        f"{batch.engine} in {len(outcome.batches)} batch(es)"
+    )
+    for text, answer, cost in zip(args.query, outcome.answers, outcome.per_query):
+        shared = f"  (shared x{cost.shared_with + 1})" if cost.shared_with else ""
+        print(f"  answer={str(answer):5s}  |q|={cost.qlist_len:<3d} {text}{shared}")
+    print(
+        f"per query (amortized): visits={outcome.visits_per_query:.2f}  "
+        f"msgs={outcome.messages_per_query:.2f}  "
+        f"bytes={outcome.bytes_per_query:.0f}  "
+        f"[totals: visits={outcome.visits_total} msgs={outcome.messages_total} "
+        f"bytes={outcome.bytes_total}]"
+    )
+    return 0
+
+
 def cmd_select(args: argparse.Namespace) -> int:
     tree = _load_tree(args.file)
     cluster = _build_cluster(tree, args.fragments, args.sites)
@@ -453,6 +547,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rebalance.add_argument("--seed", type=int, default=0)
     rebalance.set_defaults(func=cmd_rebalance)
+
+    serve = sub.add_parser(
+        "serve", help="boot the networked serving tier (gateway + site servers)"
+    )
+    serve.add_argument("file")
+    serve.add_argument("--fragments", type=int, default=4)
+    serve.add_argument("--sites", type=int, default=None)
+    serve.add_argument("--port", type=int, default=0, help="gateway port (0 = OS-assigned)")
+    serve.add_argument(
+        "--site-mode",
+        default="inline",
+        choices=("inline", "process"),
+        help="sites as in-process servers or real child processes",
+    )
+    serve.add_argument("--replicas", type=int, default=1, help="site servers per site")
+    serve.add_argument("--engine", default="parbox", help="default engine for queries")
+    serve.add_argument(
+        "--site-timeout", type=float, default=10.0, help="per-site request deadline (s)"
+    )
+    serve.add_argument(
+        "--check",
+        action="store_true",
+        help="boot, run a loopback self-query, then exit (smoke mode)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    connect = sub.add_parser("connect", help="evaluate queries against a running gateway")
+    connect.add_argument("address", help="gateway HOST:PORT")
+    connect.add_argument("query", nargs="+", help="one or more queries (one batch)")
+    connect.add_argument(
+        "--engine", default="", help="engine on the gateway (default: its configured one)"
+    )
+    connect.set_defaults(func=cmd_connect)
 
     select = sub.add_parser("select", help="select matching nodes (Section 8 extension)")
     select.add_argument("file")

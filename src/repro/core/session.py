@@ -107,7 +107,7 @@ class QuerySession:
 
     def __init__(
         self,
-        cluster: Cluster,
+        cluster: Optional[Cluster],
         engine: Union[str, Engine] = "parbox",
         algebra: Optional[FormulaAlgebra] = None,
         trace: Optional[Trace] = None,
@@ -142,7 +142,31 @@ class QuerySession:
                 )
             self.engine = engine
             self._owns_engine = False
+        elif engine.startswith("net:"):
+            # A networked session: queries go to a gateway whose
+            # coordinator owns the cluster, so none is needed (or used)
+            # locally and the engine-tuning knobs live server-side.
+            conflicting = [
+                knob
+                for knob, value in (
+                    ("algebra", algebra),
+                    ("trace", trace),
+                    ("executor", executor),
+                )
+                if value is not None
+            ]
+            if conflicting:
+                raise ValueError(
+                    f"{', '.join(conflicting)} cannot be combined with a "
+                    "net: engine; those knobs are configured on the gateway"
+                )
+            from repro.serving.client import NetEngine  # local: core stays importable alone
+
+            self.engine = NetEngine.from_spec(engine)
+            self._owns_engine = True
         else:
+            if cluster is None:
+                raise ValueError("a local engine needs a cluster (only net: sessions may omit it)")
             from repro.core import ENGINE_REGISTRY  # local: avoids an import cycle
 
             engine_cls = ENGINE_REGISTRY.get(engine.lower())
@@ -205,6 +229,19 @@ class QuerySession:
             batches=tuple(batches),
         )
 
+    def _require_local(self, operation: str) -> None:
+        """Topology-touching operations need the cluster in-process.
+
+        A ``net:`` session holds neither the cluster nor a local
+        algebra/executor to maintain standing queries with; those
+        operations belong on the gateway side of the wire.
+        """
+        if self.cluster is None or not isinstance(self.engine, Engine):
+            raise RuntimeError(
+                f"{operation}() needs a local engine over a cluster; "
+                "a net: session only evaluates queries"
+            )
+
     # ------------------------------------------------------------------
     # Stream mode
     # ------------------------------------------------------------------
@@ -228,6 +265,7 @@ class QuerySession:
         ``names`` labels the subscriptions (default: the query texts,
         or ``q<i>`` for pre-compiled QLists).
         """
+        self._require_local("watch")
         from repro.stream.maintainer import StreamMaintainer  # local: keeps core free of stream
 
         query_list = list(queries)
@@ -285,6 +323,7 @@ class QuerySession:
         :class:`~repro.placement.rebalancer.RebalanceOutcome` tying the
         plan to the migrations that really shipped.
         """
+        self._require_local("rebalance")
         from repro.placement import (  # local: keeps core importable without placement
             Workload,
             enact_plan,

@@ -50,11 +50,32 @@ from repro.boolexpr.compose import (
 from repro.fragments.fragment import Fragment
 from repro.xpath.qlist import QList
 
-#: Algebras a process worker can reconstruct by name.
-_ALGEBRAS_BY_NAME = {
+#: Algebras a remote evaluator (process worker or networked site
+#: server) can reconstruct by name.
+ALGEBRAS_BY_NAME = {
     CanonicalAlgebra.name: CanonicalAlgebra,
     PaperAlgebra.name: PaperAlgebra,
 }
+_ALGEBRAS_BY_NAME = ALGEBRAS_BY_NAME  # legacy alias
+
+
+def algebra_wire_name(algebra: FormulaAlgebra) -> str:
+    """The registry name an algebra travels under, with an exact-type check.
+
+    Shared by every wire boundary (the process executor and the
+    networked serving tier): an exact type match matters because a
+    subclass inheriting ``name`` would be silently swapped for its base
+    on the remote side, changing answers only under remote execution.
+    """
+    algebra_name = getattr(algebra, "name", None)
+    registered = ALGEBRAS_BY_NAME.get(algebra_name)
+    if registered is None or type(algebra) is not registered:
+        raise ValueError(
+            f"remote execution only supports the named algebras "
+            f"{sorted(ALGEBRAS_BY_NAME)}, not {type(algebra).__name__!r}; "
+            f"use the serial or threads strategy for custom algebras"
+        )
+    return algebra_name
 
 
 # ---------------------------------------------------------------------------
@@ -168,57 +189,48 @@ def _segment_ops(
 # ---------------------------------------------------------------------------
 
 
-def _job_payload(job: SiteJob) -> tuple:
-    """Lower a job to wire formats a worker process can reconstruct."""
+def fragment_wire(fragment: Fragment) -> tuple[str, str]:
+    """One fragment in wire form: ``(fragment_id, serialized XML)``."""
     from repro.xmltree.serializer import serialize  # local: import cycle
 
-    algebra_name = getattr(job.algebra, "name", None)
-    registered = _ALGEBRAS_BY_NAME.get(algebra_name)
-    if registered is None or type(job.algebra) is not registered:
-        # An exact type match matters: a subclass inheriting `name`
-        # would be silently swapped for its base in the worker,
-        # changing answers only under the process strategy.
-        raise ValueError(
-            f"the process executor only supports the named algebras "
-            f"{sorted(_ALGEBRAS_BY_NAME)}, not {type(job.algebra).__name__!r}; "
-            f"use the serial or threads strategy for custom algebras"
-        )
-    fragments = tuple(
-        (fragment.fragment_id, serialize(fragment.root)) for fragment in job.fragments
-    )
-    return (job.site_id, fragments, job.qlist.to_obj(), algebra_name, job.segments)
+    return (fragment.fragment_id, serialize(fragment.root))
 
 
-def _run_job_payload(payload: tuple) -> tuple:
-    """Worker-process entry point: rebuild the job, run it, wire the result.
+def fragment_from_wire(wire: tuple[str, str]) -> Fragment:
+    """Inverse of :func:`fragment_wire`."""
+    from repro.xmltree.parser import parse_xml  # local: import cycle
 
-    Payload reconstruction (XML parsing) happens *outside* the timed
-    region: it is transport cost of this execution strategy, not site
-    compute of the algorithm, and charging it would make the simulated
-    ledger depend on the executor.
+    fragment_id, xml_text = wire
+    return Fragment(fragment_id, parse_xml(xml_text).root)
+
+
+def run_resident_job(
+    fragments: Sequence[Fragment],
+    qlist: QList,
+    algebra: FormulaAlgebra,
+    segments: tuple[tuple[int, int], ...],
+) -> tuple[tuple, float]:
+    """The site-local evaluation loop, results in wire form.
+
+    The shared core of every remote evaluator: the process executor's
+    worker runs it after rebuilding fragments from the payload, the
+    networked site server runs it over its *resident* fragments.
+    Returns ``(per-fragment results, busy seconds)`` where each result
+    is ``(compact triplet, nodes visited, qlist ops, segment ops)``.
+    Triplets use the compact codec, not ``to_obj()``: ground entries
+    collapse into three int bitmasks and residual formulas ship once
+    each through a hash-consed table, cutting the real wire volume
+    without touching the simulated ledger (``wire_bytes`` stays
+    defined over ``to_obj()``).
     """
-    from repro.core.bottom_up import bottom_up
-    from repro.xmltree.parser import parse_xml
+    from repro.core.bottom_up import bottom_up  # local: import cycle
 
-    site_id, fragment_texts, qlist_obj, algebra_name, segments = payload
-    qlist = QList.from_obj(qlist_obj)
-    algebra = _ALGEBRAS_BY_NAME[algebra_name]()
-    segments = tuple(tuple(span) for span in segments)
-    fragments = [
-        Fragment(fragment_id, parse_xml(xml_text).root)
-        for fragment_id, xml_text in fragment_texts
-    ]
     started = time.thread_time()
     results = []
     for fragment in fragments:
         triplet, stats = bottom_up(fragment, qlist, algebra)
         results.append(
             (
-                # Compact codec, not to_obj(): ground entries collapse
-                # into three int bitmasks and residual formulas ship
-                # once each through a hash-consed table, cutting the
-                # real pickle volume without touching the simulated
-                # ledger (wire_bytes stays defined over to_obj()).
                 triplet.to_compact(),
                 stats.nodes_visited,
                 stats.qlist_ops,
@@ -226,14 +238,13 @@ def _run_job_payload(payload: tuple) -> tuple:
             )
         )
     seconds = time.thread_time() - started
-    return (site_id, tuple(results), seconds)
+    return (tuple(results), seconds)
 
 
-def _outcome_from_payload(result: tuple) -> SiteOutcome:
-    """Rebuild a :class:`SiteOutcome` from a worker's wire-form reply."""
+def outcome_from_wire(site_id: str, fragment_results: tuple, seconds: float) -> SiteOutcome:
+    """Rebuild a :class:`SiteOutcome` from wire-form per-fragment results."""
     from repro.core.vectors import VectorTriplet  # local: import cycle
 
-    site_id, fragment_results, seconds = result
     outcomes = tuple(
         FragmentOutcome(
             triplet=VectorTriplet.from_compact(triplet_wire),
@@ -244,6 +255,35 @@ def _outcome_from_payload(result: tuple) -> SiteOutcome:
         for triplet_wire, nodes, ops, segment_ops in fragment_results
     )
     return SiteOutcome(site_id=site_id, fragments=outcomes, seconds=seconds)
+
+
+def _job_payload(job: SiteJob) -> tuple:
+    """Lower a job to wire formats a worker process can reconstruct."""
+    fragments = tuple(fragment_wire(fragment) for fragment in job.fragments)
+    return (job.site_id, fragments, job.qlist.to_obj(), algebra_wire_name(job.algebra), job.segments)
+
+
+def _run_job_payload(payload: tuple) -> tuple:
+    """Worker-process entry point: rebuild the job, run it, wire the result.
+
+    Payload reconstruction (XML parsing) happens *outside* the timed
+    region: it is transport cost of this execution strategy, not site
+    compute of the algorithm, and charging it would make the simulated
+    ledger depend on the executor.
+    """
+    site_id, fragment_texts, qlist_obj, algebra_name, segments = payload
+    qlist = QList.from_obj(qlist_obj)
+    algebra = ALGEBRAS_BY_NAME[algebra_name]()
+    segments = tuple(tuple(span) for span in segments)
+    fragments = [fragment_from_wire(wire) for wire in fragment_texts]
+    results, seconds = run_resident_job(fragments, qlist, algebra, segments)
+    return (site_id, results, seconds)
+
+
+def _outcome_from_payload(result: tuple) -> SiteOutcome:
+    """Rebuild a :class:`SiteOutcome` from a worker's wire-form reply."""
+    site_id, fragment_results, seconds = result
+    return outcome_from_wire(site_id, fragment_results, seconds)
 
 
 # ---------------------------------------------------------------------------
@@ -413,6 +453,12 @@ __all__ = [
     "FragmentOutcome",
     "SiteOutcome",
     "execute_site_job",
+    "ALGEBRAS_BY_NAME",
+    "algebra_wire_name",
+    "fragment_wire",
+    "fragment_from_wire",
+    "run_resident_job",
+    "outcome_from_wire",
     "SiteExecutor",
     "SerialSiteExecutor",
     "ThreadSiteExecutor",

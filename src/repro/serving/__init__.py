@@ -1,0 +1,82 @@
+"""The networked serving tier: the simulation, deployed.
+
+Everything below :mod:`repro.core` so far evaluated queries inside one
+process against the *simulated* cluster.  This package runs the same
+engines over real TCP sockets:
+
+* :mod:`repro.serving.protocol` -- the length-prefixed binary wire
+  protocol (typed errors, paranoid framing);
+* :mod:`repro.serving.site_server` -- one process per site, holding
+  resident fragments and answering execute requests;
+* :mod:`repro.serving.coordinator` -- dispatches
+  :class:`~repro.distsim.executors.SiteJob` batches to site servers
+  with bounded timeouts, one retry and replica failover; its
+  :class:`~repro.serving.coordinator.RemoteSiteExecutor` slots into the
+  engines' executor interface, so ParBoX/FullDist/Lazy/Hybrid run
+  networked unchanged;
+* :mod:`repro.serving.gateway` -- the front door multiplexing many
+  client sessions with admission control;
+* :mod:`repro.serving.client` -- the synchronous client and the
+  ``net:`` engine facade for :class:`~repro.core.session.QuerySession`;
+* :mod:`repro.serving.cluster` -- the :class:`ServingCluster` harness
+  booting a whole topology on localhost ports.
+
+The simulated ledger stays the oracle: networked answers *and* cost
+counters are asserted bitwise identical to serial in
+``tests/test_serving_differential.py``.
+"""
+
+from repro.serving.client import (
+    DEFAULT_CLIENT_TIMEOUT,
+    GatewayClient,
+    NetEngine,
+    parse_net_spec,
+)
+from repro.serving.cluster import LOG_DIR_ENV, ServingCluster
+from repro.serving.coordinator import (
+    DEFAULT_SITE_TIMEOUT,
+    SERVABLE_ENGINES,
+    Coordinator,
+    RemoteSiteExecutor,
+    SiteEndpoint,
+    SiteLink,
+)
+from repro.serving.gateway import Gateway
+from repro.serving.protocol import (
+    FrameError,
+    Framer,
+    FrameSplitter,
+    Overloaded,
+    PayloadError,
+    ProtocolError,
+    RemoteQueryError,
+    ServingError,
+    SiteUnavailable,
+)
+from repro.serving.site_server import SiteServer
+
+__all__ = [
+    "DEFAULT_CLIENT_TIMEOUT",
+    "DEFAULT_SITE_TIMEOUT",
+    "SERVABLE_ENGINES",
+    "LOG_DIR_ENV",
+    "GatewayClient",
+    "NetEngine",
+    "parse_net_spec",
+    "ServingCluster",
+    "Coordinator",
+    "RemoteSiteExecutor",
+    "SiteEndpoint",
+    "SiteLink",
+    "Gateway",
+    "SiteServer",
+    "ProtocolError",
+    "FrameError",
+    "PayloadError",
+    "ServingError",
+    "Overloaded",
+    "SiteUnavailable",
+    "RemoteQueryError",
+    "Framer",
+    "FrameSplitter",
+]

@@ -1,0 +1,282 @@
+"""A site server: one network process holding resident fragments.
+
+The deployable counterpart of one simulated
+:class:`~repro.distsim.site.Site`.  A site server boots *empty*,
+receives its fragments once from the coordinator
+(:class:`~repro.serving.protocol.LoadFragments` -- data ships exactly
+once, the paper's "one visit" discipline extended to placement), and
+then answers :class:`~repro.serving.protocol.ExecuteRequest` messages
+by running the very same site-local loop the simulated executors run
+(:func:`repro.distsim.executors.run_resident_job`), replying with
+compact triplets and the deterministic operation counts.  Because the
+compute core is shared, a site server's replies are bit-for-bit what
+the simulated ledger predicts -- which is what lets the differential
+test harness use the simulation as the oracle for the whole networked
+tier.
+
+Concurrency model: the read loop stays on the event loop and never
+blocks; each execute request runs on a worker thread
+(``asyncio.to_thread``), so pings and further requests keep flowing
+while a big fragment evaluates.  Replies are correlated by request id
+and may complete out of order; a per-connection write lock keeps frames
+from interleaving.
+
+Run standalone (the process mode the CLI and the boot-two-sites smoke
+use)::
+
+    python -m repro.serving.site_server --host 127.0.0.1 --port 0 --name S1
+
+On startup the server prints ``SITE <name> <host> <port>`` on stdout so
+a parent process can harvest the OS-assigned port.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import logging
+import sys
+from typing import Optional
+
+from repro.distsim.executors import (
+    ALGEBRAS_BY_NAME,
+    fragment_from_wire,
+    run_resident_job,
+)
+from repro.fragments.fragment import Fragment
+from repro.serving.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_INTERNAL,
+    ERR_UNKNOWN_FRAGMENT,
+    ErrorReply,
+    ExecuteReply,
+    ExecuteRequest,
+    LoadFragments,
+    Loaded,
+    Message,
+    Ping,
+    Pong,
+    ProtocolError,
+    Shutdown,
+    read_message,
+    write_message,
+)
+from repro.xpath.qlist import QList
+
+logger = logging.getLogger("repro.serving.site")
+
+
+class SiteServer:
+    """One asyncio TCP server evaluating jobs over resident fragments."""
+
+    def __init__(
+        self,
+        name: str = "site",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.name = name
+        self.host = host
+        self.port = port  # 0 until started when OS-assigned
+        self.fragments: dict[str, Fragment] = {}
+        #: Test hook: artificial seconds added before every execute
+        #: reply, used by the timeout/retry tests to make this site
+        #: reliably slower than the coordinator's deadline.
+        self.delay_seconds = 0.0
+        #: Served execute requests (useful to assert replica takeover).
+        self.requests_served = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "SiteServer":
+        if self._server is not None:
+            raise RuntimeError(f"site server {self.name} already started")
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("site %s listening on %s:%d", self.name, self.host, self.port)
+        return self
+
+    async def stop(self, abort: bool = True) -> None:
+        """Stop listening and tear connections down (idempotent).
+
+        ``abort=True`` (the default, and what :meth:`kill` uses) resets
+        open connections instead of flushing them -- from the
+        coordinator's point of view, exactly what a crashed process
+        looks like.
+        """
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        for writer in list(self._writers):
+            if abort:
+                writer.transport.abort()
+            else:
+                writer.close()
+        self._writers.clear()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+        logger.info("site %s stopped", self.name)
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername")
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    message = await read_message(reader)
+                except ProtocolError as error:
+                    logger.warning("site %s: dropping %s: %s", self.name, peer, error)
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if message is None or isinstance(message, Shutdown):
+                    break
+                await self._dispatch(message, writer, write_lock)
+        finally:
+            self._writers.discard(writer)
+            writer.transport.abort()
+
+    async def _dispatch(
+        self, message: Message, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        if isinstance(message, ExecuteRequest):
+            # Off the read loop: a slow evaluation must not stall pings
+            # or later requests on the same connection.
+            task = asyncio.ensure_future(self._execute(message, writer, write_lock))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+            return
+        if isinstance(message, LoadFragments):
+            loaded = await asyncio.to_thread(self._load_fragments, message.fragments)
+            await self._send(writer, write_lock, Loaded(fragment_ids=loaded))
+        elif isinstance(message, Ping):
+            await self._send(writer, write_lock, Pong(nonce=message.nonce))
+        else:
+            logger.warning("site %s: unexpected %s", self.name, type(message).__name__)
+
+    def _load_fragments(self, wires: tuple) -> tuple:
+        for wire in wires:
+            fragment = fragment_from_wire(wire)
+            self.fragments[fragment.fragment_id] = fragment
+        logger.info(
+            "site %s: %d fragment(s) resident after load of %d",
+            self.name,
+            len(self.fragments),
+            len(wires),
+        )
+        return tuple(sorted(self.fragments))
+
+    async def _execute(
+        self, request: ExecuteRequest, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        try:
+            reply = await self._run_request(request)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 - reported to the peer, typed
+            logger.exception("site %s: request %d failed", self.name, request.request_id)
+            reply = ErrorReply(request.request_id, ERR_INTERNAL, f"{type(error).__name__}: {error}")
+        if self.delay_seconds:
+            await asyncio.sleep(self.delay_seconds)
+        try:
+            await self._send(writer, write_lock, reply)
+        except (ConnectionError, OSError):  # peer gone; nothing to tell it
+            pass
+
+    async def _run_request(self, request: ExecuteRequest) -> Message:
+        missing = [fid for fid in request.fragment_ids if fid not in self.fragments]
+        if missing:
+            # Typed, recoverable: the coordinator re-pushes and retries
+            # (this is what self-heals a restarted, empty site).
+            return ErrorReply(
+                request.request_id,
+                ERR_UNKNOWN_FRAGMENT,
+                f"site {self.name} has no fragment(s) {missing}",
+            )
+        algebra_cls = ALGEBRAS_BY_NAME.get(request.algebra)
+        if algebra_cls is None:
+            return ErrorReply(
+                request.request_id,
+                ERR_BAD_REQUEST,
+                f"unknown algebra {request.algebra!r}",
+            )
+        fragments = [self.fragments[fid] for fid in request.fragment_ids]
+        qlist = QList.from_obj(list(request.qlist_obj))
+        segments = tuple(tuple(span) for span in request.segments)
+        results, seconds = await asyncio.to_thread(
+            run_resident_job, fragments, qlist, algebra_cls(), segments
+        )
+        self.requests_served += 1
+        return ExecuteReply(request.request_id, results, seconds)
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, write_lock: asyncio.Lock, message: Message
+    ) -> None:
+        async with write_lock:
+            write_message(writer, message)
+            await writer.drain()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SiteServer {self.name} {self.host}:{self.port} "
+            f"fragments={len(self.fragments)}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Process mode
+# ---------------------------------------------------------------------------
+
+
+async def _serve_forever(server: SiteServer) -> None:
+    await server.start()
+    print(f"SITE {server.name} {server.host} {server.port}", flush=True)
+    try:
+        await asyncio.Event().wait()  # run until cancelled / killed
+    finally:
+        await server.stop()
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point of ``python -m repro.serving.site_server``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-site-server",
+        description="one ParBoX site server process (boots empty; the "
+        "coordinator pushes fragments on connect)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 = OS-assigned")
+    parser.add_argument("--name", default="site")
+    parser.add_argument("--log-file", default=None, help="append server logs here")
+    args = parser.parse_args(argv)
+    if args.log_file:
+        handler = logging.FileHandler(args.log_file)
+        handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
+        logging.getLogger("repro.serving").addHandler(handler)
+        logging.getLogger("repro.serving").setLevel(logging.INFO)
+    server = SiteServer(name=args.name, host=args.host, port=args.port)
+    try:
+        asyncio.run(_serve_forever(server))
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

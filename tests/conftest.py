@@ -1,0 +1,4 @@
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: boots real child processes or long scenarios"
+    )

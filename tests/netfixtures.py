@@ -1,0 +1,311 @@
+"""Shared fixtures for the serving-tier test suites.
+
+Three tools, reused across the differential, fault and session tests
+(and designed so future stream-over-network tests can import them too):
+
+* :class:`FaultyProxy` -- a frame-aware TCP proxy interposed between
+  the coordinator and a site server.  Because it reassembles frames
+  with the protocol's own :class:`~repro.serving.protocol.FrameSplitter`,
+  it can drop, delay, duplicate, truncate or corrupt *whole protocol
+  frames* -- the faults the retry logic must survive -- rather than
+  arbitrary byte windows.
+* :func:`hard_deadline` -- a SIGALRM-based hard per-test deadline, so
+  a deadlocked coordinator fails the test in seconds instead of
+  wedging the whole run (the local toolchain has no pytest-timeout;
+  this keeps the bound in-harness).
+* :func:`leak_check` -- snapshots open file descriptors
+  (``/proc/self/fd``) before the body and asserts they return to
+  baseline after it, and asserts the serving loop wound down with no
+  orphan asyncio tasks (via ``ServingCluster.leaked_tasks``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import gc
+import os
+import signal
+import time
+from typing import Optional
+
+from repro.serving.protocol import HEADER, FrameError, FrameSplitter
+
+#: Directions through the proxy, named from the coordinator's side.
+TO_SITE = "to_site"  # coordinator -> site (requests, fragment pushes)
+TO_COORD = "to_coord"  # site -> coordinator (replies)
+
+
+class _FaultPlan:
+    """Mutable per-direction fault counters consumed frame by frame."""
+
+    def __init__(self) -> None:
+        self.drop = 0
+        self.duplicate = 0
+        self.truncate = 0
+        self.corrupt = 0
+        self.delay_seconds = 0.0
+
+
+class FaultyProxy:
+    """A TCP proxy that mangles protocol frames in transit.
+
+    Point the coordinator at ``(proxy.host, proxy.port)`` and the proxy
+    at the real site server; then arm faults::
+
+        proxy.drop_next(TO_COORD)        # eat the next site reply
+        proxy.delay(TO_COORD, 0.5)       # add latency to every reply
+        proxy.duplicate_next(TO_COORD)   # send the next reply twice
+        proxy.truncate_next(TO_COORD)    # half a frame, then reset
+        proxy.corrupt_next(TO_COORD)     # flip a payload byte
+
+    Matches the ``proxy_factory`` contract of
+    :class:`repro.serving.cluster.ServingCluster`: ``host``/``port``
+    attributes plus async ``start()``/``stop()``.
+    """
+
+    def __init__(
+        self, site_id: str, target_host: str, target_port: int, host: str = "127.0.0.1"
+    ) -> None:
+        self.site_id = site_id
+        self.target_host = target_host
+        self.target_port = target_port
+        self.host = host
+        self.port = 0
+        self.plans = {TO_SITE: _FaultPlan(), TO_COORD: _FaultPlan()}
+        #: Observable effect counters, keyed by action name.
+        self.counts = {
+            "forwarded": 0,
+            "dropped": 0,
+            "duplicated": 0,
+            "truncated": 0,
+            "corrupted": 0,
+        }
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # Fault arming (called from the test thread; plain attribute writes)
+    # ------------------------------------------------------------------
+    def drop_next(self, direction: str, frames: int = 1) -> None:
+        self.plans[direction].drop += frames
+
+    def duplicate_next(self, direction: str, frames: int = 1) -> None:
+        self.plans[direction].duplicate += frames
+
+    def truncate_next(self, direction: str, frames: int = 1) -> None:
+        self.plans[direction].truncate += frames
+
+    def corrupt_next(self, direction: str, frames: int = 1) -> None:
+        self.plans[direction].corrupt += frames
+
+    def delay(self, direction: str, seconds: float) -> None:
+        self.plans[direction].delay_seconds = seconds
+
+    def clear_faults(self) -> None:
+        self.plans = {TO_SITE: _FaultPlan(), TO_COORD: _FaultPlan()}
+
+    # ------------------------------------------------------------------
+    # Lifecycle (on the serving loop)
+    # ------------------------------------------------------------------
+    async def start(self) -> "FaultyProxy":
+        self._server = await asyncio.start_server(self._handle, self.host, 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        for writer in list(self._writers):
+            writer.transport.abort()
+        self._writers.clear()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+
+    async def _handle(
+        self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            site_reader, site_writer = await asyncio.open_connection(
+                self.target_host, self.target_port
+            )
+        except OSError:
+            client_writer.transport.abort()
+            return
+        self._writers.update((client_writer, site_writer))
+        pumps = [
+            asyncio.ensure_future(
+                self._pump(client_reader, site_writer, TO_SITE, client_writer)
+            ),
+            asyncio.ensure_future(
+                self._pump(site_reader, client_writer, TO_COORD, site_writer)
+            ),
+        ]
+        for pump in pumps:
+            self._tasks.add(pump)
+            pump.add_done_callback(self._tasks.discard)
+
+    async def _pump(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        direction: str,
+        other_writer: asyncio.StreamWriter,
+    ) -> None:
+        """Forward whole frames from reader to writer, applying faults."""
+        splitter = FrameSplitter()
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                try:
+                    frames = splitter.feed(data)
+                except FrameError:
+                    # Non-protocol bytes (e.g. a fuzz test talking
+                    # through the proxy): forward raw from here on out.
+                    writer.write(data)
+                    await writer.drain()
+                    continue
+                for kind, payload in frames:
+                    frame = HEADER.pack(b"RP", kind, len(payload)) + payload
+                    if not await self._forward(frame, writer, other_writer, direction):
+                        return
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.transport.abort()
+            other_writer.transport.abort()
+            self._writers.discard(writer)
+            self._writers.discard(other_writer)
+
+    async def _forward(
+        self,
+        frame: bytes,
+        writer: asyncio.StreamWriter,
+        other_writer: asyncio.StreamWriter,
+        direction: str,
+    ) -> bool:
+        """Apply the armed fault to one frame; False ends the pump."""
+        plan = self.plans[direction]
+        if plan.delay_seconds:
+            await asyncio.sleep(plan.delay_seconds)
+        if plan.drop > 0:
+            plan.drop -= 1
+            self.counts["dropped"] += 1
+            return True
+        if plan.truncate > 0:
+            plan.truncate -= 1
+            self.counts["truncated"] += 1
+            # Half a frame, then reset both sides: the receiver sees a
+            # mid-frame EOF -- the protocol's FrameError case.
+            writer.write(frame[: max(1, len(frame) // 2)])
+            await writer.drain()
+            writer.transport.abort()
+            other_writer.transport.abort()
+            return False
+        if plan.corrupt > 0:
+            plan.corrupt -= 1
+            self.counts["corrupted"] += 1
+            # Flip one payload byte: framing stays intact, the decode
+            # layer must reject it (PayloadError path).
+            body = bytearray(frame)
+            body[-1] ^= 0xFF
+            frame = bytes(body)
+        if plan.duplicate > 0:
+            plan.duplicate -= 1
+            self.counts["duplicated"] += 1
+            writer.write(frame)
+        writer.write(frame)
+        await writer.drain()
+        self.counts["forwarded"] += 1
+        return True
+
+
+def proxy_factory_for(registry: dict):
+    """A ``ServingCluster`` proxy factory that records proxies by site id.
+
+    ``registry`` fills with ``site_id -> [FaultyProxy, ...]`` (one per
+    replica) as the cluster boots, so tests can arm faults per site.
+    """
+
+    def factory(site_id: str, host: str, port: int) -> FaultyProxy:
+        proxy = FaultyProxy(site_id, host, port)
+        registry.setdefault(site_id, []).append(proxy)
+        return proxy
+
+    return factory
+
+
+# ---------------------------------------------------------------------------
+# Deadlines and leak detection
+# ---------------------------------------------------------------------------
+
+
+@contextlib.contextmanager
+def hard_deadline(seconds: float = 60.0):
+    """Fail the enclosed block with TimeoutError after ``seconds``.
+
+    SIGALRM-based, so it fires even if the test thread is blocked in a
+    socket read or a future wait -- the "never hang" property every
+    fault test is required to bound itself with.
+    """
+
+    def on_alarm(signum, frame):  # pragma: no cover - only on deadline breach
+        raise TimeoutError(f"test exceeded its {seconds}s hard deadline")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def open_fds() -> set[str]:
+    """The process's open file descriptors (Linux)."""
+    return set(os.listdir("/proc/self/fd"))
+
+
+@contextlib.contextmanager
+def leak_check(settle_seconds: float = 5.0):
+    """Assert FDs return to baseline and no serving tasks leak.
+
+    Yields a list; append :class:`~repro.serving.cluster.ServingCluster`
+    instances to it and their ``leaked_tasks`` snapshots are asserted
+    empty after close.  FD comparison retries briefly: abandoned
+    sockets are reclaimed by GC a beat after close on some platforms.
+    """
+    baseline = open_fds()
+    clusters: list = []
+    yield clusters
+    for cluster in clusters:
+        assert cluster.leaked_tasks == [], (
+            f"serving loop finished with orphan tasks: {cluster.leaked_tasks}"
+        )
+    deadline = time.monotonic() + settle_seconds
+    while time.monotonic() < deadline:
+        gc.collect()
+        leaked = open_fds() - baseline
+        if not leaked:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"leaked file descriptors: {sorted(leaked)}")
+
+
+__all__ = [
+    "TO_SITE",
+    "TO_COORD",
+    "FaultyProxy",
+    "proxy_factory_for",
+    "hard_deadline",
+    "open_fds",
+    "leak_check",
+]
