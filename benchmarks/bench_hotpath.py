@@ -13,7 +13,10 @@ the wall clock.  Two supporting measurements ride along:
   auto kernel;
 * **compact wire**: pickled size of the process executor's triplet
   reply in the old ``to_obj`` form vs the compact
-  bitmask-plus-residue-table codec.
+  bitmask-plus-residue-table codec;
+* **dispatch tax**: the 16-site star through the process executor,
+  legacy per-batch fragment shipping vs resident workers (fragments
+  pushed once per epoch, batches ship only programs and triplets).
 
 Usage::
 
@@ -43,8 +46,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.core import bottom_up  # noqa: E402
+from repro.core import ParBoXEngine, bottom_up  # noqa: E402
 from repro.core.session import QuerySession  # noqa: E402
+from repro.distsim.executors import ProcessSiteExecutor  # noqa: E402
 from repro.fragments import Fragment  # noqa: E402
 from repro.workloads.queries import QUERY_SIZES, query_of_size  # noqa: E402
 from repro.workloads.topologies import star_ft1  # noqa: E402
@@ -53,6 +57,9 @@ from repro.workloads.xmark import generate_xmark_site  # noqa: E402
 #: Required median speedup per scale (the PR's acceptance criterion at
 #: "default"; quick fragments are smaller, fixed overheads weigh more).
 SPEEDUP_FLOOR = {"default": 3.0, "quick": 2.0}
+#: Required steady-state speedup of the resident process executor over
+#: legacy per-batch dispatch on the 16-site star (both scales).
+DISPATCH_FLOOR = 2.0
 #: Allowed regression against the committed baseline (20%).
 REGRESSION_TOLERANCE = 0.8
 
@@ -141,6 +148,8 @@ def run_hotpath(quick: bool = False, seed: int = 2006) -> dict:
     obj_bytes = len(pickle.dumps(triplet.to_obj()))
     compact_bytes = len(pickle.dumps(triplet.to_compact()))
 
+    dispatch = run_dispatch(quick=quick, seed=seed)
+
     speedups = [row["speedup"] for row in rows]
     return {
         "scale": params["scale"],
@@ -159,6 +168,53 @@ def run_hotpath(quick: bool = False, seed: int = 2006) -> dict:
             "compact_pickle_bytes": compact_bytes,
             "ratio": round(obj_bytes / compact_bytes, 2),
         },
+        "dispatch": dispatch,
+    }
+
+
+def run_dispatch(quick: bool = False, seed: int = 2006) -> dict:
+    """Dispatch tax on the 16-site star: resident vs per-batch workers.
+
+    The legacy process executor re-pickled every fragment's XML into
+    the pool on every batch; resident workers receive each fragment
+    once per epoch and afterwards a batch ships only the compiled
+    query program and triplet replies (protocol-5 out-of-band
+    buffers).  ``cold`` includes worker spawn plus the one-time
+    fragment push; ``steady`` is the per-batch median after that --
+    the number the dispatch-tax claim is about.
+    """
+    params = _scale_params(quick)
+    total_mb = 4.0 if quick else 16.0
+    repeats = max(3, params["repeats"] // 5)
+    cluster = star_ft1(16, total_mb, seed=seed, nodes_per_mb=params["nodes_per_mb"])
+    qlists = [query_of_size(size) for size in QUERY_SIZES]
+
+    def measure(resident: bool) -> tuple:
+        with ProcessSiteExecutor(resident=resident) as executor:
+            engine = ParBoXEngine(cluster, executor=executor)
+
+            def batch() -> tuple:
+                return tuple(engine.evaluate(qlist).answer for qlist in qlists)
+
+            started = time.perf_counter()
+            answers = batch()
+            cold_s = time.perf_counter() - started
+            steady_s = _median_seconds(batch, repeats)
+        return answers, cold_s, steady_s
+
+    legacy_answers, legacy_cold, legacy_steady = measure(resident=False)
+    resident_answers, resident_cold, resident_steady = measure(resident=True)
+    assert legacy_answers == resident_answers, "dispatch modes disagree"
+    return {
+        "sites": 16,
+        "total_mb": total_mb,
+        "batch_queries": len(qlists),
+        "repeats": repeats,
+        "legacy_cold_ms": round(legacy_cold * 1000, 2),
+        "legacy_steady_ms": round(legacy_steady * 1000, 2),
+        "resident_cold_ms": round(resident_cold * 1000, 2),
+        "resident_steady_ms": round(resident_steady * 1000, 2),
+        "steady_speedup": round(legacy_steady / resident_steady, 2),
     }
 
 
@@ -185,6 +241,23 @@ def render(result: dict) -> str:
         f"  reply payload (pickled): {wire['to_obj_pickle_bytes']}B to_obj -> "
         f"{wire['compact_pickle_bytes']}B compact ({wire['ratio']}x smaller)"
     )
+    dispatch = result.get("dispatch")
+    if dispatch:
+        lines.append(
+            f"  dispatch tax, {dispatch['sites']}-site star "
+            f"({dispatch['total_mb']}MB, batch of {dispatch['batch_queries']}):"
+        )
+        lines.append(
+            f"    per-batch workers: cold {dispatch['legacy_cold_ms']}ms, "
+            f"steady {dispatch['legacy_steady_ms']}ms"
+        )
+        lines.append(
+            f"    resident workers:  cold {dispatch['resident_cold_ms']}ms, "
+            f"steady {dispatch['resident_steady_ms']}ms"
+        )
+        lines.append(
+            f"    steady-state speedup: {dispatch['steady_speedup']}x"
+        )
     return "\n".join(lines)
 
 
@@ -224,6 +297,12 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             f"median speedup {result['median_speedup']}x below the {floor}x floor"
         )
+    dispatch_speedup = result["dispatch"]["steady_speedup"]
+    if dispatch_speedup < DISPATCH_FLOOR:
+        failures.append(
+            f"resident dispatch speedup {dispatch_speedup}x below the "
+            f"{DISPATCH_FLOOR}x floor"
+        )
     reference = baseline.get(result["scale"])
     if reference:
         threshold = reference["median_speedup"] * REGRESSION_TOLERANCE
@@ -236,6 +315,24 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"speedup regressed >20% vs baseline ({reference['median_speedup']}x)"
             )
+        dispatch_reference = reference.get("dispatch")
+        if dispatch_reference:
+            dispatch_threshold = (
+                dispatch_reference["steady_speedup"] * REGRESSION_TOLERANCE
+            )
+            dispatch_verdict = (
+                "PASS" if dispatch_speedup >= dispatch_threshold else "FAIL"
+            )
+            print(
+                f"  [{dispatch_verdict}] dispatch vs committed baseline: "
+                f"{dispatch_speedup}x >= {dispatch_threshold:.2f}x "
+                f"(= {dispatch_reference['steady_speedup']}x - 20%)"
+            )
+            if dispatch_verdict == "FAIL":
+                failures.append(
+                    "dispatch speedup regressed >20% vs baseline "
+                    f"({dispatch_reference['steady_speedup']}x)"
+                )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -608,4 +608,274 @@ def bottom_up(
     return triplet, stats
 
 
-__all__ = ["bottom_up", "BottomUpStats", "compile_entries", "DEFAULT_KERNEL"]
+# ----------------------------------------------------------------------
+# Site-vectorized evaluation: all ground fragments of a site per call
+# ----------------------------------------------------------------------
+
+#: Lane budget of one packed kernel call, in bits.  The multi-lane
+#: kernel evaluates many nodes at once by packing each node's vectors
+#: as a bit-lane of stride *n* (the QList size) inside one big int;
+#: 4096 bits (~64 machine words) keeps each big-int operation cheap
+#: while amortizing the per-line interpreter cost of the generated
+#: kernel over ``LANE_BITS // n`` nodes.
+LANE_BITS = 4096
+
+
+def _compile_lane_kernel(entries):
+    """Generate the word-parallel *multi-lane* variant of the ground kernel.
+
+    Same per-entry semantics as :func:`_compile_ground_kernel`, but
+    branch-free and simultaneous over many nodes: lane *k* -- the bit
+    range ``[k*n, (k+1)*n)`` -- of ``cv``/``dv``/``base`` holds node
+    *k*'s masks, and ``lanes`` has bit ``k*n`` set for every occupied
+    lane.  Each dependent entry contributes ``((expr) & lanes) << i``:
+    shifting by an operand index aligns every lane's operand bit at its
+    lane base, ``& lanes`` reduces it to one test bit per lane, and
+    ``<< i`` lands the result at entry *i* of each lane.  QList entries
+    only reference earlier entries (topological order), so lower bits
+    of ``v`` are final when read, exactly as in the scalar kernel; the
+    ``~`` of a NOT entry goes negative but ``& lanes`` restores a
+    non-negative value.  Lane *k* of the result equals
+    ``_kernel(cv_k, dv_k, base_k)`` bit for bit.
+    """
+    lines = ["def _lane_kernel(cv, dv, base, lanes):", "    v = base"]
+    for index, (opcode, arg0, arg1, _payload) in enumerate(entries):
+        if opcode == _CHILD:
+            expr = f"cv >> {arg0}"
+        elif opcode == _DESC:
+            expr = f"(dv | v) >> {arg0}"
+        elif opcode == _SELFQ:
+            expr = f"v >> {arg0}"
+        elif opcode == _AND or opcode == _SELFSEQ:
+            expr = f"(v >> {arg0}) & (v >> {arg1})"
+        elif opcode == _OR:
+            expr = f"(v >> {arg0}) | (v >> {arg1})"
+        elif opcode == _NOT:
+            expr = f"~(v >> {arg0})"
+        else:
+            continue  # leaf entries resolve through the base masks
+        shift = f" << {index}" if index else ""
+        lines.append(f"    v |= (({expr}) & lanes){shift}")
+    lines.append("    return v")
+    namespace: dict = {}
+    exec("\n".join(lines), namespace)  # noqa: S102 - source built from int constants only
+    return namespace["_lane_kernel"]
+
+
+def _lane_program(qlist: QList, entries):
+    """The compiled multi-lane kernel of one QList (cached on it)."""
+    cached = getattr(qlist, "_lane_kernel", None)
+    if cached is None:
+        cached = _compile_lane_kernel(entries)
+        try:
+            qlist._lane_kernel = cached
+        except AttributeError:
+            pass
+    return cached
+
+
+class GroundLinear:
+    """A fully-ground fragment linearized for the site-vectorized pass.
+
+    Postorder arrays (``parents[i]`` is the postorder index of node
+    *i*'s parent, ``-1`` for the root) plus a levelization by height:
+    all nodes of one height have no dependencies among themselves, so
+    an entire level can be evaluated in one multi-lane kernel call.
+    ``bases`` caches, per QList, each node's precomputed leaf-entry
+    mask -- the only part of the pass that looks at labels/texts -- so
+    resident holders re-evaluate a fragment without touching the tree.
+    """
+
+    __slots__ = ("parents", "levels", "labels", "texts", "size", "bases")
+
+    def __init__(self, parents, levels, labels, texts):
+        self.parents = parents
+        self.levels = levels
+        self.labels = labels
+        self.texts = texts
+        self.size = len(parents)
+        self.bases: dict = {}
+
+
+def linearize_ground(fragment: Fragment) -> Optional[GroundLinear]:
+    """Linearize a fragment for :func:`site_bottom_up`.
+
+    Returns ``None`` when the fragment holds a virtual node (such
+    fragments take the per-fragment upgrade path instead).
+    """
+    index_of: dict[int, int] = {}
+    parents: list[int] = []
+    labels: list[str] = []
+    texts: list[Optional[str]] = []
+    heights: list[int] = []
+    for node in fragment.root.iter_postorder():
+        if node.is_virtual:
+            return None
+        index = len(parents)
+        index_of[id(node)] = index
+        parents.append(-1)
+        labels.append(node.label)
+        texts.append(node.text)
+        height = 0
+        for child in node.children:
+            child_index = index_of[id(child)]
+            parents[child_index] = index
+            child_height = heights[child_index] + 1
+            if child_height > height:
+                height = child_height
+        heights.append(height)
+    # Postorder yields the root last; its height bounds every node's.
+    levels: list[list[int]] = [[] for _ in range(heights[-1] + 1)]
+    for index, height in enumerate(heights):
+        levels[height].append(index)
+    return GroundLinear(parents, levels, labels, texts)
+
+
+def _linear_bases(linear: GroundLinear, program: tuple, qlist: QList) -> list[int]:
+    """Per-node leaf-entry masks of one (fragment, QList) pair, cached.
+
+    Keyed by QList identity: QLists are immutable and resident holders
+    keep one canonical object per query fingerprint, so the cache is
+    exact and bounded by the number of distinct standing queries.
+    """
+    bases = linear.bases.get(qlist)
+    if bases is None:
+        eps_mask, label_masks, text_masks = program[0], program[1], program[2]
+        label_get = label_masks.get
+        if text_masks:
+            text_get = text_masks.get
+            bases = [
+                eps_mask
+                | label_get(label, 0)
+                | (text_get(text, 0) if text is not None else 0)
+                for label, text in zip(linear.labels, linear.texts)
+            ]
+        else:
+            bases = [eps_mask | label_get(label, 0) for label in linear.labels]
+        linear.bases[qlist] = bases
+    return bases
+
+
+def _lane_pass(
+    linear: GroundLinear, program: tuple, lane_kernel, n: int, qlist: QList
+) -> tuple[int, int, int]:
+    """Levelized multi-lane evaluation of one linearized ground fragment.
+
+    Height-0 nodes resolve through the shared leaf memo (one dict hit
+    beats a lane gather/scatter); every higher level is evaluated in
+    ``ceil(level_size / width)`` multi-lane kernel calls, folding each
+    node's ``V``/``DV`` into its parent's accumulators on scatter.
+    Returns the root's ``(V, CV, DV)`` masks, bit-identical to
+    :func:`_ground_fast_path`.
+    """
+    _eps, _labels, _texts, kernel, leaf_memo, _var_cache = program
+    bases = _linear_bases(linear, program, qlist)
+    parents = linear.parents
+    size = linear.size
+    cv = [0] * size
+    dv = [0] * size
+    root_v = 0
+    memo_get = leaf_memo.get
+    for index in linear.levels[0]:
+        base = bases[index]
+        v = memo_get(base)
+        if v is None:
+            v = kernel(0, 0, base)
+            leaf_memo[base] = v
+        parent = parents[index]
+        if parent >= 0:
+            cv[parent] |= v
+            dv[parent] |= v  # a leaf's DV equals its V
+        else:
+            root_v = v  # single-node fragment
+    width = max(1, LANE_BITS // n) if n else 1
+    entry_mask = (1 << n) - 1
+    for level in linear.levels[1:]:
+        for start in range(0, len(level), width):
+            chunk = level[start : start + width]
+            shift = 0
+            cv_packed = 0
+            dv_packed = 0
+            base_packed = 0
+            lanes = 0
+            for index in chunk:
+                cv_packed |= cv[index] << shift
+                dv_packed |= dv[index] << shift
+                base_packed |= bases[index] << shift
+                lanes |= 1 << shift
+                shift += n
+            v_packed = lane_kernel(cv_packed, dv_packed, base_packed, lanes)
+            shift = 0
+            for index in chunk:
+                v = (v_packed >> shift) & entry_mask
+                parent = parents[index]
+                if parent >= 0:
+                    cv[parent] |= v
+                    dv[parent] |= dv[index] | v  # fold DV := DV|V upward
+                else:
+                    root_v = v
+                shift += n
+    root = size - 1  # postorder: the root is always last
+    return root_v, cv[root], dv[root] | root_v
+
+
+def site_bottom_up(
+    residents,
+    qlist: QList,
+    algebra: Optional[FormulaAlgebra] = None,
+    kernel: Optional[str] = None,
+) -> list[tuple[VectorTriplet, int]]:
+    """Evaluate all of one site's resident fragments in one vectorized pass.
+
+    ``residents`` is a sequence of ``(fragment, linear)`` pairs, where
+    ``linear`` is :func:`linearize_ground`'s result (``None`` for
+    fragments holding virtual nodes).  Ground fragments -- the common
+    case by far -- share one compiled program, one leaf memo and one
+    multi-lane kernel, so a site holding *k* co-located fragments pays
+    one kernel invocation per packed level chunk rather than one full
+    traversal per fragment; virtual-node fragments fall back to the
+    per-fragment upgrade path unchanged.  Returns ``[(triplet,
+    nodes_visited), ...]`` in input order, bitwise identical to calling
+    :func:`bottom_up` per fragment -- same triplets, same deterministic
+    ledger (``qlist_ops`` remains ``nodes_visited * n`` by definition).
+    """
+    algebra = algebra or DEFAULT_ALGEBRA
+    kernel = kernel or DEFAULT_KERNEL
+    if kernel not in _KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; choose from {_KERNELS}")
+    results: list[tuple[VectorTriplet, int]] = []
+    if kernel != "auto":
+        for fragment, _linear in residents:
+            triplet, stats = bottom_up(fragment, qlist, algebra, kernel)
+            results.append((triplet, stats.nodes_visited))
+        return results
+    entries = compile_entries(qlist)
+    n = len(entries)
+    program = _ground_program(qlist, entries)
+    lane_kernel = _lane_program(qlist, entries)
+    for fragment, linear in residents:
+        if linear is None:
+            triplet, stats = bottom_up(fragment, qlist, algebra, "auto")
+            results.append((triplet, stats.nodes_visited))
+            continue
+        root_v, root_cv, root_dv = _lane_pass(linear, program, lane_kernel, n, qlist)
+        triplet = VectorTriplet(
+            fragment.fragment_id,
+            _mask_to_formulas(root_v, n),
+            _mask_to_formulas(root_cv, n),
+            _mask_to_formulas(root_dv, n),
+        )
+        results.append((triplet, linear.size))
+    return results
+
+
+__all__ = [
+    "bottom_up",
+    "BottomUpStats",
+    "compile_entries",
+    "DEFAULT_KERNEL",
+    "GroundLinear",
+    "LANE_BITS",
+    "linearize_ground",
+    "site_bottom_up",
+]

@@ -14,6 +14,7 @@ Entries are formulas over the variables of ``F_j``'s virtual nodes
 from __future__ import annotations
 
 import json
+import pickle
 from typing import Iterable, Mapping
 
 from repro.boolexpr.formula import (
@@ -251,6 +252,12 @@ class VectorTriplet:
         non-canonical shapes produced by the paper-literal algebra.
         """
         fragment_id, n, v_mask, cv_mask, dv_mask, residues, table = wire
+        if type(v_mask) is not int:  # out-of-band mask bytes (little-endian)
+            v_mask = int.from_bytes(v_mask, "little")
+        if type(cv_mask) is not int:
+            cv_mask = int.from_bytes(cv_mask, "little")
+        if type(dv_mask) is not int:
+            dv_mask = int.from_bytes(dv_mask, "little")
         formulas: list[Formula] = []
         for node in table:
             tag = node[0]
@@ -312,4 +319,40 @@ def ground_triplet_from_bools(
     )
 
 
-__all__ = ["VectorTriplet", "ground_triplet_from_bools"]
+#: Bitmasks at or above this many bytes leave the pickle stream as
+#: out-of-band buffers.  Below it, a raw int pickles more compactly
+#: than a ``PickleBuffer`` frame plus transport bookkeeping.
+OOB_MASK_BYTES = 1 << 10
+
+
+def compact_with_buffers(wire: tuple, threshold: int = OOB_MASK_BYTES) -> tuple:
+    """Lift a compact triplet's large bitmasks out of the pickle stream.
+
+    The TRUE/FALSE prefix masks of big ground fragments dominate a
+    reply's payload; wrapping their little-endian bytes in
+    :class:`pickle.PickleBuffer` lets a protocol-5 pickler ship them
+    out-of-band (see :mod:`repro.distsim.transport`), so the bulk bytes
+    are never copied through the pickle stream.
+    :meth:`VectorTriplet.from_compact` accepts either form, so the
+    rewrite is transparent to receivers.  The *simulated* ledger is
+    untouched -- it is defined on :meth:`VectorTriplet.wire_bytes`.
+    """
+    fragment_id, n, v_mask, cv_mask, dv_mask, residues, table = wire
+    if n < threshold * 8:  # all three masks are below threshold: no-op
+        return wire
+
+    def lift(mask: int):
+        nbytes = (mask.bit_length() + 7) // 8
+        if nbytes < threshold:
+            return mask
+        return pickle.PickleBuffer(mask.to_bytes(nbytes, "little"))
+
+    return (fragment_id, n, lift(v_mask), lift(cv_mask), lift(dv_mask), residues, table)
+
+
+__all__ = [
+    "VectorTriplet",
+    "ground_triplet_from_bools",
+    "compact_with_buffers",
+    "OOB_MASK_BYTES",
+]

@@ -127,6 +127,10 @@ class Cluster:
         moves it (as Example 5.1 moves F4 to the fresh site S3).
         """
         new_id = split_fragment(self.fragmented_tree, fragment_id, node, new_fragment_id)
+        # The parent lost a subtree to a virtual node: its resident
+        # copies are stale.  The carved-out fragment is a brand-new
+        # object and carries a fresh epoch already.
+        self.fragment(fragment_id).bump_epoch()
         origin_site = self.site_of(fragment_id)
         destination = target_site or origin_site
         self.placement.assign(new_id, destination)
@@ -144,6 +148,7 @@ class Cluster:
         absorbed_id = merge_fragment(self.fragmented_tree, fragment_id, virtual_node)
         if absorbed_id is None:
             return None
+        self.fragment(fragment_id).bump_epoch()
         absorbed_site = self.site_of(absorbed_id)
         self._sites[absorbed_site].remove_fragment(absorbed_id)
         self.placement.remove(absorbed_id)

@@ -16,12 +16,23 @@ module makes the parallelism real while keeping the simulation honest:
   concurrent *structure* (deadlock-freedom, shared-memory dispatch,
   a real pool exercising the engines' fork/join) and real overlap on
   GIL-releasing workloads or free-threaded builds;
-* :class:`ProcessSiteExecutor` -- a ``ProcessPoolExecutor`` for
-  CPU-bound formula evaluation.  Work crosses the process boundary in
-  the repository's *wire formats* (fragments as serialized XML with
-  virtual-node placeholders, queries as QList objects, results as
-  triplet objects), exactly the data a real deployment would put on the
-  network -- nothing engine-internal is pickled.
+* :class:`ProcessSiteExecutor` -- **persistent site workers with
+  resident fragment state**.  Each long-lived worker process receives a
+  fragment's wire form (serialized XML) exactly once per epoch --
+  content-addressed by :attr:`Fragment.epoch`, invalidated by the
+  typed update ops, cluster split/merge and the stream maintainer --
+  and keeps the parsed fragment plus its linearized form resident
+  (:class:`~repro.distsim.resident.ResidentSiteState`, shared with the
+  networked serving tier).  Batches then ship only ``(fragment_id,
+  epoch)`` references and the query program; replies travel as compact
+  triplets whose large bitmasks ride pickle protocol-5 out-of-band
+  buffers (:mod:`~repro.distsim.transport`), with
+  ``multiprocessing.shared_memory`` for bulk totals.  A worker that
+  missed an invalidation answers with a typed *stale* reply and the
+  dispatcher re-pushes and retries -- the in-process mirror of the
+  serving tier's ``unknown-fragment`` self-heal.  ``resident=False``
+  keeps the workers but re-ships full payloads per batch (the
+  dispatch-tax baseline the benchmarks measure against).
 
 The unit of dispatch is a :class:`SiteJob`: "this site partially
 evaluates these fragments against this QList with this algebra".  Every
@@ -36,10 +47,14 @@ the cost ledger and the critical-path calculation.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from collections import Counter, deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
 from typing import Optional, Sequence, Union
 
 from repro.boolexpr.compose import (
@@ -196,6 +211,19 @@ def fragment_wire(fragment: Fragment) -> tuple[str, str]:
     return (fragment.fragment_id, serialize(fragment.root))
 
 
+def resident_fragment_wire(fragment: Fragment) -> tuple[str, int, str]:
+    """A fragment's resident-push wire form: ``(id, epoch, XML)``.
+
+    The epoch rides along so the receiving
+    :class:`~repro.distsim.resident.ResidentSiteState` can content-
+    address its copy; used by the process executor's pushes and the
+    serving coordinator's ``LoadFragments`` alike.
+    """
+    from repro.xmltree.serializer import serialize  # local: import cycle
+
+    return (fragment.fragment_id, fragment.epoch, serialize(fragment.root))
+
+
 def fragment_from_wire(wire: tuple[str, str]) -> Fragment:
     """Inverse of :func:`fragment_wire`."""
     from repro.xmltree.parser import parse_xml  # local: import cycle
@@ -305,6 +333,15 @@ class SiteExecutor:
     def run_jobs(self, jobs: Sequence[SiteJob]) -> list[SiteOutcome]:
         raise NotImplementedError
 
+    def retire_fragments(self, fragment_ids: Sequence[str]) -> None:
+        """Drop any resident per-fragment state for these fragments.
+
+        Called by the stream maintainer when fragments are removed
+        (merge) or migrated (move, off-site split) so stateful
+        executors reclaim worker memory; a no-op for the stateless
+        strategies.
+        """
+
     def close(self) -> None:
         """Release pooled workers (no-op for poolless strategies)."""
 
@@ -374,45 +411,460 @@ class ThreadSiteExecutor(SiteExecutor):
             self._pool = None
 
 
-class ProcessSiteExecutor(SiteExecutor):
-    """Site jobs on a process pool, for CPU-bound formula evaluation.
+def _resident_worker_main(conn) -> None:
+    """Entry point of one persistent site-worker process.
 
-    The pool is created lazily and cached on the executor (forking per
-    batch would dominate small runs); fragments and results cross the
-    boundary in wire form only.  Fragments are re-serialized on every
-    batch by design: trees are mutable (the update workloads edit them
-    in place) and nodes carry no version signal to invalidate a cache
-    with, so caching the XML would trade correctness under mutation for
-    speed -- the per-batch toll is reported honestly as wall time
-    instead.  Call :meth:`close` (or use the executor as a context
-    manager) to reap the workers early; an unclosed pool is shut down
-    at interpreter exit by ``concurrent.futures``.
+    A strict request-reply loop over zero-copy transport frames: the
+    parent never has more than one outstanding message per worker, so
+    neither side can deadlock on a full pipe.  Messages:
+
+    * ``("push", wires)`` -- install ``(id, epoch, xml)`` triples;
+    * ``("retire", ids)`` -- drop resident fragments;
+    * ``("job", site_id, refs, fingerprint, qlist_obj, algebra, segments)``
+      -- evaluate resident fragments; answers ``("stale", missing)``
+      instead of guessing when a reference cannot be served;
+    * ``("rawjob", payload)`` -- the legacy full-payload path
+      (``resident=False`` baseline);
+    * ``("stats",)`` -- residency introspection for tests/leak checks;
+    * ``("stop",)`` -- exit.
+    """
+    from repro.distsim import transport
+    from repro.distsim.resident import ResidentSiteState, StaleResidentError
+
+    state = ResidentSiteState()
+    algebras: dict[str, FormulaAlgebra] = {}
+    while True:
+        try:
+            message = transport.recv_payload(conn)
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        try:
+            if kind == "job":
+                _, site_id, refs, fingerprint, qlist_obj, algebra_name, segments = message
+                qlist = state.ensure_query(fingerprint, qlist_obj)
+                algebra = algebras.get(algebra_name)
+                if algebra is None:
+                    algebra = algebras.setdefault(algebra_name, ALGEBRAS_BY_NAME[algebra_name]())
+                segments = tuple(tuple(span) for span in segments)
+                try:
+                    results, seconds = state.run(site_id, refs, qlist, algebra, segments)
+                except StaleResidentError as stale:
+                    transport.send_payload(conn, ("stale", stale.missing))
+                    continue
+                from repro.core.vectors import compact_with_buffers
+
+                wired = tuple(
+                    (compact_with_buffers(compact), nodes, ops, segment_ops)
+                    for compact, nodes, ops, segment_ops in results
+                )
+                transport.send_payload(conn, ("ok", site_id, wired, seconds))
+            elif kind == "push":
+                installed = state.store(message[1])
+                transport.send_payload(conn, ("ok", installed))
+            elif kind == "retire":
+                transport.send_payload(conn, ("ok", state.retire(message[1])))
+            elif kind == "rawjob":
+                transport.send_payload(conn, ("ok",) + tuple(_run_job_payload(message[1])))
+            elif kind == "stats":
+                transport.send_payload(
+                    conn,
+                    (
+                        "ok",
+                        {
+                            "resident": state.resident_epochs(),
+                            "receive_counts": dict(state.receive_counts),
+                            "queries": sorted(state.queries),
+                        },
+                    ),
+                )
+            elif kind == "stop":
+                break
+            else:
+                transport.send_payload(conn, ("error", "ValueError", f"unknown message {kind!r}"))
+        except Exception as error:  # surface to the parent, keep serving
+            try:
+                transport.send_payload(conn, ("error", type(error).__name__, str(error)))
+            except (BrokenPipeError, OSError):
+                break
+    conn.close()
+
+
+class _ResidentWorker:
+    """Parent-side handle of one worker: process, pipe, residency model."""
+
+    __slots__ = ("index", "process", "conn", "resident")
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        #: The dispatcher's model of the worker's residency:
+        #: fragment id -> epoch last pushed.  Optimistic (updated at
+        #: enqueue); any desync is caught by the worker's epoch check
+        #: and healed by re-push.
+        self.resident: dict[str, int] = {}
+
+
+#: Per-job retry budget across stale replies and worker deaths.  One
+#: self-heal round fully restores residency, so hitting the budget
+#: means something is systematically wrong -- fail loudly.
+_MAX_JOB_ATTEMPTS = 3
+
+
+class ProcessSiteExecutor(SiteExecutor):
+    """Persistent site workers with resident fragment state.
+
+    Workers are long-lived ``multiprocessing`` processes wired to the
+    dispatcher by one duplex pipe each.  Sites gain worker *affinity*
+    on first dispatch (round-robin over ``max_workers``), so a site's
+    fragments are pushed to exactly one worker and stay resident there;
+    each push is recorded in :attr:`ship_log` as ``(worker, fragment,
+    epoch)`` and never repeated for the same epoch.  Jobs then carry
+    only references and the query program, and all jobs of a batch are
+    multiplexed over the worker pipes concurrently (strict one-
+    outstanding-message-per-worker request-reply, so a 1-worker pool is
+    deadlock-free by construction).
+
+    Self-healing: a worker that missed an invalidation answers *stale*
+    and the dispatcher re-pushes exactly the named fragments and
+    retries; a dead worker is respawned, its residency model reset, and
+    its in-flight job re-dispatched.  ``stats`` counts ships, jobs,
+    stale retries and respawns.
+
+    ``resident=False`` keeps the persistent pool but ships full
+    fragment+query payloads per job -- the dispatch-tax baseline.
+    ``warm`` (a cluster) spawns workers and pre-pushes every site's
+    fragments at construction, so the first batch pays neither worker
+    spawn nor the full-state ship.  Call :meth:`close` (or use the
+    executor as a context manager) to reap the workers; they are
+    daemonic, so an unclosed pool dies with the interpreter.
     """
 
     name = "process"
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        resident: bool = True,
+        warm=None,
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers or min(8, os.cpu_count() or 2)
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self.resident = resident
+        #: Counter: ships / jobs / stale_retries / respawns / retired.
+        self.stats: Counter = Counter()
+        #: Every fragment push: ``(worker_index, fragment_id, epoch)``.
+        self.ship_log: list[tuple[int, str, int]] = []
+        self._workers: list[Optional[_ResidentWorker]] = [None] * self.max_workers
+        self._site_affinity: dict[str, int] = {}
+        self._lock = threading.Lock()
+        if warm is not None:
+            self.warm_up(warm)
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
-        return self._pool
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, index: int) -> _ResidentWorker:
+        parent_conn, child_conn = multiprocessing.Pipe()
+        process = multiprocessing.Process(
+            target=_resident_worker_main,
+            args=(child_conn,),
+            name=f"repro-site-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _ResidentWorker(index, process, parent_conn)
+        self._workers[index] = worker
+        return worker
 
+    def _worker_for(self, site_id: str) -> _ResidentWorker:
+        index = self._site_affinity.get(site_id)
+        if index is None:
+            index = len(self._site_affinity) % self.max_workers
+            self._site_affinity[site_id] = index
+        worker = self._workers[index]
+        if worker is None or not worker.process.is_alive():
+            worker = self._respawn(index, count=worker is not None)
+        return worker
+
+    def _respawn(self, index: int, count: bool = True) -> _ResidentWorker:
+        worker = self._workers[index]
+        if worker is not None:
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            if count:
+                self.stats["respawns"] += 1
+        return self._spawn(index)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
     def run_jobs(self, jobs: Sequence[SiteJob]) -> list[SiteOutcome]:
         if not jobs:
             return []
-        payloads = [_job_payload(job) for job in jobs]
-        pool = self._ensure_pool()
-        return [_outcome_from_payload(reply) for reply in pool.map(_run_job_payload, payloads)]
+        with self._lock:
+            return self._dispatch(list(jobs))
+
+    def _dispatch(self, jobs: list[SiteJob]) -> list[SiteOutcome]:
+        outcomes: list[Optional[SiteOutcome]] = [None] * len(jobs)
+        attempts = [0] * len(jobs)
+        # queue item: (payload, tag); tag = ("push",) or ("job", index)
+        queues: dict[int, deque] = {}
+        for job_index, job in enumerate(jobs):
+            worker = self._worker_for(job.site_id)
+            queue = queues.setdefault(worker.index, deque())
+            self._enqueue(queue, worker, job_index, job)
+        self._pump(queues, jobs, outcomes, attempts)
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def _enqueue(self, queue: deque, worker: _ResidentWorker, job_index: int, job: SiteJob) -> None:
+        """Queue one job (and any catch-up pushes) for ``worker``.
+
+        In resident mode the push set is computed against the
+        dispatcher's residency model and the model updated here, at
+        enqueue time, so back-to-back jobs referencing the same
+        fragment queue exactly one push between them.
+        """
+        algebra_name = algebra_wire_name(job.algebra)  # validate before any send
+        if not self.resident:
+            queue.append((("rawjob", _job_payload(job)), ("job", job_index)))
+            self.stats["jobs"] += 1
+            return
+        wires = []
+        for fragment in job.fragments:
+            epoch = fragment.epoch
+            if worker.resident.get(fragment.fragment_id) != epoch:
+                wires.append(resident_fragment_wire(fragment))
+                worker.resident[fragment.fragment_id] = epoch
+                self.ship_log.append((worker.index, fragment.fragment_id, epoch))
+                self.stats["ships"] += 1
+        if wires:
+            queue.append((("push", tuple(wires)), ("push",)))
+        from repro.distsim.resident import qlist_fingerprint  # local: import cycle
+
+        payload = (
+            "job",
+            job.site_id,
+            tuple((fragment.fragment_id, fragment.epoch) for fragment in job.fragments),
+            qlist_fingerprint(job.qlist),
+            job.qlist.to_obj(),
+            algebra_name,
+            job.segments,
+        )
+        queue.append((payload, ("job", job_index)))
+        self.stats["jobs"] += 1
+
+    def _pump(
+        self,
+        queues: dict[int, deque],
+        jobs: list[SiteJob],
+        outcomes: list,
+        attempts: list[int],
+    ) -> None:
+        """Drain all worker queues concurrently, one in-flight message each."""
+        from repro.distsim import transport
+
+        in_flight: dict[int, tuple] = {}  # worker index -> tag of sent message
+
+        def kick(index: int) -> None:
+            while True:
+                queue = queues.get(index)
+                if not queue:
+                    in_flight.pop(index, None)
+                    return
+                payload, tag = queue.popleft()
+                worker = self._workers[index]
+                try:
+                    transport.send_payload(worker.conn, payload)
+                except (BrokenPipeError, OSError):
+                    self._recover(index, tag, queues, jobs, attempts)
+                    continue  # retry the (re-queued) work on the fresh worker
+                in_flight[index] = tag
+                return
+
+        for index in list(queues):
+            kick(index)
+        while in_flight:
+            conn_to_index = {self._workers[i].conn: i for i in in_flight}
+            for conn in _connection_wait(list(conn_to_index)):
+                index = conn_to_index[conn]
+                tag = in_flight[index]
+                try:
+                    reply = transport.recv_payload(conn)
+                except (EOFError, OSError):
+                    self._recover(index, tag, queues, jobs, attempts)
+                    kick(index)
+                    continue
+                self._on_reply(index, tag, reply, queues, jobs, outcomes, attempts)
+                kick(index)
+
+    def _recover(
+        self,
+        index: int,
+        tag: tuple,
+        queues: dict[int, deque],
+        jobs: list[SiteJob],
+        attempts: list[int],
+    ) -> None:
+        """A worker died mid-exchange: respawn it and re-dispatch.
+
+        The fresh worker's residency model starts empty, so a re-queued
+        job recomputes its full push set; a lost *push* needs no
+        replay -- the next job referencing those fragments will draw a
+        stale reply and self-heal.
+        """
+        worker = self._respawn(index)
+        if tag[0] == "job":
+            job_index = tag[1]
+            attempts[job_index] += 1
+            if attempts[job_index] >= _MAX_JOB_ATTEMPTS:
+                raise RuntimeError(
+                    f"site worker {index} died repeatedly running "
+                    f"job for site {jobs[job_index].site_id!r}"
+                )
+            self._enqueue(queues.setdefault(index, deque()), worker, job_index, jobs[job_index])
+            self.stats["jobs"] -= 1  # re-dispatch, not a new job
+
+    def _on_reply(
+        self,
+        index: int,
+        tag: tuple,
+        reply: tuple,
+        queues: dict[int, deque],
+        jobs: list[SiteJob],
+        outcomes: list,
+        attempts: list[int],
+    ) -> None:
+        kind = reply[0]
+        if kind == "ok":
+            if tag[0] == "job":
+                _, site_id, results, seconds = reply
+                outcomes[tag[1]] = outcome_from_wire(site_id, results, seconds)
+            return
+        if kind == "stale" and tag[0] == "job":
+            from repro.distsim.resident import StaleResidentError  # local: import cycle
+
+            job_index = tag[1]
+            job = jobs[job_index]
+            attempts[job_index] += 1
+            self.stats["stale_retries"] += 1
+            if attempts[job_index] >= _MAX_JOB_ATTEMPTS:
+                raise StaleResidentError(job.site_id, reply[1])
+            worker = self._workers[index]
+            for fragment_id in reply[1]:  # drop the desynced model entries
+                worker.resident.pop(fragment_id, None)
+            self._enqueue(queues.setdefault(index, deque()), worker, job_index, job)
+            self.stats["jobs"] -= 1  # re-dispatch, not a new job
+            return
+        if kind == "error":
+            raise RuntimeError(f"site worker {index} failed: {reply[1]}: {reply[2]}")
+        raise RuntimeError(f"site worker {index}: unexpected reply {reply[:1]!r} to {tag[0]!r}")
+
+    # ------------------------------------------------------------------
+    # Residency management
+    # ------------------------------------------------------------------
+    def warm_up(self, cluster) -> int:
+        """Spawn workers and pre-push every site's fragments.
+
+        The opt-in warm start (also reachable as ``warm=cluster`` at
+        construction): after it, the first batch pays neither worker
+        spawn nor the full-state ship.  Returns the number of fragments
+        shipped; idempotent for unchanged epochs.
+        """
+        if not self.resident:
+            return 0
+        from repro.distsim import transport
+
+        with self._lock:
+            shipped = 0
+            for site in cluster.sites():
+                fragments = list(site.iter_fragments())
+                if not fragments:
+                    continue
+                worker = self._worker_for(site.site_id)
+                wires = []
+                for fragment in fragments:
+                    if worker.resident.get(fragment.fragment_id) != fragment.epoch:
+                        wires.append(resident_fragment_wire(fragment))
+                        worker.resident[fragment.fragment_id] = fragment.epoch
+                        self.ship_log.append((worker.index, fragment.fragment_id, fragment.epoch))
+                        self.stats["ships"] += 1
+                if not wires:
+                    continue
+                transport.send_payload(worker.conn, ("push", tuple(wires)))
+                reply = transport.recv_payload(worker.conn)
+                if reply[0] != "ok":  # pragma: no cover - defensive
+                    raise RuntimeError(f"warm-up push failed: {reply!r}")
+                shipped += len(wires)
+            return shipped
+
+    def retire_fragments(self, fragment_ids: Sequence[str]) -> None:
+        """Tell every worker holding these fragments to drop them."""
+        targets = tuple(fragment_ids)
+        if not targets or not self.resident:
+            return
+        from repro.distsim import transport
+
+        with self._lock:
+            for worker in self._workers:
+                if worker is None or not worker.process.is_alive():
+                    continue
+                held = [fid for fid in targets if fid in worker.resident]
+                if not held:
+                    continue
+                try:
+                    transport.send_payload(worker.conn, ("retire", tuple(held)))
+                    transport.recv_payload(worker.conn)
+                except (BrokenPipeError, EOFError, OSError):
+                    self._respawn(worker.index)
+                    continue
+                for fragment_id in held:
+                    worker.resident.pop(fragment_id, None)
+                self.stats["retired"] += len(held)
+
+    def worker_stats(self) -> list[dict]:
+        """Residency introspection of every live worker (tests, leaks)."""
+        from repro.distsim import transport
+
+        with self._lock:
+            stats = []
+            for worker in self._workers:
+                if worker is None or not worker.process.is_alive():
+                    continue
+                transport.send_payload(worker.conn, ("stats",))
+                reply = transport.recv_payload(worker.conn)
+                if reply[0] != "ok":  # pragma: no cover - defensive
+                    raise RuntimeError(f"stats request failed: {reply!r}")
+                stats.append({"worker": worker.index, **reply[1]})
+            return stats
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        from repro.distsim import transport
+
+        with self._lock:
+            workers = [worker for worker in self._workers if worker is not None]
+            self._workers = [None] * self.max_workers
+            self._site_affinity.clear()
+            for worker in workers:
+                try:
+                    transport.send_payload(worker.conn, ("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            for worker in workers:
+                worker.process.join(timeout=5)
+                if worker.process.is_alive():  # pragma: no cover - defensive
+                    worker.process.terminate()
+                    worker.process.join(timeout=1)
+                try:
+                    worker.conn.close()
+                except OSError:  # pragma: no cover - already torn down
+                    pass
 
 
 #: Strategy name -> constructor, for the CLI and ``Engine(executor=...)``.
@@ -456,6 +908,7 @@ __all__ = [
     "ALGEBRAS_BY_NAME",
     "algebra_wire_name",
     "fragment_wire",
+    "resident_fragment_wire",
     "fragment_from_wire",
     "run_resident_job",
     "outcome_from_wire",

@@ -1,0 +1,204 @@
+"""Resident site state: the one protocol behind every remote evaluator.
+
+A *resident* holder (a persistent process-executor worker, a networked
+``SiteServer``) receives each fragment's wire form **once per epoch**
+-- the content-address minted by :meth:`Fragment.bump_epoch` -- and
+keeps three things per fragment: the epoch it holds, the parsed
+:class:`Fragment`, and its :class:`~repro.core.bottom_up.GroundLinear`
+linearization (``None`` for fragments with virtual nodes).  After
+that, batches ship only ``(fragment_id, epoch)`` references plus the
+query program; evaluation runs through
+:func:`~repro.core.bottom_up.site_bottom_up`, so all ground fragments
+co-located on the holder fold in one site-vectorized pass with shared
+compiled programs and per-``(fragment, query)`` base caches.
+
+A job referencing an epoch the holder does not have raises
+:class:`StaleResidentError` -- typed, with the exact missing ids -- so
+dispatchers re-push and retry instead of serving stale answers.  This
+is the in-process mirror of the serving tier's ``unknown-fragment`` /
+``stale-fragment`` self-heal, and both tiers run through this class.
+
+``receive_counts`` tracks wire receptions per ``(fragment_id, epoch)``
+so the differential tests can assert the ship-exactly-once contract
+from the holder's side, not just the dispatcher's model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import Counter
+from typing import Optional, Sequence
+
+from repro.fragments.fragment import Fragment
+from repro.xpath.qlist import QList
+
+
+class StaleResidentError(RuntimeError):
+    """A job referenced fragments this holder lacks or holds stale.
+
+    Recoverable by construction: ``missing`` names exactly the
+    fragments whose wire form must be (re-)pushed before the retry.
+    Raised when a holder missed an invalidation -- a ``MoveFragment``
+    re-homing the fragment, a ``SplitFragment``/``MergeFragment``
+    rewriting it, or any content edit bumping its epoch.
+    """
+
+    def __init__(self, site_id: str, missing: Sequence[str]) -> None:
+        self.site_id = site_id
+        self.missing = tuple(missing)
+        super().__init__(
+            f"site {site_id}: resident state is missing or stale for "
+            f"fragment(s) {sorted(self.missing)}"
+        )
+
+
+def qlist_fingerprint(qlist: QList) -> str:
+    """Stable content fingerprint of a QList's wire form (cached on it).
+
+    Resident holders key their query cache on this, so a dispatcher
+    can ship the program once and reference it by fingerprint after --
+    and two QList objects with identical entries share one resident
+    compilation.
+    """
+    cached = getattr(qlist, "_resident_fingerprint", None)
+    if cached is None:
+        payload = json.dumps(qlist.to_obj(), separators=(",", ":"))
+        cached = hashlib.sha1(payload.encode("utf-8")).hexdigest()
+        try:
+            qlist._resident_fingerprint = cached
+        except AttributeError:
+            pass
+    return cached
+
+
+class ResidentSiteState:
+    """Fragment + query residency of one remote evaluation holder."""
+
+    def __init__(self) -> None:
+        #: fragment id -> (epoch, Fragment, GroundLinear | None)
+        self.fragments: dict[str, tuple] = {}
+        #: query fingerprint -> canonical QList object
+        self.queries: dict[str, QList] = {}
+        #: (fragment_id, epoch) -> wire receptions (ship-once witness)
+        self.receive_counts: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Residency lifecycle
+    # ------------------------------------------------------------------
+    def store(self, wires: Sequence[tuple]) -> int:
+        """Install fragments from ``(fragment_id, epoch, xml)`` wire triples.
+
+        Parsing and linearization happen here, exactly once per epoch;
+        afterwards evaluation never touches XML again.  Returns the
+        number of fragments installed.
+        """
+        from repro.core.bottom_up import linearize_ground  # local: import cycle
+        from repro.xmltree.parser import parse_xml  # local: import cycle
+
+        for fragment_id, epoch, xml_text in wires:
+            fragment = Fragment(fragment_id, parse_xml(xml_text).root)
+            if epoch is None:
+                # Legacy epoch-less wire: keep the freshly minted epoch so
+                # the entry stays an int and epoch-less refs still match.
+                epoch = fragment.epoch
+            else:
+                fragment.epoch = epoch
+            self.fragments[fragment_id] = (epoch, fragment, linearize_ground(fragment))
+            self.receive_counts[(fragment_id, epoch)] += 1
+        return len(wires)
+
+    def retire(self, fragment_ids: Sequence[str]) -> int:
+        """Drop resident fragments; returns how many were actually held."""
+        dropped = 0
+        for fragment_id in fragment_ids:
+            if self.fragments.pop(fragment_id, None) is not None:
+                dropped += 1
+        return dropped
+
+    def resident_epochs(self) -> dict[str, int]:
+        """Live ``fragment_id -> epoch`` view (leak checks, debugging)."""
+        return {fid: entry[0] for fid, entry in self.fragments.items()}
+
+    def missing_for(self, refs: Sequence[tuple]) -> list[str]:
+        """Which ``(fragment_id, epoch)`` references this holder cannot serve.
+
+        ``epoch=None`` means "any resident copy" (the serving tier's
+        legacy pushes carry no epoch); otherwise epochs must match
+        exactly.
+        """
+        missing = []
+        for fragment_id, epoch in refs:
+            entry = self.fragments.get(fragment_id)
+            if entry is None or (epoch is not None and entry[0] != epoch):
+                missing.append(fragment_id)
+        return missing
+
+    # ------------------------------------------------------------------
+    # Query residency
+    # ------------------------------------------------------------------
+    def ensure_query(self, fingerprint: str, qlist_obj=None) -> QList:
+        """The canonical resident QList for ``fingerprint``.
+
+        The first reference must carry the wire form (``qlist_obj``);
+        later references hit the cache, which is what keeps compiled
+        entries, ground programs, lane kernels and per-fragment base
+        arrays alive across batches.
+        """
+        qlist = self.queries.get(fingerprint)
+        if qlist is None:
+            if qlist_obj is None:
+                raise KeyError(f"unknown resident query {fingerprint!r}")
+            qlist = QList.from_obj(qlist_obj)
+            self.queries[fingerprint] = qlist
+        return qlist
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        site_id: str,
+        refs: Sequence[tuple],
+        qlist: QList,
+        algebra,
+        segments: tuple = (),
+    ) -> tuple[tuple, float]:
+        """Evaluate resident fragments; wire-form results like
+        :func:`~repro.distsim.executors.run_resident_job`.
+
+        ``refs`` is the ordered ``(fragment_id, epoch)`` list of the
+        job; raises :class:`StaleResidentError` before touching any
+        fragment if one reference cannot be served.  Returns
+        ``(per-fragment results, busy seconds)`` where each result is
+        ``(compact triplet, nodes visited, qlist ops, segment ops)`` --
+        bitwise identical to the per-fragment path, one vectorized
+        pass for all ground fragments.
+        """
+        from repro.core.bottom_up import site_bottom_up  # local: import cycle
+
+        missing = self.missing_for(refs)
+        if missing:
+            raise StaleResidentError(site_id, missing)
+        residents = [
+            (entry[1], entry[2])
+            for entry in (self.fragments[fragment_id] for fragment_id, _ in refs)
+        ]
+        n = len(qlist)
+        started = time.thread_time()
+        evaluated = site_bottom_up(residents, qlist, algebra)
+        results = tuple(
+            (
+                triplet.to_compact(),
+                nodes,
+                nodes * n,
+                tuple(nodes * length for _, length in segments),
+            )
+            for triplet, nodes in evaluated
+        )
+        seconds = time.thread_time() - started
+        return results, seconds
+
+
+__all__ = ["ResidentSiteState", "StaleResidentError", "qlist_fingerprint"]

@@ -1,0 +1,125 @@
+"""Zero-copy payload transport between the executor and its site workers.
+
+The resident process executor talks to its workers over
+``multiprocessing`` pipes.  Naive ``Connection.send`` pickles with
+protocol 3-ish defaults and copies every bitmask through the pickle
+stream; this module layers **pickle protocol-5 out-of-band buffers**
+on top of the raw pipe instead:
+
+* the payload skeleton (tuples, strings, small ints) is pickled once,
+  with every :class:`pickle.PickleBuffer` inside it -- the large
+  TRUE/FALSE prefix masks of compact triplets, see
+  :func:`repro.core.vectors.compact_with_buffers` -- collected by the
+  ``buffer_callback`` instead of being serialized;
+* small buffer totals ride the pipe as separate ``send_bytes`` frames
+  (``recv_bytes`` hands each back as one contiguous ``bytes`` object
+  that is used *directly* as the pickle buffer -- no re-copy through
+  the unpickler);
+* totals at or above :data:`SHM_THRESHOLD_BYTES` ride **one**
+  ``multiprocessing.shared_memory`` segment: the sender copies each
+  buffer into the mapping and ships only ``(name, offsets)``, so the
+  bulk bytes never enter the pipe at all (pipes bounce through a
+  small kernel buffer, one syscall round per ~64KB).  The receiver
+  makes one bulk copy out of the mapping before unlinking it --
+  detaching from the segment's lifetime is what lets the receiver
+  decode lazily without holding the mapping open.
+
+Frames are tagged with one leading byte: ``0`` (no buffers), ``P``
+(buffers follow on the pipe) or ``S`` (buffers in shared memory).
+Both directions of the executor's strict request-reply protocol use
+the same two functions, as does any test driving a worker by hand.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+#: Out-of-band buffer totals at or above this many bytes ride one
+#: shared-memory segment instead of pipe frames.
+SHM_THRESHOLD_BYTES = 1 << 20
+
+
+def _unregister_shm(name: str) -> None:
+    """Detach a segment from this process's resource tracker.
+
+    The tracker assumes creator-unlinks; here the *receiver* unlinks,
+    so the creator must unregister or the tracker warns (and retries
+    the unlink) at interpreter shutdown.  Best-effort: the private API
+    has been stable across 3.10-3.13, but a miss only costs a warning.
+    """
+    try:
+        from multiprocessing.resource_tracker import unregister
+
+        unregister("/" + name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker API drift
+        pass
+
+
+def send_payload(conn, obj: Any, shm_threshold: int = SHM_THRESHOLD_BYTES) -> None:
+    """Pickle ``obj`` with protocol 5 and ship it over ``conn``."""
+    buffers: list[pickle.PickleBuffer] = []
+    body = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    if not buffers:
+        conn.send_bytes(b"0" + body)
+        return
+    views = [buffer.raw().cast("B") for buffer in buffers]
+    total = sum(view.nbytes for view in views)
+    if total < shm_threshold:
+        sizes = tuple(view.nbytes for view in views)
+        conn.send_bytes(b"P" + pickle.dumps(sizes, protocol=5))
+        conn.send_bytes(body)
+        for view in views:
+            conn.send_bytes(view)
+        return
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(create=True, size=total)
+    offsets: list[tuple[int, int]] = []
+    cursor = 0
+    for view in views:
+        end = cursor + view.nbytes
+        segment.buf[cursor:end] = view
+        offsets.append((cursor, end))
+        cursor = end
+    conn.send_bytes(b"S" + pickle.dumps((segment.name, tuple(offsets)), protocol=5))
+    conn.send_bytes(body)
+    segment.close()
+    _unregister_shm(segment.name)
+
+
+def recv_payload(conn) -> Any:
+    """Receive one :func:`send_payload` frame set and unpickle it."""
+    frame = conn.recv_bytes()
+    tag, header = frame[:1], frame[1:]
+    if tag == b"0":
+        return pickle.loads(header)
+    if tag == b"P":
+        sizes = pickle.loads(header)
+        body = conn.recv_bytes()
+        buffers = [conn.recv_bytes() for _ in sizes]
+        return pickle.loads(body, buffers=buffers)
+    if tag == b"S":
+        from multiprocessing import shared_memory
+
+        name, offsets = pickle.loads(header)
+        body = conn.recv_bytes()
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            # One bulk copy out of the mapping: lets the segment be
+            # unlinked immediately while the decoded object keeps
+            # zero-copy views into the local bytes.
+            data = bytes(segment.buf)
+        finally:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+        view = memoryview(data)
+        buffers = [view[start:end] for start, end in offsets]
+        return pickle.loads(body, buffers=buffers)
+    raise ValueError(f"unknown transport frame tag {tag!r}")
+
+
+__all__ = ["send_payload", "recv_payload", "SHM_THRESHOLD_BYTES"]

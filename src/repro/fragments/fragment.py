@@ -10,6 +10,7 @@ possible").
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterator, Optional
 
 from repro.xmltree.node import XMLNode
@@ -21,6 +22,13 @@ class FragmentationError(ValueError):
     """Raised for inconsistent fragment structures."""
 
 
+#: Process-wide epoch token source.  Tokens are opaque and globally
+#: unique, so two distinct fragments (even with the same id, from
+#: different clusters) never share one -- resident-state holders that
+#: key on ``(fragment_id, epoch)`` are therefore content-addressed.
+_epochs = itertools.count(1)
+
+
 class Fragment:
     """One fragment: an id plus a subtree whose leaves may be virtual."""
 
@@ -29,6 +37,7 @@ class Fragment:
             raise FragmentationError("a fragment root cannot be virtual")
         self.fragment_id = fragment_id
         self.root = root
+        self.epoch: int = next(_epochs)
         self._version_cache: Optional[tuple[int, int]] = None  # (size, bytes)
 
     # ------------------------------------------------------------------
@@ -64,8 +73,21 @@ class Fragment:
         """Byte cost of shipping this fragment over the network."""
         return estimated_wire_bytes(self.root)
 
+    def bump_epoch(self) -> int:
+        """Mark this fragment's content as changed.
+
+        Every mutation path that edits fragment content (typed update
+        ops, cluster split/merge, out-of-band ``refresh``) calls this;
+        resident-state holders compare epochs to decide whether their
+        cached copy is still the live one.  Also drops the cached
+        size/bytes version since both may have changed.
+        """
+        self.epoch = next(_epochs)
+        self._version_cache = None
+        return self.epoch
+
     def deep_copy(self) -> "Fragment":
-        """Independent copy (fresh node ids)."""
+        """Independent copy (fresh node ids, fresh epoch)."""
         return Fragment(self.fragment_id, self.root.deep_copy())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -49,11 +49,12 @@ from repro.distsim.executors import (
     SiteJob,
     SiteOutcome,
     algebra_wire_name,
-    fragment_wire,
     outcome_from_wire,
+    resident_fragment_wire,
 )
 from repro.distsim.metrics import BatchResult
 from repro.serving.protocol import (
+    ERR_STALE_FRAGMENT,
     ERR_UNKNOWN_FRAGMENT,
     ErrorReply,
     ExecuteReply,
@@ -323,9 +324,13 @@ class Coordinator:
         await self._ensure_loaded(link, job.site_id)
         request = self._request_for(job)
         reply = await link.request(request, self.site_timeout)
-        if isinstance(reply, ErrorReply) and reply.code == ERR_UNKNOWN_FRAGMENT:
-            # The site restarted and lost its residents: re-push and
-            # re-issue once on the same healthy connection.
+        if isinstance(reply, ErrorReply) and reply.code in (
+            ERR_UNKNOWN_FRAGMENT,
+            ERR_STALE_FRAGMENT,
+        ):
+            # The site restarted and lost its residents, or holds copies
+            # whose epochs predate an update: re-push and re-issue once
+            # on the same healthy connection.
             self.stats["repushes"] += 1
             await self._push_fragments(link, job.site_id)
             reply = await link.request(self._request_for(job), self.site_timeout)
@@ -343,6 +348,7 @@ class Coordinator:
             algebra=algebra_wire_name(job.algebra),
             segments=job.segments,
             label=job.label,
+            epochs=tuple(f.epoch for f in job.fragments),
         )
 
     async def _ensure_loaded(self, link: SiteLink, site_id: str) -> None:
@@ -353,7 +359,9 @@ class Coordinator:
 
     async def _push_fragments(self, link: SiteLink, site_id: str) -> None:
         fragment_ids = self.cluster.source_tree().fragments_of(site_id)
-        wires = tuple(fragment_wire(self.cluster.fragment(fid)) for fid in fragment_ids)
+        wires = tuple(
+            resident_fragment_wire(self.cluster.fragment(fid)) for fid in fragment_ids
+        )
         await link.load(LoadFragments(fragments=wires), self.site_timeout)
         link.loaded_sites.add(site_id)
         logger.info(

@@ -43,7 +43,7 @@ import asyncio
 import io
 import pickle
 import struct
-from dataclasses import dataclass, fields
+from dataclasses import MISSING, dataclass, fields
 from typing import Optional
 
 from repro.distsim.metrics import Metrics
@@ -108,6 +108,7 @@ ERR_OVERLOADED = Overloaded.code
 ERR_SITE_UNAVAILABLE = SiteUnavailable.code
 ERR_BAD_REQUEST = RemoteQueryError.code
 ERR_UNKNOWN_FRAGMENT = "unknown-fragment"
+ERR_STALE_FRAGMENT = "stale-fragment"
 ERR_INTERNAL = "internal"
 
 
@@ -136,7 +137,12 @@ class Message:
     @classmethod
     def from_fields(cls, payload_fields: tuple) -> "Message":
         declared = fields(cls)
-        if not isinstance(payload_fields, tuple) or len(payload_fields) != len(declared):
+        # Trailing fields with defaults may be omitted on the wire, so
+        # a newer message class still decodes an older peer's frames.
+        required = sum(1 for f in declared if f.default is MISSING)
+        if not isinstance(payload_fields, tuple) or not (
+            required <= len(payload_fields) <= len(declared)
+        ):
             raise PayloadError(
                 f"{cls.__name__} expects {len(declared)} fields, "
                 f"got {type(payload_fields).__name__} of "
@@ -160,20 +166,38 @@ def _require(condition: bool, what: str) -> None:
 
 @dataclass(frozen=True)
 class LoadFragments(Message):
-    """Coordinator -> site: make these fragments resident (id, XML) pairs."""
+    """Coordinator -> site: make these fragments resident.
+
+    Each entry is either an ``(id, xml)`` string pair (legacy, epoch
+    unknown) or an ``(id, epoch, xml)`` triple whose epoch content-
+    addresses the copy for the stale-fragment check (see
+    :class:`~repro.distsim.resident.ResidentSiteState`).
+    """
 
     KIND = 10
-    fragments: tuple  # tuple[(fragment_id, xml_text), ...]
+    fragments: tuple  # tuple[(fragment_id, xml_text) | (fragment_id, epoch, xml_text), ...]
 
     def validate(self) -> None:
         _require(isinstance(self.fragments, tuple), "fragments must be a tuple")
         for item in self.fragments:
-            _require(
+            pair = (
                 isinstance(item, tuple)
                 and len(item) == 2
                 and isinstance(item[0], str)
-                and isinstance(item[1], str),
-                "each fragment must be an (id, xml) string pair",
+                and isinstance(item[1], str)
+            )
+            triple = (
+                isinstance(item, tuple)
+                and len(item) == 3
+                and isinstance(item[0], str)
+                and isinstance(item[1], int)
+                and not isinstance(item[1], bool)
+                and isinstance(item[2], str)
+            )
+            _require(
+                pair or triple,
+                "each fragment must be an (id, xml) string pair "
+                "or an (id, epoch, xml) triple",
             )
 
 
@@ -209,6 +233,10 @@ class ExecuteRequest(Message):
     algebra: str
     segments: tuple
     label: str
+    #: Optional per-fragment epochs (parallel to ``fragment_ids``).
+    #: Empty means "any resident copy" -- pre-epoch coordinators omit it
+    #: entirely and the wire decoder fills in the default.
+    epochs: tuple = ()
 
     def validate(self) -> None:
         _require(isinstance(self.request_id, int), "request_id must be an int")
@@ -222,6 +250,15 @@ class ExecuteRequest(Message):
         _require(isinstance(self.algebra, str), "algebra must be a name string")
         _require(isinstance(self.segments, tuple), "segments must be a tuple")
         _require(isinstance(self.label, str), "label must be a string")
+        _require(
+            isinstance(self.epochs, tuple)
+            and all(
+                isinstance(epoch, int) and not isinstance(epoch, bool)
+                for epoch in self.epochs
+            )
+            and len(self.epochs) in (0, len(self.fragment_ids)),
+            "epochs must be an int tuple, empty or parallel to fragment_ids",
+        )
 
 
 @dataclass(frozen=True)
@@ -605,6 +642,7 @@ __all__ = [
     "ERR_SITE_UNAVAILABLE",
     "ERR_BAD_REQUEST",
     "ERR_UNKNOWN_FRAGMENT",
+    "ERR_STALE_FRAGMENT",
     "ERR_INTERNAL",
     "error_for",
     "Message",

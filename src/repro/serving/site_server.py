@@ -38,15 +38,13 @@ import logging
 import sys
 from typing import Optional
 
-from repro.distsim.executors import (
-    ALGEBRAS_BY_NAME,
-    fragment_from_wire,
-    run_resident_job,
-)
+from repro.distsim.executors import ALGEBRAS_BY_NAME
+from repro.distsim.resident import ResidentSiteState, qlist_fingerprint
 from repro.fragments.fragment import Fragment
 from repro.serving.protocol import (
     ERR_BAD_REQUEST,
     ERR_INTERNAL,
+    ERR_STALE_FRAGMENT,
     ERR_UNKNOWN_FRAGMENT,
     ErrorReply,
     ExecuteReply,
@@ -66,6 +64,45 @@ from repro.xpath.qlist import QList
 logger = logging.getLogger("repro.serving.site")
 
 
+class _FragmentView:
+    """Live mutable ``fragment_id -> Fragment`` view over resident state.
+
+    Fault tests reach in and ``clear()`` this to simulate a restarted,
+    empty site; mutations must therefore hit the underlying
+    :class:`~repro.distsim.resident.ResidentSiteState`, not a snapshot.
+    """
+
+    def __init__(self, state: ResidentSiteState) -> None:
+        self._state = state
+
+    def __getitem__(self, fragment_id: str) -> Fragment:
+        return self._state.fragments[fragment_id][1]
+
+    def __setitem__(self, fragment_id: str, fragment: Fragment) -> None:
+        from repro.core.bottom_up import linearize_ground  # local: import cycle
+
+        self._state.fragments[fragment_id] = (
+            fragment.epoch,
+            fragment,
+            linearize_ground(fragment),
+        )
+
+    def __delitem__(self, fragment_id: str) -> None:
+        del self._state.fragments[fragment_id]
+
+    def __contains__(self, fragment_id: object) -> bool:
+        return fragment_id in self._state.fragments
+
+    def __iter__(self):
+        return iter(self._state.fragments)
+
+    def __len__(self) -> int:
+        return len(self._state.fragments)
+
+    def clear(self) -> None:
+        self._state.fragments.clear()
+
+
 class SiteServer:
     """One asyncio TCP server evaluating jobs over resident fragments."""
 
@@ -78,7 +115,12 @@ class SiteServer:
         self.name = name
         self.host = host
         self.port = port  # 0 until started when OS-assigned
-        self.fragments: dict[str, Fragment] = {}
+        #: Resident fragments + compiled query cache -- the same state
+        #: class the in-process executor workers run on, so both tiers
+        #: share one residency protocol (epochs, ship-once counters,
+        #: site-vectorized evaluation).
+        self.state = ResidentSiteState()
+        self.fragments = _FragmentView(self.state)
         #: Test hook: artificial seconds added before every execute
         #: reply, used by the timeout/retry tests to make this site
         #: reliably slower than the coordinator's deadline.
@@ -171,9 +213,12 @@ class SiteServer:
             logger.warning("site %s: unexpected %s", self.name, type(message).__name__)
 
     def _load_fragments(self, wires: tuple) -> tuple:
-        for wire in wires:
-            fragment = fragment_from_wire(wire)
-            self.fragments[fragment.fragment_id] = fragment
+        # Legacy (id, xml) pairs carry no epoch; (id, epoch, xml) triples
+        # content-address the pushed copy for the stale-fragment check.
+        normalized = tuple(
+            wire if len(wire) == 3 else (wire[0], None, wire[1]) for wire in wires
+        )
+        self.state.store(normalized)
         logger.info(
             "site %s: %d fragment(s) resident after load of %d",
             self.name,
@@ -200,14 +245,24 @@ class SiteServer:
             pass
 
     async def _run_request(self, request: ExecuteRequest) -> Message:
-        missing = [fid for fid in request.fragment_ids if fid not in self.fragments]
+        epochs = request.epochs or (None,) * len(request.fragment_ids)
+        refs = tuple(zip(request.fragment_ids, epochs))
+        missing = self.state.missing_for(refs)
         if missing:
-            # Typed, recoverable: the coordinator re-pushes and retries
-            # (this is what self-heals a restarted, empty site).
+            # Typed, recoverable: the coordinator re-pushes and retries.
+            # Unknown = never held (a restarted, empty site); stale =
+            # held, but the epoch says the copy predates an update.
+            unknown = [fid for fid in missing if fid not in self.state.fragments]
+            if unknown:
+                return ErrorReply(
+                    request.request_id,
+                    ERR_UNKNOWN_FRAGMENT,
+                    f"site {self.name} has no fragment(s) {unknown}",
+                )
             return ErrorReply(
                 request.request_id,
-                ERR_UNKNOWN_FRAGMENT,
-                f"site {self.name} has no fragment(s) {missing}",
+                ERR_STALE_FRAGMENT,
+                f"site {self.name} holds stale copies of fragment(s) {missing}",
             )
         algebra_cls = ALGEBRAS_BY_NAME.get(request.algebra)
         if algebra_cls is None:
@@ -216,11 +271,11 @@ class SiteServer:
                 ERR_BAD_REQUEST,
                 f"unknown algebra {request.algebra!r}",
             )
-        fragments = [self.fragments[fid] for fid in request.fragment_ids]
         qlist = QList.from_obj(list(request.qlist_obj))
+        qlist = self.state.ensure_query(qlist_fingerprint(qlist), qlist.to_obj())
         segments = tuple(tuple(span) for span in request.segments)
         results, seconds = await asyncio.to_thread(
-            run_resident_job, fragments, qlist, algebra_cls(), segments
+            self.state.run, self.name, refs, qlist, algebra_cls(), segments
         )
         self.requests_served += 1
         return ExecuteReply(request.request_id, results, seconds)

@@ -315,6 +315,10 @@ class StreamMaintainer:
         ]
         if unknown:
             raise KeyError(f"unknown fragment(s) {unknown}")
+        # Out-of-band edits bypass the typed ops' epoch bumps, so the
+        # resident-state invalidation happens here instead.
+        for fragment_id in dict.fromkeys(fragment_ids):
+            self.cluster.fragment(fragment_id).bump_epoch()
         batch = AppliedBatch(effects=(), dirty=tuple(dict.fromkeys(fragment_ids)))
         return self._refresh(batch)
 
@@ -329,6 +333,16 @@ class StreamMaintainer:
         for fragment_id in batch.removed:
             for cached in self._triplets.values():
                 cached.pop(fragment_id, None)
+
+        # Resident executors (persistent process workers, networked
+        # sites) hold fragment copies keyed by epoch.  Removed fragments
+        # must be dropped outright; migrated ones will re-ship to their
+        # new site's worker, so the old copy is garbage too.
+        retired = tuple(batch.removed) + tuple(
+            migration.fragment_id for migration in batch.migrations
+        )
+        if retired:
+            self.executor.retire_fragments(tuple(dict.fromkeys(retired)))
 
         # Meter the batch's fragment migrations (rebalancing moves,
         # off-site splits, cross-site merges): the data genuinely

@@ -121,6 +121,7 @@ class InsNode(UpdateOp):
         if parent.is_virtual:
             raise UpdateError("cannot insert under a virtual node")
         parent.add_child(XMLNode(self.label, text=self.text))
+        cluster.fragment(self.fragment_id).bump_epoch()
         return UpdateEffect(self, dirty=(self.fragment_id,))
 
     def describe(self) -> str:
@@ -144,6 +145,7 @@ class DelNode(UpdateOp):
             # whole sub-fragments; merge them back first.
             raise UpdateError("subtree contains virtual nodes; mergeFragments first")
         node.detach()
+        fragment.bump_epoch()
         return UpdateEffect(self, dirty=(self.fragment_id,))
 
     def describe(self) -> str:
@@ -167,6 +169,7 @@ class Relabel(UpdateOp):
             node.label = self.label
         if self.text is not None:
             node.text = self.text
+        cluster.fragment(self.fragment_id).bump_epoch()
         return UpdateEffect(self, dirty=(self.fragment_id,))
 
     def describe(self) -> str:

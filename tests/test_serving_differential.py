@@ -186,6 +186,29 @@ def test_unknown_fragment_triggers_in_band_repush():
             assert after > before, "expected the in-band repush path to fire"
 
 
+def test_stale_epoch_triggers_in_band_repush():
+    """A site holding copies whose epochs predate an update (it missed
+    an invalidation) answers ``stale-fragment``; the coordinator
+    re-pushes the current copies on the same link and the query
+    succeeds."""
+    rng = random.Random(17)
+    cluster = random_topology(rng)
+    queries = random_batch(rng, 3)
+    with hard_deadline(120):
+        with ServingCluster(cluster) as serving:
+            assert_matches_oracle(cluster, serving, "parbox", queries)
+            # Bump every fragment's epoch without touching content --
+            # exactly what the sites see when they miss an update's
+            # invalidation: resident data present but content-addressed
+            # to a dead epoch.
+            for fragment_id in cluster.fragmented_tree.fragments:
+                cluster.fragment(fragment_id).bump_epoch()
+            before = serving.gateway.coordinator.stats["repushes"]
+            assert_matches_oracle(cluster, serving, "parbox", queries)
+            after = serving.gateway.coordinator.stats["repushes"]
+            assert after > before, "expected the stale-fragment repush to fire"
+
+
 # ---------------------------------------------------------------------------
 # Process mode
 # ---------------------------------------------------------------------------
