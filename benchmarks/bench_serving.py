@@ -135,6 +135,7 @@ def run_serving(quick: bool = False, seed: int = 7) -> dict:
             gateway_s = _median_seconds(
                 lambda: session.evaluate_batch(texts), repeats
             )
+        latency_ms = _gateway_latency_ms(tier)
 
     # The tier must be transparent before its cost means anything.
     assert gateway.answers == local.answers, "serving tier changed answers"
@@ -149,6 +150,30 @@ def run_serving(quick: bool = False, seed: int = 7) -> dict:
         "local_ms": round(local_s * 1000, 2),
         "gateway_ms": round(gateway_s * 1000, 2),
         "tax_ratio": round(gateway_s / local_s, 2),
+        "latency_ms": latency_ms,
+    }
+
+
+def _gateway_latency_ms(tier) -> dict:
+    """Request-latency percentiles from the gateway's own histogram.
+
+    Server-side observations (``gateway_request_seconds``) cover every
+    request the tier handled during this run -- warmup included -- so
+    they complement, not replace, the client-side medians above.
+    """
+    from repro.obs.metrics import histogram_percentiles
+
+    with tier.client() as client:
+        snapshot = client.metrics().snapshot
+    values = snapshot.get("gateway_request_seconds", {}).get("values", {})
+    if not values:
+        return {}
+    histogram = next(iter(values.values()))
+    quantiles = histogram_percentiles(histogram, (0.5, 0.95, 0.99))
+    return {
+        f"p{int(q * 100)}": round(seconds * 1000, 2)
+        for q, seconds in quantiles.items()
+        if seconds is not None
     }
 
 
@@ -162,6 +187,17 @@ def render(result: dict) -> str:
             f"  over the gateway:   {result['gateway_ms']}ms",
             f"  serving-tax ratio:  {result['tax_ratio']}x",
         ]
+        + (
+            [
+                "  gateway latency:    "
+                + "  ".join(
+                    f"{name}={ms}ms"
+                    for name, ms in sorted(result["latency_ms"].items())
+                )
+            ]
+            if result.get("latency_ms")
+            else []
+        )
     )
 
 

@@ -15,7 +15,10 @@ artifact so benchmark trajectories persist across PRs.  ``--profile``
 wraps each selected experiment in ``cProfile`` and prints the top 20
 functions by cumulative time, so a perf PR can locate the next hot
 spot without ad-hoc scripts (timings printed under a profiler are
-inflated and not comparable across runs).
+inflated and not comparable across runs); the same top-20 rows are
+also written as a stable JSON artifact (``--profile-json``, default
+``bench-profile.json``) so profiles persist next to the benchmark
+document.
 """
 
 from __future__ import annotations
@@ -46,6 +49,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run each experiment under cProfile; print the top 20 by cumulative time",
     )
+    parser.add_argument(
+        "--profile-json",
+        metavar="PATH",
+        default=None,
+        help="with --profile: write the top-20 rows per experiment as JSON "
+        "(default: bench-profile.json)",
+    )
     args = parser.parse_args(argv)
 
     config = BenchConfig.quick() if args.quick else BenchConfig.default()
@@ -59,6 +69,7 @@ def main(argv: list[str] | None = None) -> int:
         # Timings recorded under the profiler are inflated severalfold;
         # mark the document so it is never compared against honest runs.
         report["profiled"] = True
+    profile_doc: dict = {"scale": report["scale"], "experiments": {}}
     for experiment_id, runner in ALL_EXPERIMENTS:
         if wanted is not None and experiment_id not in wanted:
             continue
@@ -70,7 +81,9 @@ def main(argv: list[str] | None = None) -> int:
             with cProfile.Profile() as profiler:
                 result = runner(config)
             print(f"=== cProfile: {experiment_id} (top 20 by cumulative) ===")
-            pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+            stats = pstats.Stats(profiler)
+            stats.sort_stats("cumulative").print_stats(20)
+            profile_doc["experiments"][experiment_id] = _top_rows(stats, 20)
         else:
             result = runner(config)
         elapsed = time.perf_counter() - started
@@ -90,7 +103,32 @@ def main(argv: list[str] | None = None) -> int:
     if args.json is not None:
         Path(args.json).write_text(json.dumps(report, indent=2, default=str))
         print(f"wrote {args.json}")
+    if args.profile:
+        profile_path = args.profile_json or "bench-profile.json"
+        Path(profile_path).write_text(json.dumps(profile_doc, indent=2))
+        print(f"wrote {profile_path}")
     return 1 if failures else 0
+
+
+def _top_rows(stats, limit: int) -> list[dict]:
+    """The ``limit`` hottest functions by cumulative time, JSON-stable."""
+    rows = []
+    for (filename, line, function), (primitive, ncalls, tottime, cumtime, _) in (
+        stats.stats.items()
+    ):
+        rows.append(
+            {
+                "file": Path(filename).name,
+                "line": line,
+                "function": function,
+                "ncalls": ncalls,
+                "primitive_calls": primitive,
+                "tottime": round(tottime, 6),
+                "cumtime": round(cumtime, 6),
+            }
+        )
+    rows.sort(key=lambda row: (-row["cumtime"], row["file"], row["line"]))
+    return rows[:limit]
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -44,19 +44,34 @@ The subcommands::
 
     repro serve <file.xml> [--fragments N] [--sites N] [--port P]
                  [--site-mode inline|process] [--replicas R]
-                 [--engine NAME] [--check]
+                 [--engine NAME] [--check] [--obs-dir DIR]
         Boot the *networked* serving tier for the document: one site
         server per simulated site (in-process asyncio servers, or real
         child processes with ``--site-mode process``), a coordinator
         that pushes each site its fragments once, and a front-door
         gateway on ``--port``.  ``--check`` runs a self-query through a
         loopback client after boot and exits (the CI smoke); otherwise
-        the command serves until interrupted.
+        the command serves until interrupted.  ``--obs-dir DIR`` makes
+        the self-check traced and writes the observability artifacts
+        (``metrics.txt``, ``metrics.json``, ``spans.json``) to DIR.
 
     repro connect HOST:PORT '<query>' ['<query>' ...] [--engine NAME]
+                 [--trace]
         Evaluate queries against a running gateway: the same batched
         session surface as ``repro query``, but over TCP -- answers and
-        the cost ledger come back from the serving tier.
+        the cost ledger come back from the serving tier.  ``--trace``
+        additionally asks the gateway for the batch's cross-process
+        span tree and renders it.
+
+    repro trace <spans.json> [--trace-id ID]
+        Render an exported span file (``repro.obs.trace`` JSON form,
+        e.g. ``serve --check --obs-dir``'s ``spans.json``) as an
+        indented per-trace timeline.
+
+    repro top HOST:PORT [--interval S] [--iterations N]
+        Poll a running gateway's metrics registry and print live
+        throughput, shed/retry counts, in-flight depth and latency
+        percentiles -- a tiny ``top(1)`` for the serving tier.
 
     repro select <file.xml> '<path-query>' [--fragments N] [--limit K]
         The Section 8 extension: print the selected nodes.
@@ -64,6 +79,9 @@ The subcommands::
     repro fragment <file.xml> --fragments N [--out DIR]
         Cut a document and write each fragment (with virtual-node
         placeholders) as XML, plus a source-tree summary.
+
+    repro bench [...]
+        Forward to the benchmark harness (``python -m repro.bench``).
 
 Invoke as ``python -m repro`` or via small wrappers around
 :func:`main`.
@@ -335,6 +353,21 @@ def cmd_rebalance(args: argparse.Namespace) -> int:
     return 0 if agree else 1
 
 
+def _write_obs_artifacts(obs_dir: str, client, spans) -> None:
+    """Scrape the gateway and write metrics + span artifacts to a dir."""
+    from repro.obs.trace import SpanStore
+
+    out = Path(obs_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    metrics_reply = client.metrics()
+    (out / "metrics.txt").write_text(metrics_reply.text)
+    (out / "metrics.json").write_text(json.dumps(metrics_reply.snapshot, indent=2))
+    store = SpanStore()
+    store.ingest_wire(spans)
+    (out / "spans.json").write_text(store.export_json(indent=2))
+    print(f"observability artifacts written to {out}/")
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Boot the networked serving tier and serve until interrupted."""
     from repro.serving import SERVABLE_ENGINES, ServingCluster
@@ -370,7 +403,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if args.check:
             with serving.client() as client:
                 client.ping()
-                reply = client.query(("[//a]", "[not //b]"), args.engine)
+                reply = client.query(
+                    ("[//a]", "[not //b]"), args.engine, trace=bool(args.obs_dir)
+                )
+                if args.obs_dir:
+                    _write_obs_artifacts(args.obs_dir, client, reply.spans)
             print(
                 f"self-check: answers={list(reply.answers)} "
                 f"engine={reply.details.get('engine')} ok"
@@ -393,7 +430,10 @@ def cmd_connect(args: argparse.Namespace) -> int:
 
     spec = f"net:{args.address}" + (f"/{args.engine}" if args.engine else "")
     with QuerySession(None, engine=spec) as session:
+        if args.trace:
+            session.engine.trace_batches = True
         outcome = session.evaluate_many(args.query)
+        spans = session.engine.last_spans if args.trace else ()
     batch = outcome.batches[0]
     print(
         f"gateway {args.address}: {len(args.query)} queries via "
@@ -409,6 +449,72 @@ def cmd_connect(args: argparse.Namespace) -> int:
         f"[totals: visits={outcome.visits_total} msgs={outcome.messages_total} "
         f"bytes={outcome.bytes_total}]"
     )
+    if args.trace:
+        from repro.obs.trace import Span, render_spans
+
+        print(render_spans([Span.from_wire(wire) for wire in spans]))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Render an exported span file as an indented timeline."""
+    from repro.obs.trace import load_spans, render_spans
+
+    obj = json.loads(Path(args.file).read_text())
+    spans = load_spans(obj)
+    print(render_spans(spans, trace_id=args.trace_id))
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Poll a gateway's metrics registry; print live serving vitals."""
+    from repro.obs.metrics import histogram_percentiles
+    from repro.serving import GatewayClient
+
+    host, _, port_text = args.address.rpartition(":")
+    if not host:
+        print(f"error: expected HOST:PORT, got {args.address!r}", file=sys.stderr)
+        return 2
+    client = GatewayClient(host, int(port_text))
+    try:
+        previous: Optional[dict] = None
+        for iteration in range(args.iterations):
+            if iteration:
+                time.sleep(args.interval)
+            snapshot = client.metrics().snapshot
+
+            def total(name: str, snap=None) -> float:
+                entry = (snap if snap is not None else snapshot).get(name, {})
+                return sum(entry.get("values", {}).values())
+
+            requests = total("gateway_requests_total")
+            rate = (
+                (requests - total("gateway_requests_total", previous)) / args.interval
+                if previous is not None
+                else 0.0
+            )
+            latency = snapshot.get("gateway_request_seconds", {}).get("values", {})
+            pct = histogram_percentiles(
+                next(iter(latency.values()), {"buckets": [], "sum": 0.0, "count": 0}),
+                (0.5, 0.95, 0.99),
+            )
+            inflight = snapshot.get("gateway_inflight", {}).get("values", {})
+            events = snapshot.get("coordinator_events_total", {}).get("values", {})
+
+            def fmt(value: Optional[float]) -> str:
+                return f"{value * 1000:.1f}ms" if value is not None else "-"
+
+            print(
+                f"requests={requests:.0f} ({rate:.1f}/s)  "
+                f"shed={total('gateway_shed_total'):.0f}  "
+                f"retries={events.get('event=retries', 0):.0f}  "
+                f"repushes={events.get('event=repushes', 0):.0f}  "
+                f"inflight={next(iter(inflight.values()), 0):.0f}  "
+                f"p50={fmt(pct[0.5])} p95={fmt(pct[0.95])} p99={fmt(pct[0.99])}"
+            )
+            previous = snapshot
+    finally:
+        client.close()
     return 0
 
 
@@ -571,6 +677,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="boot, run a loopback self-query, then exit (smoke mode)",
     )
+    serve.add_argument(
+        "--obs-dir",
+        default="",
+        help="with --check: write metrics.txt/metrics.json/spans.json here",
+    )
     serve.set_defaults(func=cmd_serve)
 
     connect = sub.add_parser("connect", help="evaluate queries against a running gateway")
@@ -579,7 +690,30 @@ def build_parser() -> argparse.ArgumentParser:
     connect.add_argument(
         "--engine", default="", help="engine on the gateway (default: its configured one)"
     )
+    connect.add_argument(
+        "--trace", action="store_true", help="render the batch's cross-process span tree"
+    )
     connect.set_defaults(func=cmd_connect)
+
+    trace = sub.add_parser("trace", help="render an exported span file as a timeline")
+    trace.add_argument("file", help="span JSON file (e.g. serve --obs-dir's spans.json)")
+    trace.add_argument("--trace-id", default=None, help="render only this trace")
+    trace.set_defaults(func=cmd_trace)
+
+    top = sub.add_parser("top", help="poll a gateway's live serving metrics")
+    top.add_argument("address", help="gateway HOST:PORT")
+    top.add_argument("--interval", type=float, default=1.0, help="seconds between polls")
+    top.add_argument("--iterations", type=int, default=5, help="polls before exiting")
+    top.set_defaults(func=cmd_top)
+
+    # "repro bench [...]" forwards verbatim to the harness in main()
+    # (argparse.REMAINDER cannot pass through leading options); this
+    # stub only makes the subcommand show up in --help.
+    sub.add_parser(
+        "bench",
+        help="run the benchmark harness (forwards to python -m repro.bench)",
+        add_help=False,
+    )
 
     select = sub.add_parser("select", help="select matching nodes (Section 8 extension)")
     select.add_argument("file")
@@ -600,6 +734,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "bench":
+        # Forward verbatim so harness options (--quick, --profile, ...)
+        # reach the benchmark parser untouched.
+        from repro.bench.__main__ import main as bench_main
+
+        return bench_main(arguments[1:])
+    argv = arguments
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

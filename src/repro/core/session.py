@@ -36,6 +36,8 @@ from repro.distsim.cluster import Cluster
 from repro.distsim.executors import SiteExecutor
 from repro.distsim.metrics import BatchResult, EvalResult, QueryCost
 from repro.distsim.trace import Trace
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.xpath.qlist import QList
 
 Query = Union[str, QList]
@@ -198,7 +200,16 @@ class QuerySession:
 
     def evaluate_batch(self, queries: Sequence[Query]) -> BatchResult:
         """Evaluate one un-chunked batch: one combined broadcast."""
-        return self.engine.evaluate_many(self.plan(queries))
+        if obs_metrics._REGISTRY is not None:
+            registry = obs_metrics._REGISTRY
+            registry.counter("session_batches_total", "Batches evaluated").inc()
+            registry.counter("session_queries_total", "Queries evaluated").inc(
+                len(queries)
+            )
+        # The ambient span makes executor-side spans (e.g. resident
+        # workers) children of one session.batch root per batch.
+        with obs_trace.span("session.batch", "session", queries=len(queries)):
+            return self.engine.evaluate_many(self.plan(queries))
 
     def evaluate_many(self, queries: Iterable[Query]) -> SessionOutcome:
         """Evaluate a query stream, chunked to ``batch_size`` per batch."""

@@ -63,6 +63,8 @@ from repro.boolexpr.compose import (
     PaperAlgebra,
 )
 from repro.fragments.fragment import Fragment
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.xpath.qlist import QList
 
 #: Algebras a remote evaluator (process worker or networked site
@@ -420,9 +422,13 @@ def _resident_worker_main(conn) -> None:
 
     * ``("push", wires)`` -- install ``(id, epoch, xml)`` triples;
     * ``("retire", ids)`` -- drop resident fragments;
-    * ``("job", site_id, refs, fingerprint, qlist_obj, algebra, segments)``
-      -- evaluate resident fragments; answers ``("stale", missing)``
-      instead of guessing when a reference cannot be served;
+    * ``("job", site_id, refs, fingerprint, qlist_obj, algebra, segments
+      [, trace])`` -- evaluate resident fragments; answers
+      ``("stale", missing)`` instead of guessing when a reference cannot
+      be served.  The optional trailing ``trace`` element is a
+      ``(trace_id, parent_span_id)`` pair; when present the ok reply
+      grows a trailing tuple of span wire forms (both sides index
+      tolerantly, so either end may predate the field);
     * ``("rawjob", payload)`` -- the legacy full-payload path
       (``resident=False`` baseline);
     * ``("stats",)`` -- residency introspection for tests/leak checks;
@@ -441,12 +447,23 @@ def _resident_worker_main(conn) -> None:
         kind = message[0]
         try:
             if kind == "job":
-                _, site_id, refs, fingerprint, qlist_obj, algebra_name, segments = message
+                _, site_id, refs, fingerprint, qlist_obj, algebra_name, segments = message[:7]
+                trace = message[7] if len(message) > 7 else ()
                 qlist = state.ensure_query(fingerprint, qlist_obj)
                 algebra = algebras.get(algebra_name)
                 if algebra is None:
                     algebra = algebras.setdefault(algebra_name, ALGEBRAS_BY_NAME[algebra_name]())
                 segments = tuple(tuple(span) for span in segments)
+                timer = None
+                if trace:
+                    timer = obs_trace.SpanTimer(
+                        trace[0],
+                        trace[1] if len(trace) > 1 else None,
+                        "worker.execute",
+                        f"worker:{os.getpid()}",
+                        site=site_id,
+                        fragments=len(refs),
+                    )
                 try:
                     results, seconds = state.run(site_id, refs, qlist, algebra, segments)
                 except StaleResidentError as stale:
@@ -458,7 +475,10 @@ def _resident_worker_main(conn) -> None:
                     (compact_with_buffers(compact), nodes, ops, segment_ops)
                     for compact, nodes, ops, segment_ops in results
                 )
-                transport.send_payload(conn, ("ok", site_id, wired, seconds))
+                reply = ("ok", site_id, wired, seconds)
+                if timer is not None:
+                    reply += ((timer.finish(seconds=round(seconds, 6)).to_wire(),),)
+                transport.send_payload(conn, reply)
             elif kind == "push":
                 installed = state.store(message[1])
                 transport.send_payload(conn, ("ok", installed))
@@ -560,8 +580,23 @@ class ProcessSiteExecutor(SiteExecutor):
         self._workers: list[Optional[_ResidentWorker]] = [None] * self.max_workers
         self._site_affinity: dict[str, int] = {}
         self._lock = threading.Lock()
+        #: Trace context of the batch being dispatched, read once per
+        #: dispatch from the ambient obs context (None when tracing off).
+        self._current_trace = None
         if warm is not None:
             self.warm_up(warm)
+
+    def _count(self, event: str, n: int = 1) -> None:
+        """One executor event: ``stats`` always, the process-global
+        metrics registry only when one is installed (a single module
+        attribute check -- the hot path stays free when nobody looks)."""
+        self.stats[event] += n
+        if obs_metrics._REGISTRY is not None:
+            obs_metrics._REGISTRY.counter(
+                "executor_events_total",
+                "Resident-executor events: ships, jobs, stale_retries, respawns, retired",
+                labelnames=("event",),
+            ).labels(event=event).inc(n)
 
     # ------------------------------------------------------------------
     # Worker lifecycle
@@ -598,7 +633,7 @@ class ProcessSiteExecutor(SiteExecutor):
             except OSError:  # pragma: no cover - already torn down
                 pass
             if count:
-                self.stats["respawns"] += 1
+                self._count("respawns")
         return self._spawn(index)
 
     # ------------------------------------------------------------------
@@ -607,6 +642,9 @@ class ProcessSiteExecutor(SiteExecutor):
     def run_jobs(self, jobs: Sequence[SiteJob]) -> list[SiteOutcome]:
         if not jobs:
             return []
+        # One ambient-context read per batch (None unless a span
+        # collector is installed *and* a span is open on this thread).
+        self._current_trace = obs_trace.active_context()
         with self._lock:
             return self._dispatch(list(jobs))
 
@@ -634,7 +672,7 @@ class ProcessSiteExecutor(SiteExecutor):
         algebra_name = algebra_wire_name(job.algebra)  # validate before any send
         if not self.resident:
             queue.append((("rawjob", _job_payload(job)), ("job", job_index)))
-            self.stats["jobs"] += 1
+            self._count("jobs")
             return
         wires = []
         for fragment in job.fragments:
@@ -643,7 +681,7 @@ class ProcessSiteExecutor(SiteExecutor):
                 wires.append(resident_fragment_wire(fragment))
                 worker.resident[fragment.fragment_id] = epoch
                 self.ship_log.append((worker.index, fragment.fragment_id, epoch))
-                self.stats["ships"] += 1
+                self._count("ships")
         if wires:
             queue.append((("push", tuple(wires)), ("push",)))
         from repro.distsim.resident import qlist_fingerprint  # local: import cycle
@@ -657,8 +695,10 @@ class ProcessSiteExecutor(SiteExecutor):
             algebra_name,
             job.segments,
         )
+        if self._current_trace is not None:
+            payload += (self._current_trace.to_wire(),)
         queue.append((payload, ("job", job_index)))
-        self.stats["jobs"] += 1
+        self._count("jobs")
 
     def _pump(
         self,
@@ -744,8 +784,12 @@ class ProcessSiteExecutor(SiteExecutor):
         kind = reply[0]
         if kind == "ok":
             if tag[0] == "job":
-                _, site_id, results, seconds = reply
+                _, site_id, results, seconds = reply[:4]
                 outcomes[tag[1]] = outcome_from_wire(site_id, results, seconds)
+                if len(reply) > 4 and reply[4]:
+                    collector = obs_trace.installed_spans()
+                    if collector is not None:
+                        collector.ingest_wire(reply[4])
             return
         if kind == "stale" and tag[0] == "job":
             from repro.distsim.resident import StaleResidentError  # local: import cycle
@@ -753,7 +797,7 @@ class ProcessSiteExecutor(SiteExecutor):
             job_index = tag[1]
             job = jobs[job_index]
             attempts[job_index] += 1
-            self.stats["stale_retries"] += 1
+            self._count("stale_retries")
             if attempts[job_index] >= _MAX_JOB_ATTEMPTS:
                 raise StaleResidentError(job.site_id, reply[1])
             worker = self._workers[index]
@@ -794,7 +838,7 @@ class ProcessSiteExecutor(SiteExecutor):
                         wires.append(resident_fragment_wire(fragment))
                         worker.resident[fragment.fragment_id] = fragment.epoch
                         self.ship_log.append((worker.index, fragment.fragment_id, fragment.epoch))
-                        self.stats["ships"] += 1
+                        self._count("ships")
                 if not wires:
                     continue
                 transport.send_payload(worker.conn, ("push", tuple(wires)))
@@ -826,7 +870,7 @@ class ProcessSiteExecutor(SiteExecutor):
                     continue
                 for fragment_id in held:
                     worker.resident.pop(fragment_id, None)
-                self.stats["retired"] += len(held)
+                self._count("retired", len(held))
 
     def worker_stats(self) -> list[dict]:
         """Residency introspection of every live worker (tests, leaks)."""

@@ -1,0 +1,91 @@
+"""Unified telemetry: metrics registry, trace propagation, event logs.
+
+The paper's argument is a cost ledger, but until this package the
+*live* system (serving tier, resident workers, stream maintainer)
+could only be observed through ad-hoc ``stats`` Counters and per-run
+:class:`~repro.distsim.metrics.Metrics` objects that die with the
+call.  Three leaf modules fix that (this package imports nothing from
+the rest of ``repro``, so every layer may depend on it):
+
+* :mod:`repro.obs.metrics` -- labeled counters, gauges and fixed-bucket
+  histograms behind a lock-safe :class:`~repro.obs.metrics.MetricsRegistry`
+  with ``snapshot()`` and Prometheus text exposition.  Serving
+  components own always-on per-process registries (scraped over the
+  wire via ``MetricsRequest``); in-process components (executors,
+  maintainer, sessions) record only when a process-wide registry is
+  :func:`~repro.obs.metrics.install`-ed, guarded by one attribute
+  check so the hot path stays free when nobody is watching.
+* :mod:`repro.obs.trace` -- a :class:`~repro.obs.trace.TraceContext`
+  carried on the wire (``QueryRequest``/``ExecuteRequest`` trailing
+  fields, and the process-executor pipe protocol), per-hop
+  :class:`~repro.obs.trace.Span` records collected into a bounded
+  :class:`~repro.obs.trace.SpanStore`, JSON export and a tree renderer
+  -- the real-deployment extension of the simulated
+  :class:`~repro.distsim.trace.Trace` timeline.
+* :mod:`repro.obs.logging` -- structured JSON event logs (one line per
+  request / retry / repush / shed, with ``trace_id`` correlation),
+  flushed per line and size-rotated, replacing the serving tier's bare
+  text logs under ``REPRO_SERVING_LOG_DIR``.
+"""
+
+from repro.obs.logging import (
+    EventLog,
+    JsonLineHandler,
+    emit,
+    event_log,
+    install_event_log,
+    uninstall_event_log,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    histogram_percentiles,
+    install,
+    installed,
+    uninstall,
+)
+from repro.obs.trace import (
+    Span,
+    SpanStore,
+    SpanTimer,
+    TraceContext,
+    active_context,
+    install_spans,
+    installed_spans,
+    new_span_id,
+    new_trace_id,
+    render_spans,
+    span,
+    uninstall_spans,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "histogram_percentiles",
+    "install",
+    "installed",
+    "uninstall",
+    "Span",
+    "SpanStore",
+    "SpanTimer",
+    "TraceContext",
+    "active_context",
+    "install_spans",
+    "installed_spans",
+    "new_span_id",
+    "new_trace_id",
+    "render_spans",
+    "span",
+    "uninstall_spans",
+    "EventLog",
+    "JsonLineHandler",
+    "emit",
+    "event_log",
+    "install_event_log",
+    "uninstall_event_log",
+]

@@ -46,6 +46,8 @@ from repro.serving.protocol import (
     FrameError,
     Framer,
     FrameSplitter,
+    MetricsReply,
+    MetricsRequest,
     Overloaded,
     PayloadError,
     ProtocolError,
@@ -79,4 +81,6 @@ __all__ = [
     "RemoteQueryError",
     "Framer",
     "FrameSplitter",
+    "MetricsRequest",
+    "MetricsReply",
 ]

@@ -27,9 +27,12 @@ from typing import Iterable, Optional, Sequence, Union
 
 from repro.core.plan import BatchPlan, attribute_costs, coerce_plan
 from repro.distsim.metrics import BatchResult, EvalResult
+from repro.obs.trace import new_trace_id
 from repro.serving.protocol import (
     Framer,
     Message,
+    MetricsReply,
+    MetricsRequest,
     Ping,
     Pong,
     ProtocolError,
@@ -111,17 +114,58 @@ class GatewayClient:
     # Public surface
     # ------------------------------------------------------------------
     def query(
-        self, queries: Sequence[Union[str, tuple]], engine: str = ""
+        self,
+        queries: Sequence[Union[str, tuple]],
+        engine: str = "",
+        trace: bool = False,
     ) -> QueryReply:
-        """Evaluate a batch; raises the typed error on rejection."""
+        """Evaluate a batch; raises the typed error on rejection.
+
+        ``trace=True`` asks the gateway to record a cross-process span
+        tree for this batch; it comes back on ``reply.spans``.
+        """
         request_id = next(self._request_ids)
-        self._send(QueryRequest(request_id=request_id, queries=tuple(queries), engine=engine))
+        trace_field = (new_trace_id(),) if trace else ()
+        self._send(
+            QueryRequest(
+                request_id=request_id,
+                queries=tuple(queries),
+                engine=engine,
+                trace=trace_field,
+            )
+        )
         reply = self._reply_for(request_id)
         if isinstance(reply, Rejected):
             raise error_for(reply.code, reply.message)
         if not isinstance(reply, QueryReply):
             raise ProtocolError(f"expected QueryReply, got {type(reply).__name__}")
         return reply
+
+    def metrics(self) -> MetricsReply:
+        """Scrape the server's metrics registry (snapshot + Prometheus text)."""
+        request_id = next(self._request_ids)
+        self._send(MetricsRequest(request_id=request_id))
+        reply = self._reply_for(request_id)
+        if not isinstance(reply, MetricsReply):
+            raise ProtocolError(f"expected MetricsReply, got {type(reply).__name__}")
+        return reply
+
+    def server_stats(self) -> dict[str, float]:
+        """Server counters/gauges flattened to ``name{label=value}: n``.
+
+        The client-side window onto ``ServingCoordinator.stats`` and the
+        gateway's shed/inflight counters (e.g.
+        ``coordinator_events_total{event=retries}``, ``gateway_shed_total``).
+        Histograms are skipped -- use :meth:`metrics` for the full snapshot.
+        """
+        flat: dict[str, float] = {}
+        for name, entry in self.metrics().snapshot.items():
+            if entry.get("type") == "histogram":
+                continue
+            for label_str, value in entry.get("values", {}).items():
+                key = f"{name}{{{label_str}}}" if label_str else name
+                flat[key] = value
+        return flat
 
     def ping(self) -> bool:
         nonce = next(self._request_ids)
@@ -183,6 +227,11 @@ class NetEngine:
         self.port = port
         self.engine_name = engine
         self.timeout = timeout
+        #: When True every batch requests a span tree; the latest one is
+        #: kept on :attr:`last_spans` (wire tuples -- render with
+        #: ``repro.obs.trace.Span.from_wire`` + ``render_spans``).
+        self.trace_batches = False
+        self.last_spans: tuple = ()
         self._client: Optional[GatewayClient] = None
         self._closed = False
 
@@ -209,11 +258,13 @@ class NetEngine:
         )
         client = self._ensure_client()
         try:
-            reply = client.query(queries, self.engine_name)
+            reply = client.query(queries, self.engine_name, trace=self.trace_batches)
         except (ProtocolError, ConnectionError, OSError, TimeoutError):
             # The transport is suspect; reconnect on the next call.
             self._drop_client()
             raise
+        if self.trace_batches:
+            self.last_spans = reply.spans
         metrics = metrics_from_wire(reply.metrics_obj)
         details = dict(reply.details)
         details["transport"] = "net"
@@ -231,6 +282,10 @@ class NetEngine:
 
     def ping(self) -> bool:
         return self._ensure_client().ping()
+
+    def server_metrics(self) -> MetricsReply:
+        """The gateway's registry snapshot (see :meth:`GatewayClient.metrics`)."""
+        return self._ensure_client().metrics()
 
     def _drop_client(self) -> None:
         client, self._client = self._client, None

@@ -41,6 +41,13 @@ from pathlib import Path
 from typing import Callable, Optional
 
 from repro.distsim.cluster import Cluster
+from repro.obs.logging import (
+    JsonLineHandler,
+    emit as obs_emit,
+    event_log,
+    install_event_log,
+    uninstall_event_log,
+)
 from repro.serving.client import GatewayClient
 from repro.serving.coordinator import SiteEndpoint
 from repro.serving.gateway import Gateway
@@ -99,7 +106,7 @@ def _spawn_site_process(
     log_dir = os.environ.get(LOG_DIR_ENV)
     if log_dir:
         os.makedirs(log_dir, exist_ok=True)
-        command += ["--log-file", os.path.join(log_dir, f"site-{name}.log")]
+        command += ["--log-dir", log_dir]
     proc = subprocess.Popen(
         command, env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True
     )
@@ -167,9 +174,14 @@ class ServingCluster:
         self.proxies: list = []
         #: Tasks still pending on the serving loop at close time.
         self.leaked_tasks: list[str] = []
+        #: ``server name -> OS pid`` recorded at every boot (inline sites
+        #: share this process's pid), so failure artifacts are
+        #: attributable even when a site dies before logging anything.
+        self.site_pids: dict[str, int] = {}
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._log_handler: Optional[logging.Handler] = None
+        self._installed_event_log = False
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -204,13 +216,13 @@ class ServingCluster:
             raise RuntimeError("serving cluster already started")
         log_dir = os.environ.get(LOG_DIR_ENV)
         if log_dir:
-            os.makedirs(log_dir, exist_ok=True)
-            self._log_handler = logging.FileHandler(
-                os.path.join(log_dir, "coordinator.log")
-            )
-            self._log_handler.setFormatter(
-                logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
-            )
+            # JSON-lines event logs, one file per component, flushed per
+            # line and size-rotated (the old plain FileHandler buffered
+            # and never rotated, so crashed runs uploaded empty files).
+            if event_log() is None:
+                install_event_log(log_dir)
+                self._installed_event_log = True
+            self._log_handler = JsonLineHandler(event_log())
             serving_logger = logging.getLogger("repro.serving")
             serving_logger.addHandler(self._log_handler)
             serving_logger.setLevel(logging.INFO)
@@ -252,9 +264,23 @@ class ServingCluster:
         if self.site_mode == "inline":
             server = SiteServer(name=name, host=self.host, port=port)
             self.run(server.start())
-            return server, server.host, server.port
-        site = _spawn_site_process(name, self.host, port)
-        return site, site.host, site.port
+            handle, host, bound = server, server.host, server.port
+            pid = os.getpid()
+        else:
+            site = _spawn_site_process(name, self.host, port)
+            handle, host, bound = site, site.host, site.port
+            pid = site.proc.pid
+        self.site_pids[name] = pid
+        obs_emit(
+            "cluster",
+            "site-boot",
+            site=name,
+            pid=pid,
+            host=host,
+            port=bound,
+            mode=self.site_mode,
+        )
+        return handle, host, bound
 
     @property
     def address(self) -> str:
@@ -358,6 +384,11 @@ class ServingCluster:
                 logging.getLogger("repro.serving").removeHandler(self._log_handler)
                 self._log_handler.close()
                 self._log_handler = None
+            if self._installed_event_log:
+                # Only tear down a log we installed (nested harnesses
+                # must not close each other's streams).
+                uninstall_event_log()
+                self._installed_event_log = False
 
     def _run_sync(self, fn):
         """Run a plain callable on the loop thread and wait for it."""

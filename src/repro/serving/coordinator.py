@@ -53,6 +53,9 @@ from repro.distsim.executors import (
     resident_fragment_wire,
 )
 from repro.distsim.metrics import BatchResult
+from repro.obs.logging import emit as obs_emit
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SpanTimer, TraceContext
 from repro.serving.protocol import (
     ERR_STALE_FRAGMENT,
     ERR_UNKNOWN_FRAGMENT,
@@ -255,6 +258,7 @@ class Coordinator:
         endpoints: dict[str, Sequence[SiteEndpoint]],
         site_timeout: float = DEFAULT_SITE_TIMEOUT,
         connect_timeout: float = 5.0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         missing = set(cluster.source_tree().sites()) - set(endpoints)
         if missing:
@@ -267,6 +271,18 @@ class Coordinator:
         #: Observable dispatch counters: "attempts", "retries",
         #: "repushes", "failures" (the retry tests read these).
         self.stats: Counter = Counter()
+        #: Metrics registry mirroring ``stats`` (shared with the gateway
+        #: when embedded, so one MetricsReply covers both components).
+        self.registry = registry if registry is not None else MetricsRegistry("coordinator")
+        self._events = self.registry.counter(
+            "coordinator_events_total",
+            "Dispatch events: attempts, retries, repushes, failures",
+            labelnames=("event",),
+        )
+        #: Per-thread (trace context, span sink) set for the duration of
+        #: one evaluate() call; RemoteSiteExecutor.run_jobs runs on the
+        #: same worker thread, so it reads the batch's context here.
+        self._trace_local = threading.local()
         self.cache = QueryCache()
         self._links: dict[SiteEndpoint, SiteLink] = {}
         self._request_ids = itertools.count(1)
@@ -278,6 +294,11 @@ class Coordinator:
     def bind_loop(self, loop: asyncio.AbstractEventLoop) -> None:
         self.loop = loop
 
+    def _count(self, event: str) -> None:
+        """One dispatch event: legacy Counter and registry stay in step."""
+        self.stats[event] += 1
+        self._events.labels(event=event).inc()
+
     # ------------------------------------------------------------------
     # Job dispatch (async, on the serving loop)
     # ------------------------------------------------------------------
@@ -287,42 +308,91 @@ class Coordinator:
             link = self._links[endpoint] = SiteLink(endpoint, self.connect_timeout)
         return link
 
-    async def execute_job(self, job: SiteJob) -> SiteOutcome:
-        """Run one site job remotely: two bounded attempts, then typed failure."""
+    async def execute_job(
+        self,
+        job: SiteJob,
+        trace: Optional[TraceContext] = None,
+        sink: Optional[list] = None,
+    ) -> SiteOutcome:
+        """Run one site job remotely: two bounded attempts, then typed failure.
+
+        When ``trace`` is set, a per-job dispatch span (parented on the
+        batch context) wraps the attempts, the site sees the dispatch
+        span as its parent, and every finished span lands in ``sink``
+        as a wire tuple -- appended only from the serving loop thread.
+        """
         candidates = self.endpoints[job.site_id]
         # Attempt plan: primary, then the replica when one exists, else
         # a fresh connection to the primary (covers restarts in place).
         attempts = [candidates[0], candidates[1] if len(candidates) > 1 else candidates[0]]
+        timer: Optional[SpanTimer] = None
+        if trace is not None:
+            timer = SpanTimer(
+                trace.trace_id,
+                trace.span_id,
+                f"dispatch:{job.site_id}",
+                "coordinator",
+                site=job.site_id,
+            )
+        trace_id = trace.trace_id if trace is not None else ""
         last_error: Optional[Exception] = None
-        for attempt_index, endpoint in enumerate(attempts):
-            link = self._link(endpoint)
-            self.stats["attempts"] += 1
-            if attempt_index:
-                self.stats["retries"] += 1
-            try:
-                return await self._attempt(link, job)
-            except RemoteQueryError:
-                raise  # deterministic rejection; a retry would fail identically
-            except (ProtocolError, ConnectionError, OSError, asyncio.TimeoutError) as error:
-                last_error = error
-                logger.warning(
-                    "site %s attempt %d via %s failed: %s",
-                    job.site_id,
-                    attempt_index + 1,
-                    endpoint.address(),
-                    error,
-                )
-                link.drop()
-        self.stats["failures"] += 1
-        raise SiteUnavailable(
-            f"site {job.site_id} unavailable after retry "
-            f"({type(last_error).__name__}: {last_error})"
-        )
+        try:
+            for attempt_index, endpoint in enumerate(attempts):
+                link = self._link(endpoint)
+                self._count("attempts")
+                if attempt_index:
+                    self._count("retries")
+                    obs_emit(
+                        "coordinator",
+                        "retry",
+                        site=job.site_id,
+                        endpoint=endpoint.address(),
+                        trace_id=trace_id,
+                    )
+                try:
+                    outcome = await self._attempt(link, job, timer, sink)
+                    if timer is not None and sink is not None:
+                        sink.append(timer.finish(attempts=attempt_index + 1).to_wire())
+                        timer = None
+                    return outcome
+                except RemoteQueryError:
+                    raise  # deterministic rejection; a retry would fail identically
+                except (ProtocolError, ConnectionError, OSError, asyncio.TimeoutError) as error:
+                    last_error = error
+                    logger.warning(
+                        "site %s attempt %d via %s failed: %s",
+                        job.site_id,
+                        attempt_index + 1,
+                        endpoint.address(),
+                        error,
+                    )
+                    link.drop()
+            self._count("failures")
+            obs_emit(
+                "coordinator",
+                "failure",
+                site=job.site_id,
+                error=f"{type(last_error).__name__}: {last_error}",
+                trace_id=trace_id,
+            )
+            raise SiteUnavailable(
+                f"site {job.site_id} unavailable after retry "
+                f"({type(last_error).__name__}: {last_error})"
+            )
+        finally:
+            if timer is not None and sink is not None:
+                sink.append(timer.finish(failed=True).to_wire())
 
-    async def _attempt(self, link: SiteLink, job: SiteJob) -> SiteOutcome:
+    async def _attempt(
+        self,
+        link: SiteLink,
+        job: SiteJob,
+        timer: Optional[SpanTimer] = None,
+        sink: Optional[list] = None,
+    ) -> SiteOutcome:
         await link.ensure()
         await self._ensure_loaded(link, job.site_id)
-        request = self._request_for(job)
+        request = self._request_for(job, timer)
         reply = await link.request(request, self.site_timeout)
         if isinstance(reply, ErrorReply) and reply.code in (
             ERR_UNKNOWN_FRAGMENT,
@@ -331,15 +401,24 @@ class Coordinator:
             # The site restarted and lost its residents, or holds copies
             # whose epochs predate an update: re-push and re-issue once
             # on the same healthy connection.
-            self.stats["repushes"] += 1
+            self._count("repushes")
+            obs_emit(
+                "coordinator",
+                "repush",
+                site=job.site_id,
+                code=reply.code,
+                trace_id=timer.trace_id if timer is not None else "",
+            )
             await self._push_fragments(link, job.site_id)
-            reply = await link.request(self._request_for(job), self.site_timeout)
+            reply = await link.request(self._request_for(job, timer), self.site_timeout)
         if isinstance(reply, ErrorReply):
             raise RemoteQueryError(f"site {job.site_id}: [{reply.code}] {reply.message}")
         assert isinstance(reply, ExecuteReply)
+        if sink is not None and reply.spans:
+            sink.extend(reply.spans)
         return outcome_from_wire(job.site_id, reply.results, reply.seconds)
 
-    def _request_for(self, job: SiteJob) -> ExecuteRequest:
+    def _request_for(self, job: SiteJob, timer: Optional[SpanTimer] = None) -> ExecuteRequest:
         return ExecuteRequest(
             request_id=next(self._request_ids),
             site_id=job.site_id,
@@ -349,6 +428,7 @@ class Coordinator:
             segments=job.segments,
             label=job.label,
             epochs=tuple(f.epoch for f in job.fragments),
+            trace=timer.context().to_wire() if timer is not None else (),
         )
 
     async def _ensure_loaded(self, link: SiteLink, site_id: str) -> None:
@@ -437,19 +517,33 @@ class Coordinator:
         except Exception as error:  # noqa: BLE001 - typed toward the client
             raise RemoteQueryError(f"undecodable precompiled query: {error}") from None
 
-    def evaluate(self, queries: Sequence[Union[str, tuple]], engine_name: str) -> BatchResult:
+    def evaluate(
+        self,
+        queries: Sequence[Union[str, tuple]],
+        engine_name: str,
+        trace: Optional[TraceContext] = None,
+        span_sink: Optional[list] = None,
+    ) -> BatchResult:
         """Plan and evaluate one client batch (runs on a worker thread).
 
         Replans server-side from the shipped queries; the planner is
         deterministic, so the client's plan and this one slice the
         combined answer vector identically -- which is what lets the
         client reattribute per-query costs from the returned ledger.
+
+        ``trace``/``span_sink`` thread the batch's trace context to the
+        executor through a thread-local: the engine's parallel stage
+        calls :meth:`RemoteSiteExecutor.run_jobs` on this same thread.
         """
         if self.loop is None:
             raise RuntimeError("coordinator not bound to an event loop")
         engine = self._engine_for(engine_name)
         plan = plan_batch([self._coerce_query(query) for query in queries])
-        return engine.evaluate_many(plan)
+        self._trace_local.ctx = (trace, span_sink)
+        try:
+            return engine.evaluate_many(plan)
+        finally:
+            self._trace_local.ctx = (None, None)
 
     def close_engines(self) -> None:
         with self._engine_lock:
@@ -479,8 +573,13 @@ class RemoteSiteExecutor(SiteExecutor):
         if loop is None or not loop.is_running():
             raise RuntimeError("serving loop is not running")
         deadline = self.coordinator.job_deadline()
+        # The batch's trace context (set by Coordinator.evaluate on this
+        # very thread); jobs dispatched outside evaluate are untraced.
+        trace, sink = getattr(self.coordinator._trace_local, "ctx", (None, None))
         futures = [
-            asyncio.run_coroutine_threadsafe(self.coordinator.execute_job(job), loop)
+            asyncio.run_coroutine_threadsafe(
+                self.coordinator.execute_job(job, trace=trace, sink=sink), loop
+            )
             for job in jobs
         ]
         outcomes: list[SiteOutcome] = []

@@ -24,16 +24,23 @@ typed error for every request id it sent.
 from __future__ import annotations
 
 import asyncio
+import functools
 import logging
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Sequence
 
 from repro.distsim.cluster import Cluster
+from repro.obs.logging import emit as obs_emit
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SpanStore, SpanTimer, TraceContext
 from repro.serving.coordinator import Coordinator, SiteEndpoint
 from repro.serving.protocol import (
     ERR_BAD_REQUEST,
     ERR_INTERNAL,
     ERR_OVERLOADED,
+    MetricsReply,
+    MetricsRequest,
     Ping,
     Pong,
     ProtocolError,
@@ -86,11 +93,35 @@ class Gateway:
         self.max_inflight = max_inflight
         self.max_queue = max_queue
         self.default_engine = default_engine
-        self.coordinator = Coordinator(cluster, endpoints, site_timeout=site_timeout)
+        #: One registry for the whole serving process: the coordinator
+        #: records its dispatch events into it too, so a single
+        #: MetricsReply covers admission, dispatch, and latency.
+        self.registry = MetricsRegistry("gateway")
+        self.coordinator = Coordinator(
+            cluster, endpoints, site_timeout=site_timeout, registry=self.registry
+        )
         #: Requests accepted but not yet replied to (admission control).
         self.inflight = 0
         #: Requests shed by admission control (the overload tests read this).
         self.shed_count = 0
+        self._requests_total = self.registry.counter(
+            "gateway_requests_total", "Query batches received"
+        )
+        self._shed_total = self.registry.counter(
+            "gateway_shed_total", "Query batches shed by admission control"
+        )
+        self._replies_total = self.registry.counter(
+            "gateway_replies_total", "Replies by outcome", labelnames=("status",)
+        )
+        self._inflight_gauge = self.registry.gauge(
+            "gateway_inflight", "Batches admitted but not yet answered"
+        )
+        self._latency = self.registry.histogram(
+            "gateway_request_seconds", "Admission-to-reply latency of served batches"
+        )
+        #: Bounded store of every span the gateway saw (its own roots,
+        #: coordinator dispatches, site executions) -- `repro trace` fuel.
+        self.spans = SpanStore()
         self._server: Optional[asyncio.base_events.Server] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._writers: set[asyncio.StreamWriter] = set()
@@ -160,6 +191,16 @@ class Gateway:
                     async with write_lock:
                         write_message(writer, Pong(nonce=message.nonce))
                         await writer.drain()
+                elif isinstance(message, MetricsRequest):
+                    snapshot = self.registry.snapshot()
+                    reply = MetricsReply(
+                        request_id=message.request_id,
+                        snapshot=snapshot,
+                        text=self.registry.render_text(),
+                    )
+                    async with write_lock:
+                        write_message(writer, reply)
+                        await writer.drain()
                 elif isinstance(message, QueryRequest):
                     self._admit(message, writer, write_lock)
                 else:
@@ -171,8 +212,18 @@ class Gateway:
     def _admit(
         self, request: QueryRequest, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
     ) -> None:
+        self._requests_total.inc()
         if self.inflight >= self.max_inflight + self.max_queue:
             self.shed_count += 1
+            self._shed_total.inc()
+            self._replies_total.labels(status="shed").inc()
+            obs_emit(
+                "gateway",
+                "shed",
+                request_id=request.request_id,
+                inflight=self.inflight,
+                trace_id=request.trace[0] if request.trace else "",
+            )
             rejection = Rejected(
                 request.request_id,
                 ERR_OVERLOADED,
@@ -182,6 +233,7 @@ class Gateway:
             task = asyncio.ensure_future(self._reply(writer, write_lock, rejection))
         else:
             self.inflight += 1
+            self._inflight_gauge.set(self.inflight)
             task = asyncio.ensure_future(self._serve(request, writer, write_lock))
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
@@ -189,12 +241,28 @@ class Gateway:
     async def _serve(
         self, request: QueryRequest, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
     ) -> None:
+        started = time.perf_counter()
         try:
             reply = await self._evaluate(request)
         except asyncio.CancelledError:
             raise
         finally:
             self.inflight -= 1
+            self._inflight_gauge.set(self.inflight)
+        elapsed = time.perf_counter() - started
+        self._latency.observe(elapsed)
+        status = "ok" if isinstance(reply, QueryReply) else reply.code
+        self._replies_total.labels(status=status).inc()
+        obs_emit(
+            "gateway",
+            "request",
+            request_id=request.request_id,
+            status=status,
+            seconds=round(elapsed, 6),
+            queries=len(request.queries),
+            engine=request.engine or self.default_engine,
+            trace_id=request.trace[0] if request.trace else "",
+        )
         try:
             await self._reply(writer, write_lock, reply)
         except (ConnectionError, OSError):  # client gone; nothing to tell it
@@ -203,10 +271,33 @@ class Gateway:
     async def _evaluate(self, request: QueryRequest):
         engine_name = request.engine or self.default_engine
         loop = asyncio.get_running_loop()
-        try:
-            result = await loop.run_in_executor(
-                self._pool, self.coordinator.evaluate, request.queries, engine_name
+        # A non-empty trace field opens the batch's root span here and
+        # threads its context through the coordinator to every site.
+        ctx = TraceContext.from_wire(request.trace)
+        timer: Optional[SpanTimer] = None
+        sink: Optional[list] = None
+        trace_ctx: Optional[TraceContext] = None
+        if ctx is not None:
+            timer = SpanTimer(
+                ctx.trace_id,
+                ctx.span_id or None,
+                "gateway.request",
+                "gateway",
+                request_id=request.request_id,
+                engine=engine_name,
+                queries=len(request.queries),
             )
+            sink = []
+            trace_ctx = timer.context()
+        evaluate = functools.partial(
+            self.coordinator.evaluate,
+            request.queries,
+            engine_name,
+            trace=trace_ctx,
+            span_sink=sink,
+        )
+        try:
+            result = await loop.run_in_executor(self._pool, evaluate)
         except ServingError as error:
             return Rejected(request.request_id, error.code, str(error))
         except (ValueError, TypeError) as error:
@@ -219,6 +310,10 @@ class Gateway:
             return Rejected(
                 request.request_id, ERR_INTERNAL, f"{type(error).__name__}: {error}"
             )
+        finally:
+            if timer is not None:
+                sink.append(timer.finish().to_wire())
+                self.spans.ingest_wire(sink)
         details = _plain_details(result.details)
         details["engine"] = result.engine
         return QueryReply(
@@ -226,6 +321,7 @@ class Gateway:
             answers=tuple(bool(answer) for answer in result.answers),
             metrics_obj=metrics_to_wire(result.metrics),
             details=details,
+            spans=tuple(sink) if sink is not None else (),
         )
 
     async def _reply(

@@ -161,6 +161,32 @@ def _require(condition: bool, what: str) -> None:
         raise PayloadError(what)
 
 
+def _require_trace(trace: object) -> None:
+    """A trace field is () (off), (trace_id,) or (trace_id, span_id)."""
+    _require(
+        isinstance(trace, tuple)
+        and len(trace) <= 2
+        and all(isinstance(part, str) for part in trace),
+        "trace must be a tuple of at most two id strings",
+    )
+
+
+def _require_spans(spans: object) -> None:
+    """Span wire forms: 8-tuples of scalars plus a plain attrs dict
+    (see :meth:`repro.obs.trace.Span.to_wire`)."""
+    _require(isinstance(spans, tuple), "spans must be a tuple")
+    for item in spans:  # type: ignore[union-attr]
+        _require(
+            isinstance(item, tuple)
+            and len(item) == 8
+            and all(isinstance(part, str) for part in item[:5])
+            and all(isinstance(part, (int, float)) for part in item[5:7])
+            and isinstance(item[7], dict),
+            "each span must be an 8-tuple "
+            "(trace_id, span_id, parent_id, name, component, start, duration, attrs)",
+        )
+
+
 # -- coordinator <-> site server --------------------------------------------
 
 
@@ -237,6 +263,9 @@ class ExecuteRequest(Message):
     #: Empty means "any resident copy" -- pre-epoch coordinators omit it
     #: entirely and the wire decoder fills in the default.
     epochs: tuple = ()
+    #: Optional (trace_id, parent_span_id) propagation context.  Empty
+    #: means tracing is off; pre-trace coordinators omit the field.
+    trace: tuple = ()
 
     def validate(self) -> None:
         _require(isinstance(self.request_id, int), "request_id must be an int")
@@ -259,6 +288,7 @@ class ExecuteRequest(Message):
             and len(self.epochs) in (0, len(self.fragment_ids)),
             "epochs must be an int tuple, empty or parallel to fragment_ids",
         )
+        _require_trace(self.trace)
 
 
 @dataclass(frozen=True)
@@ -274,11 +304,15 @@ class ExecuteReply(Message):
     request_id: int
     results: tuple
     seconds: float
+    #: Span wire forms recorded on the site while serving this request
+    #: (empty when the request carried no trace context).
+    spans: tuple = ()
 
     def validate(self) -> None:
         _require(isinstance(self.request_id, int), "request_id must be an int")
         _require(isinstance(self.results, tuple), "results must be a tuple")
         _require(isinstance(self.seconds, float), "seconds must be a float")
+        _require_spans(self.spans)
 
 
 @dataclass(frozen=True)
@@ -312,6 +346,10 @@ class QueryRequest(Message):
     request_id: int
     queries: tuple
     engine: str
+    #: Optional trace request: ``(trace_id,)`` asks the gateway to open
+    #: a root span, ``(trace_id, span_id)`` parents it on a client-side
+    #: span.  Empty (the wire default) means tracing off.
+    trace: tuple = ()
 
     def validate(self) -> None:
         _require(isinstance(self.request_id, int), "request_id must be an int")
@@ -330,6 +368,7 @@ class QueryRequest(Message):
                 "each query must be a text or a ('qlist', obj) pair",
             )
         _require(isinstance(self.engine, str), "engine must be a name string")
+        _require_trace(self.trace)
 
 
 @dataclass(frozen=True)
@@ -341,6 +380,9 @@ class QueryReply(Message):
     answers: tuple
     metrics_obj: dict
     details: dict
+    #: The batch's full span tree (gateway root, coordinator dispatches,
+    #: site executions) when the request asked for a trace.
+    spans: tuple = ()
 
     def validate(self) -> None:
         _require(isinstance(self.request_id, int), "request_id must be an int")
@@ -351,6 +393,7 @@ class QueryReply(Message):
         )
         _require(isinstance(self.metrics_obj, dict), "metrics_obj must be a dict")
         _require(isinstance(self.details, dict), "details must be a dict")
+        _require_spans(self.spans)
 
 
 @dataclass(frozen=True)
@@ -366,6 +409,41 @@ class Rejected(Message):
         _require(isinstance(self.request_id, int), "request_id must be an int")
         _require(isinstance(self.code, str), "code must be a string")
         _require(isinstance(self.message, str), "message must be a string")
+
+
+# -- telemetry ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricsRequest(Message):
+    """Client -> gateway (or coordinator -> site): scrape the registry."""
+
+    KIND = 40
+    request_id: int
+
+    def validate(self) -> None:
+        _require(isinstance(self.request_id, int), "request_id must be an int")
+
+
+@dataclass(frozen=True)
+class MetricsReply(Message):
+    """A metrics registry snapshot plus its Prometheus text exposition.
+
+    ``snapshot`` is the plain-container dict from
+    :meth:`repro.obs.metrics.MetricsRegistry.snapshot` (restricted-
+    unpickler safe); ``text`` is the same data pre-rendered so a dumb
+    scraper can dump it without knowing the snapshot schema.
+    """
+
+    KIND = 41
+    request_id: int
+    snapshot: dict
+    text: str
+
+    def validate(self) -> None:
+        _require(isinstance(self.request_id, int), "request_id must be an int")
+        _require(isinstance(self.snapshot, dict), "snapshot must be a dict")
+        _require(isinstance(self.text, str), "text must be a string")
 
 
 # -- liveness / lifecycle ----------------------------------------------------
@@ -411,6 +489,8 @@ MESSAGE_TYPES: dict[int, type[Message]] = {
         QueryRequest,
         QueryReply,
         Rejected,
+        MetricsRequest,
+        MetricsReply,
         Ping,
         Pong,
         Shutdown,
@@ -654,6 +734,8 @@ __all__ = [
     "QueryRequest",
     "QueryReply",
     "Rejected",
+    "MetricsRequest",
+    "MetricsReply",
     "Ping",
     "Pong",
     "Shutdown",

@@ -35,12 +35,16 @@ from __future__ import annotations
 import argparse
 import asyncio
 import logging
+import os
 import sys
 from typing import Optional
 
 from repro.distsim.executors import ALGEBRAS_BY_NAME
 from repro.distsim.resident import ResidentSiteState, qlist_fingerprint
 from repro.fragments.fragment import Fragment
+from repro.obs.logging import JsonLineHandler, emit as obs_emit, install_event_log
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SpanTimer, TraceContext
 from repro.serving.protocol import (
     ERR_BAD_REQUEST,
     ERR_INTERNAL,
@@ -52,6 +56,8 @@ from repro.serving.protocol import (
     LoadFragments,
     Loaded,
     Message,
+    MetricsReply,
+    MetricsRequest,
     Ping,
     Pong,
     ProtocolError,
@@ -127,6 +133,20 @@ class SiteServer:
         self.delay_seconds = 0.0
         #: Served execute requests (useful to assert replica takeover).
         self.requests_served = 0
+        #: This site's own scrapeable registry (answers MetricsRequest).
+        self.registry = MetricsRegistry(f"site:{name}")
+        self._requests_total = self.registry.counter(
+            "site_requests_total", "Execute requests served"
+        )
+        self._errors_total = self.registry.counter(
+            "site_errors_total", "Typed error replies", labelnames=("code",)
+        )
+        self._execute_seconds = self.registry.histogram(
+            "site_execute_seconds", "Per-request resident evaluation time"
+        )
+        self._fragments_gauge = self.registry.gauge(
+            "site_fragments_resident", "Fragments currently resident"
+        )
         self._server: Optional[asyncio.base_events.Server] = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._tasks: set[asyncio.Task] = set()
@@ -207,6 +227,14 @@ class SiteServer:
         if isinstance(message, LoadFragments):
             loaded = await asyncio.to_thread(self._load_fragments, message.fragments)
             await self._send(writer, write_lock, Loaded(fragment_ids=loaded))
+        elif isinstance(message, MetricsRequest):
+            self._fragments_gauge.set(len(self.fragments))
+            reply = MetricsReply(
+                request_id=message.request_id,
+                snapshot=self.registry.snapshot(),
+                text=self.registry.render_text(),
+            )
+            await self._send(writer, write_lock, reply)
         elif isinstance(message, Ping):
             await self._send(writer, write_lock, Pong(nonce=message.nonce))
         else:
@@ -254,11 +282,13 @@ class SiteServer:
             # held, but the epoch says the copy predates an update.
             unknown = [fid for fid in missing if fid not in self.state.fragments]
             if unknown:
+                self._errors_total.labels(code=ERR_UNKNOWN_FRAGMENT).inc()
                 return ErrorReply(
                     request.request_id,
                     ERR_UNKNOWN_FRAGMENT,
                     f"site {self.name} has no fragment(s) {unknown}",
                 )
+            self._errors_total.labels(code=ERR_STALE_FRAGMENT).inc()
             return ErrorReply(
                 request.request_id,
                 ERR_STALE_FRAGMENT,
@@ -266,6 +296,7 @@ class SiteServer:
             )
         algebra_cls = ALGEBRAS_BY_NAME.get(request.algebra)
         if algebra_cls is None:
+            self._errors_total.labels(code=ERR_BAD_REQUEST).inc()
             return ErrorReply(
                 request.request_id,
                 ERR_BAD_REQUEST,
@@ -274,11 +305,25 @@ class SiteServer:
         qlist = QList.from_obj(list(request.qlist_obj))
         qlist = self.state.ensure_query(qlist_fingerprint(qlist), qlist.to_obj())
         segments = tuple(tuple(span) for span in request.segments)
+        ctx = TraceContext.from_wire(request.trace)
+        timer: Optional[SpanTimer] = None
+        if ctx is not None:
+            timer = SpanTimer(
+                ctx.trace_id,
+                ctx.span_id or None,
+                "site.execute",
+                f"site:{self.name}",
+                fragments=len(request.fragment_ids),
+                label=request.label,
+            )
         results, seconds = await asyncio.to_thread(
             self.state.run, self.name, refs, qlist, algebra_cls(), segments
         )
         self.requests_served += 1
-        return ExecuteReply(request.request_id, results, seconds)
+        self._requests_total.inc()
+        self._execute_seconds.observe(seconds)
+        spans = (timer.finish(seconds=round(seconds, 6)).to_wire(),) if timer is not None else ()
+        return ExecuteReply(request.request_id, results, seconds, spans)
 
     async def _send(
         self, writer: asyncio.StreamWriter, write_lock: asyncio.Lock, message: Message
@@ -301,6 +346,13 @@ class SiteServer:
 
 async def _serve_forever(server: SiteServer) -> None:
     await server.start()
+    obs_emit(
+        f"site-{server.name}",
+        "boot",
+        pid=os.getpid(),
+        host=server.host,
+        port=server.port,
+    )
     print(f"SITE {server.name} {server.host} {server.port}", flush=True)
     try:
         await asyncio.Event().wait()  # run until cancelled / killed
@@ -318,11 +370,23 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=0, help="0 = OS-assigned")
     parser.add_argument("--name", default="site")
-    parser.add_argument("--log-file", default=None, help="append server logs here")
+    parser.add_argument(
+        "--log-dir", default=None, help="write JSON-lines event logs into this directory"
+    )
+    parser.add_argument(
+        "--log-file",
+        default=None,
+        help="(legacy) the event-log directory is derived from this path's parent",
+    )
     args = parser.parse_args(argv)
-    if args.log_file:
-        handler = logging.FileHandler(args.log_file)
-        handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
+    log_dir = args.log_dir
+    if log_dir is None and args.log_file:
+        log_dir = os.path.dirname(args.log_file) or "."
+    if log_dir:
+        # Structured JSON lines, one file per site, flushed per line --
+        # a crashed process still leaves attributable evidence.
+        event_log = install_event_log(log_dir)
+        handler = JsonLineHandler(event_log, component=f"site-{args.name}")
         logging.getLogger("repro.serving").addHandler(handler)
         logging.getLogger("repro.serving").setLevel(logging.INFO)
     server = SiteServer(name=args.name, host=args.host, port=args.port)

@@ -74,6 +74,7 @@ from repro.distsim.cluster import Cluster
 from repro.distsim.executors import SiteExecutor, SiteJob, resolve_executor
 from repro.distsim.metrics import Metrics
 from repro.distsim.runtime import Run
+from repro.obs import metrics as obs_metrics
 from repro.stream.dirty import DirtyIndex, Segment, SegmentKey
 from repro.stream.updates import (
     AppliedBatch,
@@ -458,6 +459,22 @@ class StreamMaintainer:
             elapsed = 0.0
 
         run.finish(elapsed + migration_seconds)
+        if obs_metrics._REGISTRY is not None:
+            registry = obs_metrics._REGISTRY
+            rounds = registry.counter(
+                "stream_rounds_total", "Maintenance refresh rounds completed"
+            )
+            work = registry.counter(
+                "stream_round_work_total",
+                "Per-round maintenance work: dirty fragments, traffic bytes,"
+                " nodes recomputed, answer flips",
+                labelnames=("kind",),
+            )
+            rounds.inc()
+            work.labels(kind="dirty_fragments").inc(len(dirty))
+            work.labels(kind="traffic_bytes").inc(run.metrics.bytes_total)
+            work.labels(kind="nodes_recomputed").inc(nodes_recomputed)
+            work.labels(kind="flips").inc(len(changed_names))
         return MaintenanceRound(
             seq=self._seq,
             ops=tuple(effect.op.describe() for effect in batch.effects),

@@ -79,6 +79,12 @@ def test_dropped_reply_is_retried_and_answer_is_correct():
             assert session.evaluate_batch(queries).answers == expected
         assert any_proxy(registry).counts["dropped"] == 1
         assert serving.gateway.coordinator.stats["retries"] >= 1
+        # The same counters must be visible from the client side,
+        # through the gateway's metrics registry.
+        with serving.client() as client:
+            stats = client.server_stats()
+        assert stats["coordinator_events_total{event=retries}"] >= 1
+        assert stats["gateway_requests_total"] >= 1
 
 
 def test_dropped_request_is_retried_and_answer_is_correct():
@@ -218,6 +224,11 @@ def test_overload_is_shed_with_typed_rejection():
             worker.join(timeout=30)
         assert serving.gateway.shed_count >= 1
         assert not first_error, f"inflight query should finish: {first_error}"
+        # The shed is also visible remotely via the metrics registry.
+        with serving.client(timeout=5.0) as client:
+            stats = client.server_stats()
+        assert stats["gateway_shed_total"] >= 1
+        assert stats["gateway_replies_total{status=shed}"] >= 1
 
 
 def test_gateway_survives_random_bytes_then_serves_fresh_client():

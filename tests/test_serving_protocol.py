@@ -29,6 +29,8 @@ from repro.serving.protocol import (
     LoadFragments,
     Loaded,
     Message,
+    MetricsReply,
+    MetricsRequest,
     PayloadError,
     Ping,
     Pong,
@@ -74,8 +76,27 @@ SAMPLE_MESSAGES = [
     ExecuteReply(request_id=1, results=(), seconds=0.0),
     ErrorReply(request_id=7, code="unknown-fragment", message="no F9"),
     QueryRequest(request_id=3, queries=("[//a]", ("qlist", (("label", "a", ()),))), engine="parbox"),
+    QueryRequest(
+        request_id=4,
+        queries=("[//a]",),
+        engine="",
+        trace=("a" * 32, "b" * 16),
+    ),  # traced request: (trace_id, parent span)
     QueryReply(request_id=3, answers=(True, False), metrics_obj={"visits": {"S0": 1}}, details={"engine": "ParBoX"}),
+    QueryReply(
+        request_id=4,
+        answers=(True,),
+        metrics_obj={},
+        details={},
+        spans=(("a" * 32, "c" * 16, "b" * 16, "site.execute", "site:S0", 1700000000.0, 0.01, {"fragments": 1}),),
+    ),
     Rejected(request_id=3, code="overloaded", message="shed"),
+    MetricsRequest(request_id=9),
+    MetricsReply(
+        request_id=9,
+        snapshot={"gateway_requests_total": {"type": "counter", "help": "", "labelnames": [], "values": {"": 3.0}}},
+        text="# TYPE gateway_requests_total counter\ngateway_requests_total 3.0\n",
+    ),
     Ping(nonce=42),
     Pong(nonce=42, version=1),
     Shutdown(),

@@ -92,6 +92,80 @@ class TestParBoXProtocol:
         assert compute_sites == {"S0", "S1", "S2"}
 
 
+class TestRenderFormats:
+    """``TraceEvent.render`` line shapes are part of the CLI's output."""
+
+    def test_visit_line(self):
+        from repro.distsim.trace import TraceEvent
+
+        assert TraceEvent(sequence=3, kind="visit", site="S2").render() == (
+            "[003] visit    S2"
+        )
+
+    def test_message_line_with_byte_count(self):
+        from repro.distsim.trace import TraceEvent
+
+        event = TraceEvent(
+            sequence=12,
+            kind="message",
+            site="S0",
+            peer="S1",
+            detail="triplet",
+            amount=512.0,
+        )
+        assert event.render() == "[012] message  S0 -> S1  triplet (512 B)"
+
+    def test_compute_line_in_milliseconds(self):
+        from repro.distsim.trace import TraceEvent
+
+        event = TraceEvent(
+            sequence=7, kind="compute", site="S1", detail="bottomUp", amount=0.0125
+        )
+        assert event.render() == "[007] compute  S1  bottomUp (12.50 ms)"
+
+    def test_empty_trace_renders_empty(self):
+        assert Trace().render() == ""
+
+
+class TestFirstIndex:
+    def test_finds_earliest_match(self):
+        trace = Trace()
+        trace.record_visit("S0")
+        trace.record_message("S0", "S1", "query", 128)
+        trace.record_compute("S1", 0.01, label="bottomUp")
+        assert trace.first_index(lambda e: e.kind == "message") == 1
+        assert trace.first_index(lambda e: e.site == "S1") == 2
+
+    def test_no_match_is_none(self):
+        trace = Trace()
+        trace.record_visit("S0")
+        assert trace.first_index(lambda e: e.kind == "teleport") is None
+        assert Trace().first_index(lambda e: True) is None
+
+
+class TestCliTimeline:
+    def test_query_trace_prints_wellformed_timeline(self, tmp_path, capsys):
+        import re
+
+        from repro.cli import main
+
+        path = tmp_path / "doc.xml"
+        path.write_text("<a><b><c/></b><b/></a>")
+        assert main(["query", str(path), "[//c]", "--fragments", "2", "--trace"]) == 0
+        out = capsys.readouterr().out
+        timeline = [line for line in out.splitlines() if re.match(r"\[\d{3}\] ", line)]
+        assert timeline, "expected rendered trace lines in --trace output"
+        # Sequence numbers are dense and ordered; every line is one of
+        # the three event shapes.
+        for index, line in enumerate(timeline):
+            assert line.startswith(f"[{index:03d}] ")
+            assert re.match(r"\[\d{3}\] (visit|message|compute)\s", line)
+        assert any(
+            re.search(r"message\s+\S+ -> \S+\s+\S+ \(\d+ B\)", line)
+            for line in timeline
+        )
+
+
 class TestBaselineProtocols:
     def test_naive_centralized_ships_data(self, cluster, qlist):
         trace = traced(NaiveCentralizedEngine, cluster, qlist)
