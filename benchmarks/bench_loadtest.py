@@ -1,0 +1,131 @@
+"""Whole-system load surface: the factorial run table as a CI gate.
+
+Wraps :mod:`repro.loadgen` the way ``bench_serving.py`` wraps the
+serving tax: execute the declared run table (open-loop client against a
+real ``ServingCluster`` gateway per run), write per-run raw artifacts
+plus the aggregate ``run_table.csv``, merge this scale's baseline entry
+into the committed trajectory file, and fail on a regression against
+the committed entry.
+
+Standalone (the CI regression gate)::
+
+    python benchmarks/bench_loadtest.py --quick --out loadtest-artifacts \
+        --json BENCH_loadtest.json --baseline BENCH_loadtest.json
+
+``--json`` merge-writes this scale's entry (per-run throughput / p95 /
+shed rate / deterministic bytes-on-wire plus scale aggregates) into the
+trajectory file; ``--baseline`` reads the committed file *before* the
+rewrite and fails the run when the gate trips (exact run-id and
+bytes-on-wire match; generous wall-clock tolerances -- see
+``repro/loadgen/analyze.py``).  ``--check-format`` only validates a
+committed baseline's schema and exits, so CI can reject a hand-mangled
+``BENCH_loadtest.json`` before spending any load-test time.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.loadgen import (  # noqa: E402 - after the src path insert
+    build_baseline_entry,
+    check_baseline_format,
+    execute_table,
+    factor_deltas,
+    gate_against_baseline,
+    render_deltas,
+    table_for_scale,
+)
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--quick", action="store_true", help="the CI-budget run table")
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default="loadtest-artifacts",
+        help="per-run artifact directory (default: loadtest-artifacts)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None, help="merge-write the baseline entry per scale"
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="committed trajectory to gate regressions against",
+    )
+    parser.add_argument(
+        "--check-format",
+        metavar="PATH",
+        default=None,
+        help="only validate a baseline file's schema, then exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check_format:
+        path = Path(args.check_format)
+        if not path.exists():
+            print(f"FAIL: {path} does not exist", file=sys.stderr)
+            return 1
+        try:
+            doc = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            print(f"FAIL: {path} is not valid JSON: {error}", file=sys.stderr)
+            return 1
+        problems = check_baseline_format(doc)
+        for problem in problems:
+            print(f"FAIL: {path}: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"{path}: format ok ({', '.join(sorted(doc))} scale(s))")
+        return 1 if problems else 0
+
+    scale = "quick" if args.quick else "default"
+    # Read the committed baseline *before* --json rewrites the file.
+    baseline_entry = None
+    if args.baseline and Path(args.baseline).exists():
+        baseline_doc = json.loads(Path(args.baseline).read_text())
+        problems = check_baseline_format(baseline_doc)
+        if problems:
+            for problem in problems:
+                print(f"FAIL: baseline {args.baseline}: {problem}", file=sys.stderr)
+            return 1
+        baseline_entry = baseline_doc.get(scale)
+
+    table = table_for_scale(scale)
+    print(table.describe())
+    rows = execute_table(table, Path(args.out), progress=print)
+    print(f"\nartifacts: {args.out}/ (aggregate: {args.out}/run_table.csv)")
+    print(render_deltas(factor_deltas(rows)))
+
+    entry = build_baseline_entry(rows, scale)
+    if args.json:
+        path = Path(args.json)
+        trajectory = json.loads(path.read_text()) if path.exists() else {}
+        trajectory[scale] = entry
+        path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json}")
+
+    if baseline_entry is None:
+        if args.baseline:
+            print(f"(no committed {scale!r} entry in {args.baseline}; gate skipped)")
+        return 0
+    failures = gate_against_baseline(rows, baseline_entry)
+    verdict = "PASS" if not failures else "FAIL"
+    print(
+        f"  [{verdict}] vs committed baseline: mean "
+        f"{entry['throughput_rps']} req/s, p95 {entry['p95_ms']}ms, "
+        f"shed {entry['shed_rate']} "
+        f"(baseline: {baseline_entry['throughput_rps']} req/s, "
+        f"p95 {baseline_entry['p95_ms']}ms)"
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,6 +73,19 @@ The subcommands::
         throughput, shed/retry counts, in-flight depth and latency
         percentiles -- a tiny ``top(1)`` for the serving tier.
 
+    repro loadtest [--quick] [--out DIR] [--baseline [PATH]]
+                 [--analyze-only] [--trace-every N]
+        Drive the factorial load experiment over the serving tier: for
+        every run in the declared table (topology family x fragment
+        count x engine x executor x batch size x arrival rate) boot a
+        ``ServingCluster``, fire an *open-loop* request schedule at its
+        gateway, and write per-run raw artifacts plus the aggregate
+        ``run_table.csv`` to ``--out``.  A separate analysis step then
+        prints per-factor deltas and, with ``--baseline``, enforces the
+        regression gate against the committed ``BENCH_loadtest.json``.
+        ``--analyze-only`` skips collection and re-analyzes an existing
+        ``--out`` directory.
+
     repro select <file.xml> '<path-query>' [--fragments N] [--limit K]
         The Section 8 extension: print the selected nodes.
 
@@ -518,6 +531,49 @@ def cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Run (or re-analyze) the factorial load experiment."""
+    from repro.loadgen import analyze, execute_table, render_deltas, table_for_scale
+
+    scale = "quick" if args.quick else "default"
+    out_dir = Path(args.out)
+    run_table_path = out_dir / "run_table.csv"
+    if args.analyze_only:
+        if not run_table_path.exists():
+            print(f"error: {run_table_path} not found; run without --analyze-only first",
+                  file=sys.stderr)
+            return 2
+        # Scale is read from the CSV itself in analyze-only mode.
+        scale = None
+    else:
+        table = table_for_scale(scale)
+        print(table.describe())
+        execute_table(
+            table, out_dir, progress=print, trace_every=args.trace_every
+        )
+        print(f"artifacts written to {out_dir}/ (aggregate: {run_table_path})")
+    result = analyze(
+        run_table_path,
+        baseline_path=Path(args.baseline) if args.baseline else None,
+        scale=scale,
+    )
+    print(render_deltas(result["deltas"]))
+    failures = result["failures"]
+    if failures is None:
+        if args.baseline:
+            print(
+                f"(no baseline entry for scale {result['scale']!r} in "
+                f"{args.baseline}; gate skipped)"
+            )
+        return 0
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"[PASS] regression gate vs {args.baseline} @ {result['scale']} scale")
+    return 0
+
+
 def cmd_select(args: argparse.Namespace) -> int:
     tree = _load_tree(args.file)
     cluster = _build_cluster(tree, args.fragments, args.sites)
@@ -714,6 +770,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the benchmark harness (forwards to python -m repro.bench)",
         add_help=False,
     )
+
+    loadtest = sub.add_parser(
+        "loadtest", help="open-loop factorial load experiment over the serving tier"
+    )
+    loadtest.add_argument(
+        "--quick", action="store_true", help="the small CI-budget run table"
+    )
+    loadtest.add_argument(
+        "--out", default="loadtest_out", help="artifact directory (default: loadtest_out)"
+    )
+    loadtest.add_argument(
+        "--baseline",
+        nargs="?",
+        const="BENCH_loadtest.json",
+        default=None,
+        help="gate against a committed baseline (default path: BENCH_loadtest.json)",
+    )
+    loadtest.add_argument(
+        "--analyze-only",
+        action="store_true",
+        help="skip collection; re-analyze --out's existing run_table.csv",
+    )
+    loadtest.add_argument(
+        "--trace-every",
+        type=int,
+        default=5,
+        help="trace every N-th request into the span sample (0 = never)",
+    )
+    loadtest.set_defaults(func=cmd_loadtest)
 
     select = sub.add_parser("select", help="select matching nodes (Section 8 extension)")
     select.add_argument("file")

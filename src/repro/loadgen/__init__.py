@@ -1,0 +1,77 @@
+"""Open-loop load harness + factorial experiment runner (``repro loadtest``).
+
+The whole-system perf surface over the serving tier: declare a run
+table (:mod:`~repro.loadgen.runtable`), drive each run with an
+open-loop client (:mod:`~repro.loadgen.client`), collect per-run raw
+artifacts and the aggregate ``run_table.csv``
+(:mod:`~repro.loadgen.collector`), then analyze and regression-gate as
+a separate step (:mod:`~repro.loadgen.analyze`).
+"""
+
+from repro.loadgen.analyze import (
+    analyze,
+    build_baseline_entry,
+    check_baseline_format,
+    factor_deltas,
+    gate_against_baseline,
+    load_baseline,
+    load_run_table,
+    render_deltas,
+)
+from repro.loadgen.client import (
+    OUTCOMES,
+    SERVED,
+    OpenLoopClient,
+    RequestRecord,
+    plan_arrivals,
+    plan_batches,
+    plan_for_spec,
+)
+from repro.loadgen.collector import (
+    RUN_TABLE_COLUMNS,
+    execute_run,
+    execute_table,
+    latency_percentiles_ms,
+    summarize_run,
+    write_run_table,
+)
+from repro.loadgen.runtable import (
+    RunSpec,
+    RunTable,
+    build_cluster,
+    default_table,
+    derive_seed,
+    quick_table,
+    table_for_scale,
+)
+
+__all__ = [
+    "OUTCOMES",
+    "RUN_TABLE_COLUMNS",
+    "SERVED",
+    "OpenLoopClient",
+    "RequestRecord",
+    "RunSpec",
+    "RunTable",
+    "analyze",
+    "build_baseline_entry",
+    "build_cluster",
+    "check_baseline_format",
+    "default_table",
+    "derive_seed",
+    "execute_run",
+    "execute_table",
+    "factor_deltas",
+    "gate_against_baseline",
+    "latency_percentiles_ms",
+    "load_baseline",
+    "load_run_table",
+    "plan_arrivals",
+    "plan_batches",
+    "plan_for_spec",
+    "quick_table",
+    "render_deltas",
+    "summarize_run",
+    "table_for_scale",
+    "write_run_table",
+]

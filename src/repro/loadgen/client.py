@@ -1,0 +1,310 @@
+"""Open-loop load generation against a serving-tier gateway.
+
+**Open loop** means arrivals are scheduled by *target time*, planned
+before the first byte is sent: request *i* fires at ``schedule[i]``
+seconds after the run starts whether or not requests ``0..i-1`` have
+been answered.  A slow or overloaded server therefore cannot slow the
+arrival sequence down -- the defining difference from a closed-loop
+client, whose "RPS" silently degrades into "as fast as the server
+lets me" exactly when the measurement matters most (coordinated
+omission).  The schedule and the query mix are both derived from the
+run spec's seed, so the same run id always offers the server the same
+work in the same order.
+
+Mechanics: a scheduler loop sleeps until each arrival's target time and
+hands the request to a thread pool sized for the whole run; each worker
+thread keeps its own :class:`~repro.serving.client.GatewayClient`
+connection.  Dispatch never waits on a response.  If the pool does back
+up (more in-flight requests than workers), the lateness is *recorded*,
+not hidden: every :class:`RequestRecord` carries ``lag_s = sent_s -
+scheduled_s`` and the collector surfaces the maximum.
+
+Outcomes are typed, never exceptions out of :meth:`OpenLoopClient.run`:
+
+* ``ok`` -- answered on the first attempt;
+* ``retried`` -- transport died mid-request, one reconnect+resend
+  answered (the request *was* served; counted with ``ok`` everywhere);
+* ``shed`` -- the gateway's admission control rejected it
+  (``Rejected(overloaded)``); excluded from latency percentiles;
+* ``unavailable`` -- a site stayed dead through the coordinator's retry
+  (``Rejected(site-unavailable)``);
+* ``error`` -- any other typed rejection or transport failure.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serving.client import GatewayClient
+from repro.serving.protocol import (
+    Overloaded,
+    ProtocolError,
+    ServingError,
+    SiteUnavailable,
+    metrics_from_wire,
+)
+from repro.workloads.pubsub import subscription_texts
+
+from repro.loadgen.runtable import RunSpec
+
+#: Every status :meth:`OpenLoopClient.run` may record.
+OUTCOMES = ("ok", "retried", "shed", "unavailable", "error")
+
+#: Statuses that mean "the gateway served this request" -- the ones
+#: latency percentiles and throughput are computed over.
+SERVED = ("ok", "retried")
+
+_TRANSPORT_ERRORS = (ProtocolError, ConnectionError, OSError, TimeoutError)
+
+
+def plan_arrivals(
+    count: int, rate: float, mode: str = "poisson", seed: int = 0
+) -> Tuple[float, ...]:
+    """Arrival offsets (seconds from run start), planned up front.
+
+    ``fixed`` spaces arrivals exactly ``1/rate`` apart; ``poisson``
+    draws exponential inter-arrival gaps with mean ``1/rate`` from
+    ``random.Random(seed)``.  Both start at 0.0 and are non-decreasing;
+    same ``(count, rate, mode, seed)`` -> identical schedule.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    if mode == "fixed":
+        return tuple(index / rate for index in range(count))
+    if mode != "poisson":
+        raise ValueError(f"unknown arrival mode {mode!r}; choose poisson or fixed")
+    rng = random.Random(seed)
+    offsets: List[float] = []
+    clock = 0.0
+    for _ in range(count):
+        offsets.append(clock)
+        clock += rng.expovariate(rate)
+    return tuple(offsets)
+
+
+def plan_batches(
+    count: int, batch_size: int, seed: int = 0
+) -> Tuple[Tuple[str, ...], ...]:
+    """The query mix: ``count`` pre-planned batches of ``batch_size`` texts.
+
+    Drawn from the pub/sub subscription pool (popular texts recur, so
+    the server's planner has duplicates to collapse), deterministically
+    from ``seed``.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    texts = subscription_texts(count * batch_size, seed=seed)
+    return tuple(
+        tuple(texts[index * batch_size : (index + 1) * batch_size])
+        for index in range(count)
+    )
+
+
+def plan_for_spec(spec: RunSpec) -> Tuple[Tuple[float, ...], Tuple[Tuple[str, ...], ...]]:
+    """The full request plan a run spec determines: (schedule, batches)."""
+    schedule = plan_arrivals(spec.requests, spec.arrival_rate, spec.arrival, spec.seed)
+    batches = plan_batches(spec.requests, spec.batch_size, spec.seed)
+    return schedule, batches
+
+
+@dataclass
+class RequestRecord:
+    """One request's life, as the collector writes it to ``requests.jsonl``."""
+
+    index: int
+    scheduled_s: float
+    sent_s: float
+    done_s: float
+    latency_s: float
+    status: str
+    answers: Tuple[bool, ...] = ()
+    ledger_bytes: int = 0
+    error: str = ""
+
+    @property
+    def served(self) -> bool:
+        return self.status in SERVED
+
+    @property
+    def lag_s(self) -> float:
+        """Dispatch lateness vs the open-loop schedule (0 when on time)."""
+        return max(0.0, self.sent_s - self.scheduled_s)
+
+    def to_obj(self) -> Dict[str, object]:
+        obj = asdict(self)
+        obj["answers"] = list(self.answers)
+        obj["lag_s"] = round(self.lag_s, 6)
+        return obj
+
+
+class OpenLoopClient:
+    """Fire a pre-planned request sequence at a gateway, open loop."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        engine: str = "",
+        timeout: float = 30.0,
+        max_workers: int = 64,
+        trace_every: int = 0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.engine = engine
+        self.timeout = timeout
+        self.max_workers = max_workers
+        #: Trace every N-th request (0 = never); traced replies' span
+        #: trees accumulate on :attr:`spans` for the collector's sample.
+        self.trace_every = trace_every
+        self.spans: List[tuple] = []
+        self._local = threading.local()
+        self._clients: List[GatewayClient] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Connections: one per worker thread, created lazily
+    # ------------------------------------------------------------------
+    def _client(self) -> GatewayClient:
+        client = getattr(self._local, "client", None)
+        if client is None or client.closed:
+            client = GatewayClient(self.host, self.port, timeout=self.timeout)
+            self._local.client = client
+            with self._lock:
+                self._clients.append(client)
+        return client
+
+    def _drop_thread_client(self) -> None:
+        client = getattr(self._local, "client", None)
+        self._local.client = None
+        if client is not None:
+            client.close()
+
+    def close(self) -> None:
+        with self._lock:
+            clients, self._clients = self._clients, []
+        for client in clients:
+            client.close()
+
+    def __enter__(self) -> "OpenLoopClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The run
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        schedule: Sequence[float],
+        batches: Sequence[Sequence[str]],
+    ) -> List[RequestRecord]:
+        """Execute the plan; returns one record per request, in order."""
+        if len(schedule) != len(batches):
+            raise ValueError(
+                f"schedule has {len(schedule)} arrivals but {len(batches)} batches"
+            )
+        count = len(schedule)
+        records: List[Optional[RequestRecord]] = [None] * count
+        workers = max(1, min(count, self.max_workers))
+        pool = ThreadPoolExecutor(workers, thread_name_prefix="repro-loadgen")
+        base = time.perf_counter()
+        futures = []
+        try:
+            for index, (offset, batch) in enumerate(zip(schedule, batches)):
+                # Sleep until the *target* time -- never until the
+                # previous response.  This loop is the open-loop property.
+                delay = base + offset - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                futures.append(
+                    pool.submit(self._fire, index, offset, tuple(batch), base, records)
+                )
+            for future in futures:
+                future.result()  # workers never raise; surface bugs loudly
+        finally:
+            pool.shutdown(wait=True)
+            self.close()
+        return [record for record in records if record is not None]
+
+    def _fire(
+        self,
+        index: int,
+        scheduled_s: float,
+        batch: Tuple[str, ...],
+        base: float,
+        records: List[Optional[RequestRecord]],
+    ) -> None:
+        trace = bool(self.trace_every) and index % self.trace_every == 0
+        sent_s = time.perf_counter() - base
+        status, answers, ledger_bytes, error = self._attempt(batch, trace)
+        if status == "__retry__":
+            # The transport died under us; one reconnect+resend.  A
+            # success is the typed "retried" outcome, a second failure
+            # keeps the retried attempt's typed result.
+            status, answers, ledger_bytes, error = self._attempt(batch, trace)
+            if status == "__retry__":
+                status, error = "error", error or "transport failed twice"
+            elif status == "ok":
+                status = "retried"
+        done_s = time.perf_counter() - base
+        records[index] = RequestRecord(
+            index=index,
+            scheduled_s=round(scheduled_s, 6),
+            sent_s=round(sent_s, 6),
+            done_s=round(done_s, 6),
+            latency_s=round(done_s - sent_s, 6),
+            status=status,
+            answers=answers,
+            ledger_bytes=ledger_bytes,
+            error=error,
+        )
+
+    def _attempt(
+        self, batch: Tuple[str, ...], trace: bool
+    ) -> Tuple[str, Tuple[bool, ...], int, str]:
+        """One request attempt -> (status, answers, ledger_bytes, error).
+
+        ``"__retry__"`` is the internal "transport broke, try once more"
+        signal; it never reaches a record.
+        """
+        try:
+            client = self._client()
+        except OSError as exc:
+            return "__retry__", (), 0, f"connect: {exc}"
+        try:
+            reply = client.query(batch, self.engine, trace=trace)
+        except Overloaded as exc:
+            return "shed", (), 0, str(exc)
+        except SiteUnavailable as exc:
+            return "unavailable", (), 0, str(exc)
+        except ServingError as exc:
+            return "error", (), 0, f"{type(exc).__name__}: {exc}"
+        except _TRANSPORT_ERRORS as exc:
+            self._drop_thread_client()
+            return "__retry__", (), 0, f"{type(exc).__name__}: {exc}"
+        if trace and reply.spans:
+            with self._lock:
+                self.spans.extend(reply.spans)
+        ledger_bytes = metrics_from_wire(reply.metrics_obj).bytes_total
+        return "ok", tuple(bool(a) for a in reply.answers), ledger_bytes, ""
+
+
+__all__ = [
+    "OUTCOMES",
+    "SERVED",
+    "OpenLoopClient",
+    "RequestRecord",
+    "plan_arrivals",
+    "plan_batches",
+    "plan_for_spec",
+]

@@ -299,8 +299,30 @@ class ServingCluster:
         return QuerySession(None, engine=spec, **kwargs)
 
     # ------------------------------------------------------------------
-    # Fault injection
+    # Harness hooks (load tests, fault injection)
     # ------------------------------------------------------------------
+    def set_site_delay(self, seconds: float, site_id: Optional[str] = None) -> None:
+        """Add an artificial per-request service delay to site servers.
+
+        The load harness's overload knob: with every site ``seconds``
+        slower, arrival rates beyond ``max_inflight + max_queue`` x
+        service rate deterministically shed at the gateway.  Inline
+        mode only -- process sites are separate interpreters and do not
+        expose the hook.
+        """
+        if self.site_mode != "inline":
+            raise RuntimeError("set_site_delay requires site_mode='inline'")
+        for current_id, servers in self.sites.items():
+            if site_id is not None and current_id != site_id:
+                continue
+            for server in servers:
+                server.delay_seconds = seconds
+
+    def scrape(self) -> dict:
+        """The gateway's metrics-registry snapshot, via a loopback client."""
+        with self.client(timeout=10.0) as client:
+            return client.metrics().snapshot
+
     def kill_site(self, site_id: str, replica: int = 0) -> None:
         """Crash one site server (connections reset, port freed)."""
         server = self.sites[site_id][replica]

@@ -19,8 +19,10 @@ Three tiers of coverage:
 
 import json
 import logging
+import math
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from netfixtures import hard_deadline
 from repro.obs import metrics as obs_metrics
@@ -114,6 +116,65 @@ class TestGaugesAndHistograms:
         assert snap == {} or all(
             histogram_percentiles(v, (0.5,))[0.5] is None for v in snap.values()
         )
+
+
+#: Bucket edges for the percentile property (uneven widths on purpose).
+_PROP_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 2.5, 10.0)
+
+
+class TestPercentileProperties:
+    """The estimator contract the load harness and ``repro top`` rely on.
+
+    For any sample set within the bucket range and any quantiles in
+    (0, 1], the histogram estimate must be (a) monotone in q, (b) inside
+    [0, last bucket edge], and (c) within one bucket width of the exact
+    empirical quantile -- fixed buckets lose *resolution*, never *order*.
+    """
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=1e-4, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        ),
+        qs=st.lists(
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    def test_estimates_are_monotone_bounded_and_bucket_accurate(self, samples, qs):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("s", buckets=_PROP_BUCKETS)
+        for value in samples:
+            histogram.observe(value)
+        snap = registry.snapshot()["s"]["values"][""]
+        estimates = histogram_percentiles(snap, sorted(qs))
+
+        ordered = [estimates[q] for q in sorted(qs)]
+        assert all(value is not None for value in ordered)
+        # (a) monotone in q.
+        assert all(b >= a for a, b in zip(ordered, ordered[1:]))
+        # (b) bounded by the bucket range.
+        assert all(0.0 <= value <= _PROP_BUCKETS[-1] for value in ordered)
+        # (c) within one bucket width of the exact empirical quantile:
+        # both the estimate and the ceil(q*n)-th smallest sample live in
+        # the crossing bucket, so they differ by at most its width.
+        ranked = sorted(samples)
+        for q in sorted(qs):
+            rank = q * len(ranked)
+            exact = ranked[max(0, math.ceil(rank) - 1)]
+            edges = (0.0,) + _PROP_BUCKETS
+            width = max(
+                hi - lo
+                for lo, hi in zip(edges, edges[1:])
+                if lo <= exact <= hi or lo <= estimates[q] <= hi
+            )
+            assert abs(estimates[q] - exact) <= width + 1e-9, (
+                f"q={q}: estimate {estimates[q]} vs exact {exact} "
+                f"differ by more than a bucket width"
+            )
 
 
 class TestExposition:
