@@ -47,6 +47,7 @@ the cost ledger and the critical-path calculation.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import os
 import threading
@@ -417,8 +418,13 @@ def _resident_worker_main(conn) -> None:
     """Entry point of one persistent site-worker process.
 
     A strict request-reply loop over zero-copy transport frames: the
-    parent never has more than one outstanding message per worker, so
-    neither side can deadlock on a full pipe.  Messages:
+    parent never has more than one outstanding *frame* per worker, so
+    neither side can deadlock on a full pipe.  A frame is one message
+    or one ``("batch", messages)`` envelope (see
+    :func:`~repro.distsim.transport.unwrap_batch`); a batch is handled
+    message by message, in order, and answered with exactly one reply
+    per message in one envelope -- so a dispatcher coalescing a whole
+    site batch into one pipe write gets one wakeup back.  Messages:
 
     * ``("push", wires)`` -- install ``(id, epoch, xml)`` triples;
     * ``("retire", ids)`` -- drop resident fragments;
@@ -432,18 +438,16 @@ def _resident_worker_main(conn) -> None:
     * ``("rawjob", payload)`` -- the legacy full-payload path
       (``resident=False`` baseline);
     * ``("stats",)`` -- residency introspection for tests/leak checks;
-    * ``("stop",)`` -- exit.
+    * ``("stop",)`` -- exit (never batched with other messages).
     """
     from repro.distsim import transport
     from repro.distsim.resident import ResidentSiteState, StaleResidentError
 
     state = ResidentSiteState()
     algebras: dict[str, FormulaAlgebra] = {}
-    while True:
-        try:
-            message = transport.recv_payload(conn)
-        except (EOFError, OSError):
-            break
+
+    def handle(message: tuple) -> tuple:
+        """One message -> one reply; errors answer typed, never raise."""
         kind = message[0]
         try:
             if kind == "job":
@@ -467,8 +471,7 @@ def _resident_worker_main(conn) -> None:
                 try:
                     results, seconds = state.run(site_id, refs, qlist, algebra, segments)
                 except StaleResidentError as stale:
-                    transport.send_payload(conn, ("stale", stale.missing))
-                    continue
+                    return ("stale", stale.missing)
                 from repro.core.vectors import compact_with_buffers
 
                 wired = tuple(
@@ -478,44 +481,56 @@ def _resident_worker_main(conn) -> None:
                 reply = ("ok", site_id, wired, seconds)
                 if timer is not None:
                     reply += ((timer.finish(seconds=round(seconds, 6)).to_wire(),),)
-                transport.send_payload(conn, reply)
-            elif kind == "push":
-                installed = state.store(message[1])
-                transport.send_payload(conn, ("ok", installed))
-            elif kind == "retire":
-                transport.send_payload(conn, ("ok", state.retire(message[1])))
-            elif kind == "rawjob":
-                transport.send_payload(conn, ("ok",) + tuple(_run_job_payload(message[1])))
-            elif kind == "stats":
-                transport.send_payload(
-                    conn,
-                    (
-                        "ok",
-                        {
-                            "resident": state.resident_epochs(),
-                            "receive_counts": dict(state.receive_counts),
-                            "queries": sorted(state.queries),
-                        },
-                    ),
+                return reply
+            if kind == "push":
+                return ("ok", state.store(message[1]))
+            if kind == "retire":
+                return ("ok", state.retire(message[1]))
+            if kind == "rawjob":
+                return ("ok",) + tuple(_run_job_payload(message[1]))
+            if kind == "stats":
+                return (
+                    "ok",
+                    {
+                        "resident": state.resident_epochs(),
+                        "receive_counts": dict(state.receive_counts),
+                        "queries": sorted(state.queries),
+                    },
                 )
-            elif kind == "stop":
-                break
-            else:
-                transport.send_payload(conn, ("error", "ValueError", f"unknown message {kind!r}"))
+            return ("error", "ValueError", f"unknown message {kind!r}")
         except Exception as error:  # surface to the parent, keep serving
+            return ("error", type(error).__name__, str(error))
+
+    while True:
+        try:
+            frame = transport.recv_payload(conn)
+        except (EOFError, OSError):
+            break
+        stop = False
+        replies = []
+        for message in transport.unwrap_batch(frame):
+            if message[0] == "stop":
+                stop = True
+                break
+            replies.append(handle(message))
+        if replies:
             try:
-                transport.send_payload(conn, ("error", type(error).__name__, str(error)))
+                transport.send_payload(conn, transport.wrap_batch(tuple(replies)))
             except (BrokenPipeError, OSError):
                 break
+        if stop:
+            break
     conn.close()
 
 
 class _ResidentWorker:
     """Parent-side handle of one worker: process, pipe, residency model."""
 
-    __slots__ = ("index", "process", "conn", "resident")
+    __slots__ = ("index", "process", "conn", "resident", "submission")
 
     def __init__(self, index: int, process, conn) -> None:
+        from repro.distsim import transport  # local: import order
+
         self.index = index
         self.process = process
         self.conn = conn
@@ -524,6 +539,11 @@ class _ResidentWorker:
         #: enqueue); any desync is caught by the worker's epoch check
         #: and healed by re-push.
         self.resident: dict[str, int] = {}
+        #: Coalesces this worker's submissions into framed pipe writes
+        #: (one wakeup per flush); dies and is rebuilt with the worker.
+        self.submission = transport.SubmissionQueue(
+            functools.partial(transport.send_payload, conn)
+        )
 
 
 #: Per-job retry budget across stale replies and worker deaths.  One
@@ -549,8 +569,18 @@ class ProcessSiteExecutor(SiteExecutor):
     Self-healing: a worker that missed an invalidation answers *stale*
     and the dispatcher re-pushes exactly the named fragments and
     retries; a dead worker is respawned, its residency model reset, and
-    its in-flight job re-dispatched.  ``stats`` counts ships, jobs,
-    stale retries and respawns.
+    its in-flight jobs re-dispatched.  ``stats`` counts ships, jobs,
+    submits (framed pipe writes), stale retries and respawns.
+
+    Submission is **batched** by default: everything queued for one
+    worker -- catch-up pushes and all of the batch's jobs bound to it
+    -- ships as one framed pipe write (one worker wakeup per batch,
+    not per job), and the worker answers with one reply envelope the
+    same way.  ``batch_submission=False`` restores one frame per
+    message: the dispatch-tax baseline ``bench_hotpath.py`` measures
+    the coalescing against.  Either way at most one *frame* is in
+    flight per worker, so the request-reply deadlock-freedom argument
+    is unchanged.
 
     ``resident=False`` keeps the persistent pool but ships full
     fragment+query payloads per job -- the dispatch-tax baseline.
@@ -568,12 +598,14 @@ class ProcessSiteExecutor(SiteExecutor):
         max_workers: Optional[int] = None,
         resident: bool = True,
         warm=None,
+        batch_submission: bool = True,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers or min(8, os.cpu_count() or 2)
         self.resident = resident
-        #: Counter: ships / jobs / stale_retries / respawns / retired.
+        self.batch_submission = batch_submission
+        #: Counter: ships / jobs / submits / stale_retries / respawns / retired.
         self.stats: Counter = Counter()
         #: Every fragment push: ``(worker_index, fragment_id, epoch)``.
         self.ship_log: list[tuple[int, str, int]] = []
@@ -594,7 +626,7 @@ class ProcessSiteExecutor(SiteExecutor):
         if obs_metrics._REGISTRY is not None:
             obs_metrics._REGISTRY.counter(
                 "executor_events_total",
-                "Resident-executor events: ships, jobs, stale_retries, respawns, retired",
+                "Resident-executor events: ships, jobs, submits, stale_retries, respawns, retired",
                 labelnames=("event",),
             ).labels(event=event).inc(n)
 
@@ -707,10 +739,17 @@ class ProcessSiteExecutor(SiteExecutor):
         outcomes: list,
         attempts: list[int],
     ) -> None:
-        """Drain all worker queues concurrently, one in-flight message each."""
+        """Drain all worker queues concurrently, one in-flight frame each.
+
+        With ``batch_submission`` every kick drains the worker's whole
+        queue through its :class:`~repro.distsim.transport.SubmissionQueue`
+        into one framed write and expects one reply envelope carrying
+        one reply per message, in order; without it, one message per
+        frame (the pre-coalescing protocol, bit for bit).
+        """
         from repro.distsim import transport
 
-        in_flight: dict[int, tuple] = {}  # worker index -> tag of sent message
+        in_flight: dict[int, tuple] = {}  # worker index -> tags of the sent frame
 
         def kick(index: int) -> None:
             while True:
@@ -718,14 +757,22 @@ class ProcessSiteExecutor(SiteExecutor):
                 if not queue:
                     in_flight.pop(index, None)
                     return
-                payload, tag = queue.popleft()
                 worker = self._workers[index]
+                if self.batch_submission:
+                    entries = list(queue)
+                    queue.clear()
+                else:
+                    entries = [queue.popleft()]
+                tags = tuple(tag for _, tag in entries)
                 try:
-                    transport.send_payload(worker.conn, payload)
+                    for payload, _ in entries:
+                        worker.submission.submit(payload)
+                    worker.submission.flush()
                 except (BrokenPipeError, OSError):
-                    self._recover(index, tag, queues, jobs, attempts)
+                    self._recover(index, tags, queues, jobs, attempts)
                     continue  # retry the (re-queued) work on the fresh worker
-                in_flight[index] = tag
+                self._count("submits")
+                in_flight[index] = tags
                 return
 
         for index in list(queues):
@@ -734,33 +781,43 @@ class ProcessSiteExecutor(SiteExecutor):
             conn_to_index = {self._workers[i].conn: i for i in in_flight}
             for conn in _connection_wait(list(conn_to_index)):
                 index = conn_to_index[conn]
-                tag = in_flight[index]
+                tags = in_flight[index]
                 try:
-                    reply = transport.recv_payload(conn)
+                    frame = transport.recv_payload(conn)
                 except (EOFError, OSError):
-                    self._recover(index, tag, queues, jobs, attempts)
+                    self._recover(index, tags, queues, jobs, attempts)
                     kick(index)
                     continue
-                self._on_reply(index, tag, reply, queues, jobs, outcomes, attempts)
+                replies = transport.unwrap_batch(frame)
+                if len(replies) != len(tags):  # pragma: no cover - protocol bug
+                    raise RuntimeError(
+                        f"site worker {index} answered {len(replies)} replies "
+                        f"to a {len(tags)}-message frame"
+                    )
+                for tag, reply in zip(tags, replies):
+                    self._on_reply(index, tag, reply, queues, jobs, outcomes, attempts)
                 kick(index)
 
     def _recover(
         self,
         index: int,
-        tag: tuple,
+        tags: tuple,
         queues: dict[int, deque],
         jobs: list[SiteJob],
         attempts: list[int],
     ) -> None:
         """A worker died mid-exchange: respawn it and re-dispatch.
 
-        The fresh worker's residency model starts empty, so a re-queued
-        job recomputes its full push set; a lost *push* needs no
-        replay -- the next job referencing those fragments will draw a
-        stale reply and self-heal.
+        ``tags`` names every message of the lost frame.  The fresh
+        worker's residency model starts empty, so each re-queued job
+        recomputes its full push set; a lost *push* needs no replay --
+        the next job referencing those fragments will draw a stale
+        reply and self-heal.
         """
         worker = self._respawn(index)
-        if tag[0] == "job":
+        for tag in tags:
+            if tag[0] != "job":
+                continue
             job_index = tag[1]
             attempts[job_index] += 1
             if attempts[job_index] >= _MAX_JOB_ATTEMPTS:

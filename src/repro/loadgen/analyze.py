@@ -38,6 +38,7 @@ FACTORS = (
     "fragments",
     "engine",
     "executor",
+    "coordinators",
     "batch_size",
     "arrival_rate",
 )
@@ -51,6 +52,7 @@ SHED_SLACK = 0.02
 
 _INT_COLUMNS = (
     "fragments",
+    "coordinators",
     "batch_size",
     "repetition",
     "seed",

@@ -51,6 +51,7 @@ RUN_TABLE_COLUMNS = (
     "fragments",
     "engine",
     "executor",
+    "coordinators",
     "batch_size",
     "arrival_rate",
     "arrival",
@@ -72,6 +73,9 @@ RUN_TABLE_COLUMNS = (
     "shed_rate",
     "bytes_on_wire",
     "max_lag_s",
+    "coordinator_requests",
+    "coordinator_rps",
+    "coordinator_shed",
 )
 
 #: Latency buckets for the percentile estimate: finer than the serving
@@ -121,8 +125,56 @@ def latency_percentiles_ms(
     }
 
 
-def summarize_run(spec: RunSpec, records: Sequence[RequestRecord]) -> Dict[str, object]:
-    """One ``run_table.csv`` row from a run's request records."""
+def _join_counts(counts: Dict[str, float], fmt: str = "{:g}") -> str:
+    """``c0=5;c1=5`` -- per-coordinator counts as one stable CSV cell."""
+    return ";".join(
+        f"{name}={fmt.format(counts[name])}" for name in sorted(counts)
+    )
+
+
+def coordinator_deltas(
+    before: Dict[str, object], after: Dict[str, object]
+) -> tuple[Dict[str, float], Dict[str, float]]:
+    """Per-coordinator ``(served, rejected)`` reply deltas between scrapes.
+
+    Reads the gateway's ``gateway_coordinator_replies_total`` series.
+    ``served`` counts ``status=ok`` replies; ``rejected`` counts every
+    post-admission rejection the coordinator returned (bad requests,
+    overload, unavailability).  Gateway-level sheds happen *before*
+    routing, so they never appear here -- they live in the aggregate
+    ``shed`` column only.
+    """
+
+    def flat(snapshot: Dict[str, object]) -> Dict[str, float]:
+        entry = snapshot.get("gateway_coordinator_replies_total", {})
+        return dict(entry.get("values", {}))
+
+    prior = flat(before)
+    served: Dict[str, float] = {}
+    rejected: Dict[str, float] = {}
+    for label, value in flat(after).items():
+        delta = value - prior.get(label, 0.0)
+        if delta <= 0:
+            continue
+        labels = dict(item.split("=", 1) for item in label.split(",") if "=" in item)
+        name = labels.get("coordinator", "?")
+        bucket = served if labels.get("status") == "ok" else rejected
+        bucket[name] = bucket.get(name, 0.0) + delta
+    return served, rejected
+
+
+def summarize_run(
+    spec: RunSpec,
+    records: Sequence[RequestRecord],
+    coordinator_replies: Optional[tuple] = None,
+) -> Dict[str, object]:
+    """One ``run_table.csv`` row from a run's request records.
+
+    ``coordinator_replies`` is the optional ``(served, rejected)`` pair
+    from :func:`coordinator_deltas`; when given, the per-coordinator
+    throughput/shed columns are filled from the server's own account of
+    the run.
+    """
     served = [record for record in records if record.status in SERVED]
     sheds = sum(1 for record in records if record.status == "shed")
     unavailable = sum(1 for record in records if record.status == "unavailable")
@@ -157,7 +209,21 @@ def summarize_run(spec: RunSpec, records: Sequence[RequestRecord]) -> Dict[str, 
         "shed_rate": round(sheds / len(records), 4) if records else 0.0,
         "bytes_on_wire": sum(record.ledger_bytes for record in served),
         "max_lag_s": round(max((record.lag_s for record in records), default=0.0), 6),
+        "coordinator_requests": "",
+        "coordinator_rps": "",
+        "coordinator_shed": "",
     }
+    if coordinator_replies is not None:
+        served_by, rejected_by = coordinator_replies
+        totals = dict(rejected_by)
+        for name, count in served_by.items():
+            totals[name] = totals.get(name, 0.0) + count
+        row["coordinator_requests"] = _join_counts(totals)
+        row["coordinator_rps"] = _join_counts(
+            {name: count / duration for name, count in served_by.items()},
+            fmt="{:.3f}",
+        )
+        row["coordinator_shed"] = _join_counts(rejected_by)
     return row
 
 
@@ -196,11 +262,13 @@ def execute_run(
         default_engine=spec.engine,
         max_inflight=max_inflight,
         max_queue=max_queue,
+        coordinators=spec.coordinators,
     )
     with tier:
         if site_delay:
             tier.set_site_delay(site_delay)
-        _write_json(run_dir / "metrics_before.json", _scrape(tier))
+        metrics_before = _scrape(tier)
+        _write_json(run_dir / "metrics_before.json", metrics_before)
         with OpenLoopClient(
             tier.gateway.host,
             tier.gateway.port,
@@ -209,14 +277,17 @@ def execute_run(
         ) as load:
             records = load.run(schedule, batches)
             spans = list(load.spans)
-        _write_json(run_dir / "metrics_after.json", _scrape(tier))
+        metrics_after = _scrape(tier)
+        _write_json(run_dir / "metrics_after.json", metrics_after)
     with (run_dir / "requests.jsonl").open("w") as handle:
         for record in records:
             handle.write(json.dumps(record.to_obj(), sort_keys=True) + "\n")
     store = SpanStore()
     store.ingest_wire(spans)
     (run_dir / "spans.json").write_text(store.export_json(indent=2))
-    return summarize_run(spec, records)
+    return summarize_run(
+        spec, records, coordinator_replies=coordinator_deltas(metrics_before, metrics_after)
+    )
 
 
 def write_run_table(rows: Sequence[Dict[str, object]], path: Path) -> Path:
@@ -266,6 +337,7 @@ def execute_table(
 __all__ = [
     "LATENCY_BUCKETS",
     "RUN_TABLE_COLUMNS",
+    "coordinator_deltas",
     "execute_run",
     "execute_table",
     "latency_percentiles_ms",

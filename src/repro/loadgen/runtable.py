@@ -2,7 +2,8 @@
 
 Modeled on muBench-style replication packages: an experiment is *declared*
 up front as a cartesian product of factors (topology family x fragment
-count x engine x executor x batch size x arrival rate) with explicit
+count x engine x executor x coordinator pool size x batch size x
+arrival rate) with explicit
 repetitions, then executed run by run.  Each run gets a **stable,
 human-readable run id** that encodes every factor level, and a **seed
 derived deterministically from that id** -- two executions of the same
@@ -24,6 +25,11 @@ Factor semantics over the serving tier:
   serial/threads/process executors of the in-process engines do not
   apply here -- the coordinator always dispatches sites through its
   ``RemoteSiteExecutor``.
+* ``coordinators`` sizes the gateway's coordinator pool (scale-out
+  serving): requests hash-route across the pool, so pool size 2 splits
+  standing queries over two warm plan caches and two sets of site
+  links.  On a single-core host the two pools time-share one CPU --
+  the factor then measures routing overhead, not parallel speedup.
 * ``arrival_rate`` is the *open-loop* target (requests/second scheduled
   by target time), never a closed-loop RPS knob; see
   :mod:`repro.loadgen.client`.
@@ -72,6 +78,7 @@ class RunSpec:
     seed: int
     total_mb: float
     nodes_per_mb: int
+    coordinators: int = 1
 
     def factor_levels(self) -> Dict[str, object]:
         """The factor columns, as they appear in ``run_table.csv``."""
@@ -80,6 +87,7 @@ class RunSpec:
             "fragments": self.fragments,
             "engine": self.engine,
             "executor": self.executor,
+            "coordinators": self.coordinators,
             "batch_size": self.batch_size,
             "arrival_rate": self.arrival_rate,
             "arrival": self.arrival,
@@ -105,10 +113,11 @@ def make_run_id(
     arrival_rate: float,
     arrival: str,
     repetition: int,
+    coordinators: int = 1,
 ) -> str:
     """The canonical run id: every factor level, readable and greppable."""
     return (
-        f"{topology}-f{fragments}-{engine}-{executor}"
+        f"{topology}-f{fragments}-{engine}-{executor}-c{coordinators}"
         f"-b{batch_size}-r{arrival_rate:g}-{arrival}-rep{repetition}"
     )
 
@@ -129,6 +138,7 @@ class RunTable:
     fragments: Tuple[int, ...] = (3,)
     engines: Tuple[str, ...] = ("parbox",)
     executors: Tuple[str, ...] = ("inline",)
+    coordinators: Tuple[int, ...] = (1,)
     batch_sizes: Tuple[int, ...] = (2,)
     arrival_rates: Tuple[float, ...] = (30.0,)
     arrival: str = "poisson"
@@ -166,6 +176,8 @@ class RunTable:
             raise ValueError("arrival rates must be > 0")
         if any(batch < 1 for batch in self.batch_sizes):
             raise ValueError("batch sizes must be >= 1")
+        if any(pool < 1 for pool in self.coordinators):
+            raise ValueError("coordinator pool sizes must be >= 1")
 
     def __len__(self) -> int:
         return (
@@ -173,6 +185,7 @@ class RunTable:
             * len(self.fragments)
             * len(self.engines)
             * len(self.executors)
+            * len(self.coordinators)
             * len(self.batch_sizes)
             * len(self.arrival_rates)
             * self.repetitions
@@ -183,35 +196,38 @@ class RunTable:
             for fragments in self.fragments:
                 for engine in self.engines:
                     for executor in self.executors:
-                        for batch_size in self.batch_sizes:
-                            for rate in self.arrival_rates:
-                                for rep in range(self.repetitions):
-                                    run_id = make_run_id(
-                                        topology,
-                                        fragments,
-                                        engine,
-                                        executor,
-                                        batch_size,
-                                        rate,
-                                        self.arrival,
-                                        rep,
-                                    )
-                                    yield RunSpec(
-                                        run_id=run_id,
-                                        scale=self.scale,
-                                        topology=topology,
-                                        fragments=fragments,
-                                        engine=engine,
-                                        executor=executor,
-                                        batch_size=batch_size,
-                                        arrival_rate=rate,
-                                        arrival=self.arrival,
-                                        requests=self.requests,
-                                        repetition=rep,
-                                        seed=derive_seed(run_id, self.base_seed),
-                                        total_mb=self.total_mb,
-                                        nodes_per_mb=self.nodes_per_mb,
-                                    )
+                        for pool in self.coordinators:
+                            for batch_size in self.batch_sizes:
+                                for rate in self.arrival_rates:
+                                    for rep in range(self.repetitions):
+                                        run_id = make_run_id(
+                                            topology,
+                                            fragments,
+                                            engine,
+                                            executor,
+                                            batch_size,
+                                            rate,
+                                            self.arrival,
+                                            rep,
+                                            coordinators=pool,
+                                        )
+                                        yield RunSpec(
+                                            run_id=run_id,
+                                            scale=self.scale,
+                                            topology=topology,
+                                            fragments=fragments,
+                                            engine=engine,
+                                            executor=executor,
+                                            batch_size=batch_size,
+                                            arrival_rate=rate,
+                                            arrival=self.arrival,
+                                            requests=self.requests,
+                                            repetition=rep,
+                                            seed=derive_seed(run_id, self.base_seed),
+                                            total_mb=self.total_mb,
+                                            nodes_per_mb=self.nodes_per_mb,
+                                            coordinators=pool,
+                                        )
 
     def run_ids(self) -> Tuple[str, ...]:
         return tuple(spec.run_id for spec in self.specs())
@@ -224,6 +240,7 @@ class RunTable:
             f"  fragments x {list(self.fragments)}",
             f"  engine x {list(self.engines)}",
             f"  executor x {list(self.executors)}",
+            f"  coordinators x {list(self.coordinators)}",
             f"  batch_size x {list(self.batch_sizes)}",
             f"  arrival_rate x {list(self.arrival_rates)}",
             f"  repetitions x {self.repetitions}",
@@ -246,9 +263,10 @@ def quick_table(**overrides) -> RunTable:
     """The CI-budget preset: 4 runs, inline sites, one engine.
 
     Small enough that the whole table (boot + load + scrape per run)
-    finishes in well under a minute, yet still factorial -- topology
-    family and arrival rate both vary, so ``analyze`` has per-factor
-    deltas to compute and the regression gate covers two load levels.
+    finishes in about a minute, yet still factorial -- topology family,
+    coordinator pool size and arrival rate all vary, so ``analyze`` has
+    per-factor deltas to compute and the regression gate covers two
+    load levels and both pool sizes.
     """
     params = dict(
         scale="quick",
@@ -256,6 +274,7 @@ def quick_table(**overrides) -> RunTable:
         fragments=(3,),
         engines=("parbox",),
         executors=("inline",),
+        coordinators=(1, 2),
         batch_sizes=(2,),
         arrival_rates=(30.0, 60.0),
         arrival="poisson",
@@ -270,13 +289,14 @@ def quick_table(**overrides) -> RunTable:
 
 
 def default_table(**overrides) -> RunTable:
-    """The full factorial: 32 runs across every axis (minutes, local)."""
+    """The full factorial: 64 runs across every axis (minutes, local)."""
     params = dict(
         scale="default",
         topologies=("star", "chain"),
         fragments=(3, 6),
         engines=("parbox", "fulldist"),
         executors=("inline", "process"),
+        coordinators=(1, 2),
         batch_sizes=(2, 8),
         arrival_rates=(40.0,),
         arrival="poisson",
@@ -308,7 +328,15 @@ def spec_from_row(row: Dict[str, object]) -> RunSpec:
         if name not in row:
             raise ValueError(f"row is missing spec field {name!r}")
         kwargs[name] = row[name]
-    ints = ("fragments", "batch_size", "requests", "repetition", "seed", "nodes_per_mb")
+    ints = (
+        "fragments",
+        "batch_size",
+        "requests",
+        "repetition",
+        "seed",
+        "nodes_per_mb",
+        "coordinators",
+    )
     floats = ("arrival_rate", "total_mb")
     for name in ints:
         kwargs[name] = int(kwargs[name])

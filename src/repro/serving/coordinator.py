@@ -38,11 +38,11 @@ import asyncio
 import itertools
 import logging
 import threading
-from collections import Counter
+from collections import Counter, OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
-from repro.core.plan import QueryCache, plan_batch
+from repro.core.plan import BatchPlan, QueryCache, plan_batch
 from repro.distsim.cluster import Cluster
 from repro.distsim.executors import (
     SiteExecutor,
@@ -87,6 +87,12 @@ SERVABLE_ENGINES = ("parbox", "fulldist", "lazy", "hybrid")
 #: Default per-attempt deadline for one site request.
 DEFAULT_SITE_TIMEOUT = 10.0
 
+#: Bound on a coordinator's compiled-plan cache (distinct query batches,
+#: LRU).  Standing/subscription workloads fit in a handful of entries;
+#: the bound only exists so an adversarial stream of unique batches
+#: cannot grow coordinator memory without limit.
+PLAN_CACHE_SIZE = 256
+
 
 @dataclass(frozen=True)
 class SiteEndpoint:
@@ -120,6 +126,8 @@ class SiteLink:
         self.loaded_sites: set[str] = set()
         self._connect_lock = asyncio.Lock()
         self._write_lock = asyncio.Lock()
+        self._drain_lock = asyncio.Lock()
+        self._needs_drain = False
         self.load_lock = asyncio.Lock()
 
     @property
@@ -189,12 +197,26 @@ class SiteLink:
         self._pong_waiters.clear()
 
     async def _send(self, message: Message) -> None:
+        """Write one frame; coalesce concurrent senders' drains.
+
+        ``write_message`` only fills the transport buffer, so a batch
+        of concurrent requests on this link pipelines: every sender
+        writes its frame immediately, then the first one through the
+        drain lock flushes the socket for all of them -- N frames, one
+        drain pass, instead of one drain await per request.
+        """
         writer = self._writer
         if writer is None:
             raise ConnectionResetError(f"link {self.endpoint.address()} is down")
         async with self._write_lock:
             write_message(writer, message)
-            await writer.drain()
+            self._needs_drain = True
+        async with self._drain_lock:
+            if self._needs_drain:
+                self._needs_drain = False
+                writer = self._writer
+                if writer is not None:  # torn down between write and drain
+                    await writer.drain()
 
     async def request(self, message: ExecuteRequest, timeout: float) -> Message:
         """Send one execute request and await its correlated reply."""
@@ -259,10 +281,15 @@ class Coordinator:
         site_timeout: float = DEFAULT_SITE_TIMEOUT,
         connect_timeout: float = 5.0,
         registry: Optional[MetricsRegistry] = None,
+        name: str = "c0",
+        plan_cache_size: int = PLAN_CACHE_SIZE,
     ) -> None:
         missing = set(cluster.source_tree().sites()) - set(endpoints)
         if missing:
             raise ValueError(f"no endpoint configured for site(s) {sorted(missing)}")
+        #: Pool-unique name (``c0``, ``c1``, ...): the label new
+        #: per-coordinator metric series and reply details carry.
+        self.name = name
         self.cluster = cluster
         self.endpoints = {site: tuple(eps) for site, eps in endpoints.items()}
         self.site_timeout = site_timeout
@@ -284,6 +311,18 @@ class Coordinator:
         #: same worker thread, so it reads the batch's context here.
         self._trace_local = threading.local()
         self.cache = QueryCache()
+        #: Compiled-plan cache: request wire form -> ready BatchPlan.
+        #: A hit skips ``_coerce_query`` re-validation *and* the batch
+        #: planner; plans are frozen dataclasses over immutable QLists,
+        #: so one plan object serves concurrent worker threads.
+        self._plan_cache: OrderedDict[tuple, BatchPlan] = OrderedDict()
+        self._plan_cache_size = plan_cache_size
+        self._plan_lock = threading.Lock()
+        self._plan_events = self.registry.counter(
+            "coordinator_plan_cache_total",
+            "Compiled-plan cache lookups by coordinator and result",
+            labelnames=("coordinator", "result"),
+        )
         self._links: dict[SiteEndpoint, SiteLink] = {}
         self._request_ids = itertools.count(1)
         self._executor = RemoteSiteExecutor(self)
@@ -382,6 +421,32 @@ class Coordinator:
         finally:
             if timer is not None and sink is not None:
                 sink.append(timer.finish(failed=True).to_wire())
+
+    async def execute_jobs(
+        self,
+        jobs: Sequence[SiteJob],
+        trace: Optional[TraceContext] = None,
+        sink: Optional[list] = None,
+    ) -> list[SiteOutcome]:
+        """Run a whole batch of site jobs concurrently, order preserved.
+
+        One coroutine submission covers the entire fan-out (the
+        executor thread wakes the loop once per batch, not once per
+        job), and because every job writes its request before any
+        awaits its reply, the per-link drain coalescing in
+        :meth:`SiteLink._send` pipelines all requests sharing a link
+        into one socket flush.  Every job settles before the first
+        failure is re-raised -- each is self-bounded by the attempt
+        timeouts, so waiting for stragglers cannot hang.
+        """
+        results = await asyncio.gather(
+            *(self.execute_job(job, trace=trace, sink=sink) for job in jobs),
+            return_exceptions=True,
+        )
+        for result in results:
+            if isinstance(result, BaseException):
+                raise result
+        return list(results)
 
     async def _attempt(
         self,
@@ -517,6 +582,65 @@ class Coordinator:
         except Exception as error:  # noqa: BLE001 - typed toward the client
             raise RemoteQueryError(f"undecodable precompiled query: {error}") from None
 
+    @staticmethod
+    def _plan_key(queries: Sequence[Union[str, tuple]]) -> Optional[tuple]:
+        """A hashable canonical form of a request's query batch.
+
+        ``None`` marks the batch uncachable (malformed shapes fall
+        through to ``_coerce_query``, whose typed bad-request error
+        must not be pre-empted by cache plumbing).
+        """
+        key = []
+        for query in queries:
+            if isinstance(query, str):
+                key.append(query)
+                continue
+            try:
+                tag, obj = query
+                key.append((str(tag), tuple(tuple(entry) for entry in obj)))
+            except (TypeError, ValueError):
+                return None
+        return tuple(key)
+
+    def _plan_for(self, queries: Sequence[Union[str, tuple]]) -> BatchPlan:
+        """Plan a request batch through the LRU compiled-plan cache.
+
+        A hit returns the previously planned ``BatchPlan`` without
+        re-validating (or re-planning) anything -- the steady-state
+        path for standing queries, whose batches arrive bit-identical
+        request after request.  Lookups count into
+        ``coordinator_plan_cache_total{coordinator,result}``.
+        """
+        key = self._plan_key(queries)
+        if key is not None:
+            try:
+                with self._plan_lock:
+                    plan = self._plan_cache.get(key)
+                    if plan is not None:
+                        self._plan_cache.move_to_end(key)
+            except TypeError:  # unhashable entry contents: uncachable
+                key = None
+                plan = None
+            if plan is not None:
+                self._plan_events.labels(coordinator=self.name, result="hit").inc()
+                return plan
+        plan = plan_batch([self._coerce_query(query) for query in queries])
+        self._plan_events.labels(coordinator=self.name, result="miss").inc()
+        if key is not None:
+            with self._plan_lock:
+                self._plan_cache[key] = plan
+                while len(self._plan_cache) > self._plan_cache_size:
+                    self._plan_cache.popitem(last=False)
+        return plan
+
+    def plan_cache_stats(self) -> dict:
+        """Hit/miss/entry counts of the compiled-plan cache (tests, CLI)."""
+        hits = self._plan_events.labels(coordinator=self.name, result="hit").value
+        misses = self._plan_events.labels(coordinator=self.name, result="miss").value
+        with self._plan_lock:
+            entries = len(self._plan_cache)
+        return {"entries": entries, "hits": int(hits), "misses": int(misses)}
+
     def evaluate(
         self,
         queries: Sequence[Union[str, tuple]],
@@ -538,7 +662,7 @@ class Coordinator:
         if self.loop is None:
             raise RuntimeError("coordinator not bound to an event loop")
         engine = self._engine_for(engine_name)
-        plan = plan_batch([self._coerce_query(query) for query in queries])
+        plan = self._plan_for(queries)
         self._trace_local.ctx = (trace, span_sink)
         try:
             return engine.evaluate_many(plan)
@@ -556,11 +680,13 @@ class RemoteSiteExecutor(SiteExecutor):
     """Site jobs over the network: the executor that makes engines remote.
 
     ``run_jobs`` is called on a worker thread inside an engine's
-    parallel stage; it submits every job's :meth:`Coordinator.execute_job`
-    coroutine to the serving loop at once (true fan-out -- sites
-    evaluate concurrently for real) and blocks on the ordered results.
-    Per-job failure semantics are the coordinator's: bounded attempts,
-    one retry, then :class:`~repro.serving.protocol.SiteUnavailable`.
+    parallel stage; it submits the whole batch to the serving loop as
+    **one** :meth:`Coordinator.execute_jobs` coroutine (one loop wakeup
+    per batch; the jobs still fan out concurrently inside the loop --
+    sites evaluate in parallel for real) and blocks on the ordered
+    results.  Per-job failure semantics are the coordinator's: bounded
+    attempts, one retry, then
+    :class:`~repro.serving.protocol.SiteUnavailable`.
     """
 
     name = "net"
@@ -569,32 +695,25 @@ class RemoteSiteExecutor(SiteExecutor):
         self.coordinator = coordinator
 
     def run_jobs(self, jobs: Sequence[SiteJob]) -> list[SiteOutcome]:
+        if not jobs:
+            return []
         loop = self.coordinator.loop
         if loop is None or not loop.is_running():
             raise RuntimeError("serving loop is not running")
-        deadline = self.coordinator.job_deadline()
+        # Jobs run concurrently, so one job's worst case bounds the
+        # batch; the per-job slack only covers loop scheduling.
+        deadline = self.coordinator.job_deadline() + 0.1 * len(jobs)
         # The batch's trace context (set by Coordinator.evaluate on this
         # very thread); jobs dispatched outside evaluate are untraced.
         trace, sink = getattr(self.coordinator._trace_local, "ctx", (None, None))
-        futures = [
-            asyncio.run_coroutine_threadsafe(
-                self.coordinator.execute_job(job, trace=trace, sink=sink), loop
-            )
-            for job in jobs
-        ]
-        outcomes: list[SiteOutcome] = []
-        error: Optional[BaseException] = None
-        for future in futures:
-            if error is not None:
-                future.cancel()
-                continue
-            try:
-                outcomes.append(future.result(timeout=deadline))
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                error = exc
-        if error is not None:
-            raise error
-        return outcomes
+        future = asyncio.run_coroutine_threadsafe(
+            self.coordinator.execute_jobs(list(jobs), trace=trace, sink=sink), loop
+        )
+        try:
+            return future.result(timeout=deadline)
+        except BaseException:
+            future.cancel()
+            raise
 
     def close(self) -> None:
         """No-op: the links belong to the coordinator."""
@@ -603,6 +722,7 @@ class RemoteSiteExecutor(SiteExecutor):
 __all__ = [
     "SERVABLE_ENGINES",
     "DEFAULT_SITE_TIMEOUT",
+    "PLAN_CACHE_SIZE",
     "SiteEndpoint",
     "SiteLink",
     "Coordinator",
